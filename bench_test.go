@@ -1,0 +1,188 @@
+package ecfd
+
+// One testing.B benchmark per figure of the paper's evaluation (§VI),
+// at a reduced scale so `go test -bench=.` completes in minutes; run
+// cmd/ecfdbench for configurable-scale sweeps and EXPERIMENTS.md for
+// recorded paper-vs-measured series. Two ablation benchmarks quantify
+// the engine design choices called out in DESIGN.md §5.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ecfd/internal/bench"
+	"ecfd/internal/detect"
+	"ecfd/internal/gen"
+	"ecfd/internal/sqldb"
+)
+
+// benchScale keeps each figure sweep tractable under testing.B.
+const benchScale = 0.02
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		f, err := bench.Run(id, bench.Options{Scale: benchScale, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(f.Points) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig5a — BATCHDETECT scalability in |D| (Fig. 5(a)).
+func BenchmarkFig5a(b *testing.B) { benchFigure(b, "5a") }
+
+// BenchmarkFig5b — BATCHDETECT scalability in noise% (Fig. 5(b)).
+func BenchmarkFig5b(b *testing.B) { benchFigure(b, "5b") }
+
+// BenchmarkFig5c — BATCHDETECT scalability in |Tp| (Fig. 5(c)).
+func BenchmarkFig5c(b *testing.B) { benchFigure(b, "5c") }
+
+// BenchmarkFig6a — INCDETECT vs BATCHDETECT across |D| (Fig. 6(a)).
+func BenchmarkFig6a(b *testing.B) { benchFigure(b, "6a") }
+
+// BenchmarkFig6b — INCDETECT vs BATCHDETECT across noise% (Fig. 6(b)).
+func BenchmarkFig6b(b *testing.B) { benchFigure(b, "6b") }
+
+// BenchmarkFig6c — INCDETECT vs BATCHDETECT across |Tp| (Fig. 6(c)).
+func BenchmarkFig6c(b *testing.B) { benchFigure(b, "6c") }
+
+// BenchmarkFig7a — effect of the update size on both detectors (Fig. 7(a)).
+func BenchmarkFig7a(b *testing.B) { benchFigure(b, "7a") }
+
+// BenchmarkFig7b — violation changes vs update size (Fig. 7(b)).
+func BenchmarkFig7b(b *testing.B) { benchFigure(b, "7b") }
+
+// batchDetectOnce measures a single BatchDetect over a fresh dataset —
+// the unit underlying every Fig. 5 point.
+func batchDetectOnce(b *testing.B, rows int) {
+	b.Helper()
+	batchDetectSigma(b, rows, gen.Constraints())
+}
+
+func batchDetectSigma(b *testing.B, rows int, sigma []*ECFD) {
+	b.Helper()
+	name := fmt.Sprintf("bench_unit_%d_%d", rows, rand.Int63())
+	db, err := OpenMemory(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	defer CloseMemory(name)
+	d, err := detect.New(db, gen.Schema(), sigma)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := d.LoadData(gen.Dataset(gen.Config{Rows: rows, Noise: 5, Seed: 1})); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.BatchDetect(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchDetect2k/10k give per-run costs at two dataset sizes.
+func BenchmarkBatchDetect2k(b *testing.B)  { batchDetectOnce(b, 2_000) }
+func BenchmarkBatchDetect10k(b *testing.B) { batchDetectOnce(b, 10_000) }
+
+// BenchmarkDecorrelation quantifies the correlated-EXISTS hash-probe
+// optimization (DESIGN.md §5). With a |Tp| = 200 tableau the pattern-
+// set tables hold hundreds of rows per attribute; disabling the
+// decorrelation makes every (tuple, pattern) pair rescan them instead
+// of probing a hash built once per statement.
+func BenchmarkDecorrelation(b *testing.B) {
+	sigma := gen.ConstraintsScaled(200, 1)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"on", false},
+		{"off", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			sqldb.DisableDecorrelation = mode.disable
+			defer func() { sqldb.DisableDecorrelation = false }()
+			batchDetectSigma(b, 1_000, sigma)
+		})
+	}
+}
+
+// BenchmarkNaiveDetect is the in-memory oracle on the same workload —
+// the lower bound no SQL engine can beat, for context.
+func BenchmarkNaiveDetect(b *testing.B) {
+	inst := gen.Dataset(gen.Config{Rows: 10_000, Noise: 5, Seed: 1})
+	sigma := gen.Constraints()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Detect(inst, sigma); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSatisfiable measures the exact satisfiability check on the
+// experiment Σ (10 eCFDs, 9 attributes).
+func BenchmarkSatisfiable(b *testing.B) {
+	schema := gen.Schema()
+	sigma := gen.Constraints()
+	for i := 0; i < b.N; i++ {
+		ok, _, err := Satisfiable(schema, sigma)
+		if err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+	}
+}
+
+// BenchmarkMaxSS measures the §IV reduction + solve on the experiment Σ.
+func BenchmarkMaxSS(b *testing.B) {
+	schema := gen.Schema()
+	sigma := gen.Constraints()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaxSS(schema, sigma, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalInsert measures one 5%-sized incremental batch
+// against a 10k base — the Fig. 6 unit.
+func BenchmarkIncrementalInsert(b *testing.B) {
+	cfg := gen.Config{Rows: 10_000, Noise: 5, Seed: 1}
+	name := fmt.Sprintf("bench_inc_%d", rand.Int63())
+	db, err := OpenMemory(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	defer CloseMemory(name)
+	d, err := detect.New(db, gen.Schema(), gen.Constraints())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := d.LoadData(gen.Dataset(cfg)); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := d.BatchDetect(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := gen.Updates(cfg, 500, int64(i))
+		if _, _, err := d.InsertTuples(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

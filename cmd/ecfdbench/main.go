@@ -1,0 +1,44 @@
+// Command ecfdbench regenerates the paper's experimental figures
+// (§VI, Figs. 5–7). Each figure prints as an aligned table of the same
+// series the paper plots.
+//
+// Usage:
+//
+//	ecfdbench [-fig 5a|5b|5c|6a|6b|6c|7a|7b|all] [-scale 0.1] [-seed 42]
+//
+// Scale 1.0 is paper scale (|D| up to 100k tuples); the default 0.1
+// completes the full suite in minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ecfd/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure id (5a 5b 5c 6a 6b 6c 7a 7b) or 'all'")
+	scale := flag.Float64("scale", 0.1, "dataset scale relative to the paper (1.0 = |D| up to 100k)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	opt := bench.Options{Scale: *scale, Seed: *seed}
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = bench.FigureIDs()
+	}
+	fmt.Printf("eCFD experiment suite — scale %.3g, seed %d\n\n", *scale, *seed)
+	for _, id := range ids {
+		start := time.Now()
+		f, err := bench.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ecfdbench: figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		f.Print(os.Stdout)
+		fmt.Printf("[figure %s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

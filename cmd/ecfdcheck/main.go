@@ -1,0 +1,118 @@
+// Command ecfdcheck runs the paper's static analyses (§III–IV) over a
+// constraint file in the textual eCFD language (with table
+// declarations; see internal/core.Spec for the grammar):
+//
+//	ecfdcheck -spec sigma.ecfd                 # satisfiability + MaxSS
+//	ecfdcheck -spec sigma.ecfd -implies q.ecfd # does Σ imply each constraint in q?
+//
+// Exit status: 0 when Σ is satisfiable (and, with -implies, every
+// query constraint is implied), 1 otherwise, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ecfd"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "constraint file (tables + eCFDs)")
+	impliesPath := flag.String("implies", "", "constraint file with candidate implied eCFDs")
+	seed := flag.Int64("seed", 1, "seed for the MaxSS heuristic")
+	flag.Parse()
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "ecfdcheck: -spec is required")
+		os.Exit(2)
+	}
+
+	spec := loadSpec(*specPath, nil)
+	bySchema := groupBySchema(spec.Constraints)
+	ok := true
+
+	for name, sigma := range bySchema {
+		schema := spec.Schemas[name]
+		sat, witness, err := ecfd.Satisfiable(schema, sigma)
+		if err != nil {
+			fail(err)
+		}
+		split := len(ecfd.SplitConstraints(sigma))
+		if sat {
+			fmt.Printf("%s: SATISFIABLE (%d eCFDs, %d pattern constraints)\n", name, len(sigma), split)
+			fmt.Printf("  witness: %v\n", witness)
+			continue
+		}
+		ok = false
+		fmt.Printf("%s: UNSATISFIABLE (%d eCFDs, %d pattern constraints)\n", name, len(sigma), split)
+		res, err := ecfd.MaxSS(schema, sigma, *seed)
+		if err != nil {
+			fail(err)
+		}
+		kind := "approximately"
+		if res.Exact {
+			kind = "exactly"
+		}
+		fmt.Printf("  max satisfiable subset (%s): %d of %d pattern constraints\n",
+			kind, len(res.Subset), res.Total)
+		splitAll := ecfd.SplitConstraints(sigma)
+		in := make(map[int]bool, len(res.Subset))
+		for _, i := range res.Subset {
+			in[i] = true
+		}
+		for i, e := range splitAll {
+			if !in[i] {
+				fmt.Printf("  outside the subset: %s\n", e.Name)
+			}
+		}
+	}
+
+	if *impliesPath != "" {
+		qs := loadSpec(*impliesPath, spec.Schemas)
+		for _, phi := range qs.Constraints {
+			sigma := bySchema[phi.Schema.Name]
+			implied, cx, err := ecfd.Implies(phi.Schema, sigma, phi)
+			if err != nil {
+				fail(err)
+			}
+			if implied {
+				fmt.Printf("implied:     %s (redundant given Σ)\n", phi.Name)
+				continue
+			}
+			ok = false
+			fmt.Printf("not implied: %s\n", phi.Name)
+			for _, t := range cx {
+				fmt.Printf("  counterexample tuple: %v\n", t)
+			}
+		}
+	}
+
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func loadSpec(path string, pre map[string]*ecfd.Schema) *ecfd.Spec {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	spec, err := ecfd.ParseSpec(string(src), pre)
+	if err != nil {
+		fail(err)
+	}
+	return spec
+}
+
+func groupBySchema(constraints []*ecfd.ECFD) map[string][]*ecfd.ECFD {
+	out := make(map[string][]*ecfd.ECFD)
+	for _, e := range constraints {
+		out[e.Schema.Name] = append(out[e.Schema.Name], e)
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ecfdcheck:", err)
+	os.Exit(2)
+}

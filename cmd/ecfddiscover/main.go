@@ -1,0 +1,102 @@
+// Command ecfddiscover mines candidate eCFDs from CSV data — the
+// future-work direction of the paper's §VIII. Columns are profiled
+// pairwise for conditional FDs with exception sets (the φ1 shape) and
+// value bindings with disjunctions (the φ2 shape); the output is a
+// constraint file in the textual eCFD language, ready for ecfdcheck /
+// ecfddetect.
+//
+//	ecfddiscover -data data.csv -table cust [-minsupport 25] [-o found.ecfd]
+//
+// All columns are treated as TEXT.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ecfd"
+)
+
+func main() {
+	dataPath := flag.String("data", "", "CSV input with a header row")
+	table := flag.String("table", "data", "relation name for the emitted constraints")
+	minSupport := flag.Int("minsupport", 25, "minimum tuples per reported pattern row")
+	maxSet := flag.Int("maxset", 8, "maximum disjunction size")
+	maxExc := flag.Int("maxexceptions", 5, "maximum exception-set size")
+	out := flag.String("o", "-", "output constraint file ('-' = stdout)")
+	flag.Parse()
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "ecfddiscover: -data is required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	header, err := csv.NewReader(f).Read()
+	if err != nil {
+		fail(fmt.Errorf("read header: %w", err))
+	}
+	attrs := make([]ecfd.Attribute, len(header))
+	for i, h := range header {
+		attrs[i] = ecfd.Attribute{Name: h, Kind: ecfd.KindText}
+	}
+	schema, err := ecfd.NewSchema(*table, attrs...)
+	if err != nil {
+		fail(err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		fail(err)
+	}
+	inst, err := ecfd.ReadCSV(f, schema)
+	if err != nil {
+		fail(err)
+	}
+
+	found, err := ecfd.Discover(inst, ecfd.DiscoverOptions{
+		MinSupport:    *minSupport,
+		MaxRHSSet:     *maxSet,
+		MaxExceptions: *maxExc,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "ecfddiscover: %d rows → %d candidate constraints\n", inst.Len(), len(found))
+
+	w := io.Writer(os.Stdout)
+	if *out != "-" {
+		of, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer of.Close()
+		w = of
+	}
+	var b strings.Builder
+	b.WriteString("table " + *table + " (")
+	for i, a := range schema.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Name + " text")
+	}
+	b.WriteString(")\n\n")
+	for _, e := range found {
+		b.WriteString(e.String())
+		b.WriteString("\n")
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ecfddiscover:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,124 @@
+// Command ecfdsql is a small interactive shell for the embedded
+// in-memory SQL engine — useful for poking at detector tables and for
+// demos. It reads one statement per line (ending in ';' optional) and
+// supports two meta-commands:
+//
+//	\tables              list tables
+//	\load <table> <csv>  bulk-load a CSV file into a new table (TEXT columns)
+//	\quit                exit
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"os"
+	"strings"
+
+	"ecfd/internal/relation"
+	"ecfd/internal/sqldb"
+)
+
+func main() {
+	db := sqldb.NewDB()
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("ecfdsql — embedded SQL engine shell (\\quit to exit)")
+	for {
+		fmt.Print("sql> ")
+		if !in.Scan() {
+			break
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit`, line == `\q`:
+			return
+		case line == `\tables`:
+			for _, name := range db.TableNames() {
+				n, _ := db.TableLen(name)
+				fmt.Printf("  %s (%d rows)\n", name, n)
+			}
+			continue
+		case strings.HasPrefix(line, `\load `):
+			if err := load(db, line); err != nil {
+				fmt.Println("error:", err)
+			}
+			continue
+		}
+		run(db, line)
+	}
+	if err := in.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "ecfdsql:", err)
+		os.Exit(1)
+	}
+}
+
+func run(db *sqldb.DB, stmt string) {
+	if isQuery(stmt) {
+		res, err := db.Query(stmt)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(strings.Join(res.Cols, " | "))
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Println(strings.Join(cells, " | "))
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+		return
+	}
+	n, err := db.Exec(stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("ok (%d rows affected)\n", n)
+}
+
+func isQuery(stmt string) bool {
+	return strings.HasPrefix(strings.ToUpper(strings.TrimSpace(stmt)), "SELECT")
+}
+
+// load implements \load table file.csv: every column becomes TEXT.
+func load(db *sqldb.DB, line string) error {
+	parts := strings.Fields(line)
+	if len(parts) != 3 {
+		return fmt.Errorf(`usage: \load <table> <file.csv>`)
+	}
+	table, path := parts[1], parts[2]
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	header, err := csv.NewReader(f).Read()
+	if err != nil {
+		return fmt.Errorf("read header: %w", err)
+	}
+	attrs := make([]relation.Attribute, len(header))
+	for i, h := range header {
+		attrs[i] = relation.Attribute{Name: h, Kind: relation.KindText}
+	}
+	schema, err := relation.NewSchema(table, attrs...)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return err
+	}
+	rel, err := relation.ReadCSV(f, schema)
+	if err != nil {
+		return err
+	}
+	if err := db.LoadRelation(rel); err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d rows into %s\n", rel.Len(), table)
+	return nil
+}

@@ -1,0 +1,95 @@
+// Static analysis: validate a constraint set before using it.
+//
+// The paper's §III–IV: eCFDs can be "dirty" themselves. We build the
+// unsatisfiable interaction of Example 3.1, watch Satisfiable reject
+// it, extract an approximately-maximum satisfiable subset via the
+// MAXGSAT reduction (§IV), and use Implies to find redundant
+// constraints that an optimizer could drop.
+//
+// Run with: go run ./examples/satisfiability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecfd"
+)
+
+func main() {
+	schema := ecfd.CustSchema()
+
+	// ψ3 of Example 3.1: if CT is NYC it must be both NYC and LI.
+	psi3 := &ecfd.ECFD{
+		Name: "psi3", Schema: schema, X: []string{"CT"}, Y: []string{"CT"},
+		Tableau: []ecfd.PatternTuple{
+			{LHS: []ecfd.Pattern{ecfd.InStrings("NYC")}, RHS: []ecfd.Pattern{ecfd.InStrings("NYC")}},
+			{LHS: []ecfd.Pattern{ecfd.InStrings("NYC")}, RHS: []ecfd.Pattern{ecfd.InStrings("LI")}},
+		},
+	}
+	// A constraint forcing the NYC case to actually occur.
+	force := &ecfd.ECFD{
+		Name: "forceNYC", Schema: schema, X: []string{"CT"}, YP: []string{"CT"},
+		Tableau: []ecfd.PatternTuple{
+			{LHS: []ecfd.Pattern{ecfd.Any()}, RHS: []ecfd.Pattern{ecfd.InStrings("NYC")}},
+		},
+	}
+	sigma := append(ecfd.Fig2Constraints(), psi3, force)
+
+	ok, _, err := ecfd.Satisfiable(schema, sigma)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Σ (Fig. 2 + ψ3 + forceNYC) satisfiable? %v\n", ok)
+
+	// Approximate the maximum satisfiable subset (§IV).
+	res, err := ecfd.MaxSS(schema, sigma, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kind := "approximate"
+	if res.Exact {
+		kind = "exact"
+	}
+	fmt.Printf("MaxSS (%s): %d of %d pattern constraints satisfiable together\n",
+		kind, len(res.Subset), res.Total)
+	fmt.Printf("witness tuple: %v\n", res.Witness)
+	split := ecfd.SplitConstraints(sigma)
+	in := map[int]bool{}
+	for _, i := range res.Subset {
+		in[i] = true
+	}
+	for i, e := range split {
+		if !in[i] {
+			fmt.Printf("  excluded: %s\n", e.Name)
+		}
+	}
+
+	// Implication: a narrower constraint is redundant given Fig. 2's Σ.
+	weaker := &ecfd.ECFD{
+		Name: "albany518", Schema: schema, X: []string{"CT"}, YP: []string{"AC"},
+		Tableau: []ecfd.PatternTuple{
+			{LHS: []ecfd.Pattern{ecfd.InStrings("Albany")}, RHS: []ecfd.Pattern{ecfd.InStrings("518")}},
+		},
+	}
+	implied, _, err := ecfd.Implies(schema, ecfd.Fig2Constraints(), weaker)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFig. 2 Σ ⊨ %s? %v — a cleaning pipeline can drop it\n", weaker.Name, implied)
+
+	stronger := &ecfd.ECFD{
+		Name: "utica315", Schema: schema, X: []string{"CT"}, YP: []string{"AC"},
+		Tableau: []ecfd.PatternTuple{
+			{LHS: []ecfd.Pattern{ecfd.InStrings("Utica")}, RHS: []ecfd.Pattern{ecfd.InStrings("315")}},
+		},
+	}
+	implied, cx, err := ecfd.Implies(schema, ecfd.Fig2Constraints(), stronger)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fig. 2 Σ ⊨ %s? %v\n", stronger.Name, implied)
+	for _, t := range cx {
+		fmt.Printf("  counterexample: %v\n", t)
+	}
+}

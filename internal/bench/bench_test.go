@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyOpts keeps unit-test runs fast: ~1% of paper scale.
+var tinyOpts = Options{Scale: 0.01, Seed: 1}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := Run("9z", tinyOpts); err == nil {
+		t.Error("unknown figure must error")
+	}
+}
+
+func TestFigureIDs(t *testing.T) {
+	ids := FigureIDs()
+	want := []string{"5a", "5b", "5c", "6a", "6b", "6c", "7a", "7b"}
+	if strings.Join(ids, ",") != strings.Join(want, ",") {
+		t.Errorf("FigureIDs = %v", ids)
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	f, err := Run("5a", tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != 10 {
+		t.Fatalf("Fig 5a has %d points, want 10", len(f.Points))
+	}
+	for _, p := range f.Points {
+		if p.Series["batch"] <= 0 {
+			t.Errorf("point %s: non-positive time", p.X)
+		}
+	}
+	// Monotone-ish: the largest |D| should cost more than the smallest.
+	if f.Points[9].Series["batch"] <= f.Points[0].Series["batch"]*0.8 {
+		t.Errorf("batch time should grow with |D|: %v vs %v",
+			f.Points[0].Series["batch"], f.Points[9].Series["batch"])
+	}
+}
+
+func TestFig7bCounts(t *testing.T) {
+	f, err := Run("7b", tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != 9 {
+		t.Fatalf("Fig 7b has %d points, want 9 (2k–12k + 20k–60k)", len(f.Points))
+	}
+	last := f.Points[len(f.Points)-1]
+	first := f.Points[0]
+	if last.Series["DSV"] < first.Series["DSV"] {
+		t.Errorf("DSV should grow with |ΔD|: %v → %v", first.Series, last.Series)
+	}
+}
+
+func TestIncVsBatchProducesAllSeries(t *testing.T) {
+	f, err := Run("6a", Options{Scale: 0.005, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range f.Points {
+		for _, name := range incSeries {
+			if _, ok := p.Series[name]; !ok {
+				t.Fatalf("point %s missing series %s", p.X, name)
+			}
+		}
+	}
+}
+
+func TestPrint(t *testing.T) {
+	f := &Figure{ID: "x", Title: "t", XLabel: "X", YLabel: "s",
+		Names:  []string{"a"},
+		Points: []Point{{X: "1", Series: map[string]float64{"a": 0.5}}}}
+	var buf bytes.Buffer
+	f.Print(&buf)
+	out := buf.String()
+	for _, frag := range []string{"Fig. x", "X", "a", "0.500"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Print output missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"ecfd/internal/relation"
+)
+
+// CFDCell is one cell of a classic CFD pattern tuple: either the
+// unnamed variable '_' or a single constant (paper [1], and Remark (2)
+// of §II here).
+type CFDCell struct {
+	Wildcard bool
+	Value    relation.Value
+}
+
+// CFDAny returns the '_' cell.
+func CFDAny() CFDCell { return CFDCell{Wildcard: true} }
+
+// CFDConst returns a constant cell.
+func CFDConst(v relation.Value) CFDCell { return CFDCell{Value: v} }
+
+// CFDPatternTuple pairs LHS cells (over X) with RHS cells (over Y).
+type CFDPatternTuple struct {
+	LHS []CFDCell
+	RHS []CFDCell
+}
+
+// CFD is a classic conditional functional dependency
+// (R: X → Y, Tp): the special case of an eCFD with Yp = ∅ and only
+// wildcard or singleton-constant cells.
+type CFD struct {
+	Name    string
+	Schema  *relation.Schema
+	X, Y    []string
+	Tableau []CFDPatternTuple
+}
+
+// AsECFD embeds the CFD into the eCFD language by replacing every
+// constant a with the singleton set {a} — the construction of §II
+// Remark (2). The embedding preserves satisfaction: I ⊨ cfd iff
+// I ⊨ cfd.AsECFD().
+func (c *CFD) AsECFD() *ECFD {
+	e := &ECFD{Name: c.Name, Schema: c.Schema}
+	e.X = append([]string(nil), c.X...)
+	e.Y = append([]string(nil), c.Y...)
+	e.Tableau = make([]PatternTuple, len(c.Tableau))
+	for i, tp := range c.Tableau {
+		pt := PatternTuple{LHS: make([]Pattern, len(tp.LHS)), RHS: make([]Pattern, len(tp.RHS))}
+		for j, cell := range tp.LHS {
+			pt.LHS[j] = cellToPattern(cell)
+		}
+		for j, cell := range tp.RHS {
+			pt.RHS[j] = cellToPattern(cell)
+		}
+		e.Tableau[i] = pt
+	}
+	return e
+}
+
+func cellToPattern(c CFDCell) Pattern {
+	if c.Wildcard {
+		return Any()
+	}
+	return Const(c.Value)
+}
+
+// FromECFD attempts the inverse embedding: it returns the classic CFD
+// corresponding to e when e.IsCFD(), and an error otherwise.
+func FromECFD(e *ECFD) (*CFD, error) {
+	if !e.IsCFD() {
+		return nil, fmt.Errorf("core: eCFD %s uses disjunction, inequality or Yp and has no CFD form", e.label())
+	}
+	c := &CFD{Name: e.Name, Schema: e.Schema}
+	c.X = append([]string(nil), e.X...)
+	c.Y = append([]string(nil), e.Y...)
+	c.Tableau = make([]CFDPatternTuple, len(e.Tableau))
+	for i, tp := range e.Tableau {
+		ct := CFDPatternTuple{LHS: make([]CFDCell, len(tp.LHS)), RHS: make([]CFDCell, len(tp.RHS))}
+		for j, p := range tp.LHS {
+			ct.LHS[j] = patternToCell(p)
+		}
+		for j, p := range tp.RHS {
+			ct.RHS[j] = patternToCell(p)
+		}
+		c.Tableau[i] = ct
+	}
+	return c, nil
+}
+
+func patternToCell(p Pattern) CFDCell {
+	if p.Op == Wildcard {
+		return CFDAny()
+	}
+	return CFDConst(p.Set[0])
+}
+
+// FD is a plain functional dependency X → Y over a schema: the special
+// case of a CFD whose tableau is a single all-wildcard row.
+type FD struct {
+	Schema *relation.Schema
+	X, Y   []string
+}
+
+// AsECFD embeds the FD as an eCFD with one all-wildcard pattern tuple.
+func (f *FD) AsECFD() *ECFD {
+	e := &ECFD{Schema: f.Schema}
+	e.X = append([]string(nil), f.X...)
+	e.Y = append([]string(nil), f.Y...)
+	tp := PatternTuple{LHS: make([]Pattern, len(f.X)), RHS: make([]Pattern, len(f.Y))}
+	for i := range tp.LHS {
+		tp.LHS[i] = Any()
+	}
+	for i := range tp.RHS {
+		tp.RHS[i] = Any()
+	}
+	e.Tableau = []PatternTuple{tp}
+	return e
+}

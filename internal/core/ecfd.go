@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ecfd/internal/relation"
+)
+
+// PatternTuple is one row tp of a pattern tableau: cells for the LHS
+// attributes X (in ECFD.X order) and for the RHS attributes Y ∪ Yp (in
+// ECFD.Y then ECFD.YP order). Each row is itself a constraint — the
+// paper calls it a pattern constraint.
+type PatternTuple struct {
+	LHS []Pattern // one per X attribute
+	RHS []Pattern // one per Y attribute, then one per Yp attribute
+}
+
+// Clone deep-copies the pattern tuple.
+func (tp PatternTuple) Clone() PatternTuple {
+	out := PatternTuple{LHS: make([]Pattern, len(tp.LHS)), RHS: make([]Pattern, len(tp.RHS))}
+	copy(out.LHS, tp.LHS)
+	copy(out.RHS, tp.RHS)
+	return out
+}
+
+// ECFD is an extended conditional functional dependency
+// φ = (R: X → Y, Yp, Tp) — paper §II. X is LHS(φ); Y ∪ Yp is RHS(φ);
+// the embedded FD X → Y is enforced on the tuples matching tp[X], and
+// every matching tuple must additionally match tp[Y, Yp].
+type ECFD struct {
+	// Name optionally labels the constraint (φ1, φ2, ... in the paper).
+	Name string
+	// Schema is the relation schema R the dependency is defined on.
+	Schema *relation.Schema
+	// X, Y, YP are attribute names; X∩(Y∪YP) may overlap between X and
+	// Y (the paper allows A in both sides, addressed as A_L and A_R)
+	// but Y and YP must be disjoint.
+	X, Y, YP []string
+	// Tableau is the pattern tableau Tp.
+	Tableau []PatternTuple
+}
+
+// RHS returns Y ∪ Yp in tableau column order.
+func (e *ECFD) RHS() []string {
+	out := make([]string, 0, len(e.Y)+len(e.YP))
+	out = append(out, e.Y...)
+	out = append(out, e.YP...)
+	return out
+}
+
+// Validate checks the syntactic side conditions of §II.
+func (e *ECFD) Validate() error {
+	if e.Schema == nil {
+		return fmt.Errorf("core: eCFD %s has no schema", e.label())
+	}
+	seen := map[string]bool{}
+	for _, a := range e.X {
+		if !e.Schema.Has(a) {
+			return fmt.Errorf("core: eCFD %s: LHS attribute %q not in %s", e.label(), a, e.Schema.Name)
+		}
+		if seen[a] {
+			return fmt.Errorf("core: eCFD %s: duplicate LHS attribute %q", e.label(), a)
+		}
+		seen[a] = true
+	}
+	seenR := map[string]bool{}
+	for _, a := range e.RHS() {
+		if !e.Schema.Has(a) {
+			return fmt.Errorf("core: eCFD %s: RHS attribute %q not in %s", e.label(), a, e.Schema.Name)
+		}
+		if seenR[a] {
+			// Covers both duplicates within Y/YP and the Y ∩ Yp = ∅ rule.
+			return fmt.Errorf("core: eCFD %s: attribute %q appears twice on the RHS", e.label(), a)
+		}
+		seenR[a] = true
+	}
+	if len(e.Tableau) == 0 {
+		return fmt.Errorf("core: eCFD %s: empty pattern tableau", e.label())
+	}
+	for i, tp := range e.Tableau {
+		if len(tp.LHS) != len(e.X) {
+			return fmt.Errorf("core: eCFD %s: pattern tuple %d has %d LHS cells, want %d", e.label(), i, len(tp.LHS), len(e.X))
+		}
+		if len(tp.RHS) != len(e.Y)+len(e.YP) {
+			return fmt.Errorf("core: eCFD %s: pattern tuple %d has %d RHS cells, want %d", e.label(), i, len(tp.RHS), len(e.Y)+len(e.YP))
+		}
+		for j, p := range tp.LHS {
+			attr, _ := e.Schema.Attr(e.X[j])
+			if err := p.Validate(attr); err != nil {
+				return fmt.Errorf("core: eCFD %s pattern tuple %d: %w", e.label(), i, err)
+			}
+		}
+		for j, p := range tp.RHS {
+			attr, _ := e.Schema.Attr(e.RHS()[j])
+			if err := p.Validate(attr); err != nil {
+				return fmt.Errorf("core: eCFD %s pattern tuple %d: %w", e.label(), i, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (e *ECFD) label() string {
+	if e.Name != "" {
+		return e.Name
+	}
+	return "(unnamed)"
+}
+
+// Clone deep-copies the eCFD.
+func (e *ECFD) Clone() *ECFD {
+	out := &ECFD{Name: e.Name, Schema: e.Schema}
+	out.X = append([]string(nil), e.X...)
+	out.Y = append([]string(nil), e.Y...)
+	out.YP = append([]string(nil), e.YP...)
+	out.Tableau = make([]PatternTuple, len(e.Tableau))
+	for i, tp := range e.Tableau {
+		out.Tableau[i] = tp.Clone()
+	}
+	return out
+}
+
+// Split returns one single-pattern-tuple eCFD per tableau row, as §V
+// assumes ("we can always split an eCFD with multiple patterns into a
+// set of eCFDs with only a single pattern tuple"). Names get a #i
+// suffix when splitting actually happens.
+func (e *ECFD) Split() []*ECFD {
+	if len(e.Tableau) == 1 {
+		return []*ECFD{e.Clone()}
+	}
+	out := make([]*ECFD, len(e.Tableau))
+	for i, tp := range e.Tableau {
+		c := e.Clone()
+		c.Tableau = []PatternTuple{tp.Clone()}
+		if c.Name != "" {
+			c.Name = fmt.Sprintf("%s#%d", c.Name, i+1)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// Split splits every eCFD in the list into single-pattern constraints.
+func Split(es []*ECFD) []*ECFD {
+	var out []*ECFD
+	for _, e := range es {
+		out = append(out, e.Split()...)
+	}
+	return out
+}
+
+// MatchesLHS reports t[X] ≍ tp[X] for tableau row i: whether the
+// constraint applies to data tuple t.
+func (e *ECFD) MatchesLHS(t relation.Tuple, i int) bool {
+	tp := e.Tableau[i]
+	for j, a := range e.X {
+		if !tp.LHS[j].Matches(t[e.Schema.Index(a)]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchesRHS reports t[Y, Yp] ≍ tp[Y, Yp] for tableau row i.
+func (e *ECFD) MatchesRHS(t relation.Tuple, i int) bool {
+	tp := e.Tableau[i]
+	rhs := e.RHS()
+	for j, a := range rhs {
+		if !tp.RHS[j].Matches(t[e.Schema.Index(a)]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the eCFD in the constraint language understood by
+// Parse; ParseConstraints(e.String()) round-trips.
+func (e *ECFD) String() string {
+	var b strings.Builder
+	b.WriteString("ecfd")
+	if e.Name != "" {
+		b.WriteByte(' ')
+		b.WriteString(e.Name)
+	}
+	b.WriteString(" on ")
+	b.WriteString(e.Schema.Name)
+	b.WriteString(": [")
+	b.WriteString(strings.Join(e.X, ", "))
+	b.WriteString("] -> [")
+	b.WriteString(strings.Join(e.Y, ", "))
+	b.WriteString("]")
+	if len(e.YP) > 0 {
+		b.WriteString(" ; [")
+		b.WriteString(strings.Join(e.YP, ", "))
+		b.WriteString("]")
+	}
+	b.WriteString(" {\n")
+	for _, tp := range e.Tableau {
+		b.WriteString("  (")
+		for j, p := range tp.LHS {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(p.String())
+		}
+		b.WriteString(" || ")
+		for j, p := range tp.RHS {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(p.String())
+		}
+		b.WriteString(")\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// IsCFD reports whether the eCFD is expressible as a classic CFD:
+// Yp = ∅ and every non-wildcard cell is a singleton set (Remark (2)).
+func (e *ECFD) IsCFD() bool {
+	if len(e.YP) != 0 {
+		return false
+	}
+	for _, tp := range e.Tableau {
+		for _, p := range append(append([]Pattern{}, tp.LHS...), tp.RHS...) {
+			if p.Op == NotIn {
+				return false
+			}
+			if p.Op == In && len(p.Set) != 1 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ecfd/internal/relation"
+)
+
+func TestFig2ConstraintsValidate(t *testing.T) {
+	for _, e := range Fig2Constraints() {
+		if err := e.Validate(); err != nil {
+			t.Errorf("%s: %v", e.Name, err)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	s := CustSchema()
+	base := func() *ECFD {
+		return &ECFD{Name: "x", Schema: s, X: []string{"CT"}, Y: []string{"AC"},
+			Tableau: []PatternTuple{{LHS: []Pattern{Any()}, RHS: []Pattern{Any()}}}}
+	}
+
+	e := base()
+	e.Schema = nil
+	if err := e.Validate(); err == nil {
+		t.Error("nil schema must fail")
+	}
+
+	e = base()
+	e.X = []string{"NOPE"}
+	if err := e.Validate(); err == nil {
+		t.Error("unknown LHS attribute must fail")
+	}
+
+	e = base()
+	e.X = []string{"CT", "CT"}
+	e.Tableau[0].LHS = []Pattern{Any(), Any()}
+	if err := e.Validate(); err == nil {
+		t.Error("duplicate LHS attribute must fail")
+	}
+
+	e = base()
+	e.YP = []string{"AC"} // AC already in Y ⇒ Y ∩ Yp ≠ ∅
+	e.Tableau[0].RHS = []Pattern{Any(), Any()}
+	if err := e.Validate(); err == nil {
+		t.Error("Y ∩ Yp ≠ ∅ must fail")
+	}
+
+	e = base()
+	e.Tableau = nil
+	if err := e.Validate(); err == nil {
+		t.Error("empty tableau must fail")
+	}
+
+	e = base()
+	e.Tableau[0].LHS = []Pattern{}
+	if err := e.Validate(); err == nil {
+		t.Error("LHS arity mismatch must fail")
+	}
+
+	e = base()
+	e.Tableau[0].RHS = []Pattern{Any(), Any()}
+	if err := e.Validate(); err == nil {
+		t.Error("RHS arity mismatch must fail")
+	}
+
+	e = base()
+	e.Tableau[0].LHS = []Pattern{{Op: In}}
+	if err := e.Validate(); err == nil {
+		t.Error("invalid pattern must fail")
+	}
+}
+
+func TestECFDAllowsAttributeInBothSides(t *testing.T) {
+	// Example 3.1 uses CT → CT; the paper addresses the two sides as
+	// CT_L and CT_R.
+	e := Example31Unsatisfiable()
+	if err := e.Validate(); err != nil {
+		t.Fatalf("CT → CT must validate: %v", err)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	phi1 := Fig2Constraints()[0]
+	parts := phi1.Split()
+	if len(parts) != 2 {
+		t.Fatalf("Split: %d parts", len(parts))
+	}
+	if parts[0].Name != "phi1#1" || parts[1].Name != "phi1#2" {
+		t.Errorf("names: %s, %s", parts[0].Name, parts[1].Name)
+	}
+	for _, p := range parts {
+		if len(p.Tableau) != 1 {
+			t.Error("each part must have one pattern tuple")
+		}
+		if err := p.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+	// Splitting a single-pattern eCFD returns a clone with the same name.
+	phi2 := Fig2Constraints()[1]
+	ps := phi2.Split()
+	if len(ps) != 1 || ps[0].Name != "phi2" {
+		t.Errorf("single split: %v", ps[0].Name)
+	}
+	// Mutating the clone must not touch the original.
+	ps[0].Tableau[0].LHS[0] = Any()
+	if phi2.Tableau[0].LHS[0].Op == Wildcard {
+		t.Error("Split must deep-copy")
+	}
+
+	all := Split(Fig2Constraints())
+	if len(all) != 3 {
+		t.Errorf("Split(Σ) = %d constraints, want 3", len(all))
+	}
+}
+
+func TestMatchSemantics(t *testing.T) {
+	// The worked example under "Semantics" in §II: t1 matches the first
+	// pattern tuple of φ1 on [CT, AC]; t4 does not.
+	inst := Fig1Instance()
+	phi1 := Fig2Constraints()[0]
+	t1, t4 := inst.Rows[0], inst.Rows[3]
+	if !phi1.MatchesLHS(t1, 0) {
+		t.Error("t1[CT] must match !{NYC, LI}")
+	}
+	if !phi1.MatchesRHS(t1, 0) {
+		t.Error("t1[AC] must match '_'")
+	}
+	if phi1.MatchesLHS(t4, 0) {
+		t.Error("t4[CT]=NYC must not match !{NYC, LI}")
+	}
+}
+
+func TestIsCFDAndRoundTrip(t *testing.T) {
+	s := CustSchema()
+	cfd := &CFD{
+		Name:   "c1",
+		Schema: s,
+		X:      []string{"CT"},
+		Y:      []string{"AC"},
+		Tableau: []CFDPatternTuple{
+			{LHS: []CFDCell{CFDConst(relation.Text("Albany"))}, RHS: []CFDCell{CFDConst(relation.Text("518"))}},
+			{LHS: []CFDCell{CFDAny()}, RHS: []CFDCell{CFDAny()}},
+		},
+	}
+	e := cfd.AsECFD()
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.IsCFD() {
+		t.Error("embedded CFD must report IsCFD")
+	}
+	back, err := FromECFD(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Tableau) != 2 || back.Tableau[0].LHS[0].Value.S != "Albany" || !back.Tableau[1].LHS[0].Wildcard {
+		t.Errorf("round trip: %+v", back.Tableau)
+	}
+
+	for _, phi := range Fig2Constraints() {
+		if phi.IsCFD() {
+			t.Errorf("%s uses eCFD-only features but reports IsCFD", phi.Name)
+		}
+		if _, err := FromECFD(phi); err == nil {
+			t.Errorf("FromECFD(%s) must fail", phi.Name)
+		}
+	}
+}
+
+func TestFDAsECFD(t *testing.T) {
+	fd := &FD{Schema: CustSchema(), X: []string{"ZIP"}, Y: []string{"CT", "STR"}}
+	e := fd.AsECFD()
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.IsCFD() {
+		t.Error("plain FD must be a CFD")
+	}
+	for _, p := range append(e.Tableau[0].LHS, e.Tableau[0].RHS...) {
+		if p.Op != Wildcard {
+			t.Error("FD tableau must be all wildcards")
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	phi2 := Fig2Constraints()[1]
+	s := phi2.String()
+	for _, want := range []string{"ecfd phi2 on cust", "[CT] -> []", "; [AC]", "{NYC}", "212"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

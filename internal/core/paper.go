@@ -1,0 +1,86 @@
+package core
+
+import "ecfd/internal/relation"
+
+// CustSchema returns the paper's running-example schema
+// cust(AC, PN, NM, STR, CT, ZIP) — Example 1.1.
+func CustSchema() *relation.Schema {
+	return relation.MustSchema("cust",
+		relation.Attribute{Name: "AC", Kind: relation.KindText},
+		relation.Attribute{Name: "PN", Kind: relation.KindText},
+		relation.Attribute{Name: "NM", Kind: relation.KindText},
+		relation.Attribute{Name: "STR", Kind: relation.KindText},
+		relation.Attribute{Name: "CT", Kind: relation.KindText},
+		relation.Attribute{Name: "ZIP", Kind: relation.KindText},
+	)
+}
+
+// Fig1Instance returns the instance D0 of Fig. 1 (tuples t1..t6).
+func Fig1Instance() *relation.Relation {
+	s := CustSchema()
+	r := relation.New(s)
+	rows := [][]string{
+		{"718", "1111111", "Mike", "Tree Ave.", "Albany", "12238"},
+		{"518", "2222222", "Joe", "Elm Str.", "Colonie", "12205"},
+		{"518", "2222222", "Jim", "Oak Ave.", "Troy", "12181"},
+		{"100", "1111111", "Rick", "8th Ave.", "NYC", "10001"},
+		{"212", "3333333", "Ben", "5th Ave.", "NYC", "10016"},
+		{"646", "4444444", "Ian", "High St.", "NYC", "10011"},
+	}
+	for _, row := range rows {
+		t := make(relation.Tuple, len(row))
+		for i, v := range row {
+			t[i] = relation.Text(v)
+		}
+		r.MustInsert(t)
+	}
+	return r
+}
+
+// Fig2Constraints returns φ1 and φ2 of Fig. 2:
+//
+//	φ1 = (cust: [CT] → [AC], ∅, T1)   T1 = { (!{NYC,LI} ‖ _),
+//	                                        ({Albany,Troy,Colonie} ‖ {518}) }
+//	φ2 = (cust: [CT] → ∅, {AC}, T2)  T2 = { ({NYC} ‖ {212,718,646,347,917}) }
+//
+// φ1 expresses constraints ψ1 and ψ2 of Example 1.1; φ2 expresses ψ3.
+func Fig2Constraints() []*ECFD {
+	s := CustSchema()
+	phi1 := &ECFD{
+		Name:   "phi1",
+		Schema: s,
+		X:      []string{"CT"},
+		Y:      []string{"AC"},
+		Tableau: []PatternTuple{
+			{LHS: []Pattern{NotInStrings("NYC", "LI")}, RHS: []Pattern{Any()}},
+			{LHS: []Pattern{InStrings("Albany", "Troy", "Colonie")}, RHS: []Pattern{InStrings("518")}},
+		},
+	}
+	phi2 := &ECFD{
+		Name:   "phi2",
+		Schema: s,
+		X:      []string{"CT"},
+		YP:     []string{"AC"},
+		Tableau: []PatternTuple{
+			{LHS: []Pattern{InStrings("NYC")}, RHS: []Pattern{InStrings("212", "718", "646", "347", "917")}},
+		},
+	}
+	return []*ECFD{phi1, phi2}
+}
+
+// Example31Unsatisfiable returns the unsatisfiable eCFD ψ3 of
+// Example 3.1: (cust: [CT] → [CT], ∅, {({NYC} ‖ {NYC}), ({NYC} ‖ {LI})}).
+// Any tuple with CT = NYC must have CT = NYC and CT = LI at once.
+func Example31Unsatisfiable() *ECFD {
+	s := CustSchema()
+	return &ECFD{
+		Name:   "psi3",
+		Schema: s,
+		X:      []string{"CT"},
+		Y:      []string{"CT"},
+		Tableau: []PatternTuple{
+			{LHS: []Pattern{InStrings("NYC")}, RHS: []Pattern{InStrings("NYC")}},
+			{LHS: []Pattern{InStrings("NYC")}, RHS: []Pattern{InStrings("LI")}},
+		},
+	}
+}

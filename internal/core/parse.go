@@ -1,0 +1,425 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"ecfd/internal/relation"
+)
+
+// ParseConstraints reads eCFDs in the textual constraint language:
+//
+//	# comments run to end of line
+//	ecfd phi1 on cust: [CT] -> [AC] {
+//	  (!{NYC, LI} || _)
+//	  ({Albany, Troy, Colonie} || {518})
+//	}
+//	ecfd phi2 on cust: [CT] -> [] ; [AC] {
+//	  ({NYC} || {212, 718, 646, 347, 917})
+//	}
+//
+// The optional "; [ ... ]" block after the Y attribute list declares
+// the Yp attributes. A bare constant cell c is sugar for {c}; '!' in
+// front of a set complements it; '_' is the wildcard. Constants are
+// typed by the attribute they constrain, so schemas for every table
+// mentioned must be supplied.
+func ParseConstraints(src string, schemas map[string]*relation.Schema) ([]*ECFD, error) {
+	p := &cparser{lex: newCLexer(src), schemas: schemas}
+	var out []*ECFD
+	for {
+		tok := p.peek()
+		if tok.kind == ctEOF {
+			break
+		}
+		e, err := p.constraint()
+		if err != nil {
+			return nil, err
+		}
+		if err := e.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no constraints found")
+	}
+	return out, nil
+}
+
+// --- lexer ---
+
+type ctKind uint8
+
+const (
+	ctEOF ctKind = iota
+	ctWord
+	ctString
+	ctPunct
+)
+
+type ctoken struct {
+	kind ctKind
+	text string
+	line int
+}
+
+type clexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newCLexer(src string) *clexer { return &clexer{src: src, line: 1} }
+
+func isWordRune(r rune) bool {
+	return r == '_' || r == '.' || r == '-' || r == '#' || r == '@' || r == '+' ||
+		unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *clexer) next() (ctoken, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return ctoken{kind: ctEOF, line: l.line}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '\\' && l.pos+1 < len(l.src) {
+				b.WriteByte(l.src[l.pos+1])
+				l.pos += 2
+				continue
+			}
+			if ch == '\'' {
+				l.pos++
+				return ctoken{kind: ctString, text: b.String(), line: l.line}, nil
+			}
+			if ch == '\n' {
+				l.line++
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+		return ctoken{}, fmt.Errorf("core: line %d: unterminated string", l.line)
+	case strings.HasPrefix(l.src[l.pos:], "->"):
+		l.pos += 2
+		return ctoken{kind: ctPunct, text: "->", line: l.line}, nil
+	case strings.HasPrefix(l.src[l.pos:], "||"):
+		l.pos += 2
+		return ctoken{kind: ctPunct, text: "||", line: l.line}, nil
+	case strings.ContainsRune("[](){},:;!", rune(c)):
+		l.pos++
+		return ctoken{kind: ctPunct, text: string(c), line: l.line}, nil
+	default:
+		for l.pos < len(l.src) {
+			r := rune(l.src[l.pos])
+			if !isWordRune(r) {
+				break
+			}
+			l.pos++
+		}
+		if l.pos == start {
+			return ctoken{}, fmt.Errorf("core: line %d: unexpected character %q", l.line, c)
+		}
+		return ctoken{kind: ctWord, text: l.src[start:l.pos], line: l.line}, nil
+	}
+}
+
+// --- parser ---
+
+type cparser struct {
+	lex     *clexer
+	schemas map[string]*relation.Schema
+	peeked  *ctoken
+	err     error
+}
+
+func (p *cparser) peek() ctoken {
+	if p.peeked == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			p.err = err
+			t = ctoken{kind: ctEOF}
+		}
+		p.peeked = &t
+	}
+	return *p.peeked
+}
+
+func (p *cparser) advance() ctoken {
+	t := p.peek()
+	p.peeked = nil
+	return t
+}
+
+func (p *cparser) expectPunct(text string) (ctoken, error) {
+	t := p.advance()
+	if p.err != nil {
+		return t, p.err
+	}
+	if t.kind != ctPunct || t.text != text {
+		return t, fmt.Errorf("core: line %d: expected %q, got %q", t.line, text, t.text)
+	}
+	return t, nil
+}
+
+func (p *cparser) expectWord() (ctoken, error) {
+	t := p.advance()
+	if p.err != nil {
+		return t, p.err
+	}
+	if t.kind != ctWord {
+		return t, fmt.Errorf("core: line %d: expected identifier, got %q", t.line, t.text)
+	}
+	return t, nil
+}
+
+func (p *cparser) constraint() (*ECFD, error) {
+	kw, err := p.expectWord()
+	if err != nil {
+		return nil, err
+	}
+	if kw.text != "ecfd" && kw.text != "cfd" {
+		return nil, fmt.Errorf("core: line %d: expected 'ecfd' or 'cfd', got %q", kw.line, kw.text)
+	}
+	asCFD := kw.text == "cfd"
+
+	e := &ECFD{}
+	if t := p.peek(); t.kind == ctWord && t.text != "on" {
+		e.Name = p.advance().text
+	}
+	on, err := p.expectWord()
+	if err != nil {
+		return nil, err
+	}
+	if on.text != "on" {
+		return nil, fmt.Errorf("core: line %d: expected 'on', got %q", on.line, on.text)
+	}
+	tbl, err := p.expectWord()
+	if err != nil {
+		return nil, err
+	}
+	schema, ok := p.schemas[tbl.text]
+	if !ok {
+		return nil, fmt.Errorf("core: line %d: unknown table %q", tbl.line, tbl.text)
+	}
+	e.Schema = schema
+	if _, err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	if e.X, err = p.attrList(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("->"); err != nil {
+		return nil, err
+	}
+	if e.Y, err = p.attrList(); err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == ctPunct && t.text == ";" {
+		p.advance()
+		if e.YP, err = p.attrList(); err != nil {
+			return nil, err
+		}
+		if asCFD {
+			return nil, fmt.Errorf("core: line %d: classic CFDs do not allow Yp attributes", t.line)
+		}
+	}
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	rhs := e.RHS()
+	for {
+		t := p.peek()
+		if t.kind == ctPunct && t.text == "}" {
+			p.advance()
+			break
+		}
+		if t.kind == ctPunct && t.text == "," {
+			p.advance()
+			continue
+		}
+		tp, err := p.patternTuple(e.Schema, e.X, rhs, asCFD)
+		if err != nil {
+			return nil, err
+		}
+		e.Tableau = append(e.Tableau, tp)
+	}
+	return e, nil
+}
+
+func (p *cparser) attrList() ([]string, error) {
+	if _, err := p.expectPunct("["); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		t := p.peek()
+		if t.kind == ctPunct && t.text == "]" {
+			p.advance()
+			return out, nil
+		}
+		if t.kind == ctPunct && t.text == "," {
+			p.advance()
+			continue
+		}
+		w, err := p.expectWord()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w.text)
+	}
+}
+
+func (p *cparser) patternTuple(s *relation.Schema, x, rhs []string, asCFD bool) (PatternTuple, error) {
+	var tp PatternTuple
+	if _, err := p.expectPunct("("); err != nil {
+		return tp, err
+	}
+	lhs, err := p.cells(s, x, "||", asCFD)
+	if err != nil {
+		return tp, err
+	}
+	if _, err := p.expectPunct("||"); err != nil {
+		return tp, err
+	}
+	r, err := p.cells(s, rhs, ")", asCFD)
+	if err != nil {
+		return tp, err
+	}
+	if _, err := p.expectPunct(")"); err != nil {
+		return tp, err
+	}
+	tp.LHS, tp.RHS = lhs, r
+	return tp, nil
+}
+
+// cells parses exactly len(attrs) comma-separated pattern cells, typing
+// each constant by the corresponding attribute.
+func (p *cparser) cells(s *relation.Schema, attrs []string, stop string, asCFD bool) ([]Pattern, error) {
+	out := make([]Pattern, 0, len(attrs))
+	for i := range attrs {
+		if i > 0 {
+			if _, err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		attr, ok := s.Attr(attrs[i])
+		if !ok {
+			return nil, fmt.Errorf("core: unknown attribute %q in %s", attrs[i], s.Name)
+		}
+		c, err := p.cell(attr, asCFD)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	if t := p.peek(); !(t.kind == ctPunct && t.text == stop) {
+		return nil, fmt.Errorf("core: line %d: expected %q after %d pattern cells, got %q", t.line, stop, len(attrs), t.text)
+	}
+	return out, nil
+}
+
+func (p *cparser) cell(attr relation.Attribute, asCFD bool) (Pattern, error) {
+	t := p.peek()
+	switch {
+	case t.kind == ctWord && t.text == "_":
+		p.advance()
+		return Any(), nil
+	case t.kind == ctPunct && t.text == "!":
+		p.advance()
+		if asCFD {
+			return Pattern{}, fmt.Errorf("core: line %d: classic CFDs do not allow '!' (inequality)", t.line)
+		}
+		set, err := p.set(attr)
+		if err != nil {
+			return Pattern{}, err
+		}
+		return NotInSet(set...), nil
+	case t.kind == ctPunct && t.text == "{":
+		set, err := p.set(attr)
+		if err != nil {
+			return Pattern{}, err
+		}
+		if asCFD && len(set) != 1 {
+			return Pattern{}, fmt.Errorf("core: line %d: classic CFDs allow only singleton sets", t.line)
+		}
+		return InSet(set...), nil
+	case t.kind == ctWord || t.kind == ctString:
+		v, err := p.constant(attr)
+		if err != nil {
+			return Pattern{}, err
+		}
+		return Const(v), nil
+	default:
+		return Pattern{}, fmt.Errorf("core: line %d: expected pattern cell, got %q", t.line, t.text)
+	}
+}
+
+func (p *cparser) set(attr relation.Attribute) ([]relation.Value, error) {
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var out []relation.Value
+	for {
+		t := p.peek()
+		if t.kind == ctPunct && t.text == "}" {
+			p.advance()
+			return out, nil
+		}
+		if t.kind == ctPunct && t.text == "," {
+			p.advance()
+			continue
+		}
+		v, err := p.constant(attr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+}
+
+func (p *cparser) constant(attr relation.Attribute) (relation.Value, error) {
+	t := p.advance()
+	if p.err != nil {
+		return relation.Null(), p.err
+	}
+	switch t.kind {
+	case ctString:
+		if attr.Kind != relation.KindText {
+			return relation.ParseLiteral(t.text, attr.Kind)
+		}
+		return relation.Text(t.text), nil
+	case ctWord:
+		v, err := relation.ParseLiteral(t.text, attr.Kind)
+		if err != nil {
+			return relation.Null(), fmt.Errorf("core: line %d: %w", t.line, err)
+		}
+		return v, nil
+	default:
+		return relation.Null(), fmt.Errorf("core: line %d: expected constant, got %q", t.line, t.text)
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ecfd/internal/relation"
+)
+
+func custSchemas() map[string]*relation.Schema {
+	return map[string]*relation.Schema{"cust": CustSchema()}
+}
+
+const fig2Source = `
+# φ1 and φ2 of Fig. 2
+ecfd phi1 on cust: [CT] -> [AC] {
+  (!{NYC, LI} || _)
+  ({Albany, Troy, Colonie} || {'518'})
+}
+ecfd phi2 on cust: [CT] -> [] ; [AC] {
+  ({NYC} || {'212', '718', '646', '347', '917'})
+}
+`
+
+func TestParseFig2(t *testing.T) {
+	got, err := ParseConstraints(fig2Source, custSchemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Fig2Constraints()
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d constraints, want %d", len(got), len(want))
+	}
+	for i := range got {
+		assertECFDEqual(t, got[i], want[i])
+	}
+}
+
+func assertECFDEqual(t *testing.T, got, want *ECFD) {
+	t.Helper()
+	if got.Name != want.Name || got.Schema.Name != want.Schema.Name {
+		t.Errorf("name/schema: %s/%s vs %s/%s", got.Name, got.Schema.Name, want.Name, want.Schema.Name)
+	}
+	if strings.Join(got.X, ",") != strings.Join(want.X, ",") ||
+		strings.Join(got.Y, ",") != strings.Join(want.Y, ",") ||
+		strings.Join(got.YP, ",") != strings.Join(want.YP, ",") {
+		t.Errorf("attribute lists differ: %v→%v;%v vs %v→%v;%v", got.X, got.Y, got.YP, want.X, want.Y, want.YP)
+	}
+	if len(got.Tableau) != len(want.Tableau) {
+		t.Fatalf("tableau sizes: %d vs %d", len(got.Tableau), len(want.Tableau))
+	}
+	for i := range got.Tableau {
+		for j := range got.Tableau[i].LHS {
+			if !got.Tableau[i].LHS[j].Equal(want.Tableau[i].LHS[j]) {
+				t.Errorf("tableau[%d].LHS[%d]: %v vs %v", i, j, got.Tableau[i].LHS[j], want.Tableau[i].LHS[j])
+			}
+		}
+		for j := range got.Tableau[i].RHS {
+			if !got.Tableau[i].RHS[j].Equal(want.Tableau[i].RHS[j]) {
+				t.Errorf("tableau[%d].RHS[%d]: %v vs %v", i, j, got.Tableau[i].RHS[j], want.Tableau[i].RHS[j])
+			}
+		}
+	}
+}
+
+// TestStringRoundTrip: ParseConstraints(e.String()) reproduces e.
+func TestStringRoundTrip(t *testing.T) {
+	for _, e := range append(Fig2Constraints(), Example31Unsatisfiable()) {
+		src := e.String()
+		back, err := ParseConstraints(src, custSchemas())
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v\n%s", e.Name, err, src)
+		}
+		if len(back) != 1 {
+			t.Fatalf("%s: re-parse yielded %d constraints", e.Name, len(back))
+		}
+		assertECFDEqual(t, back[0], e)
+	}
+}
+
+func TestParseSugarAndTypes(t *testing.T) {
+	schemas := map[string]*relation.Schema{
+		"m": relation.MustSchema("m",
+			relation.Attribute{Name: "K", Kind: relation.KindText},
+			relation.Attribute{Name: "N", Kind: relation.KindInt},
+			relation.Attribute{Name: "F", Kind: relation.KindFloat},
+		),
+	}
+	src := `
+ecfd e1 on m: [K] -> [N, F] {
+  (abc || {1, 2, 3}, _)
+  ('with space' || !{7}, 2.5)
+}
+`
+	es, err := ParseConstraints(src, schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := es[0]
+	// Bare constant sugar: "abc" ⇒ {abc}.
+	if v, ok := e.Tableau[0].LHS[0].IsConst(); !ok || v.S != "abc" {
+		t.Errorf("bare constant cell: %v", e.Tableau[0].LHS[0])
+	}
+	// Integer typing.
+	if e.Tableau[0].RHS[0].Set[0].K != relation.KindInt {
+		t.Errorf("int set got kind %v", e.Tableau[0].RHS[0].Set[0].K)
+	}
+	// Quoted string with space.
+	if v, ok := e.Tableau[1].LHS[0].IsConst(); !ok || v.S != "with space" {
+		t.Errorf("quoted cell: %v", e.Tableau[1].LHS[0])
+	}
+	// NotIn over ints; float constant.
+	if e.Tableau[1].RHS[0].Op != NotIn || e.Tableau[1].RHS[1].Set[0].F != 2.5 {
+		t.Errorf("tableau row 2: %v", e.Tableau[1])
+	}
+}
+
+func TestParseCFDKeyword(t *testing.T) {
+	src := `cfd c1 on cust: [CT] -> [AC] { (Albany || '518') (_ || _) }`
+	es, err := ParseConstraints(src, custSchemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !es[0].IsCFD() {
+		t.Error("cfd keyword must produce a classic CFD")
+	}
+
+	bad := []string{
+		`cfd c on cust: [CT] -> [AC] { (!{NYC} || _) }`,         // inequality
+		`cfd c on cust: [CT] -> [AC] { ({a, b} || _) }`,         // disjunction
+		`cfd c on cust: [CT] -> [] ; [AC] { ({NYC} || {212}) }`, // Yp
+	}
+	for _, src := range bad {
+		if _, err := ParseConstraints(src, custSchemas()); err == nil {
+			t.Errorf("must reject: %s", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"empty":             ``,
+		"garbage":           `hello world`,
+		"unknown table":     `ecfd on nosuch: [A] -> [B] { (_ || _) }`,
+		"unknown attribute": `ecfd on cust: [WHAT] -> [AC] { (_ || _) }`,
+		"missing arrow":     `ecfd on cust: [CT] [AC] { (_ || _) }`,
+		"missing tableau":   `ecfd on cust: [CT] -> [AC]`,
+		"arity mismatch":    `ecfd on cust: [CT] -> [AC] { (_, _ || _) }`,
+		"unterminated str":  `ecfd on cust: [CT] -> [AC] { ('abc || _) }`,
+		"empty tableau":     `ecfd on cust: [CT] -> [AC] { }`,
+		"bad cell":          `ecfd on cust: [CT] -> [AC] { (-> || _) }`,
+		"stray char":        `ecfd on cust: [CT] -> [AC] { (_ || _) } %`,
+		"empty in set":      `ecfd on cust: [CT] -> [AC] { ({} || _) }`,
+	}
+	for name, src := range bad {
+		if _, err := ParseConstraints(src, custSchemas()); err == nil {
+			t.Errorf("%s: expected parse error for %q", name, src)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "# leading comment\necfd on cust: [CT] -> [AC] { # inline\n (_ || _) # trailing\n}\n# done"
+	es, err := ParseConstraints(src, custSchemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 1 {
+		t.Fatalf("got %d constraints", len(es))
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+
+	"ecfd/internal/relation"
+)
+
+// Violations is the outcome of checking an instance against a set of
+// eCFDs: per-row single-tuple (SV) and multiple-tuple (MV) flags, as in
+// the paper's extended schema (§V), plus per-constraint counts.
+type Violations struct {
+	SV []bool // SV[i]: row i violates some pattern constraint by itself
+	MV []bool // MV[i]: row i is involved in an embedded-FD violation
+	// PerConstraint counts, keyed by "<name>#<patternIndex>" (or
+	// "#<patternIndex>" when unnamed), of rows flagged by each pattern
+	// tuple; a row may be counted by several constraints.
+	PerConstraint map[string]int
+}
+
+// Count returns the number of rows in the violation set vio(D):
+// rows with SV or MV set.
+func (v *Violations) Count() int {
+	n := 0
+	for i := range v.SV {
+		if v.SV[i] || v.MV[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// CountSV returns the number of rows with the SV flag set.
+func (v *Violations) CountSV() int { return countTrue(v.SV) }
+
+// CountMV returns the number of rows with the MV flag set.
+func (v *Violations) CountMV() int { return countTrue(v.MV) }
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Violating returns the sorted row indices of vio(D).
+func (v *Violations) Violating() []int {
+	var out []int
+	for i := range v.SV {
+		if v.SV[i] || v.MV[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NaiveDetect evaluates Σ over the instance directly from the §II
+// semantics, without SQL. It is the reference oracle the SQL-based
+// detectors are validated against, and is also the fastest path for
+// purely in-memory use.
+//
+// A row t gets SV when for some φ ∈ Σ and pattern tuple tp,
+// t[X] ≍ tp[X] but t[Y,Yp] !≍ tp[Y,Yp]; it gets MV when two rows of
+// I(tp) agree on X but differ on Y (SQL grouping equality: NULLs
+// compare equal for both X and Y here, matching GROUP BY).
+func NaiveDetect(inst *relation.Relation, sigma []*ECFD) (*Violations, error) {
+	out := &Violations{
+		SV:            make([]bool, inst.Len()),
+		MV:            make([]bool, inst.Len()),
+		PerConstraint: make(map[string]int),
+	}
+	for _, e := range sigma {
+		if e.Schema.Name != inst.Schema.Name {
+			return nil, fmt.Errorf("core: eCFD %s is over %s, instance is %s", e.label(), e.Schema.Name, inst.Schema.Name)
+		}
+		if err := e.Validate(); err != nil {
+			return nil, err
+		}
+		xIdx := attrIndexes(inst.Schema, e.X)
+		yIdx := attrIndexes(inst.Schema, e.Y)
+		for pi := range e.Tableau {
+			key := fmt.Sprintf("%s#%d", e.Name, pi+1)
+			flagged := 0
+
+			// Group the matching tuples by t[X]; within a group, more
+			// than one distinct t[Y] means every member violates the
+			// embedded FD.
+			type group struct {
+				rows     []int
+				firstY   string
+				multiple bool
+			}
+			groups := make(map[string]*group)
+			for ri, t := range inst.Rows {
+				if !e.MatchesLHS(t, pi) {
+					continue
+				}
+				// Single-tuple check (2): t[Y,Yp] must match tp[Y,Yp].
+				if !e.MatchesRHS(t, pi) {
+					if !out.SV[ri] {
+						out.SV[ri] = true
+					}
+					flagged++
+				}
+				if len(e.Y) == 0 {
+					continue // no embedded FD to violate
+				}
+				gk := keyAt(t, xIdx)
+				yk := keyAt(t, yIdx)
+				g := groups[gk]
+				if g == nil {
+					groups[gk] = &group{rows: []int{ri}, firstY: yk}
+					continue
+				}
+				g.rows = append(g.rows, ri)
+				if yk != g.firstY {
+					g.multiple = true
+				}
+			}
+			for _, g := range groups {
+				if !g.multiple {
+					continue
+				}
+				for _, ri := range g.rows {
+					if !out.MV[ri] {
+						out.MV[ri] = true
+					}
+					flagged++
+				}
+			}
+			if flagged > 0 {
+				out.PerConstraint[key] = flagged
+			}
+		}
+	}
+	return out, nil
+}
+
+// Satisfies reports I ⊨ Σ: no row violates any pattern constraint and
+// no embedded FD is violated.
+func Satisfies(inst *relation.Relation, sigma []*ECFD) (bool, error) {
+	v, err := NaiveDetect(inst, sigma)
+	if err != nil {
+		return false, err
+	}
+	return v.Count() == 0, nil
+}
+
+// SatisfiesTuple reports {t} ⊨ Σ for the single-tuple instance — the
+// check at the heart of the satisfiability small-model property
+// (Proposition 3.1): a single tuple can only trip pattern constraints,
+// never the embedded FD.
+func SatisfiesTuple(schema *relation.Schema, t relation.Tuple, sigma []*ECFD) bool {
+	for _, e := range sigma {
+		for pi := range e.Tableau {
+			if e.MatchesLHS(t, pi) && !e.MatchesRHS(t, pi) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func attrIndexes(s *relation.Schema, attrs []string) []int {
+	out := make([]int, len(attrs))
+	for i, a := range attrs {
+		out[i] = s.Index(a)
+	}
+	return out
+}
+
+func keyAt(t relation.Tuple, idx []int) string {
+	vs := make([]relation.Value, len(idx))
+	for i, j := range idx {
+		vs[i] = t[j]
+	}
+	return relation.KeyOf(vs)
+}

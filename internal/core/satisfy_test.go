@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+
+	"ecfd/internal/relation"
+)
+
+// TestExample22 reproduces Example 2.2: D0 satisfies neither φ1 nor φ2;
+// t1 violates φ1 (single-tuple) and t4 violates φ2 (single-tuple).
+func TestExample22(t *testing.T) {
+	inst := Fig1Instance()
+	sigma := Fig2Constraints()
+
+	v, err := NaiveDetect(inst, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row indices: t1 = 0, t4 = 3.
+	if !v.SV[0] {
+		t.Error("t1 must be a single-tuple violation of φ1 (Albany with AC 718)")
+	}
+	if !v.SV[3] {
+		t.Error("t4 must be a single-tuple violation of φ2 (NYC with AC 100)")
+	}
+	for _, i := range []int{1, 2, 4, 5} {
+		if v.SV[i] || v.MV[i] {
+			t.Errorf("t%d must be clean", i+1)
+		}
+	}
+	if v.CountMV() != 0 {
+		t.Errorf("no embedded-FD violations in D0: MV count = %d", v.CountMV())
+	}
+	if got := v.Count(); got != 2 {
+		t.Errorf("vio(D0) size = %d, want 2", got)
+	}
+	if ok, _ := Satisfies(inst, sigma); ok {
+		t.Error("D0 must not satisfy Σ")
+	}
+
+	got := v.Violating()
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Errorf("Violating = %v, want [0 3]", got)
+	}
+}
+
+// TestMultiTupleViolation checks the embedded-FD (MV) side: two Albany
+// tuples with different area codes violate φ1's FD CT → AC even when
+// both RHS patterns individually pass.
+func TestMultiTupleViolation(t *testing.T) {
+	s := CustSchema()
+	inst := relation.New(s)
+	mk := func(ac, ct string) relation.Tuple {
+		return relation.Tuple{relation.Text(ac), relation.Text("1"), relation.Text("n"),
+			relation.Text("st"), relation.Text(ct), relation.Text("z")}
+	}
+	// Both pass the !{NYC,LI} → _ row's RHS, but they disagree on AC.
+	inst.MustInsert(mk("111", "Ithaca"))
+	inst.MustInsert(mk("222", "Ithaca"))
+	inst.MustInsert(mk("333", "Buffalo"))
+
+	phi1 := Fig2Constraints()[0]
+	v, err := NaiveDetect(inst, []*ECFD{phi1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.MV[0] || !v.MV[1] {
+		t.Error("both Ithaca tuples must be MV")
+	}
+	if v.MV[2] {
+		t.Error("Buffalo tuple must be clean")
+	}
+	if v.CountSV() != 0 {
+		t.Error("no SV expected")
+	}
+}
+
+// TestYpNoFD: an eCFD with Y = ∅ enforces only pattern constraints —
+// two NYC tuples with different (valid) area codes are fine under φ2.
+func TestYpNoFD(t *testing.T) {
+	s := CustSchema()
+	inst := relation.New(s)
+	mk := func(ac string) relation.Tuple {
+		return relation.Tuple{relation.Text(ac), relation.Text("1"), relation.Text("n"),
+			relation.Text("st"), relation.Text("NYC"), relation.Text("z")}
+	}
+	inst.MustInsert(mk("212"))
+	inst.MustInsert(mk("718"))
+	phi2 := Fig2Constraints()[1]
+	v, err := NaiveDetect(inst, []*ECFD{phi2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Count() != 0 {
+		t.Errorf("distinct valid NYC area codes must not violate φ2: %d violations", v.Count())
+	}
+}
+
+func TestNaiveDetectSchemaMismatch(t *testing.T) {
+	other := relation.MustSchema("orders", relation.Attribute{Name: "ID", Kind: relation.KindInt})
+	inst := relation.New(other)
+	if _, err := NaiveDetect(inst, Fig2Constraints()); err == nil {
+		t.Error("schema mismatch must fail")
+	}
+}
+
+func TestNaiveDetectInvalidConstraint(t *testing.T) {
+	inst := Fig1Instance()
+	bad := &ECFD{Name: "bad", Schema: CustSchema(), X: []string{"CT"}, Y: []string{"AC"}}
+	if _, err := NaiveDetect(inst, []*ECFD{bad}); err == nil {
+		t.Error("invalid constraint must fail")
+	}
+}
+
+func TestSatisfiesTuple(t *testing.T) {
+	sigma := Fig2Constraints()
+	s := CustSchema()
+	good := relation.Tuple{relation.Text("518"), relation.Text("1"), relation.Text("n"),
+		relation.Text("st"), relation.Text("Albany"), relation.Text("z")}
+	bad := relation.Tuple{relation.Text("999"), relation.Text("1"), relation.Text("n"),
+		relation.Text("st"), relation.Text("Albany"), relation.Text("z")}
+	if !SatisfiesTuple(s, good, sigma) {
+		t.Error("Albany/518 tuple must satisfy Σ")
+	}
+	if SatisfiesTuple(s, bad, sigma) {
+		t.Error("Albany/999 tuple must violate φ1")
+	}
+}
+
+// TestSingleTupleCanViolate reproduces the paper's observation that "a
+// single tuple may violate an eCFD while it takes two tuples to violate
+// a standard FD".
+func TestSingleTupleCanViolate(t *testing.T) {
+	s := CustSchema()
+	inst := relation.New(s)
+	inst.MustInsert(relation.Tuple{relation.Text("100"), relation.Text("1"), relation.Text("n"),
+		relation.Text("st"), relation.Text("NYC"), relation.Text("z")})
+	v, err := NaiveDetect(inst, Fig2Constraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Count() != 1 || !v.SV[0] {
+		t.Error("one tuple alone must violate φ2")
+	}
+}
+
+func TestPerConstraintCounts(t *testing.T) {
+	inst := Fig1Instance()
+	v, err := NaiveDetect(inst, Fig2Constraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t1 trips φ1's second pattern row; t4 trips φ2's only row.
+	if v.PerConstraint["phi1#2"] != 1 {
+		t.Errorf("phi1#2 count = %d, want 1", v.PerConstraint["phi1#2"])
+	}
+	if v.PerConstraint["phi2#1"] != 1 {
+		t.Errorf("phi2#1 count = %d, want 1", v.PerConstraint["phi2#1"])
+	}
+}
+
+func TestNullsGroupTogetherInFD(t *testing.T) {
+	// GROUP BY semantics: two rows with NULL X group together; differing
+	// Y then violates the FD. The naive oracle must match SQL here.
+	s := relation.MustSchema("t",
+		relation.Attribute{Name: "A", Kind: relation.KindText},
+		relation.Attribute{Name: "B", Kind: relation.KindText},
+	)
+	inst := relation.New(s)
+	inst.MustInsert(relation.Tuple{relation.Null(), relation.Text("x")})
+	inst.MustInsert(relation.Tuple{relation.Null(), relation.Text("y")})
+	fd := &FD{Schema: s, X: []string{"A"}, Y: []string{"B"}}
+	v, err := NaiveDetect(inst, []*ECFD{fd.AsECFD()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.MV[0] || !v.MV[1] {
+		t.Error("NULL-keyed group with two B values must violate the FD")
+	}
+}

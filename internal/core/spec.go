@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ecfd/internal/relation"
+)
+
+// Spec is a parsed constraint file: table declarations plus the eCFDs
+// over them. It is the self-contained input format of the CLI tools:
+//
+//	table cust (AC text, PN text, NM text, STR text, CT text, ZIP text)
+//	table rate (GRADE int in {1, 2, 3}, FEE real)
+//
+//	ecfd phi1 on cust: [CT] -> [AC] {
+//	  (!{NYC, LI} || _)
+//	  ({Albany, Troy, Colonie} || {'518'})
+//	}
+//
+// An `in { ... }` clause declares a finite attribute domain (§III's
+// finite-domain attributes).
+type Spec struct {
+	Schemas     map[string]*relation.Schema
+	Constraints []*ECFD
+}
+
+// ParseSpec parses table declarations and constraints from one source.
+// Extra pre-declared schemas may be supplied (nil is fine); tables in
+// the source shadow them.
+func ParseSpec(src string, predeclared map[string]*relation.Schema) (*Spec, error) {
+	schemas := make(map[string]*relation.Schema)
+	for k, v := range predeclared {
+		schemas[k] = v
+	}
+	p := &cparser{lex: newCLexer(src), schemas: schemas}
+	spec := &Spec{Schemas: schemas}
+	for {
+		tok := p.peek()
+		if p.err != nil {
+			return nil, p.err
+		}
+		if tok.kind == ctEOF {
+			break
+		}
+		if tok.kind == ctWord && tok.text == "table" {
+			if err := p.tableDecl(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		e, err := p.constraint()
+		if err != nil {
+			return nil, err
+		}
+		if err := e.Validate(); err != nil {
+			return nil, err
+		}
+		spec.Constraints = append(spec.Constraints, e)
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if len(spec.Constraints) == 0 {
+		return nil, fmt.Errorf("core: no constraints found")
+	}
+	return spec, nil
+}
+
+// tableDecl parses: table name (attr kind [in {v, v, ...}], ...).
+func (p *cparser) tableDecl() error {
+	p.advance() // "table"
+	name, err := p.expectWord()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expectPunct("("); err != nil {
+		return err
+	}
+	var attrs []relation.Attribute
+	for {
+		t := p.peek()
+		if t.kind == ctPunct && t.text == ")" {
+			p.advance()
+			break
+		}
+		if t.kind == ctPunct && t.text == "," {
+			p.advance()
+			continue
+		}
+		attrName, err := p.expectWord()
+		if err != nil {
+			return err
+		}
+		kindTok, err := p.expectWord()
+		if err != nil {
+			return err
+		}
+		kind, err := kindOf(kindTok.text)
+		if err != nil {
+			return fmt.Errorf("core: line %d: %w", kindTok.line, err)
+		}
+		attr := relation.Attribute{Name: attrName.text, Kind: kind}
+		if nt := p.peek(); nt.kind == ctWord && nt.text == "in" {
+			p.advance()
+			dom, err := p.set(attr)
+			if err != nil {
+				return err
+			}
+			attr.Domain = dom
+		}
+		attrs = append(attrs, attr)
+	}
+	schema, err := relation.NewSchema(name.text, attrs...)
+	if err != nil {
+		return err
+	}
+	p.schemas[name.text] = schema
+	return nil
+}
+
+func kindOf(word string) (relation.Kind, error) {
+	switch strings.ToLower(word) {
+	case "text", "string", "varchar":
+		return relation.KindText, nil
+	case "int", "integer":
+		return relation.KindInt, nil
+	case "real", "float", "double":
+		return relation.KindFloat, nil
+	case "bool", "boolean":
+		return relation.KindBool, nil
+	default:
+		return 0, fmt.Errorf("unknown attribute type %q (want text/int/real/bool)", word)
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"ecfd/internal/relation"
+)
+
+const specSrc = `
+# schema + constraints in one file
+table cust (AC text, PN text, NM text, STR text, CT text, ZIP text)
+table rate (GRADE int in {1, 2, 3}, FEE real)
+
+ecfd phi1 on cust: [CT] -> [AC] {
+  (!{NYC, LI} || _)
+}
+ecfd r1 on rate: [GRADE] -> [] ; [FEE] {
+  ({1} || {10.0, 20.0})
+}
+`
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec(specSrc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Schemas) != 2 || len(spec.Constraints) != 2 {
+		t.Fatalf("schemas=%d constraints=%d", len(spec.Schemas), len(spec.Constraints))
+	}
+	rate := spec.Schemas["rate"]
+	grade, ok := rate.Attr("GRADE")
+	if !ok || grade.Kind != relation.KindInt {
+		t.Fatalf("GRADE attr: %+v", grade)
+	}
+	if !grade.Finite() || len(grade.Domain) != 3 || grade.Domain[0].I != 1 {
+		t.Errorf("GRADE domain: %v", grade.Domain)
+	}
+	fee, _ := rate.Attr("FEE")
+	if fee.Kind != relation.KindFloat || fee.Finite() {
+		t.Errorf("FEE attr: %+v", fee)
+	}
+	if spec.Constraints[1].Tableau[0].RHS[0].Set[1].F != 20.0 {
+		t.Errorf("typed float set: %v", spec.Constraints[1].Tableau[0].RHS[0].Set)
+	}
+}
+
+func TestParseSpecPredeclared(t *testing.T) {
+	pre := map[string]*relation.Schema{"cust": CustSchema()}
+	spec, err := ParseSpec(`ecfd e on cust: [CT] -> [AC] { (_ || _) }`, pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Constraints[0].Schema.Name != "cust" {
+		t.Error("predeclared schema not used")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := map[string]string{
+		"no constraints": `table t (A text)`,
+		"bad kind":       `table t (A blob) ecfd e on t: [A] -> [] ; [A] { (_ || _) }`,
+		"dup attr":       `table t (A text, A text) ecfd e on t: [A] -> [] { (_ || ) }`,
+		"tiny domain":    `table t (A int in {1}, B text) ecfd e on t: [A] -> [B] { (_ || _) }`,
+		"unknown table":  `ecfd e on nosuch: [A] -> [B] { (_ || _) }`,
+		"missing paren":  `table t (A text ecfd e on t: [A] -> [] { (_ || ) }`,
+		"garbage":        `%%%`,
+	}
+	for name, src := range bad {
+		if _, err := ParseSpec(src, nil); err == nil {
+			t.Errorf("%s: expected error for %q", name, src)
+		}
+	}
+}

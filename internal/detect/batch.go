@@ -1,0 +1,38 @@
+package detect
+
+import (
+	"fmt"
+	"time"
+)
+
+// BatchStats reports one BatchDetect run.
+type BatchStats struct {
+	SV, MV, Total int64
+	Elapsed       time.Duration
+}
+
+// BatchDetect runs the paper's static detection (§V-A): reset the
+// flags, flag single-tuple violations with the Qsv update, materialize
+// the embedded-FD violation patterns into Aux(D) with Qmv, and flag the
+// matching tuples. The statement count is fixed — two passes over D —
+// regardless of |Σ|, pattern-tuple counts or set sizes.
+func (d *Detector) BatchDetect() (BatchStats, error) {
+	start := time.Now()
+	steps := []string{
+		d.stmts.resetFlags,
+		d.stmts.qsvUpdate,
+		"TRUNCATE TABLE " + d.auxTable,
+		d.stmts.qmvInsert,
+		d.stmts.mvUpdate,
+	}
+	for _, q := range steps {
+		if _, err := d.db.Exec(q); err != nil {
+			return BatchStats{}, fmt.Errorf("detect: batch: %w", err)
+		}
+	}
+	sv, mv, total, err := d.Counts()
+	if err != nil {
+		return BatchStats{}, err
+	}
+	return BatchStats{SV: sv, MV: mv, Total: total, Elapsed: time.Since(start)}, nil
+}

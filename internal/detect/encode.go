@@ -1,0 +1,72 @@
+package detect
+
+import (
+	"ecfd/internal/core"
+	"ecfd/internal/relation"
+)
+
+// Pattern codes stored in the enc relation (paper §V-A). 0 marks an
+// attribute the pattern tuple does not mention on that side; on the
+// LHS (and for Y attributes on the RHS) 1 encodes a set pattern S,
+// 2 a complement pattern S̄ and 3 the wildcard; Yp attributes use the
+// negative mirror codes −1, −2, −3.
+const (
+	CodeAbsent   = 0
+	CodeIn       = 1
+	CodeNotIn    = 2
+	CodeWildcard = 3
+)
+
+// Encoding is the enc-row plus set tables of one single-pattern eCFD.
+type Encoding struct {
+	// L and R map every attribute of R to its LHS/RHS code.
+	L, R map[string]int
+	// SetsL / SetsR hold the pattern sets feeding T_AL / T_AR.
+	SetsL, SetsR map[string][]relation.Value
+}
+
+// EncodeConstraint computes the Fig. 3 encoding of a single-pattern
+// eCFD over the given schema.
+func EncodeConstraint(e *core.ECFD, schema *relation.Schema) Encoding {
+	enc := Encoding{
+		L:     make(map[string]int, schema.Width()),
+		R:     make(map[string]int, schema.Width()),
+		SetsL: make(map[string][]relation.Value),
+		SetsR: make(map[string][]relation.Value),
+	}
+	for _, a := range schema.Attrs {
+		enc.L[a.Name] = CodeAbsent
+		enc.R[a.Name] = CodeAbsent
+	}
+	tp := e.Tableau[0]
+	for j, attr := range e.X {
+		code, set := patternCode(tp.LHS[j])
+		enc.L[attr] = code
+		if set != nil {
+			enc.SetsL[attr] = set
+		}
+	}
+	rhs := e.RHS()
+	for j, attr := range rhs {
+		code, set := patternCode(tp.RHS[j])
+		if j >= len(e.Y) { // Yp attribute: negative mirror code
+			code = -code
+		}
+		enc.R[attr] = code
+		if set != nil {
+			enc.SetsR[attr] = set
+		}
+	}
+	return enc
+}
+
+func patternCode(p core.Pattern) (int, []relation.Value) {
+	switch p.Op {
+	case core.In:
+		return CodeIn, p.Set
+	case core.NotIn:
+		return CodeNotIn, p.Set
+	default:
+		return CodeWildcard, nil
+	}
+}

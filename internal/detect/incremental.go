@@ -1,0 +1,187 @@
+package detect
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ecfd/internal/relation"
+)
+
+// IncStats reports one incremental maintenance step.
+type IncStats struct {
+	Applied int64 // tuples inserted or deleted
+	Elapsed time.Duration
+}
+
+// InsertTuples applies ΔD⁺ and incrementally maintains the violation
+// flags and Aux(D) (paper §V-B, steps (1) and (2.a)–(2.e)):
+//
+//  1. stage the batch and flag its single-tuple violations (Qsv on ΔD⁺
+//     alone — SV is a per-tuple property);
+//  2. collect the group keys the batch touches and snapshot the touched
+//     Aux rows;
+//  3. merge the batch into D;
+//  4. drop and recompute exactly the touched Aux groups, and derive
+//     aux_new — the groups that just *became* violating;
+//  5. set MV on the merged rows matching any Aux pattern (RID-range
+//     restricted) and on pre-existing clean rows of aux_new groups
+//     (insertions never clear flags, so no clearing step).
+//
+// It requires the flags and Aux to be current (run BatchDetect once
+// after Install/LoadData). Returns the RIDs assigned to the new rows.
+func (d *Detector) InsertTuples(batch *relation.Relation) ([]int64, IncStats, error) {
+	return d.ApplyUpdates(batch, nil)
+}
+
+// DeleteTuples applies ΔD⁻ by RID and incrementally maintains the
+// flags and Aux(D) (paper §V-B, deletions): deletions cannot introduce
+// violations, so the work is collecting the touched group keys from the
+// doomed tuples, removing the rows, recomputing the touched Aux groups,
+// and clearing MV on tuples of touched groups that no longer match any
+// Aux pattern.
+func (d *Detector) DeleteTuples(rids []int64) (IncStats, error) {
+	if len(rids) == 0 {
+		return IncStats{}, nil
+	}
+	_, st, err := d.ApplyUpdates(nil, rids)
+	return st, err
+}
+
+// InsertRaw adds tuples without maintaining flags or Aux — the state
+// BatchDetect expects when it is "applied to the data after database
+// updates are executed" (§VI, Experiment 2). Returns the new RIDs.
+func (d *Detector) InsertRaw(batch *relation.Relation) ([]int64, error) {
+	if batch.Schema.Name != d.schema.Name || batch.Schema.Width() != d.schema.Width() {
+		return nil, fmt.Errorf("detect: batch schema %s does not match %s", batch.Schema, d.schema)
+	}
+	return d.bulkInsert(d.dataTable, batch)
+}
+
+// DeleteRaw removes tuples by RID without maintaining flags or Aux.
+func (d *Detector) DeleteRaw(rids []int64) error {
+	if len(rids) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "DELETE FROM %s WHERE %s IN (", d.dataTable, ColRID)
+	for i, rid := range rids {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", rid)
+	}
+	b.WriteString(")")
+	_, err := d.db.Exec(b.String())
+	return err
+}
+
+// ApplyUpdates applies a combined update ΔD = (ΔD⁻, ΔD⁺) — the shape
+// of the paper's Experiment 2 / Fig. 7, where equal numbers of tuples
+// are deleted and inserted — with a single touched-keys collection and
+// a single Aux recompute shared by both halves. Either half may be
+// empty. Returns the RIDs assigned to the inserted rows.
+func (d *Detector) ApplyUpdates(insBatch *relation.Relation, delRids []int64) ([]int64, IncStats, error) {
+	start := time.Now()
+	applied := int64(len(delRids))
+	var rids []int64
+	firstRID := d.nextRID + 1
+
+	if _, err := d.db.Exec("TRUNCATE TABLE " + d.insTable); err != nil {
+		return nil, IncStats{}, err
+	}
+	if insBatch != nil && insBatch.Len() > 0 {
+		if insBatch.Schema.Name != d.schema.Name || insBatch.Schema.Width() != d.schema.Width() {
+			return nil, IncStats{}, fmt.Errorf("detect: batch schema %s does not match %s", insBatch.Schema, d.schema)
+		}
+		var err error
+		if rids, err = d.bulkInsert(d.insTable, insBatch); err != nil {
+			return nil, IncStats{}, err
+		}
+		applied += int64(insBatch.Len())
+	}
+	if err := d.loadDelRids(delRids); err != nil {
+		return nil, IncStats{}, err
+	}
+
+	type step struct {
+		q      string
+		params []any
+	}
+	steps := []step{
+		{q: d.stmts.svOnIns},
+		{q: "TRUNCATE TABLE " + d.keysTable},
+		{q: d.stmts.keysFromDel}, // before the doomed rows disappear
+		{q: d.stmts.keysFromIns},
+		{q: "TRUNCATE TABLE " + d.auxOldTable},
+		{q: d.stmts.auxSaveOld},
+		{q: d.stmts.auxDeleteAff},
+		{q: d.stmts.deleteRows},
+		{q: d.stmts.mergeIns},
+		{q: d.stmts.auxRecompute},
+		{q: "TRUNCATE TABLE " + d.auxNewTable},
+		{q: d.stmts.auxNewComp},
+		{q: d.stmts.mvSetNew, params: []any{firstRID}},
+		{q: d.stmts.mvSetOld, params: []any{firstRID}},
+		{q: d.stmts.mvClear},
+	}
+	for _, s := range steps {
+		if _, err := d.db.Exec(s.q, s.params...); err != nil {
+			return nil, IncStats{}, fmt.Errorf("detect: combined update: %w", err)
+		}
+	}
+	return rids, IncStats{Applied: applied, Elapsed: time.Since(start)}, nil
+}
+
+// loadDelRids fills the ΔD⁻ staging table.
+func (d *Detector) loadDelRids(rids []int64) error {
+	if _, err := d.db.Exec("TRUNCATE TABLE " + d.delTable); err != nil {
+		return err
+	}
+	var b strings.Builder
+	n := 0
+	flush := func() error {
+		if n == 0 {
+			return nil
+		}
+		if _, err := d.db.Exec(b.String()); err != nil {
+			return err
+		}
+		b.Reset()
+		n = 0
+		return nil
+	}
+	for _, rid := range rids {
+		if n == 0 {
+			fmt.Fprintf(&b, "INSERT INTO %s VALUES ", d.delTable)
+		} else {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d)", rid)
+		n++
+		if n >= insertBatch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// RIDs returns every row id currently in the data table, ordered.
+func (d *Detector) RIDs() ([]int64, error) {
+	rows, err := d.db.Query(fmt.Sprintf("SELECT %s FROM %s ORDER BY %s", ColRID, d.dataTable, ColRID))
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []int64
+	for rows.Next() {
+		var rid int64
+		if err := rows.Scan(&rid); err != nil {
+			return nil, err
+		}
+		out = append(out, rid)
+	}
+	return out, rows.Err()
+}

@@ -1,0 +1,281 @@
+package detect
+
+import (
+	"fmt"
+	"strings"
+)
+
+// generateSQL builds the fixed statement set. The statements depend
+// only on the schema R — never on Σ, the number of pattern tuples or
+// the set sizes, which all live in data tables (the paper's key idea:
+// "treat pattern tableaux as data tables, rather than as meta-data").
+func (d *Detector) generateSQL() {
+	d.stmts = statements{
+		qsvSelect:    d.genQsvSelect(),
+		qsvUpdate:    d.genQsvUpdate(),
+		qmvInsert:    d.genQmvInsert(),
+		mvUpdate:     d.genMVUpdate(),
+		resetFlags:   fmt.Sprintf("UPDATE %s SET %s = 0, %s = 0", d.dataTable, ColSV, ColMV),
+		keysFromIns:  d.genKeys(d.insTable, ""),
+		keysFromDel:  d.genKeys(d.dataTable, fmt.Sprintf("t.%s IN (SELECT %s FROM %s)", ColRID, ColRID, d.delTable)),
+		auxDeleteAff: d.genAuxDeleteAffected(),
+		auxSaveOld:   d.genAuxSaveOld(),
+		auxNewComp:   d.genAuxNewCompute(),
+		auxRecompute: d.genAuxRecompute(),
+		mvSetNew:     d.genMVSetNewRows(),
+		mvSetOld:     d.genMVSetOldRows(),
+		mvClear:      d.genMVClear(),
+		svOnIns:      d.genSVUpdate(d.insTable),
+		mergeIns:     fmt.Sprintf("INSERT INTO %s SELECT * FROM %s", d.dataTable, d.insTable),
+		deleteRows: fmt.Sprintf("DELETE FROM %s WHERE %s IN (SELECT %s FROM %s)",
+			d.dataTable, ColRID, ColRID, d.delTable),
+	}
+}
+
+// SQL returns the generated batch-detection queries (Qsv select form,
+// SV update, Qmv insert, MV update) for inspection and testing.
+func (d *Detector) SQL() (qsvSelect, qsvUpdate, qmvInsert, mvUpdate string) {
+	return d.stmts.qsvSelect, d.stmts.qsvUpdate, d.stmts.qmvInsert, d.stmts.mvUpdate
+}
+
+// setProbe renders EXISTS (or NOT EXISTS) over a pattern-set table:
+// "does t's A-value belong to the CID's set?" — the QA subqueries of
+// Fig. 4, applied to the encoding tables only, never to the data.
+func (d *Detector) setProbe(not bool, table, attr string) string {
+	op := "EXISTS"
+	if not {
+		op = "NOT EXISTS"
+	}
+	return fmt.Sprintf("%s (SELECT 1 FROM %s s WHERE s.CID = c.CID AND s.VAL = t.%s)", op, table, attr)
+}
+
+// lhsMatch renders the conjunction "t[X] ≍ tp[X]" for the pattern
+// tuple bound by enc row c. Codes: 1 ⇒ value must be in the set,
+// 2 ⇒ value must be non-NULL and outside the set, 0/3 ⇒ no constraint.
+func (d *Detector) lhsMatch() string {
+	var conj []string
+	for _, a := range d.schema.Attrs {
+		tal := d.talName(a.Name)
+		conj = append(conj,
+			fmt.Sprintf("(c.%s_L <> %d OR %s)", a.Name, CodeIn, d.setProbe(false, tal, a.Name)),
+			fmt.Sprintf("(c.%s_L <> %d OR (t.%s IS NOT NULL AND %s))",
+				a.Name, CodeNotIn, a.Name, d.setProbe(true, tal, a.Name)),
+		)
+	}
+	return strings.Join(conj, "\n    AND ")
+}
+
+// rhsViolate renders the disjunction "t[Y,Yp] does not match tp[Y,Yp]":
+// some RHS attribute with an In pattern whose value is missing from the
+// set, or with a NotIn pattern whose value is NULL or in the set.
+// ABS() folds the Yp mirror codes onto the Y codes, as in Fig. 4.
+func (d *Detector) rhsViolate() string {
+	var disj []string
+	for _, a := range d.schema.Attrs {
+		tar := d.tarName(a.Name)
+		disj = append(disj,
+			fmt.Sprintf("(ABS(c.%s_R) = %d AND %s)", a.Name, CodeIn, d.setProbe(true, tar, a.Name)),
+			fmt.Sprintf("(ABS(c.%s_R) = %d AND (t.%s IS NULL OR %s))",
+				a.Name, CodeNotIn, a.Name, d.setProbe(false, tar, a.Name)),
+		)
+	}
+	return strings.Join(disj, "\n    OR ")
+}
+
+// genQsvSelect is Fig. 4 (top): the tuples violating some pattern
+// constraint all by themselves.
+func (d *Detector) genQsvSelect() string {
+	cols := []string{"t." + ColRID}
+	for _, a := range d.schema.Attrs {
+		cols = append(cols, "t."+a.Name)
+	}
+	return fmt.Sprintf("SELECT DISTINCT %s FROM %s t, %s c\nWHERE %s\n  AND (%s)",
+		strings.Join(cols, ", "), d.dataTable, d.encTable, d.lhsMatch(), d.rhsViolate())
+}
+
+// genQsvUpdate flags the Qsv result in place: SV := 1.
+func (d *Detector) genQsvUpdate() string { return d.genSVUpdate(d.dataTable) }
+
+func (d *Detector) genSVUpdate(table string) string {
+	return fmt.Sprintf("UPDATE %s t SET %s = 1 WHERE EXISTS (SELECT 1 FROM %s c\n  WHERE %s\n  AND (%s))",
+		table, ColSV, d.encTable, d.lhsMatch(), d.rhsViolate())
+}
+
+// caseProj renders the '@'-blanking projection of Fig. 4's macro for
+// one attribute: the attribute value (as text) when the enc code says
+// the attribute participates in the embedded FD on the given side, '@'
+// otherwise. NULL values map to a distinct mark so SQL grouping agrees
+// with the FD semantics (NULLs group together).
+func (d *Detector) caseProj(side, attr string) string {
+	return fmt.Sprintf("CASE WHEN c.%s_%s > 0 THEN COALESCE(TOTEXT(t.%s), '%s') ELSE '%s' END",
+		attr, side, attr, nullMark, blankMark)
+}
+
+// macro renders the derived table of Fig. 4 (bottom): one row per
+// (pattern tuple, matching data tuple), with attributes irrelevant to
+// the embedded FD blanked out. extraWhere, when non-empty, is placed
+// first so cheap restrictions short-circuit the pattern matching.
+func (d *Detector) macro(dataTable, extraWhere string) string {
+	cols := []string{"c.CID AS CID"}
+	for _, a := range d.schema.Attrs {
+		cols = append(cols, fmt.Sprintf("%s AS %s_P", d.caseProj("L", a.Name), a.Name))
+	}
+	for _, a := range d.schema.Attrs {
+		cols = append(cols, fmt.Sprintf("%s AS %s_RV", d.caseProj("R", a.Name), a.Name))
+	}
+	where := d.lhsMatch()
+	if extraWhere != "" {
+		where = extraWhere + "\n    AND " + where
+	}
+	return fmt.Sprintf("SELECT DISTINCT %s\n  FROM %s t, %s c\n  WHERE %s",
+		strings.Join(cols, ",\n    "), dataTable, d.encTable, where)
+}
+
+// groupCols lists the Aux grouping key: CID plus every blanked LHS
+// column.
+func (d *Detector) groupCols() []string {
+	cols := []string{"m.CID"}
+	for _, a := range d.schema.Attrs {
+		cols = append(cols, "m."+a.Name+"_P")
+	}
+	return cols
+}
+
+// genQmvInsert is Fig. 4 (bottom) materialized into Aux(D): the
+// (cid, p) patterns of groups violating an embedded FD — groups that
+// agree on the (blanked) LHS but contain more than one distinct
+// (blanked) RHS combination.
+func (d *Detector) genQmvInsert() string {
+	return d.genQmvInsertRestricted("")
+}
+
+func (d *Detector) genQmvInsertRestricted(extraWhere string) string {
+	g := d.groupCols()
+	return fmt.Sprintf("INSERT INTO %s SELECT %s FROM (%s\n) m\nGROUP BY %s\nHAVING COUNT(*) > 1",
+		d.auxTable, strings.Join(g, ", "), d.macro(d.dataTable, extraWhere), strings.Join(g, ", "))
+}
+
+// auxProbe renders "t matches some (cid, p) in table for c's CID": the
+// equality of every blanked projection with the stored pattern. The
+// whole conjunction is equality-over-outer-expressions, which the
+// engine decorrelates into a single hash probe.
+func (d *Detector) auxProbe(table string) string {
+	conds := []string{"a.CID = c.CID"}
+	for _, at := range d.schema.Attrs {
+		conds = append(conds, fmt.Sprintf("a.%s_P = %s", at.Name, d.caseProj("L", at.Name)))
+	}
+	return fmt.Sprintf("EXISTS (SELECT 1 FROM %s a WHERE %s)", table, strings.Join(conds, " AND "))
+}
+
+// genMVUpdate flags every tuple matching an Aux pattern: MV := 1.
+func (d *Detector) genMVUpdate() string {
+	return fmt.Sprintf("UPDATE %s t SET %s = 1 WHERE EXISTS (SELECT 1 FROM %s c WHERE %s)",
+		d.dataTable, ColMV, d.encTable, d.auxProbe(d.auxTable))
+}
+
+// genKeys collects the group keys touched by an update batch: the
+// (cid, p) projections of every (tuple, pattern) match in the batch.
+func (d *Detector) genKeys(sourceTable, extraWhere string) string {
+	cols := []string{"c.CID"}
+	for _, a := range d.schema.Attrs {
+		cols = append(cols, d.caseProj("L", a.Name))
+	}
+	where := d.lhsMatch()
+	if extraWhere != "" {
+		where = extraWhere + "\n    AND " + where
+	}
+	return fmt.Sprintf("INSERT INTO %s SELECT DISTINCT %s FROM %s t, %s c WHERE %s",
+		d.keysTable, strings.Join(cols, ",\n    "), sourceTable, d.encTable, where)
+}
+
+// auxMatch renders the column-wise equality of two Aux-shaped rows
+// (alias a matching the bare table named target).
+func (d *Detector) auxMatch(alias, target string) string {
+	conds := []string{fmt.Sprintf("%s.CID = %s.CID", alias, target)}
+	for _, at := range d.schema.Attrs {
+		conds = append(conds, fmt.Sprintf("%s.%s_P = %s.%s_P", alias, at.Name, target, at.Name))
+	}
+	return strings.Join(conds, " AND ")
+}
+
+// genAuxDeleteAffected drops the Aux rows whose group key was touched;
+// genAuxRecompute rebuilds exactly those groups from the current data.
+func (d *Detector) genAuxDeleteAffected() string {
+	return fmt.Sprintf("DELETE FROM %s WHERE EXISTS (SELECT 1 FROM %s k WHERE %s)",
+		d.auxTable, d.keysTable, d.auxMatch("k", d.auxTable))
+}
+
+// genAuxSaveOld snapshots the touched Aux rows before the recompute so
+// the insert path can tell groups that *became* violating apart from
+// groups that already were.
+func (d *Detector) genAuxSaveOld() string {
+	cols := d.groupCols() // m.CID, m.A_P... — reuse with alias m
+	sel := make([]string, len(cols))
+	for i, c := range cols {
+		sel[i] = strings.Replace(c, "m.", "m0.", 1)
+	}
+	return fmt.Sprintf("INSERT INTO %s SELECT %s FROM %s m0 WHERE EXISTS (SELECT 1 FROM %s k WHERE %s)",
+		d.auxOldTable, strings.Join(sel, ", "), d.auxTable, d.keysTable, d.auxMatch("k", "m0"))
+}
+
+// genAuxNewCompute collects the recomputed groups that were not
+// violating before: rows of Aux matching a touched key but absent from
+// the snapshot. Only the members of these groups can need an MV flip
+// among pre-existing tuples.
+func (d *Detector) genAuxNewCompute() string {
+	cols := d.groupCols()
+	sel := make([]string, len(cols))
+	for i, c := range cols {
+		sel[i] = strings.Replace(c, "m.", "m0.", 1)
+	}
+	return fmt.Sprintf(
+		"INSERT INTO %s SELECT %s FROM %s m0 WHERE EXISTS (SELECT 1 FROM %s k WHERE %s) AND NOT EXISTS (SELECT 1 FROM %s o WHERE %s)",
+		d.auxNewTable, strings.Join(sel, ", "), d.auxTable,
+		d.keysTable, d.auxMatch("k", "m0"),
+		d.auxOldTable, d.auxMatch("o", "m0"))
+}
+
+func (d *Detector) genAuxRecompute() string {
+	return d.genQmvInsertRestricted(d.keysProbe())
+}
+
+// keysProbe renders "the (c, t) pair projects onto a touched group
+// key" — a decorrelated hash probe placed first in conjunctions so
+// untouched pairs are dismissed in O(1).
+func (d *Detector) keysProbe() string {
+	conds := []string{"k.CID = c.CID"}
+	for _, a := range d.schema.Attrs {
+		conds = append(conds, fmt.Sprintf("k.%s_P = %s", a.Name, d.caseProj("L", a.Name)))
+	}
+	return fmt.Sprintf("EXISTS (SELECT 1 FROM %s k WHERE %s)", d.keysTable, strings.Join(conds, " AND "))
+}
+
+// genMVSetNewRows flags freshly merged tuples (RID ≥ the ?-bound batch
+// start) that match any Aux pattern. The RID range guard keeps the
+// projection probes off the pre-existing rows entirely.
+func (d *Detector) genMVSetNewRows() string {
+	return fmt.Sprintf(
+		"UPDATE %s t SET %s = 1 WHERE t.%s >= ? AND t.%s = 0 AND EXISTS (SELECT 1 FROM %s c WHERE %s)",
+		d.dataTable, ColMV, ColRID, ColMV, d.encTable, d.auxProbe(d.auxTable))
+}
+
+// genMVSetOldRows flags pre-existing clean tuples whose group *became*
+// violating — members of an aux_new group. A per-CID guard dismisses
+// (tuple, pattern) pairs in O(1) when aux_new has nothing for the CID,
+// which is the common case; with aux_new empty the statement degrades
+// to one cheap probe per pair.
+func (d *Detector) genMVSetOldRows() string {
+	cidGuard := fmt.Sprintf("EXISTS (SELECT 1 FROM %s g WHERE g.CID = c.CID)", d.auxNewTable)
+	return fmt.Sprintf(
+		"UPDATE %s t SET %s = 1 WHERE t.%s < ? AND t.%s = 0 AND EXISTS (SELECT 1 FROM %s c WHERE %s AND %s)",
+		d.dataTable, ColMV, ColRID, ColMV, d.encTable, cidGuard, d.auxProbe(d.auxNewTable))
+}
+
+// genMVClear clears MV on tuples in touched groups that no longer
+// match any Aux pattern at all (they may still be violating through an
+// untouched group, which the NOT EXISTS over the full Aux preserves).
+func (d *Detector) genMVClear() string {
+	return fmt.Sprintf(
+		"UPDATE %s t SET %s = 0 WHERE t.%s = 1 AND EXISTS (SELECT 1 FROM %s c WHERE %s) AND NOT EXISTS (SELECT 1 FROM %s c WHERE %s)",
+		d.dataTable, ColMV, ColMV, d.encTable, d.keysProbe(), d.encTable, d.auxProbe(d.auxTable))
+}

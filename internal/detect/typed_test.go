@@ -1,0 +1,157 @@
+package detect
+
+import (
+	"testing"
+
+	"ecfd/internal/core"
+	"ecfd/internal/relation"
+)
+
+// intSchema exercises the '@'-blanking machinery over non-text
+// attributes: the Qmv macro and the Aux probes must agree on the
+// TOTEXT rendering of INTEGER and REAL values.
+func intSchema() *relation.Schema {
+	return relation.MustSchema("meter",
+		relation.Attribute{Name: "GRID", Kind: relation.KindInt},
+		relation.Attribute{Name: "NODE", Kind: relation.KindInt},
+		relation.Attribute{Name: "VOLT", Kind: relation.KindFloat},
+		relation.Attribute{Name: "ZONE", Kind: relation.KindText},
+	)
+}
+
+func intSigma(s *relation.Schema) []*core.ECFD {
+	return []*core.ECFD{
+		{
+			// Node determines voltage within a grid (embedded FD over
+			// integer LHS).
+			Name: "fd", Schema: s, X: []string{"GRID", "NODE"}, Y: []string{"VOLT"},
+			Tableau: []core.PatternTuple{{
+				LHS: []core.Pattern{core.Any(), core.Any()},
+				RHS: []core.Pattern{core.Any()},
+			}},
+		},
+		{
+			// Grid 1 runs at 110 or 220 volts.
+			Name: "volts", Schema: s, X: []string{"GRID"}, YP: []string{"VOLT"},
+			Tableau: []core.PatternTuple{{
+				LHS: []core.Pattern{core.InSet(relation.Int(1))},
+				RHS: []core.Pattern{core.InSet(relation.Float(110), relation.Float(220))},
+			}},
+		},
+		{
+			// Zones outside the core are on grids other than 9.
+			Name: "zones", Schema: s, X: []string{"ZONE"}, YP: []string{"GRID"},
+			Tableau: []core.PatternTuple{{
+				LHS: []core.Pattern{core.NotInStrings("core")},
+				RHS: []core.Pattern{core.NotInSet(relation.Int(9))},
+			}},
+		},
+	}
+}
+
+func TestTypedAttributesBatch(t *testing.T) {
+	s := intSchema()
+	sigma := intSigma(s)
+	inst := relation.New(s)
+	row := func(grid, node int64, volt float64, zone string) relation.Tuple {
+		return relation.Tuple{relation.Int(grid), relation.Int(node), relation.Float(volt), relation.Text(zone)}
+	}
+	inst.MustInsert(row(1, 10, 110, "core")) // clean
+	inst.MustInsert(row(1, 10, 220, "core")) // FD conflict with row 0 (same grid+node)
+	inst.MustInsert(row(1, 11, 400, "core")) // volts pattern violation (SV)
+	inst.MustInsert(row(9, 12, 110, "edge")) // zones violation (SV): edge on grid 9
+	inst.MustInsert(row(2, 13, 110, "edge")) // clean
+
+	naive, err := core.NaiveDetect(inst, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDetector(t, sigma, inst)
+	if _, err := d.BatchDetect(); err != nil {
+		t.Fatal(err)
+	}
+	flags, err := d.FlagsByRID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < inst.Len(); i++ {
+		got := flags[int64(i+1)]
+		if got[0] != naive.SV[i] || got[1] != naive.MV[i] {
+			t.Errorf("row %d: SQL (SV=%v MV=%v) vs naive (SV=%v MV=%v)",
+				i, got[0], got[1], naive.SV[i], naive.MV[i])
+		}
+	}
+	if !flags[1][1] || !flags[2][1] {
+		t.Error("integer-keyed FD group must be flagged MV")
+	}
+	if !flags[3][0] || !flags[4][0] {
+		t.Error("pattern violations over numeric RHS must be flagged SV")
+	}
+}
+
+func TestTypedAttributesIncremental(t *testing.T) {
+	s := intSchema()
+	sigma := intSigma(s)
+	inst := relation.New(s)
+	inst.MustInsert(relation.Tuple{relation.Int(1), relation.Int(10), relation.Float(110), relation.Text("core")})
+	d := newDetector(t, sigma, inst)
+	if st, err := d.BatchDetect(); err != nil || st.Total != 0 {
+		t.Fatalf("clean base: %+v %v", st, err)
+	}
+
+	// Insert a conflicting reading: same (GRID, NODE), new voltage.
+	batch := relation.New(s)
+	batch.MustInsert(relation.Tuple{relation.Int(1), relation.Int(10), relation.Float(220), relation.Text("core")})
+	rids, _, err := d.InsertTuples(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv, mv, total, _ := d.Counts(); sv != 0 || mv != 2 || total != 2 {
+		t.Errorf("after conflicting insert: SV=%d MV=%d total=%d, want 0/2/2", sv, mv, total)
+	}
+
+	// Remove it again: the group heals.
+	if _, err := d.DeleteTuples(rids); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, total, _ := d.Counts(); total != 0 {
+		t.Errorf("after delete: %d violations, want 0", total)
+	}
+}
+
+// TestNullXGroupsThroughSQL: rows with NULL in the FD LHS group
+// together (the nullMark sentinel), matching the naive oracle.
+func TestNullXGroupsThroughSQL(t *testing.T) {
+	s := relation.MustSchema("n",
+		relation.Attribute{Name: "A", Kind: relation.KindText},
+		relation.Attribute{Name: "B", Kind: relation.KindText},
+	)
+	fd := (&core.FD{Schema: s, X: []string{"A"}, Y: []string{"B"}}).AsECFD()
+	fd.Name = "fd"
+	inst := relation.New(s)
+	inst.MustInsert(relation.Tuple{relation.Null(), relation.Text("x")})
+	inst.MustInsert(relation.Tuple{relation.Null(), relation.Text("y")})
+	inst.MustInsert(relation.Tuple{relation.Text("k"), relation.Text("x")})
+
+	naive, err := core.NaiveDetect(inst, []*core.ECFD{fd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDetector(t, []*core.ECFD{fd}, inst)
+	if _, err := d.BatchDetect(); err != nil {
+		t.Fatal(err)
+	}
+	flags, err := d.FlagsByRID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < inst.Len(); i++ {
+		got := flags[int64(i+1)]
+		if got[1] != naive.MV[i] {
+			t.Errorf("row %d: SQL MV=%v vs naive MV=%v", i, got[1], naive.MV[i])
+		}
+	}
+	if !flags[1][1] || !flags[2][1] || flags[3][1] {
+		t.Errorf("NULL-keyed group must be MV, k-group clean: %v", flags)
+	}
+}

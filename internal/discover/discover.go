@@ -1,0 +1,246 @@
+// Package discover implements a first-order profiler for the paper's
+// stated future work: "find effective methods for automatically
+// discovering eCFDs from data samples" (§VIII). The full treatment was
+// deferred to a later publication; this package mines the two
+// single-attribute shapes the paper's own examples are built from:
+//
+//   - conditional FDs with exception sets — (R: [A] → [B], ∅,
+//     {(∉E ‖ _)}) where E is the (small) set of A-values on which the
+//     FD A → B fails. With E = {NYC, LI} over cust this is exactly
+//     φ1's first pattern tuple.
+//   - value bindings with disjunction — pattern rows (∈{a} ‖ ∈S) where
+//     S is the (small) set of B-values co-occurring with a. With
+//     singleton S these are classic CFD constants (Albany ‖ 518); with
+//     |S| > 1 they are the eCFD disjunctions of φ2 (NYC ‖ {212, …}).
+//
+// Everything discovered holds on the sample by construction; like all
+// dependency mining, the output is a *candidate* set for a human (or
+// the sat/implication analyses) to vet before use in cleaning.
+package discover
+
+import (
+	"fmt"
+	"sort"
+
+	"ecfd/internal/core"
+	"ecfd/internal/relation"
+)
+
+// Options tunes the search.
+type Options struct {
+	// MinSupport is the least number of tuples a pattern row must
+	// cover to be reported (default 10).
+	MinSupport int
+	// MaxRHSSet bounds the disjunction size of a binding's RHS set
+	// (default 8).
+	MaxRHSSet int
+	// MaxExceptions bounds the ∉E exception set of a conditional FD
+	// (default 5); an FD needing more exceptions is not reported.
+	MaxExceptions int
+	// MaxBindings bounds the number of binding rows per attribute pair
+	// (default 20), keeping tableaux reviewable.
+	MaxBindings int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSupport <= 0 {
+		o.MinSupport = 10
+	}
+	if o.MaxRHSSet <= 0 {
+		o.MaxRHSSet = 8
+	}
+	if o.MaxExceptions <= 0 {
+		o.MaxExceptions = 5
+	}
+	if o.MaxBindings <= 0 {
+		o.MaxBindings = 20
+	}
+	return o
+}
+
+// Discover mines single-attribute eCFDs from the instance. The result
+// is sorted by (X attribute, Y attribute) and every returned
+// constraint is satisfied by the sample.
+func Discover(inst *relation.Relation, opts Options) ([]*core.ECFD, error) {
+	if inst.Len() == 0 {
+		return nil, fmt.Errorf("discover: empty instance")
+	}
+	opts = opts.withDefaults()
+	schema := inst.Schema
+	var out []*core.ECFD
+
+	for xi := 0; xi < schema.Width(); xi++ {
+		for yi := 0; yi < schema.Width(); yi++ {
+			if xi == yi {
+				continue
+			}
+			out = append(out, minePair(inst, xi, yi, opts)...)
+		}
+	}
+	return out, nil
+}
+
+// group aggregates, for one A-value, the multiset of co-occurring
+// B-values. NULL B-values are tracked separately: they count toward
+// FD violations (SQL grouping treats NULLs as equal) but can never
+// appear inside a pattern set.
+type group struct {
+	a        relation.Value
+	size     int
+	bVals    []relation.Value
+	bCount   map[string]int
+	hasNullB bool
+}
+
+// minePair mines A → B. It can yield up to two constraints, mirroring
+// the paper's φ1/φ2 split over cust: an FD-bearing eCFD (exception-set
+// row plus singleton bindings, whose groups each carry one B-value so
+// the embedded FD holds) and a Yp-only eCFD holding the disjunction
+// bindings (multi-valued groups, where an embedded FD would be violated
+// by the sample itself).
+func minePair(inst *relation.Relation, xi, yi int, opts Options) []*core.ECFD {
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range inst.Rows {
+		a, b := row[xi], row[yi]
+		k := a.Key() // NULL A-values form their own group, as in SQL
+		g := groups[k]
+		if g == nil {
+			g = &group{a: a, bCount: make(map[string]int)}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.size++
+		if b.IsNull() {
+			g.hasNullB = true
+			continue
+		}
+		bk := b.Key()
+		if g.bCount[bk] == 0 {
+			g.bVals = append(g.bVals, b)
+		}
+		g.bCount[bk]++
+	}
+	sort.Strings(order)
+
+	// distinctB counts the FD-relevant number of B classes in a group
+	// (NULLs form one class of their own).
+	distinctB := func(g *group) int {
+		n := len(g.bVals)
+		if g.hasNullB {
+			n++
+		}
+		return n
+	}
+
+	schema := inst.Schema
+	xName, yName := schema.Attrs[xi].Name, schema.Attrs[yi].Name
+
+	// Exception set E: A-values whose groups carry more than one
+	// B-class, on which the FD A → B fails. A violating NULL-A group
+	// cannot be excluded by a pattern (∉E never matches NULL), which is
+	// fine whenever E is non-empty; with E = ∅ the row would be a plain
+	// wildcard that does match NULL, so the FD row must be dropped.
+	var exceptions []relation.Value
+	nullABad := false
+	supported := 0
+	for _, k := range order {
+		g := groups[k]
+		switch {
+		case distinctB(g) <= 1:
+			supported += g.size
+		case g.a.IsNull():
+			nullABad = true
+		default:
+			exceptions = append(exceptions, g.a)
+		}
+	}
+	fdRow := len(exceptions) <= opts.MaxExceptions && supported >= opts.MinSupport &&
+		!(nullABad && len(exceptions) == 0)
+
+	// Binding rows: well-supported A-values with a small B-value set,
+	// split by whether the group is single-valued (FD-compatible) or a
+	// disjunction (Yp-only).
+	type binding struct {
+		a    relation.Value
+		set  []relation.Value
+		size int
+	}
+	var singles, multis []binding
+	for _, k := range order {
+		g := groups[k]
+		// A binding pattern (∈{a} ‖ ∈S) cannot mention NULLs on either
+		// side, and a group with NULL B-values would violate its own
+		// binding; skip those groups entirely.
+		if g.a.IsNull() || g.hasNullB || len(g.bVals) == 0 ||
+			g.size < opts.MinSupport || len(g.bVals) > opts.MaxRHSSet {
+			continue
+		}
+		b := binding{a: g.a, set: append([]relation.Value(nil), g.bVals...), size: g.size}
+		if len(g.bVals) == 1 {
+			singles = append(singles, b)
+		} else {
+			multis = append(multis, b)
+		}
+	}
+	trim := func(bs []binding) []binding {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].size > bs[j].size })
+		if len(bs) > opts.MaxBindings {
+			bs = bs[:opts.MaxBindings]
+		}
+		sort.Slice(bs, func(i, j int) bool { return relation.Compare(bs[i].a, bs[j].a) < 0 })
+		return bs
+	}
+	singles, multis = trim(singles), trim(multis)
+
+	var out []*core.ECFD
+
+	if fdRow || len(singles) > 0 {
+		e := &core.ECFD{
+			Name:   fmt.Sprintf("d_%s_%s", xName, yName),
+			Schema: schema,
+			X:      []string{xName},
+			Y:      []string{yName},
+		}
+		if fdRow {
+			var lhs core.Pattern
+			if len(exceptions) == 0 {
+				lhs = core.Any()
+			} else {
+				lhs = core.NotInSet(exceptions...)
+			}
+			e.Tableau = append(e.Tableau, core.PatternTuple{
+				LHS: []core.Pattern{lhs},
+				RHS: []core.Pattern{core.Any()},
+			})
+		}
+		for _, b := range singles {
+			e.Tableau = append(e.Tableau, core.PatternTuple{
+				LHS: []core.Pattern{core.InSet(b.a)},
+				RHS: []core.Pattern{core.InSet(b.set...)},
+			})
+		}
+		if e.Validate() == nil {
+			out = append(out, e)
+		}
+	}
+
+	if len(multis) > 0 {
+		e := &core.ECFD{
+			Name:   fmt.Sprintf("d_%s_%s_any", xName, yName),
+			Schema: schema,
+			X:      []string{xName},
+			YP:     []string{yName},
+		}
+		for _, b := range multis {
+			e.Tableau = append(e.Tableau, core.PatternTuple{
+				LHS: []core.Pattern{core.InSet(b.a)},
+				RHS: []core.Pattern{core.InSet(b.set...)},
+			})
+		}
+		if e.Validate() == nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}

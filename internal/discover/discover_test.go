@@ -1,0 +1,170 @@
+package discover
+
+import (
+	"strings"
+	"testing"
+
+	"ecfd/internal/core"
+	"ecfd/internal/gen"
+	"ecfd/internal/relation"
+)
+
+// TestDiscoveredConstraintsHoldOnSample: the fundamental soundness
+// property — everything Discover returns is satisfied by the data it
+// was mined from.
+func TestDiscoveredConstraintsHoldOnSample(t *testing.T) {
+	inst := gen.Dataset(gen.Config{Rows: 4000, Noise: 0, Seed: 3})
+	found, err := Discover(inst, Options{MinSupport: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) == 0 {
+		t.Fatal("clean structured data must yield constraints")
+	}
+	v, err := core.NaiveDetect(inst, found)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := v.Count(); n != 0 {
+		t.Fatalf("discovered constraints violated by their own sample: %d rows, %v", n, v.PerConstraint)
+	}
+}
+
+// TestDiscoverFindsPaperStructure: on the §VI generator's clean data,
+// discovery recovers the φ1/φ2 shapes — CT → AC holds outside
+// {NYC, LI}, and NYC binds to its area-code disjunction.
+func TestDiscoverFindsPaperStructure(t *testing.T) {
+	inst := gen.Dataset(gen.Config{Rows: 6000, Noise: 0, Seed: 5})
+	found, err := Discover(inst, Options{MinSupport: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*core.ECFD{}
+	for _, e := range found {
+		byName[e.Name] = e
+	}
+
+	ctac := byName["d_CT_AC"]
+	if ctac == nil {
+		t.Fatal("expected a CT → AC constraint")
+	}
+	first := ctac.Tableau[0]
+	if first.LHS[0].Op != core.NotIn {
+		t.Fatalf("CT → AC must carry an exception-set row, got %v", first.LHS[0])
+	}
+	exc := map[string]bool{}
+	for _, v := range first.LHS[0].Set {
+		exc[v.S] = true
+	}
+	if !exc["NYC"] || !exc["LI"] {
+		t.Errorf("exception set must contain NYC and LI: %v", first.LHS[0].Set)
+	}
+
+	disj := byName["d_CT_AC_any"]
+	if disj == nil {
+		t.Fatal("expected a CT ⇒ AC-disjunction constraint (φ2 shape)")
+	}
+	foundNYC := false
+	for _, tp := range disj.Tableau {
+		if v, ok := tp.LHS[0].IsConst(); ok && v.S == "NYC" {
+			foundNYC = true
+			if len(tp.RHS[0].Set) != 5 {
+				t.Errorf("NYC should bind to its 5 area codes, got %v", tp.RHS[0].Set)
+			}
+		}
+	}
+	if !foundNYC {
+		t.Error("missing the NYC disjunction row")
+	}
+
+	// The item → type FD must be found exception-free.
+	itemType := byName["d_ITEM_TYPE"]
+	if itemType == nil {
+		t.Fatal("expected ITEM → TYPE")
+	}
+	if itemType.Tableau[0].LHS[0].Op != core.Wildcard {
+		t.Errorf("ITEM → TYPE must be unconditional, got %v", itemType.Tableau[0].LHS[0])
+	}
+}
+
+// TestDiscoverRespectsBounds: support and set-size limits prune.
+func TestDiscoverRespectsBounds(t *testing.T) {
+	s := relation.MustSchema("b",
+		relation.Attribute{Name: "A", Kind: relation.KindText},
+		relation.Attribute{Name: "B", Kind: relation.KindText})
+	inst := relation.New(s)
+	// One well-supported binding (a→x ×12) and one rare pair (c→y ×2).
+	for i := 0; i < 12; i++ {
+		inst.MustInsert(relation.Tuple{relation.Text("a"), relation.Text("x")})
+	}
+	inst.MustInsert(relation.Tuple{relation.Text("c"), relation.Text("y")})
+	inst.MustInsert(relation.Tuple{relation.Text("c"), relation.Text("y")})
+
+	found, err := Discover(inst, Options{MinSupport: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range found {
+		if e.Name != "d_A_B" {
+			continue
+		}
+		for _, tp := range e.Tableau[1:] { // skip the FD row
+			if v, ok := tp.LHS[0].IsConst(); ok && v.S == "c" {
+				t.Error("under-supported binding must be pruned")
+			}
+		}
+	}
+
+	if _, err := Discover(relation.New(s), Options{}); err == nil {
+		t.Error("empty instance must error")
+	}
+}
+
+// TestDiscoverSkipsNoisyPairs: when the exception set would exceed the
+// bound, no FD row is emitted for the pair.
+func TestDiscoverSkipsNoisyPairs(t *testing.T) {
+	s := relation.MustSchema("n",
+		relation.Attribute{Name: "A", Kind: relation.KindText},
+		relation.Attribute{Name: "B", Kind: relation.KindText})
+	inst := relation.New(s)
+	// Every A value maps to two B values: the FD fails everywhere.
+	for i := 0; i < 10; i++ {
+		a := relation.Text(strings.Repeat("k", i+1))
+		inst.MustInsert(relation.Tuple{a, relation.Text("p")})
+		inst.MustInsert(relation.Tuple{a, relation.Text("q")})
+	}
+	found, err := Discover(inst, Options{MinSupport: 2, MaxExceptions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range found {
+		if e.Name == "d_A_B" && len(e.Y) > 0 {
+			t.Errorf("no FD-bearing constraint should survive 10 exceptions: %s", e)
+		}
+	}
+}
+
+// TestDiscoverNullsIgnored: NULLs contribute to no group.
+func TestDiscoverNullsIgnored(t *testing.T) {
+	s := relation.MustSchema("z",
+		relation.Attribute{Name: "A", Kind: relation.KindText},
+		relation.Attribute{Name: "B", Kind: relation.KindText})
+	inst := relation.New(s)
+	for i := 0; i < 12; i++ {
+		inst.MustInsert(relation.Tuple{relation.Text("a"), relation.Text("x")})
+	}
+	inst.MustInsert(relation.Tuple{relation.Null(), relation.Text("x")})
+	inst.MustInsert(relation.Tuple{relation.Text("a"), relation.Null()})
+	found, err := Discover(inst, Options{MinSupport: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := core.NaiveDetect(inst, found)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The NULL rows do not match any In-pattern, so nothing violates.
+	if v.Count() != 0 {
+		t.Errorf("NULL handling broke soundness: %d violations", v.Count())
+	}
+}

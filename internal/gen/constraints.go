@@ -1,0 +1,179 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ecfd/internal/core"
+	"ecfd/internal/relation"
+)
+
+// Schema returns the extended cust relation of §VI:
+// cust(AC, PN, NM, STR, CT, ZIP, ITEM, TYPE, PRICE).
+func Schema() *relation.Schema {
+	text := func(n string) relation.Attribute {
+		return relation.Attribute{Name: n, Kind: relation.KindText}
+	}
+	return relation.MustSchema("cust",
+		text("AC"), text("PN"), text("NM"), text("STR"), text("CT"),
+		text("ZIP"), text("ITEM"), text("TYPE"), text("PRICE"),
+	)
+}
+
+// Constraints returns the Σ of 10 eCFDs used throughout the
+// experiments, "expressing real-life semantics of the real-life data,
+// including the two eCFDs of Fig. 2".
+func Constraints() []*core.ECFD {
+	s := Schema()
+	in := core.InStrings
+	notIn := core.NotInStrings
+	any := core.Any()
+
+	var nycCodes, liCodes []string
+	nycCodes = append(nycCodes, cities[0].AreaCodes...)
+	liCodes = append(liCodes, cities[1].AreaCodes...)
+
+	// φ1 (Fig. 2): outside NYC/LI the city determines the area code,
+	// and three capital-district cities are pinned to 518.
+	phi1 := &core.ECFD{
+		Name: "phi1", Schema: s, X: []string{"CT"}, Y: []string{"AC"},
+		Tableau: []core.PatternTuple{
+			{LHS: []core.Pattern{notIn("NYC", "LI")}, RHS: []core.Pattern{any}},
+			{LHS: []core.Pattern{in("Albany", "Troy", "Colonie")}, RHS: []core.Pattern{in("518")}},
+		},
+	}
+	// φ2 (Fig. 2): NYC's area codes.
+	phi2 := &core.ECFD{
+		Name: "phi2", Schema: s, X: []string{"CT"}, YP: []string{"AC"},
+		Tableau: []core.PatternTuple{
+			{LHS: []core.Pattern{in("NYC")}, RHS: []core.Pattern{in(nycCodes...)}},
+		},
+	}
+	// φ3: Long Island's area codes.
+	phi3 := &core.ECFD{
+		Name: "phi3", Schema: s, X: []string{"CT"}, YP: []string{"AC"},
+		Tableau: []core.PatternTuple{
+			{LHS: []core.Pattern{in("LI")}, RHS: []core.Pattern{in(liCodes...)}},
+		},
+	}
+	// φ4: the ZIP code determines the city (plain FD as eCFD).
+	phi4 := &core.ECFD{
+		Name: "phi4", Schema: s, X: []string{"ZIP"}, Y: []string{"CT"},
+		Tableau: []core.PatternTuple{
+			{LHS: []core.Pattern{any}, RHS: []core.Pattern{any}},
+		},
+	}
+	// φ5: capital-district ZIP pools — each city's ZIP codes come from
+	// its own prefix (enumerated as full codes, the sets of §II).
+	phi5 := &core.ECFD{
+		Name: "phi5", Schema: s, X: []string{"CT"}, YP: []string{"ZIP"},
+		Tableau: []core.PatternTuple{
+			{LHS: []core.Pattern{in("Albany")}, RHS: []core.Pattern{in(zipPool("122")...)}},
+			{LHS: []core.Pattern{in("Colonie")}, RHS: []core.Pattern{in(zipPool("118")...)}},
+			{LHS: []core.Pattern{in("Troy")}, RHS: []core.Pattern{in(zipPool("121")...)}},
+		},
+	}
+	// φ6: the item determines its type.
+	phi6 := &core.ECFD{
+		Name: "phi6", Schema: s, X: []string{"ITEM"}, Y: []string{"TYPE"},
+		Tableau: []core.PatternTuple{
+			{LHS: []core.Pattern{any}, RHS: []core.Pattern{any}},
+		},
+	}
+	// φ7: CD price bands.
+	phi7 := &core.ECFD{
+		Name: "phi7", Schema: s, X: []string{"TYPE"}, YP: []string{"PRICE"},
+		Tableau: []core.PatternTuple{
+			{LHS: []core.Pattern{in("cd")}, RHS: []core.Pattern{in(cdPrices...)}},
+		},
+	}
+	// φ8: DVD price bands.
+	phi8 := &core.ECFD{
+		Name: "phi8", Schema: s, X: []string{"TYPE"}, YP: []string{"PRICE"},
+		Tableau: []core.PatternTuple{
+			{LHS: []core.Pattern{in("dvd")}, RHS: []core.Pattern{in(dvdPrices...)}},
+		},
+	}
+	// φ9: everything that is not a CD or DVD sells at book prices
+	// (inequality on the LHS — the S̄ patterns of §II).
+	phi9 := &core.ECFD{
+		Name: "phi9", Schema: s, X: []string{"TYPE"}, YP: []string{"PRICE"},
+		Tableau: []core.PatternTuple{
+			{LHS: []core.Pattern{notIn("cd", "dvd")}, RHS: []core.Pattern{in(bookPrices...)}},
+		},
+	}
+	// φ10: the phone number (AC, PN) determines the customer's city and
+	// street — the near-key FD of the original CFD paper's cust schema.
+	phi10 := &core.ECFD{
+		Name: "phi10", Schema: s, X: []string{"AC", "PN"}, Y: []string{"CT", "STR"},
+		Tableau: []core.PatternTuple{
+			{LHS: []core.Pattern{any, any}, RHS: []core.Pattern{any, any}},
+		},
+	}
+	return []*core.ECFD{phi1, phi2, phi3, phi4, phi5, phi6, phi7, phi8, phi9, phi10}
+}
+
+// zipPool enumerates every ZIP code possible for a prefix —
+// <prefix>00 … <prefix>99 — covering both the clean and the reserved
+// corrupt suffix ranges (a corrupted ZIP is wrong because it belongs to
+// another city, not because the suffix is out of range).
+func zipPool(prefix string) []string {
+	out := make([]string, 0, zipSuffixes)
+	for i := 0; i < zipSuffixes; i++ {
+		out = append(out, fmt.Sprintf("%s%02d", prefix, i))
+	}
+	return out
+}
+
+// ConstraintsScaled returns Constraints() with one eCFD's pattern
+// tableau grown to tableauSize rows (Experiment 1, Fig. 5(c)/6(c):
+// "We selected an eCFD from Σ and varied its |Tp|"). The added rows mix
+// wildcards, positive domain constraints (S) and negative domain
+// constraints (S̄) uniformly, as in the paper, and are consistent with
+// the reference data so they constrain without mass-flagging clean
+// tuples.
+func ConstraintsScaled(tableauSize int, seed int64) []*core.ECFD {
+	sigma := Constraints()
+	if tableauSize <= len(sigma[0].Tableau) {
+		return sigma
+	}
+	rng := rand.New(rand.NewSource(seed))
+	phi := sigma[0] // grow φ1: CT → AC
+	ups := upstate()
+	all := allAreaCodes()
+	for len(phi.Tableau) < tableauSize {
+		var lhs, rhs core.Pattern
+		switch rng.Intn(3) {
+		case 0: // wildcard RHS: pure FD enforcement on a city subset
+			k := 1 + rng.Intn(3)
+			var cts []string
+			for _, i := range rng.Perm(len(ups))[:k] {
+				cts = append(cts, ups[i].Name)
+			}
+			lhs = core.InStrings(cts...)
+			rhs = core.Any()
+		case 1: // S: a few cities bound to their codes
+			k := 1 + rng.Intn(3)
+			var cts, acs []string
+			for _, i := range rng.Perm(len(ups))[:k] {
+				cts = append(cts, ups[i].Name)
+				acs = append(acs, ups[i].AreaCodes...)
+			}
+			lhs = core.InStrings(cts...)
+			rhs = core.InStrings(acs...)
+		default: // S̄: outside NYC/LI (plus a few), only valid codes
+			cts := []string{"NYC", "LI"}
+			k := 1 + rng.Intn(3)
+			for _, i := range rng.Perm(len(ups))[:k] {
+				cts = append(cts, ups[i].Name)
+			}
+			lhs = core.NotInStrings(cts...)
+			rhs = core.InStrings(all...)
+		}
+		phi.Tableau = append(phi.Tableau, core.PatternTuple{
+			LHS: []core.Pattern{lhs},
+			RHS: []core.Pattern{rhs},
+		})
+	}
+	return sigma
+}

@@ -1,0 +1,142 @@
+// Package gen generates the synthetic datasets of the paper's
+// experimental study (§VI): an extension of the cust relation with
+// purchased-item information, populated from an embedded reference
+// dataset of US cities/area codes/ZIP prefixes and store items (the
+// paper scraped these from online sources; the generator itself was
+// synthetic there too). Noise injection corrupts the right-hand side
+// of randomly chosen eCFDs, exactly as described: "changing tuples in
+// D in attributes in the right-hand side of some eCFDs from a correct
+// to an incorrect value".
+//
+// The corruption model keeps the groups of embedded-FD violations
+// small (a handful of tuples), so multiple-tuple violation counts stay
+// proportional to the noise instead of cascading through whole cities —
+// matching the DSV/DMV magnitudes of Fig. 7(b).
+package gen
+
+// city pairs a city/town with its area code(s), ZIP prefix and a
+// sampling weight. Cities in upstate New York have a unique area code;
+// NYC and LI are the multi-code exceptions motivating eCFDs
+// (Example 1.1) and get higher weights, as in real population data.
+type city struct {
+	Name      string
+	AreaCodes []string
+	ZipPrefix string
+	Weight    int
+}
+
+var cities = []city{
+	{"NYC", []string{"212", "718", "646", "347", "917"}, "100", 8},
+	{"LI", []string{"516", "631"}, "117", 4},
+	{"Albany", []string{"518"}, "122", 2},
+	{"Troy", []string{"518"}, "121", 1},
+	{"Colonie", []string{"518"}, "118", 1},
+	{"Buffalo", []string{"716"}, "142", 2},
+	{"Rochester", []string{"585"}, "146", 2},
+	{"Syracuse", []string{"315"}, "132", 2},
+	{"Utica", []string{"315"}, "135", 1},
+	{"Yonkers", []string{"914"}, "107", 1},
+	{"Binghamton", []string{"607"}, "139", 1},
+	{"Ithaca", []string{"607"}, "148", 1},
+	{"Schenectady", []string{"518"}, "123", 1},
+	{"Niagara", []string{"716"}, "143", 1},
+	{"Elmira", []string{"607"}, "149", 1},
+	{"Poughkeepsie", []string{"845"}, "126", 1},
+	{"Newburgh", []string{"845"}, "125", 1},
+	{"Saratoga", []string{"518"}, "128", 1},
+	{"Kingston", []string{"845"}, "124", 1},
+	{"Watertown", []string{"315"}, "136", 1},
+	{"Auburn", []string{"315"}, "130", 1},
+	{"Oswego", []string{"315"}, "131", 1},
+	{"Plattsburgh", []string{"518"}, "129", 1},
+	{"Corning", []string{"607"}, "145", 1},
+	{"Geneva", []string{"315"}, "144", 1},
+	{"Oneonta", []string{"607"}, "138", 1},
+	{"Rome", []string{"315"}, "134", 1},
+	{"Amsterdam", []string{"518"}, "120", 1},
+	{"Batavia", []string{"585"}, "140", 1},
+	{"Olean", []string{"716"}, "147", 1},
+}
+
+var totalCityWeight = func() int {
+	sum := 0
+	for _, c := range cities {
+		sum += c.Weight
+	}
+	return sum
+}()
+
+// upstate returns the cities with a unique area code (everything but
+// NYC and LI).
+func upstate() []city { return cities[2:] }
+
+var firstNames = []string{
+	"Mike", "Joe", "Jim", "Rick", "Ben", "Ian", "Ann", "Sue", "Tom", "Kim",
+	"Amy", "Dan", "Eve", "Gus", "Hal", "Ida", "Jay", "Ken", "Lee", "Meg",
+	"Ned", "Ora", "Pam", "Quin", "Ray", "Sal", "Ted", "Uma", "Val", "Wes",
+}
+
+var streets = []string{
+	"Tree Ave.", "Elm Str.", "Oak Ave.", "8th Ave.", "5th Ave.", "High St.",
+	"Main St.", "Maple Dr.", "Pine Rd.", "Cedar Ln.", "Lake View", "Hill Top",
+	"River Rd.", "Park Pl.", "Broad Way", "Court St.", "Mill Ln.", "Bay Rd.",
+}
+
+// item is a store product; the paper's datasets add books, CDs and
+// DVDs bought by customers.
+type item struct {
+	Title string
+	Type  string
+}
+
+var items = []item{
+	{"War and Peace", "book"}, {"Dubliners", "book"}, {"Moby Dick", "book"},
+	{"Middlemarch", "book"}, {"Walden", "book"}, {"Iliad", "book"},
+	{"Kind of Blue", "cd"}, {"Abbey Road", "cd"}, {"Blue Train", "cd"},
+	{"Horses", "cd"}, {"Harvest", "cd"}, {"Aja", "cd"},
+	{"Metropolis", "dvd"}, {"Sunrise", "dvd"}, {"City Lights", "dvd"},
+	{"Modern Times", "dvd"}, {"The Kid", "dvd"}, {"Nosferatu", "dvd"},
+}
+
+// Price bands by item type. φ7/φ8 bind CD and DVD prices to their
+// bands; φ9 binds everything else (books) to the book bands.
+var (
+	bookPrices = []string{"9.99", "19.99", "29.99", "49.99"}
+	cdPrices   = []string{"9.99", "12.99", "14.99"}
+	dvdPrices  = []string{"19.99", "24.99"}
+)
+
+func pricesFor(typ string) []string {
+	switch typ {
+	case "cd":
+		return cdPrices
+	case "dvd":
+		return dvdPrices
+	default:
+		return bookPrices
+	}
+}
+
+// ZIP suffixes: clean tuples draw 00–89; the corruptor draws 90–99, so
+// corrupted ZIP codes form small, mostly-corrupt groups and the
+// embedded FD ZIP → CT flags a bounded number of tuples per error.
+const (
+	zipCleanSuffixes   = 90
+	zipCorruptSuffixes = 10
+	zipSuffixes        = zipCleanSuffixes + zipCorruptSuffixes
+)
+
+// allAreaCodes returns the set of every valid area code.
+func allAreaCodes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range cities {
+		for _, ac := range c.AreaCodes {
+			if !seen[ac] {
+				seen[ac] = true
+				out = append(out, ac)
+			}
+		}
+	}
+	return out
+}

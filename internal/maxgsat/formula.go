@@ -1,0 +1,140 @@
+// Package maxgsat implements Maximum Generalized Satisfiability
+// (MAXGSAT, Papadimitriou): given Boolean expressions Φ = {φ1 … φm}
+// over n variables, find an assignment satisfying as many expressions
+// as possible. The paper (§IV) reduces the maximum-satisfiable-subset
+// problem for eCFDs (MAXSS) to MAXGSAT with an approximation-factor-
+// preserving reduction, so the solvers here power sat.MaxSS.
+package maxgsat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Formula is a Boolean expression over variables 0..n-1.
+type Formula interface {
+	// Eval evaluates under a total assignment.
+	Eval(assign []bool) bool
+	// vars adds the formula's variable indexes to the set.
+	vars(set map[int]bool)
+	String() string
+}
+
+// Var is a variable reference.
+type Var int
+
+// Not negates a formula.
+type Not struct{ X Formula }
+
+// And is an n-ary conjunction (true when empty).
+type And []Formula
+
+// Or is an n-ary disjunction (false when empty).
+type Or []Formula
+
+// Const is a Boolean constant.
+type Const bool
+
+// Eval implementations.
+
+// Eval returns the value of the variable.
+func (v Var) Eval(a []bool) bool { return a[int(v)] }
+
+// Eval negates the operand.
+func (n Not) Eval(a []bool) bool { return !n.X.Eval(a) }
+
+// Eval is true when every conjunct is.
+func (f And) Eval(a []bool) bool {
+	for _, x := range f {
+		if !x.Eval(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval is true when some disjunct is.
+func (f Or) Eval(a []bool) bool {
+	for _, x := range f {
+		if x.Eval(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Eval returns the constant.
+func (c Const) Eval([]bool) bool { return bool(c) }
+
+func (v Var) vars(s map[int]bool) { s[int(v)] = true }
+func (n Not) vars(s map[int]bool) { n.X.vars(s) }
+func (f And) vars(s map[int]bool) {
+	for _, x := range f {
+		x.vars(s)
+	}
+}
+func (f Or) vars(s map[int]bool) {
+	for _, x := range f {
+		x.vars(s)
+	}
+}
+func (c Const) vars(map[int]bool) {}
+
+func (v Var) String() string { return fmt.Sprintf("x%d", int(v)) }
+func (n Not) String() string { return "¬" + n.X.String() }
+func (f And) String() string { return nary("∧", []Formula(f), "⊤") }
+func (f Or) String() string  { return nary("∨", []Formula(f), "⊥") }
+func (c Const) String() string {
+	if c {
+		return "⊤"
+	}
+	return "⊥"
+}
+
+func nary(op string, fs []Formula, empty string) string {
+	if len(fs) == 0 {
+		return empty
+	}
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return "(" + strings.Join(parts, " "+op+" ") + ")"
+}
+
+// Instance is a MAXGSAT instance.
+type Instance struct {
+	NumVars  int
+	Formulas []Formula
+}
+
+// Satisfied counts the formulas an assignment satisfies.
+func (in *Instance) Satisfied(assign []bool) int {
+	n := 0
+	for _, f := range in.Formulas {
+		if f.Eval(assign) {
+			n++
+		}
+	}
+	return n
+}
+
+// SatisfiedSet returns the indexes of satisfied formulas.
+func (in *Instance) SatisfiedSet(assign []bool) []int {
+	var out []int
+	for i, f := range in.Formulas {
+		if f.Eval(assign) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Vars returns the set of variables actually used.
+func (in *Instance) Vars() map[int]bool {
+	s := make(map[int]bool)
+	for _, f := range in.Formulas {
+		f.vars(s)
+	}
+	return s
+}

@@ -1,0 +1,164 @@
+package maxgsat
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Solution is the outcome of a MAXGSAT solver.
+type Solution struct {
+	Assign    []bool
+	Satisfied int
+	Exact     bool // true when the solver proved optimality
+}
+
+// ExactMaxVars bounds the exhaustive solver: 2^22 assignments ≈ 4M
+// evaluations, well under a second for small formula sets.
+const ExactMaxVars = 22
+
+// SolveExact enumerates all assignments; only feasible for instances
+// with at most ExactMaxVars variables.
+func SolveExact(in *Instance) (Solution, error) {
+	if in.NumVars > ExactMaxVars {
+		return Solution{}, fmt.Errorf("maxgsat: %d variables exceed the exact-solver bound %d", in.NumVars, ExactMaxVars)
+	}
+	best := Solution{Assign: make([]bool, in.NumVars), Satisfied: -1, Exact: true}
+	assign := make([]bool, in.NumVars)
+	for mask := 0; mask < 1<<in.NumVars; mask++ {
+		for i := 0; i < in.NumVars; i++ {
+			assign[i] = mask&(1<<i) != 0
+		}
+		if got := in.Satisfied(assign); got > best.Satisfied {
+			best.Satisfied = got
+			copy(best.Assign, assign)
+			if best.Satisfied == len(in.Formulas) {
+				break
+			}
+		}
+	}
+	return best, nil
+}
+
+// SolveLocalSearch runs randomized restarts followed by greedy
+// bit-flip local search (GSAT-style): from a random assignment, flip
+// the single variable improving the satisfied count most, until a
+// local optimum. Sampling alone satisfies each formula with its
+// satisfaction probability under uniform assignment, giving the
+// classic randomized approximation for MAXGSAT; local search only
+// improves on that.
+func SolveLocalSearch(in *Instance, restarts int, rng *rand.Rand) Solution {
+	if restarts < 1 {
+		restarts = 1
+	}
+	best := Solution{Assign: make([]bool, in.NumVars), Satisfied: -1}
+	cur := make([]bool, in.NumVars)
+	for r := 0; r < restarts; r++ {
+		for i := range cur {
+			cur[i] = rng.Intn(2) == 0
+		}
+		score := in.Satisfied(cur)
+		for {
+			bestFlip, bestGain := -1, 0
+			for i := 0; i < in.NumVars; i++ {
+				cur[i] = !cur[i]
+				if got := in.Satisfied(cur); got-score > bestGain {
+					bestGain = got - score
+					bestFlip = i
+				}
+				cur[i] = !cur[i]
+			}
+			if bestFlip < 0 {
+				break
+			}
+			cur[bestFlip] = !cur[bestFlip]
+			score += bestGain
+		}
+		if score > best.Satisfied {
+			best.Satisfied = score
+			copy(best.Assign, cur)
+			if score == len(in.Formulas) {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// Solve picks the exact solver when feasible and local search
+// otherwise. The seed makes the heuristic path deterministic.
+func Solve(in *Instance, seed int64) Solution {
+	if in.NumVars <= ExactMaxVars {
+		sol, err := SolveExact(in)
+		if err == nil {
+			return sol
+		}
+	}
+	restarts := 8 + in.NumVars/4
+	return SolveLocalSearch(in, restarts, rand.New(rand.NewSource(seed)))
+}
+
+// SolveOneHot is a structured solver for instances whose variables are
+// partitioned into groups with an exactly-one-true constraint conjoined
+// onto every formula (the shape the eCFD reduction produces: one group
+// per attribute, one variable per active-domain value). It searches in
+// the product space of group choices by coordinate ascent with random
+// restarts, which never leaves the feasible (one-hot) region — far more
+// effective than bit flips that must cross infeasible assignments.
+//
+// groups[i] lists the variable indexes of group i.
+func SolveOneHot(in *Instance, groups [][]int, restarts int, rng *rand.Rand) Solution {
+	if restarts < 1 {
+		restarts = 1
+	}
+	assign := make([]bool, in.NumVars)
+	choice := make([]int, len(groups))
+	apply := func() {
+		for i := range assign {
+			assign[i] = false
+		}
+		for g, c := range choice {
+			assign[groups[g][c]] = true
+		}
+	}
+
+	best := Solution{Assign: make([]bool, in.NumVars), Satisfied: -1}
+	for r := 0; r < restarts; r++ {
+		for g := range groups {
+			choice[g] = rng.Intn(len(groups[g]))
+		}
+		apply()
+		score := in.Satisfied(assign)
+		improved := true
+		for improved {
+			improved = false
+			for g := range groups {
+				orig := choice[g]
+				bestC, bestScore := orig, score
+				for c := range groups[g] {
+					if c == orig {
+						continue
+					}
+					choice[g] = c
+					apply()
+					if got := in.Satisfied(assign); got > bestScore {
+						bestC, bestScore = c, got
+					}
+				}
+				choice[g] = bestC
+				apply()
+				if bestScore > score {
+					score = bestScore
+					improved = true
+				}
+			}
+		}
+		if score > best.Satisfied {
+			best.Satisfied = score
+			copy(best.Assign, assign)
+			if score == len(in.Formulas) {
+				break
+			}
+		}
+	}
+	return best
+}

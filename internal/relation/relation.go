@@ -1,0 +1,190 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Tuple is one row of a relation: values in schema attribute order.
+type Tuple []Value
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports field-wise equality (NULLs compare equal here — this is
+// tuple identity, not SQL expression equality).
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i].K == KindNull && u[i].K == KindNull {
+			continue
+		}
+		if !Equal(t[i], u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns an injective grouping key for the whole tuple.
+func (t Tuple) Key() string { return KeyOf(t) }
+
+// Relation is an in-memory multiset of tuples over a schema.
+type Relation struct {
+	Schema *Schema
+	Rows   []Tuple
+}
+
+// New returns an empty relation over the schema.
+func New(s *Schema) *Relation { return &Relation{Schema: s} }
+
+// Insert appends a tuple, validating its width.
+func (r *Relation) Insert(t Tuple) error {
+	if len(t) != r.Schema.Width() {
+		return fmt.Errorf("relation: %s: tuple width %d, want %d", r.Schema.Name, len(t), r.Schema.Width())
+	}
+	r.Rows = append(r.Rows, t)
+	return nil
+}
+
+// MustInsert is Insert for statically known-good tuples.
+func (r *Relation) MustInsert(t Tuple) {
+	if err := r.Insert(t); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// Clone deep-copies the relation.
+func (r *Relation) Clone() *Relation {
+	out := &Relation{Schema: r.Schema, Rows: make([]Tuple, len(r.Rows))}
+	for i, t := range r.Rows {
+		out.Rows[i] = t.Clone()
+	}
+	return out
+}
+
+// Get returns the value of the named attribute in row i.
+func (r *Relation) Get(i int, attr string) (Value, error) {
+	j := r.Schema.Index(attr)
+	if j < 0 {
+		return Null(), fmt.Errorf("relation: %s has no attribute %q", r.Schema.Name, attr)
+	}
+	return r.Rows[i][j], nil
+}
+
+// Project returns a new relation with only the named attributes.
+func (r *Relation) Project(name string, attrs ...string) (*Relation, error) {
+	idx := make([]int, len(attrs))
+	as := make([]Attribute, len(attrs))
+	for i, a := range attrs {
+		j := r.Schema.Index(a)
+		if j < 0 {
+			return nil, fmt.Errorf("relation: %s has no attribute %q", r.Schema.Name, a)
+		}
+		idx[i] = j
+		as[i] = r.Schema.Attrs[j]
+	}
+	sch, err := NewSchema(name, as...)
+	if err != nil {
+		return nil, err
+	}
+	out := New(sch)
+	for _, row := range r.Rows {
+		t := make(Tuple, len(idx))
+		for i, j := range idx {
+			t[i] = row[j]
+		}
+		out.Rows = append(out.Rows, t)
+	}
+	return out, nil
+}
+
+// SortedKeys returns the multiset of row keys in sorted order; two
+// relations are multiset-equal iff their SortedKeys are equal. Used by
+// tests comparing detector outputs.
+func (r *Relation) SortedKeys() []string {
+	keys := make([]string, len(r.Rows))
+	for i, t := range r.Rows {
+		keys[i] = t.Key()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteCSV writes the relation with a header row.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Schema.Names()); err != nil {
+		return err
+	}
+	rec := make([]string, r.Schema.Width())
+	for _, row := range r.Rows {
+		for i, v := range row {
+			rec[i] = v.String()
+			if v.K == KindNull {
+				rec[i] = ""
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads rows with a header into a relation over schema s. The
+// header must contain every schema attribute; extra columns are
+// ignored, and column order in the file may differ from schema order.
+func ReadCSV(rd io.Reader, s *Schema) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: read CSV header: %w", err)
+	}
+	col := make([]int, s.Width())
+	for i := range col {
+		col[i] = -1
+	}
+	for j, h := range header {
+		if i := s.Index(h); i >= 0 {
+			col[i] = j
+		}
+	}
+	for i, c := range col {
+		if c < 0 {
+			return nil, fmt.Errorf("relation: CSV missing column %q of %s", s.Attrs[i].Name, s.Name)
+		}
+	}
+	out := New(s)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: read CSV line %d: %w", line, err)
+		}
+		t := make(Tuple, s.Width())
+		for i, c := range col {
+			v, err := ParseLiteral(rec[c], s.Attrs[i].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("relation: CSV line %d column %s: %w", line, s.Attrs[i].Name, err)
+			}
+			t[i] = v
+		}
+		out.Rows = append(out.Rows, t)
+	}
+	return out, nil
+}

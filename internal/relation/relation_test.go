@@ -1,0 +1,198 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("person",
+		Attribute{Name: "name", Kind: KindText},
+		Attribute{Name: "age", Kind: KindInt},
+		Attribute{Name: "score", Kind: KindFloat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(""); err == nil {
+		t.Error("empty schema name must fail")
+	}
+	if _, err := NewSchema("t", Attribute{Name: "a"}, Attribute{Name: "a"}); err == nil {
+		t.Error("duplicate attribute must fail")
+	}
+	if _, err := NewSchema("t", Attribute{Name: ""}); err == nil {
+		t.Error("empty attribute name must fail")
+	}
+	if _, err := NewSchema("t", Attribute{Name: "a", Domain: []Value{Int(1)}}); err == nil {
+		t.Error("singleton finite domain must fail (paper requires ≥ 2)")
+	}
+	if _, err := NewSchema("t", Attribute{Name: "a", Domain: []Value{Int(1), Int(2)}}); err != nil {
+		t.Errorf("two-element domain should be fine: %v", err)
+	}
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := testSchema(t)
+	if s.Index("age") != 1 || s.Index("missing") != -1 {
+		t.Error("Index lookup broken")
+	}
+	if !s.Has("name") || s.Has("nope") {
+		t.Error("Has broken")
+	}
+	a, ok := s.Attr("score")
+	if !ok || a.Kind != KindFloat {
+		t.Error("Attr broken")
+	}
+	if got := strings.Join(s.Names(), ","); got != "name,age,score" {
+		t.Errorf("Names = %s", got)
+	}
+	if s.Width() != 3 {
+		t.Error("Width broken")
+	}
+	if s.String() != "person(name, age, score)" {
+		t.Errorf("String = %s", s.String())
+	}
+}
+
+func TestSchemaExtend(t *testing.T) {
+	s := testSchema(t)
+	ext, err := s.Extend("person_v", Attribute{Name: "SV", Kind: KindInt}, Attribute{Name: "MV", Kind: KindInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Width() != 5 || ext.Index("SV") != 3 || ext.Index("MV") != 4 {
+		t.Error("Extend broken")
+	}
+	if s.Width() != 3 {
+		t.Error("Extend must not mutate the receiver")
+	}
+	if _, err := s.Extend("bad", Attribute{Name: "name"}); err == nil {
+		t.Error("Extend with duplicate must fail")
+	}
+}
+
+func TestRelationInsertAndClone(t *testing.T) {
+	s := testSchema(t)
+	r := New(s)
+	if err := r.Insert(Tuple{Text("ann"), Int(30), Float(1.5)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Insert(Tuple{Text("bob")}); err == nil {
+		t.Error("width mismatch must fail")
+	}
+	c := r.Clone()
+	c.Rows[0][0] = Text("zed")
+	if r.Rows[0][0].S != "ann" {
+		t.Error("Clone must deep-copy")
+	}
+	v, err := r.Get(0, "age")
+	if err != nil || v.I != 30 {
+		t.Errorf("Get = %v, %v", v, err)
+	}
+	if _, err := r.Get(0, "zzz"); err == nil {
+		t.Error("Get unknown attribute must fail")
+	}
+}
+
+func TestTupleEqualAndKey(t *testing.T) {
+	a := Tuple{Text("x"), Int(1), Null()}
+	b := Tuple{Text("x"), Float(1.0), Null()}
+	if !a.Equal(b) {
+		t.Error("tuples with equal (widened) values and matching NULLs must be Equal")
+	}
+	if a.Key() != b.Key() {
+		t.Error("equal tuples must share keys")
+	}
+	c := Tuple{Text("x"), Int(2), Null()}
+	if a.Equal(c) || a.Key() == c.Key() {
+		t.Error("unequal tuples must differ")
+	}
+	if a.Equal(Tuple{Text("x")}) {
+		t.Error("width mismatch must not be Equal")
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := testSchema(t)
+	r := New(s)
+	r.MustInsert(Tuple{Text("ann"), Int(30), Float(1.5)})
+	r.MustInsert(Tuple{Text("bob"), Int(40), Float(2.5)})
+	p, err := r.Project("ages", "age", "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema.Width() != 2 || p.Rows[1][0].I != 40 || p.Rows[1][1].S != "bob" {
+		t.Errorf("Project wrong: %+v", p.Rows)
+	}
+	if _, err := r.Project("bad", "nope"); err == nil {
+		t.Error("Project unknown attribute must fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	r := New(s)
+	r.MustInsert(Tuple{Text("ann, the 1st"), Int(30), Float(1.5)})
+	r.MustInsert(Tuple{Text(`say "hi"`), Null(), Float(-0.25)})
+
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round trip lost rows: %d", back.Len())
+	}
+	for i := range r.Rows {
+		if !r.Rows[i].Equal(back.Rows[i]) {
+			t.Errorf("row %d: %v != %v", i, r.Rows[i], back.Rows[i])
+		}
+	}
+}
+
+func TestReadCSVColumnReorderAndErrors(t *testing.T) {
+	s := testSchema(t)
+	in := "age,score,name,extra\n30,1.5,ann,zzz\n"
+	r, err := ReadCSV(strings.NewReader(in), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].S != "ann" || r.Rows[0][1].I != 30 {
+		t.Errorf("column remap failed: %v", r.Rows[0])
+	}
+
+	if _, err := ReadCSV(strings.NewReader("name,age\nx,1\n"), s); err == nil {
+		t.Error("missing column must fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("name,age,score\nx,notanint,1\n"), s); err == nil {
+		t.Error("bad literal must fail")
+	}
+	if _, err := ReadCSV(strings.NewReader(""), s); err == nil {
+		t.Error("empty input must fail on header")
+	}
+}
+
+func TestSortedKeysMultisetEquality(t *testing.T) {
+	s := testSchema(t)
+	a := New(s)
+	a.MustInsert(Tuple{Text("x"), Int(1), Float(0)})
+	a.MustInsert(Tuple{Text("y"), Int(2), Float(0)})
+	b := New(s)
+	b.MustInsert(Tuple{Text("y"), Int(2), Float(0)})
+	b.MustInsert(Tuple{Text("x"), Int(1), Float(0)})
+	ka, kb := a.SortedKeys(), b.SortedKeys()
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatal("order-insensitive key sets must match")
+		}
+	}
+}

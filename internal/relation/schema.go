@@ -1,0 +1,114 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute describes one column of a relation schema: its name, type,
+// and (optionally) a finite domain. A nil Domain means the attribute
+// draws values from an infinite domain — the distinction matters for
+// the satisfiability analysis (paper §III, Proposition 3.3).
+type Attribute struct {
+	Name   string
+	Kind   Kind
+	Domain []Value // nil ⇒ infinite domain; otherwise the full finite domain
+}
+
+// Finite reports whether the attribute has a declared finite domain.
+func (a Attribute) Finite() bool { return a.Domain != nil }
+
+// Schema is an ordered list of attributes with a relation name.
+type Schema struct {
+	Name  string
+	Attrs []Attribute
+
+	byName map[string]int
+}
+
+// NewSchema builds a schema, validating that attribute names are
+// distinct and that every finite domain has at least two elements (the
+// paper assumes |dom(A)| ≥ 2).
+func NewSchema(name string, attrs ...Attribute) (*Schema, error) {
+	if name == "" {
+		return nil, fmt.Errorf("relation: schema needs a name")
+	}
+	s := &Schema{Name: name, Attrs: attrs, byName: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("relation: schema %s: attribute %d has no name", name, i)
+		}
+		if _, dup := s.byName[a.Name]; dup {
+			return nil, fmt.Errorf("relation: schema %s: duplicate attribute %q", name, a.Name)
+		}
+		if a.Domain != nil && len(a.Domain) < 2 {
+			return nil, fmt.Errorf("relation: schema %s: finite domain of %q needs at least 2 values", name, a.Name)
+		}
+		s.byName[a.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema for statically known-good schemas.
+func MustSchema(name string, attrs ...Attribute) *Schema {
+	s, err := NewSchema(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Index returns the position of the named attribute, or -1.
+func (s *Schema) Index(attr string) int {
+	if i, ok := s.byName[attr]; ok {
+		return i
+	}
+	return -1
+}
+
+// Has reports whether the schema contains the named attribute.
+func (s *Schema) Has(attr string) bool { return s.Index(attr) >= 0 }
+
+// Attr returns the attribute descriptor by name.
+func (s *Schema) Attr(name string) (Attribute, bool) {
+	i := s.Index(name)
+	if i < 0 {
+		return Attribute{}, false
+	}
+	return s.Attrs[i], true
+}
+
+// Names returns the attribute names in schema order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Width returns the number of attributes.
+func (s *Schema) Width() int { return len(s.Attrs) }
+
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('(')
+	for i, a := range s.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Name)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Extend returns a copy of the schema with extra attributes appended,
+// as BatchDetect does when adding the SV and MV flags (paper §V).
+func (s *Schema) Extend(name string, attrs ...Attribute) (*Schema, error) {
+	all := make([]Attribute, 0, len(s.Attrs)+len(attrs))
+	all = append(all, s.Attrs...)
+	all = append(all, attrs...)
+	return NewSchema(name, all...)
+}

@@ -1,0 +1,296 @@
+// Package relation provides the relational substrate shared by every
+// layer of the eCFD system: typed values, schemas, tuples and in-memory
+// relations with CSV import/export.
+//
+// Values are represented as a small tagged struct rather than an
+// interface so that scans over hundreds of thousands of rows do not box
+// every field (see DESIGN.md, "Engine values are unboxed").
+package relation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime types a Value can hold.
+type Kind uint8
+
+// The value kinds supported by the engine. Null sorts before every
+// other value; Bool sorts false < true.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindText
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOLEAN"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "REAL"
+	case KindText:
+		return "TEXT"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single field of a tuple: a tagged union over the engine's
+// scalar types. The zero Value is NULL.
+type Value struct {
+	K Kind
+	I int64   // KindInt and KindBool (0/1)
+	F float64 // KindFloat
+	S string  // KindText
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an INTEGER value.
+func Int(i int64) Value { return Value{K: KindInt, I: i} }
+
+// Float returns a REAL value.
+func Float(f float64) Value { return Value{K: KindFloat, F: f} }
+
+// Text returns a TEXT value.
+func Text(s string) Value { return Value{K: KindText, S: s} }
+
+// Bool returns a BOOLEAN value.
+func Bool(b bool) Value {
+	if b {
+		return Value{K: KindBool, I: 1}
+	}
+	return Value{K: KindBool}
+}
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Truth reports whether v is a true boolean. NULL and false are both
+// not true (SQL three-valued logic collapses to this at filter level).
+func (v Value) Truth() bool { return v.K == KindBool && v.I != 0 }
+
+// AsFloat widens numeric values to float64; text and null yield 0.
+func (v Value) AsFloat() float64 {
+	switch v.K {
+	case KindInt, KindBool:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	default:
+		return 0
+	}
+}
+
+// String renders the value the way the REPL and tests print it.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.I != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindText:
+		return v.S
+	default:
+		return fmt.Sprintf("Value(kind=%d)", uint8(v.K))
+	}
+}
+
+// SQL renders the value as a SQL literal.
+func (v Value) SQL() string {
+	if v.K == KindText {
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	}
+	return v.String()
+}
+
+// numeric reports whether the value participates in arithmetic.
+func (v Value) numeric() bool {
+	return v.K == KindInt || v.K == KindFloat || v.K == KindBool
+}
+
+// Equal reports value equality with numeric widening: 1 = 1.0.
+// Comparisons involving NULL are never equal (callers wanting SQL
+// semantics should special-case NULL before calling).
+func Equal(a, b Value) bool {
+	if a.K == KindNull || b.K == KindNull {
+		return false
+	}
+	if a.numeric() && b.numeric() {
+		if a.K == KindFloat || b.K == KindFloat {
+			return a.AsFloat() == b.AsFloat()
+		}
+		return a.I == b.I
+	}
+	if a.K != b.K {
+		return false
+	}
+	if a.K == KindText {
+		return a.S == b.S
+	}
+	return a.I == b.I
+}
+
+// Compare orders two values: -1, 0 or +1. NULL sorts first, then
+// booleans, numbers, and text; mixed numeric kinds compare numerically.
+// Used by ORDER BY, GROUP BY key sorting and index probes.
+func Compare(a, b Value) int {
+	ra, rb := rank(a), rank(b)
+	if ra != rb {
+		return sign(ra - rb)
+	}
+	switch {
+	case a.K == KindNull:
+		return 0
+	case a.numeric() && b.numeric():
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	default: // text
+		return strings.Compare(a.S, b.S)
+	}
+}
+
+// rank groups kinds into comparison classes: NULL < numeric < text.
+func rank(v Value) int {
+	switch v.K {
+	case KindNull:
+		return 0
+	case KindBool, KindInt, KindFloat:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func sign(i int) int {
+	switch {
+	case i < 0:
+		return -1
+	case i > 0:
+		return 1
+	}
+	return 0
+}
+
+// Key returns a map-key representation of v so tuples of values can be
+// grouped and hashed. The encoding is injective across kinds.
+func (v Value) Key() string {
+	switch v.K {
+	case KindNull:
+		return "\x00n"
+	case KindBool, KindInt:
+		return "\x00i" + strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		f := v.F
+		if f == float64(int64(f)) {
+			// Integral floats hash like ints so 1 and 1.0 group together,
+			// matching Equal's numeric widening.
+			return "\x00i" + strconv.FormatInt(int64(f), 10)
+		}
+		return "\x00f" + strconv.FormatFloat(f, 'b', -1, 64)
+	default:
+		return "\x00t" + v.S
+	}
+}
+
+// AppendKey appends v's Key encoding to dst without allocating a
+// string; hot paths (hash-probe joins, grouping) use it with a reused
+// buffer and look maps up via string(dst), which Go compiles without a
+// copy.
+func AppendKey(dst []byte, v Value) []byte {
+	switch v.K {
+	case KindNull:
+		return append(dst, 0x00, 'n')
+	case KindBool, KindInt:
+		dst = append(dst, 0x00, 'i')
+		return strconv.AppendInt(dst, v.I, 10)
+	case KindFloat:
+		f := v.F
+		if f == float64(int64(f)) {
+			dst = append(dst, 0x00, 'i')
+			return strconv.AppendInt(dst, int64(f), 10)
+		}
+		dst = append(dst, 0x00, 'f')
+		return strconv.AppendFloat(dst, f, 'b', -1, 64)
+	default:
+		dst = append(dst, 0x00, 't')
+		return append(dst, v.S...)
+	}
+}
+
+// AppendKeyOf appends the joint key of vs to dst.
+func AppendKeyOf(dst []byte, vs []Value) []byte {
+	for i := range vs {
+		dst = AppendKey(dst, vs[i])
+		dst = append(dst, 0x1f)
+	}
+	return dst
+}
+
+// KeyOf concatenates the Key encodings of vs into one grouping key.
+func KeyOf(vs []Value) string {
+	return string(AppendKeyOf(nil, vs))
+}
+
+// ParseLiteral converts raw text (for example from CSV) to a Value of
+// the given kind. Empty text becomes NULL for non-text kinds.
+func ParseLiteral(s string, k Kind) (Value, error) {
+	switch k {
+	case KindText:
+		return Text(s), nil
+	case KindInt:
+		if s == "" {
+			return Null(), nil
+		}
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("relation: parse %q as INTEGER: %w", s, err)
+		}
+		return Int(i), nil
+	case KindFloat:
+		if s == "" {
+			return Null(), nil
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("relation: parse %q as REAL: %w", s, err)
+		}
+		return Float(f), nil
+	case KindBool:
+		switch strings.ToLower(s) {
+		case "true", "t", "1":
+			return Bool(true), nil
+		case "false", "f", "0":
+			return Bool(false), nil
+		case "":
+			return Null(), nil
+		}
+		return Null(), fmt.Errorf("relation: parse %q as BOOLEAN", s)
+	case KindNull:
+		return Null(), nil
+	default:
+		return Null(), fmt.Errorf("relation: unknown kind %v", k)
+	}
+}

@@ -1,0 +1,187 @@
+package relation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(42), "42"},
+		{Int(-7), "-7"},
+		{Float(2.5), "2.5"},
+		{Text("abc"), "abc"},
+		{Bool(true), "TRUE"},
+		{Bool(false), "FALSE"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueSQLQuoting(t *testing.T) {
+	if got := Text("O'Brien").SQL(); got != "'O''Brien'" {
+		t.Errorf("SQL quoting = %q", got)
+	}
+	if got := Int(3).SQL(); got != "3" {
+		t.Errorf("int SQL = %q", got)
+	}
+	if got := Null().SQL(); got != "NULL" {
+		t.Errorf("null SQL = %q", got)
+	}
+}
+
+func TestEqualNumericWidening(t *testing.T) {
+	if !Equal(Int(1), Float(1.0)) {
+		t.Error("1 should equal 1.0")
+	}
+	if Equal(Int(1), Float(1.5)) {
+		t.Error("1 should not equal 1.5")
+	}
+	if Equal(Int(1), Text("1")) {
+		t.Error("1 should not equal '1'")
+	}
+	if Equal(Null(), Null()) {
+		t.Error("NULL = NULL must be false in expression equality")
+	}
+	if Equal(Null(), Int(0)) {
+		t.Error("NULL should not equal 0")
+	}
+	if !Equal(Bool(true), Int(1)) {
+		t.Error("TRUE widens to 1")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	ordered := []Value{Null(), Bool(false), Int(1), Float(1.5), Int(2), Text("a"), Text("b")}
+	for i := 0; i < len(ordered); i++ {
+		for j := 0; j < len(ordered); j++ {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			// Bool(false) and Int(0)? not in list; Null==Null fine.
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int(a), Int(b)) == -Compare(Int(b), Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		return Compare(Text(a), Text(b)) == -Compare(Text(b), Text(a))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyInjectiveAcrossKinds(t *testing.T) {
+	vs := []Value{Null(), Int(1), Text("1"), Float(1.5), Text("1.5"), Bool(true), Text(""), Int(0), Bool(false)}
+	seen := map[string]Value{}
+	for _, v := range vs {
+		k := v.Key()
+		if prev, dup := seen[k]; dup {
+			// Bool(true)/Int(1) and Bool(false)/Int(0) intentionally share
+			// keys because Equal treats them as equal.
+			if !Equal(prev, v) {
+				t.Errorf("key collision between unequal %v and %v", prev, v)
+			}
+			continue
+		}
+		seen[k] = v
+	}
+}
+
+func TestKeyGroupsEqualNumerics(t *testing.T) {
+	if Int(3).Key() != Float(3.0).Key() {
+		t.Error("3 and 3.0 must share a grouping key")
+	}
+	if Float(0.5).Key() == Float(0.25).Key() {
+		t.Error("distinct floats must not share keys")
+	}
+}
+
+func TestKeyOfProperty(t *testing.T) {
+	f := func(a, b string, i int64) bool {
+		k1 := KeyOf([]Value{Text(a), Int(i), Text(b)})
+		k2 := KeyOf([]Value{Text(a), Int(i), Text(b)})
+		return k1 == k2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseLiteral(t *testing.T) {
+	v, err := ParseLiteral("42", KindInt)
+	if err != nil || v.I != 42 || v.K != KindInt {
+		t.Errorf("ParseLiteral int: %v %v", v, err)
+	}
+	v, err = ParseLiteral("2.5", KindFloat)
+	if err != nil || v.F != 2.5 {
+		t.Errorf("ParseLiteral float: %v %v", v, err)
+	}
+	v, err = ParseLiteral("", KindInt)
+	if err != nil || !v.IsNull() {
+		t.Errorf("empty int should parse to NULL: %v %v", v, err)
+	}
+	v, err = ParseLiteral("true", KindBool)
+	if err != nil || !v.Truth() {
+		t.Errorf("ParseLiteral bool: %v %v", v, err)
+	}
+	if _, err = ParseLiteral("xyz", KindInt); err == nil {
+		t.Error("expected error for bad int")
+	}
+	if _, err = ParseLiteral("xyz", KindBool); err == nil {
+		t.Error("expected error for bad bool")
+	}
+	v, err = ParseLiteral("hello", KindText)
+	if err != nil || v.S != "hello" {
+		t.Errorf("ParseLiteral text: %v %v", v, err)
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if Int(3).AsFloat() != 3 || Float(2.5).AsFloat() != 2.5 || Bool(true).AsFloat() != 1 {
+		t.Error("AsFloat widening broken")
+	}
+	if Text("x").AsFloat() != 0 || Null().AsFloat() != 0 {
+		t.Error("non-numeric AsFloat should be 0")
+	}
+}
+
+func TestFloatKeyNaNSafe(t *testing.T) {
+	// NaN never equals itself but Key must still be deterministic.
+	k1 := Float(math.NaN()).Key()
+	k2 := Float(math.NaN()).Key()
+	if k1 != k2 {
+		t.Error("NaN keys must be deterministic")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{KindNull: "NULL", KindBool: "BOOLEAN", KindInt: "INTEGER", KindFloat: "REAL", KindText: "TEXT"}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

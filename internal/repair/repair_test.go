@@ -1,0 +1,162 @@
+package repair
+
+import (
+	"testing"
+
+	"ecfd/internal/core"
+	"ecfd/internal/gen"
+	"ecfd/internal/relation"
+)
+
+// TestRepairFig1 cleans the paper's example: t1 (Albany, 718) and t4
+// (NYC, 100) are repaired and D0 then satisfies Fig. 2's Σ.
+func TestRepairFig1(t *testing.T) {
+	inst := core.Fig1Instance()
+	sigma := core.Fig2Constraints()
+	res, err := Repair(inst, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Remaining != 0 {
+		t.Fatalf("repair left %d violations", res.Remaining)
+	}
+	ok, err := core.Satisfies(res.Repaired, sigma)
+	if err != nil || !ok {
+		t.Fatalf("repaired instance must satisfy Σ (%v)", err)
+	}
+	// The input is untouched.
+	if inst.Rows[0][0].S != "718" {
+		t.Error("Repair must not modify its input")
+	}
+	// t1's area code was rewritten to 518 (the only admissible value).
+	acIdx := inst.Schema.Index("AC")
+	if res.Repaired.Rows[0][acIdx].S != "518" {
+		t.Errorf("t1 AC repaired to %v, want 518", res.Repaired.Rows[0][acIdx])
+	}
+	// t4's area code becomes one of NYC's codes.
+	nyc := core.Fig2Constraints()[1].Tableau[0].RHS[0]
+	if !nyc.Matches(res.Repaired.Rows[3][acIdx]) {
+		t.Errorf("t4 AC repaired to %v, outside the NYC set", res.Repaired.Rows[3][acIdx])
+	}
+	if len(res.Changes) != 2 {
+		t.Errorf("expected 2 changes, got %d: %v", len(res.Changes), res.Changes)
+	}
+}
+
+// TestRepairCleansGeneratedNoise: the §VI workload with 5% corruption
+// is fully repaired, with a change count in the order of the number of
+// corruptions (not the dataset size).
+func TestRepairCleansGeneratedNoise(t *testing.T) {
+	const rows = 3000
+	inst := gen.Dataset(gen.Config{Rows: rows, Noise: 5, Seed: 12})
+	sigma := gen.Constraints()
+	res, err := Repair(inst, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Remaining != 0 {
+		t.Fatalf("repair left %d violations after %d rounds", res.Remaining, res.Rounds)
+	}
+	ok, err := core.Satisfies(res.Repaired, sigma)
+	if err != nil || !ok {
+		t.Fatal("repaired instance must satisfy Σ")
+	}
+	// ~150 corruptions; every corruption needs ≥1 change, FD majority
+	// rewrites may add a few more. Far below rows.
+	if len(res.Changes) < rows*3/100 || len(res.Changes) > rows*20/100 {
+		t.Errorf("change count %d out of the plausible band for 5%% noise on %d rows",
+			len(res.Changes), rows)
+	}
+}
+
+// TestRepairMajorityFD: the minority tuple adopts the majority's RHS.
+func TestRepairMajorityFD(t *testing.T) {
+	s := relation.MustSchema("m",
+		relation.Attribute{Name: "K", Kind: relation.KindText},
+		relation.Attribute{Name: "V", Kind: relation.KindText})
+	fd := (&core.FD{Schema: s, X: []string{"K"}, Y: []string{"V"}}).AsECFD()
+	fd.Name = "fd"
+	inst := relation.New(s)
+	for i := 0; i < 3; i++ {
+		inst.MustInsert(relation.Tuple{relation.Text("k"), relation.Text("good")})
+	}
+	inst.MustInsert(relation.Tuple{relation.Text("k"), relation.Text("bad")})
+	res, err := Repair(inst, []*core.ECFD{fd}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Remaining != 0 || len(res.Changes) != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	ch := res.Changes[0]
+	if ch.Row != 3 || ch.Old.S != "bad" || ch.New.S != "good" {
+		t.Errorf("change = %+v, want row 3 bad→good", ch)
+	}
+}
+
+// TestRepairNotInPattern: a ∉S violation moves to a frequent value
+// outside S, or a fresh one when the column offers nothing.
+func TestRepairNotInPattern(t *testing.T) {
+	s := relation.MustSchema("n",
+		relation.Attribute{Name: "A", Kind: relation.KindText},
+		relation.Attribute{Name: "B", Kind: relation.KindText})
+	e := &core.ECFD{Name: "noB", Schema: s, X: []string{"A"}, YP: []string{"B"},
+		Tableau: []core.PatternTuple{{LHS: []core.Pattern{core.Any()},
+			RHS: []core.Pattern{core.NotInStrings("banned")}}}}
+	inst := relation.New(s)
+	inst.MustInsert(relation.Tuple{relation.Text("x"), relation.Text("banned")})
+	inst.MustInsert(relation.Tuple{relation.Text("y"), relation.Text("fine")})
+	res, err := Repair(inst, []*core.ECFD{e}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Remaining != 0 {
+		t.Fatal("must repair")
+	}
+	if got := res.Repaired.Rows[0][1].S; got != "fine" {
+		t.Errorf("repaired to %q, want the frequent admissible value 'fine'", got)
+	}
+
+	// With no admissible column value, a fresh one is invented.
+	inst2 := relation.New(s)
+	inst2.MustInsert(relation.Tuple{relation.Text("x"), relation.Text("banned")})
+	res, err = Repair(inst2, []*core.ECFD{e}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Remaining != 0 || res.Repaired.Rows[0][1].S == "banned" {
+		t.Errorf("fresh-value repair failed: %+v", res)
+	}
+}
+
+// TestRepairUnsatisfiableReportsRemaining: an unsatisfiable Σ cannot be
+// repaired to zero; the result must say so instead of looping.
+func TestRepairUnsatisfiableReportsRemaining(t *testing.T) {
+	s := relation.MustSchema("u",
+		relation.Attribute{Name: "A", Kind: relation.KindText},
+		relation.Attribute{Name: "B", Kind: relation.KindText})
+	mk := func(name string, p core.Pattern) *core.ECFD {
+		return &core.ECFD{Name: name, Schema: s, X: []string{"A"}, YP: []string{"B"},
+			Tableau: []core.PatternTuple{{LHS: []core.Pattern{core.Any()}, RHS: []core.Pattern{p}}}}
+	}
+	sigma := []*core.ECFD{mk("c1", core.InStrings("v")), mk("c2", core.NotInStrings("v"))}
+	inst := relation.New(s)
+	inst.MustInsert(relation.Tuple{relation.Text("x"), relation.Text("w")})
+	res, err := Repair(inst, sigma, Options{MaxRounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Remaining == 0 {
+		t.Fatal("an unsatisfiable Σ cannot be fully repaired")
+	}
+	if res.Rounds != 3 {
+		t.Errorf("rounds = %d, want the cap 3", res.Rounds)
+	}
+}
+
+func TestRepairInvalidConstraint(t *testing.T) {
+	bad := &core.ECFD{Name: "bad", Schema: core.CustSchema(), X: []string{"CT"}, Y: []string{"AC"}}
+	if _, err := Repair(core.Fig1Instance(), []*core.ECFD{bad}, Options{}); err == nil {
+		t.Error("invalid constraint must error")
+	}
+}

@@ -1,0 +1,140 @@
+// Package sat implements the paper's static analyses (§III): exact
+// satisfiability via the single-tuple small-model property
+// (Proposition 3.1) and exact implication via the two-tuple small-model
+// property (Proposition 3.2), both over finite- and infinite-domain
+// attributes (Proposition 3.3). Both problems are NP-hard (resp.
+// coNP-hard), so the solvers are backtracking searches over active
+// domains — complete, and fast for realistic constraint sets.
+package sat
+
+import (
+	"fmt"
+
+	"ecfd/internal/core"
+	"ecfd/internal/relation"
+)
+
+// ActiveDomains computes, per attribute, the candidate values a
+// small-model witness ever needs to consider: every constant mentioned
+// in a pattern cell over the attribute, plus `fresh` values mentioned
+// nowhere (capped by the attribute's finite domain when it has one).
+// Patterns cannot distinguish two unmentioned values, so this set is
+// complete (the paper's adom construction, §IV).
+func ActiveDomains(schema *relation.Schema, sigma []*core.ECFD, fresh int) ([][]relation.Value, error) {
+	mentioned := make([]map[string]relation.Value, schema.Width())
+	for i := range mentioned {
+		mentioned[i] = make(map[string]relation.Value)
+	}
+	add := func(attr string, p core.Pattern) error {
+		i := schema.Index(attr)
+		if i < 0 {
+			return fmt.Errorf("sat: unknown attribute %q", attr)
+		}
+		for _, v := range p.Set {
+			mentioned[i][v.Key()] = v
+		}
+		return nil
+	}
+	for _, e := range sigma {
+		for _, tp := range e.Tableau {
+			for j, attr := range e.X {
+				if err := add(attr, tp.LHS[j]); err != nil {
+					return nil, err
+				}
+			}
+			for j, attr := range e.RHS() {
+				if err := add(attr, tp.RHS[j]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	out := make([][]relation.Value, schema.Width())
+	for i, a := range schema.Attrs {
+		var cands []relation.Value
+		if a.Finite() {
+			// Mentioned in-domain constants plus up to `fresh`
+			// unmentioned domain values.
+			left := fresh
+			for _, v := range a.Domain {
+				if _, hit := mentioned[i][v.Key()]; hit {
+					cands = append(cands, v)
+				} else if left > 0 {
+					cands = append(cands, v)
+					left--
+				}
+			}
+		} else {
+			for _, v := range mentioned[i] {
+				cands = append(cands, v)
+			}
+			sortValues(cands)
+			for f := 0; f < fresh; f++ {
+				cands = append(cands, freshValue(a.Kind, cands))
+			}
+		}
+		if len(cands) == 0 {
+			cands = append(cands, freshValue(a.Kind, nil))
+		}
+		out[i] = cands
+	}
+	return out, nil
+}
+
+func sortValues(vs []relation.Value) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && relation.Compare(vs[j], vs[j-1]) < 0; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+// freshValue returns a value of the kind that differs from everything
+// in taken.
+func freshValue(k relation.Kind, taken []relation.Value) relation.Value {
+	switch k {
+	case relation.KindInt:
+		var max int64
+		for _, v := range taken {
+			if v.I >= max {
+				max = v.I + 1
+			}
+		}
+		return relation.Int(max)
+	case relation.KindFloat:
+		var max float64
+		for _, v := range taken {
+			if v.F >= max {
+				max = v.F + 1
+			}
+		}
+		return relation.Float(max)
+	case relation.KindBool:
+		// Booleans are inherently finite; prefer an unused value.
+		used := map[int64]bool{}
+		for _, v := range taken {
+			used[v.I] = true
+		}
+		if !used[0] {
+			return relation.Bool(false)
+		}
+		return relation.Bool(true)
+	default:
+		cand := "⊥0"
+		for i := 0; ; i++ {
+			cand = fmt.Sprintf("⊥%d", i)
+			hit := false
+			for _, v := range taken {
+				if v.K == relation.KindText && v.S == cand {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				break
+			}
+		}
+		return relation.Text(cand)
+	}
+}

@@ -1,0 +1,136 @@
+package sat
+
+import (
+	"testing"
+
+	"ecfd/internal/core"
+	"ecfd/internal/relation"
+)
+
+func TestActiveDomainsCollectConstants(t *testing.T) {
+	schema := core.CustSchema()
+	sigma := core.Split(core.Fig2Constraints())
+	doms, err := ActiveDomains(schema, sigma, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := doms[schema.Index("CT")]
+	// {NYC, LI} ∪ {Albany, Troy, Colonie} + 1 fresh = 6.
+	if len(ct) != 6 {
+		t.Errorf("CT active domain = %v", ct)
+	}
+	ac := doms[schema.Index("AC")]
+	// {518} ∪ {212,718,646,347,917} + 1 fresh = 7.
+	if len(ac) != 7 {
+		t.Errorf("AC active domain = %v", ac)
+	}
+	// Unmentioned attributes still get one fresh candidate.
+	if len(doms[schema.Index("NM")]) != 1 {
+		t.Errorf("NM active domain = %v", doms[schema.Index("NM")])
+	}
+	// The fresh value must differ from every constant.
+	for _, v := range ct[:5] {
+		if relation.Equal(v, ct[5]) {
+			t.Error("fresh value collides with a constant")
+		}
+	}
+}
+
+func TestActiveDomainsFiniteDomainCap(t *testing.T) {
+	schema := relation.MustSchema("s",
+		relation.Attribute{Name: "A", Kind: relation.KindText,
+			Domain: []relation.Value{relation.Text("p"), relation.Text("q"), relation.Text("r")}},
+		relation.Attribute{Name: "B", Kind: relation.KindText})
+	e := &core.ECFD{Name: "e", Schema: schema, X: []string{"B"}, YP: []string{"A"},
+		Tableau: []core.PatternTuple{{LHS: []core.Pattern{core.Any()},
+			RHS: []core.Pattern{core.InStrings("p")}}}}
+	doms, err := ActiveDomains(schema, []*core.ECFD{e}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p (mentioned) + one unmentioned domain value — not more.
+	if len(doms[0]) != 2 {
+		t.Errorf("finite active domain = %v", doms[0])
+	}
+	// With fresh = 2 we still cannot exceed the domain.
+	doms, _ = ActiveDomains(schema, []*core.ECFD{e}, 2)
+	if len(doms[0]) != 3 {
+		t.Errorf("finite domain with fresh=2: %v", doms[0])
+	}
+}
+
+func TestActiveDomainsUnknownAttribute(t *testing.T) {
+	schema := core.CustSchema()
+	bad := &core.ECFD{Name: "bad", Schema: relation.MustSchema("cust",
+		relation.Attribute{Name: "OTHER", Kind: relation.KindText},
+		relation.Attribute{Name: "B", Kind: relation.KindText}),
+		X: []string{"OTHER"}, YP: []string{"B"},
+		Tableau: []core.PatternTuple{{LHS: []core.Pattern{core.InStrings("x")},
+			RHS: []core.Pattern{core.Any()}}}}
+	if _, err := ActiveDomains(schema, []*core.ECFD{bad}, 1); err == nil {
+		t.Error("attribute outside the schema must fail")
+	}
+}
+
+func TestFreshValueKinds(t *testing.T) {
+	iv := freshValue(relation.KindInt, []relation.Value{relation.Int(5), relation.Int(9)})
+	if iv.I != 10 {
+		t.Errorf("fresh int = %v", iv)
+	}
+	fv := freshValue(relation.KindFloat, []relation.Value{relation.Float(1.5)})
+	if fv.F != 2.5 {
+		t.Errorf("fresh float = %v", fv)
+	}
+	bv := freshValue(relation.KindBool, []relation.Value{relation.Bool(false)})
+	if !bv.Truth() {
+		t.Errorf("fresh bool should be the unused value, got %v", bv)
+	}
+	tv := freshValue(relation.KindText, []relation.Value{relation.Text("⊥0"), relation.Text("⊥1")})
+	if tv.S != "⊥2" {
+		t.Errorf("fresh text = %v", tv)
+	}
+}
+
+func TestSatisfiableBoolAttribute(t *testing.T) {
+	schema := relation.MustSchema("b",
+		relation.Attribute{Name: "F", Kind: relation.KindBool},
+		relation.Attribute{Name: "G", Kind: relation.KindText})
+	// F must not be true and must not be false → unsatisfiable.
+	sigma := []*core.ECFD{
+		{Name: "c1", Schema: schema, X: []string{"G"}, YP: []string{"F"},
+			Tableau: []core.PatternTuple{{LHS: []core.Pattern{core.Any()},
+				RHS: []core.Pattern{core.NotInSet(relation.Bool(true))}}}},
+		{Name: "c2", Schema: schema, X: []string{"G"}, YP: []string{"F"},
+			Tableau: []core.PatternTuple{{LHS: []core.Pattern{core.Any()},
+				RHS: []core.Pattern{core.NotInSet(relation.Bool(false))}}}},
+	}
+	ok, _, err := Satisfiable(schema, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("excluding both booleans must be unsatisfiable")
+	}
+	// Dropping one constraint restores satisfiability.
+	ok, w, err := Satisfiable(schema, sigma[:1])
+	if err != nil || !ok {
+		t.Fatalf("single bool exclusion must be satisfiable: %v", err)
+	}
+	if w[0].Truth() {
+		t.Error("witness must have F = false")
+	}
+}
+
+func TestSatisfiableInvalidConstraint(t *testing.T) {
+	schema := core.CustSchema()
+	bad := &core.ECFD{Name: "bad", Schema: schema, X: []string{"CT"}, Y: []string{"AC"}}
+	if _, _, err := Satisfiable(schema, []*core.ECFD{bad}); err == nil {
+		t.Error("invalid constraint must surface an error")
+	}
+	if _, _, err := Implies(schema, []*core.ECFD{bad}, core.Fig2Constraints()[0]); err == nil {
+		t.Error("invalid Σ must surface an error in Implies")
+	}
+	if _, _, err := Implies(schema, core.Fig2Constraints(), bad); err == nil {
+		t.Error("invalid φ must surface an error in Implies")
+	}
+}

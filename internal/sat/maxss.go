@@ -1,0 +1,177 @@
+package sat
+
+import (
+	"math/rand"
+
+	"ecfd/internal/core"
+	"ecfd/internal/maxgsat"
+	"ecfd/internal/relation"
+)
+
+// Reduction is the paper's §IV approximation-factor-preserving
+// reduction f from MAXSS to MAXGSAT, kept around so g can map a truth
+// assignment back to a satisfiable subset of Σ.
+//
+// Variables: x(i,a) = true iff the witness tuple t has t[Ai] = a, for
+// every attribute Ai and every a in its active domain. φ_R (the
+// well-formedness formula) forces exactly one x(i,·) per attribute; the
+// instance has one formula ψ(φ,tp) ∧ φ_R per pattern constraint, where
+// ψ(φ,tp) says "t misses tp[X], or t matches tp[Y,Yp]".
+type Reduction struct {
+	Schema     *relation.Schema
+	Split      []*core.ECFD // single-pattern constraints; formula i ↔ Split[i]
+	Candidates [][]relation.Value
+	Groups     [][]int // variable ids per attribute (the one-hot groups)
+	Instance   *maxgsat.Instance
+
+	varOf map[[2]int]int // (attr, candidate) → variable id
+}
+
+// BuildReduction computes f(Σ). Both f and g run in PTIME in the size
+// of Σ and the schema, as Proposition 4.1 requires.
+func BuildReduction(schema *relation.Schema, sigma []*core.ECFD) (*Reduction, error) {
+	split := core.Split(sigma)
+	cands, err := ActiveDomains(schema, split, 1)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reduction{
+		Schema:     schema,
+		Split:      split,
+		Candidates: cands,
+		varOf:      make(map[[2]int]int),
+	}
+	id := 0
+	r.Groups = make([][]int, schema.Width())
+	for i := range cands {
+		for a := range cands[i] {
+			r.varOf[[2]int{i, a}] = id
+			r.Groups[i] = append(r.Groups[i], id)
+			id++
+		}
+	}
+
+	// φ_R: for each attribute, exactly one candidate chosen.
+	var wellFormed maxgsat.And
+	for i := range cands {
+		var oneOf maxgsat.Or
+		for a := range cands[i] {
+			oneOf = append(oneOf, maxgsat.Var(r.varOf[[2]int{i, a}]))
+		}
+		wellFormed = append(wellFormed, oneOf)
+		for a := 0; a < len(cands[i]); a++ {
+			for b := a + 1; b < len(cands[i]); b++ {
+				wellFormed = append(wellFormed, maxgsat.Or{
+					maxgsat.Not{X: maxgsat.Var(r.varOf[[2]int{i, a}])},
+					maxgsat.Not{X: maxgsat.Var(r.varOf[[2]int{i, b}])},
+				})
+			}
+		}
+	}
+
+	inst := &maxgsat.Instance{NumVars: id}
+	for _, e := range split {
+		tp := e.Tableau[0]
+		var miss maxgsat.Or
+		for j, attr := range e.X {
+			miss = append(miss, maxgsat.Not{X: r.matchFormula(attr, tp.LHS[j])})
+		}
+		var hit maxgsat.And
+		for j, attr := range e.RHS() {
+			hit = append(hit, r.matchFormula(attr, tp.RHS[j]))
+		}
+		psi := maxgsat.Or{miss, hit}
+		inst.Formulas = append(inst.Formulas, maxgsat.And{psi, wellFormed})
+	}
+	r.Instance = inst
+	return r, nil
+}
+
+// matchFormula encodes t[attr] ≍ pattern over the x(i,a) variables.
+func (r *Reduction) matchFormula(attr string, p core.Pattern) maxgsat.Formula {
+	i := r.Schema.Index(attr)
+	switch p.Op {
+	case core.Wildcard:
+		return maxgsat.Const(true)
+	case core.In:
+		var f maxgsat.Or
+		for a, v := range r.Candidates[i] {
+			if p.Matches(v) {
+				f = append(f, maxgsat.Var(r.varOf[[2]int{i, a}]))
+			}
+		}
+		return f
+	default: // NotIn: no chosen candidate may lie in the set
+		var f maxgsat.And
+		for a, v := range r.Candidates[i] {
+			if !p.Matches(v) {
+				f = append(f, maxgsat.Not{X: maxgsat.Var(r.varOf[[2]int{i, a}])})
+			}
+		}
+		return f
+	}
+}
+
+// Extract is g: map a truth assignment to the witness tuple it encodes
+// and the subset of Σ that tuple satisfies. For assignments satisfying
+// φ_R the satisfied-formula set and the satisfied-constraint set
+// coincide (card(Φm) = card(g(Φm)), as in the proof of Prop. 4.1).
+func (r *Reduction) Extract(assign []bool) (relation.Tuple, []int) {
+	t := make(relation.Tuple, r.Schema.Width())
+	for i := range r.Candidates {
+		t[i] = r.Candidates[i][0]
+		for a := range r.Candidates[i] {
+			if assign[r.varOf[[2]int{i, a}]] {
+				t[i] = r.Candidates[i][a]
+				break
+			}
+		}
+	}
+	var subset []int
+	for k, e := range r.Split {
+		if core.SatisfiesTuple(r.Schema, t, []*core.ECFD{e}) {
+			subset = append(subset, k)
+		}
+	}
+	return t, subset
+}
+
+// MaxSSResult reports an approximate maximum satisfiable subset.
+type MaxSSResult struct {
+	// Subset indexes into core.Split(sigma); the subset is satisfiable
+	// (Witness alone satisfies it).
+	Subset  []int
+	Witness relation.Tuple
+	// Total is the number of (split) constraints in Σ.
+	Total int
+	// Exact reports whether the underlying MAXGSAT solve was exhaustive,
+	// making the subset a true maximum.
+	Exact bool
+}
+
+// MaxSS approximates the maximum satisfiable subset problem (§IV) by
+// solving the reduced MAXGSAT instance and extracting g(Φm). Small
+// instances are solved exactly; larger ones by one-hot coordinate
+// ascent with random restarts (seeded, deterministic).
+//
+// If len(result.Subset) == len(split Σ), Σ is satisfiable. As the paper
+// notes, an ε-approximate MAXGSAT solution maps to an ε-approximate
+// MAXSS solution.
+func MaxSS(schema *relation.Schema, sigma []*core.ECFD, seed int64) (MaxSSResult, error) {
+	r, err := BuildReduction(schema, sigma)
+	if err != nil {
+		return MaxSSResult{}, err
+	}
+	var sol maxgsat.Solution
+	if r.Instance.NumVars <= maxgsat.ExactMaxVars {
+		sol, err = maxgsat.SolveExact(r.Instance)
+		if err != nil {
+			return MaxSSResult{}, err
+		}
+	} else {
+		restarts := 8 + len(r.Split)/2
+		sol = maxgsat.SolveOneHot(r.Instance, r.Groups, restarts, rand.New(rand.NewSource(seed)))
+	}
+	witness, subset := r.Extract(sol.Assign)
+	return MaxSSResult{Subset: subset, Witness: witness, Total: len(r.Split), Exact: sol.Exact}, nil
+}

@@ -1,0 +1,417 @@
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ecfd/internal/core"
+	"ecfd/internal/relation"
+)
+
+func TestFig2Satisfiable(t *testing.T) {
+	schema := core.CustSchema()
+	sigma := core.Fig2Constraints()
+	ok, witness, err := Satisfiable(schema, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Fig. 2 constraints must be satisfiable")
+	}
+	if !core.SatisfiesTuple(schema, witness, core.Split(sigma)) {
+		t.Errorf("returned witness %v does not satisfy Σ", witness)
+	}
+}
+
+// TestExample31Unsatisfiable reproduces Example 3.1: ψ3 forces
+// CT = NYC ⇒ CT = NYC ∧ CT = LI... but only for tuples with CT = NYC.
+// A tuple with CT ≠ NYC satisfies it, so ψ3 alone IS satisfiable by the
+// single-tuple semantics; adding a constraint forcing CT = NYC makes
+// the set unsatisfiable.
+func TestExample31Unsatisfiable(t *testing.T) {
+	schema := core.CustSchema()
+	psi3 := core.Example31Unsatisfiable()
+
+	// ψ3 alone: satisfiable by any tuple with CT ∉ {NYC}.
+	ok, w, err := Satisfiable(schema, []*core.ECFD{psi3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("ψ3 alone is satisfiable by a non-NYC tuple")
+	}
+	if w[schema.Index("CT")].S == "NYC" {
+		t.Error("witness cannot have CT = NYC")
+	}
+
+	// Force CT = NYC: now every tuple violates the set — unsatisfiable
+	// (the paper's point: a database where some tuple has CT = NYC
+	// cannot satisfy ψ3; forcing the witness into that region shows the
+	// interaction).
+	force := &core.ECFD{
+		Name: "forceNYC", Schema: schema, X: []string{"CT"}, YP: []string{"CT"},
+		Tableau: []core.PatternTuple{{
+			LHS: []core.Pattern{core.Any()},
+			RHS: []core.Pattern{core.InStrings("NYC")},
+		}},
+	}
+	ok, _, err = Satisfiable(schema, []*core.ECFD{psi3, force})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("ψ3 + (CT must be NYC) must be unsatisfiable")
+	}
+}
+
+// TestDirectContradiction: an eCFD requiring A ∈ {x} and A ∉ {x} at
+// once is unsatisfiable whenever its LHS is unavoidable.
+func TestDirectContradiction(t *testing.T) {
+	schema := relation.MustSchema("s",
+		relation.Attribute{Name: "A", Kind: relation.KindText},
+		relation.Attribute{Name: "B", Kind: relation.KindText})
+	sigma := []*core.ECFD{
+		{Name: "c1", Schema: schema, X: []string{"A"}, YP: []string{"B"},
+			Tableau: []core.PatternTuple{{LHS: []core.Pattern{core.Any()}, RHS: []core.Pattern{core.InStrings("x")}}}},
+		{Name: "c2", Schema: schema, X: []string{"A"}, YP: []string{"B"},
+			Tableau: []core.PatternTuple{{LHS: []core.Pattern{core.Any()}, RHS: []core.Pattern{core.NotInStrings("x")}}}},
+	}
+	ok, _, err := Satisfiable(schema, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("B ∈ {x} ∧ B ∉ {x} must be unsatisfiable")
+	}
+}
+
+// TestFiniteDomainUnsatisfiable mirrors Proposition 3.3's mechanism: a
+// finite domain can be exhausted by NotIn patterns.
+func TestFiniteDomainUnsatisfiable(t *testing.T) {
+	schema := relation.MustSchema("s",
+		relation.Attribute{Name: "A", Kind: relation.KindText,
+			Domain: []relation.Value{relation.Text("p"), relation.Text("q")}},
+		relation.Attribute{Name: "B", Kind: relation.KindText})
+	block := &core.ECFD{Name: "block", Schema: schema, X: []string{"B"}, YP: []string{"A"},
+		Tableau: []core.PatternTuple{{LHS: []core.Pattern{core.Any()},
+			RHS: []core.Pattern{core.NotInStrings("p", "q")}}}}
+	ok, _, err := Satisfiable(schema, []*core.ECFD{block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("excluding the whole finite domain must be unsatisfiable")
+	}
+
+	// The same constraint over an infinite domain is satisfiable: an
+	// eCFD can no longer force finiteness here because values outside
+	// {p, q} exist (this is exactly why Prop. 3.3 needs the ψ_A trick).
+	inf := relation.MustSchema("s",
+		relation.Attribute{Name: "A", Kind: relation.KindText},
+		relation.Attribute{Name: "B", Kind: relation.KindText})
+	block2 := block.Clone()
+	block2.Schema = inf
+	ok, _, err = Satisfiable(inf, []*core.ECFD{block2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("excluding finitely many values of an infinite domain is satisfiable")
+	}
+}
+
+// TestProposition33Reduction builds the ψ_A constraint of the
+// Proposition 3.3 proof: an eCFD restricting an infinite-domain
+// attribute to a finite value set, making further analysis behave as if
+// the domain were finite.
+func TestProposition33Reduction(t *testing.T) {
+	schema := relation.MustSchema("s",
+		relation.Attribute{Name: "A", Kind: relation.KindText},
+		relation.Attribute{Name: "B", Kind: relation.KindText})
+	// ψ_A: A' must take values in {a1, a2} (simulating dom(A) finite).
+	psiA := &core.ECFD{Name: "psiA", Schema: schema, X: []string{"A"}, YP: []string{"A"},
+		Tableau: []core.PatternTuple{{LHS: []core.Pattern{core.Any()},
+			RHS: []core.Pattern{core.InStrings("a1", "a2")}}}}
+	// Excluding both permitted values is then unsatisfiable even though
+	// dom(A) is infinite.
+	noA := &core.ECFD{Name: "noA", Schema: schema, X: []string{"B"}, YP: []string{"A"},
+		Tableau: []core.PatternTuple{{LHS: []core.Pattern{core.Any()},
+			RHS: []core.Pattern{core.NotInStrings("a1", "a2")}}}}
+	ok, _, err := Satisfiable(schema, []*core.ECFD{psiA, noA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("ψ_A + exclusion must be unsatisfiable on infinite domains")
+	}
+}
+
+// TestSatisfiableAgainstBruteForce cross-checks the DFS solver against
+// exhaustive enumeration on random small constraint sets.
+func TestSatisfiableAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	schema := relation.MustSchema("r",
+		relation.Attribute{Name: "A", Kind: relation.KindText},
+		relation.Attribute{Name: "B", Kind: relation.KindText})
+	for trial := 0; trial < 60; trial++ {
+		sigma := randomTinySigma(rng, schema)
+		ok, w, err := Satisfiable(schema, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, _, err := MaxSatisfiableBruteForce(schema, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bruteOK := len(best) == len(core.Split(sigma))
+		if ok != bruteOK {
+			t.Fatalf("trial %d: solver=%v brute=%v\n%s", trial, ok, bruteOK, sigmaStr(sigma))
+		}
+		if ok && !core.SatisfiesTuple(schema, w, core.Split(sigma)) {
+			t.Fatalf("trial %d: invalid witness", trial)
+		}
+	}
+}
+
+func TestImpliesReflexiveAndWeakening(t *testing.T) {
+	schema := core.CustSchema()
+	sigma := core.Fig2Constraints()
+
+	// Σ ⊨ φ for each φ ∈ Σ.
+	for _, phi := range sigma {
+		ok, cx, err := Implies(schema, sigma, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("Σ must imply its own member %s (counterexample %v)", phi.Name, cx)
+		}
+	}
+
+	// Weakening: [CT ∈ {Albany}] → AC ∈ {518} follows from
+	// [CT ∈ {Albany, Troy, Colonie}] → AC ∈ {518} (φ1's second pattern).
+	weaker := &core.ECFD{
+		Name: "weak", Schema: schema, X: []string{"CT"}, YP: []string{"AC"},
+		Tableau: []core.PatternTuple{{
+			LHS: []core.Pattern{core.InStrings("Albany")},
+			RHS: []core.Pattern{core.InStrings("518")},
+		}},
+	}
+	ok, _, err := Implies(schema, sigma, weaker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("weakened pattern must be implied")
+	}
+
+	// Not implied: a constraint about a city Σ says nothing about.
+	unrelated := &core.ECFD{
+		Name: "unrel", Schema: schema, X: []string{"CT"}, YP: []string{"AC"},
+		Tableau: []core.PatternTuple{{
+			LHS: []core.Pattern{core.InStrings("Utica")},
+			RHS: []core.Pattern{core.InStrings("315")},
+		}},
+	}
+	ok, cx, err := Implies(schema, sigma, unrelated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("unrelated constraint must not be implied")
+	}
+	if cx == nil || len(cx.Tuples) == 0 {
+		t.Error("non-implication must come with a counterexample")
+	} else {
+		// The counterexample must satisfy Σ and violate the target.
+		inst := relation.New(schema)
+		for _, tup := range cx.Tuples {
+			inst.Rows = append(inst.Rows, tup)
+		}
+		if sat, _ := core.Satisfies(inst, sigma); !sat {
+			t.Error("counterexample must satisfy Σ")
+		}
+		if sat, _ := core.Satisfies(inst, []*core.ECFD{unrelated}); sat {
+			t.Error("counterexample must violate the target")
+		}
+	}
+}
+
+// TestImpliesFDTransitivity exercises the two-tuple case: the embedded
+// FDs A → B and B → C imply A → C.
+func TestImpliesFDTransitivity(t *testing.T) {
+	schema := relation.MustSchema("r",
+		relation.Attribute{Name: "A", Kind: relation.KindText},
+		relation.Attribute{Name: "B", Kind: relation.KindText},
+		relation.Attribute{Name: "C", Kind: relation.KindText})
+	fd := func(x, y string) *core.ECFD {
+		return (&core.FD{Schema: schema, X: []string{x}, Y: []string{y}}).AsECFD()
+	}
+	sigma := []*core.ECFD{fd("A", "B"), fd("B", "C")}
+
+	ok, _, err := Implies(schema, sigma, fd("A", "C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("A→B, B→C must imply A→C")
+	}
+
+	ok, cx, err := Implies(schema, sigma, fd("C", "A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("C→A must not be implied")
+	}
+	if cx == nil || len(cx.Tuples) != 2 {
+		t.Errorf("expected a two-tuple counterexample, got %v", cx)
+	}
+}
+
+// TestImpliesConditionalFD: the FD only holds where the pattern
+// applies, so widening the LHS pattern is NOT implied.
+func TestImpliesConditionalFD(t *testing.T) {
+	schema := core.CustSchema()
+	narrow := &core.ECFD{
+		Name: "narrow", Schema: schema, X: []string{"CT"}, Y: []string{"AC"},
+		Tableau: []core.PatternTuple{{
+			LHS: []core.Pattern{core.InStrings("Albany")},
+			RHS: []core.Pattern{core.Any()},
+		}},
+	}
+	wide := &core.ECFD{
+		Name: "wide", Schema: schema, X: []string{"CT"}, Y: []string{"AC"},
+		Tableau: []core.PatternTuple{{
+			LHS: []core.Pattern{core.Any()},
+			RHS: []core.Pattern{core.Any()},
+		}},
+	}
+	ok, _, err := Implies(schema, []*core.ECFD{wide}, narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("the unconditional FD must imply its conditional restriction")
+	}
+	ok, cx, err := Implies(schema, []*core.ECFD{narrow}, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("the conditional FD must not imply the unconditional one")
+	}
+	if cx == nil {
+		t.Error("missing counterexample")
+	}
+}
+
+// TestImplicationCounterexamplesAlwaysValid fuzzes Implies on random
+// constraint pairs: whenever it reports non-implication, the produced
+// counterexample must check out; whenever it reports implication, no
+// counterexample may exist among random small instances.
+func TestImplicationCounterexamplesAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	schema := relation.MustSchema("r",
+		relation.Attribute{Name: "A", Kind: relation.KindText},
+		relation.Attribute{Name: "B", Kind: relation.KindText})
+	for trial := 0; trial < 40; trial++ {
+		sigma := randomTinySigma(rng, schema)
+		phi := randomTinySigma(rng, schema)[0]
+		ok, cx, err := Implies(schema, sigma, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			inst := relation.New(schema)
+			for _, tup := range cx.Tuples {
+				inst.Rows = append(inst.Rows, tup)
+			}
+			if sat, _ := core.Satisfies(inst, sigma); !sat {
+				t.Fatalf("trial %d: counterexample violates Σ", trial)
+			}
+			if sat, _ := core.Satisfies(inst, []*core.ECFD{phi}); sat {
+				t.Fatalf("trial %d: counterexample satisfies φ", trial)
+			}
+			continue
+		}
+		// Spot-check implication with random instances.
+		for probe := 0; probe < 30; probe++ {
+			inst := randomTinyInstance(rng, schema, 1+rng.Intn(2))
+			if sat, _ := core.Satisfies(inst, sigma); !sat {
+				continue
+			}
+			if sat, _ := core.Satisfies(inst, []*core.ECFD{phi}); !sat {
+				t.Fatalf("trial %d: Implies said yes but %v violates φ\nΣ: %sφ: %s",
+					trial, inst.Rows, sigmaStr(sigma), phi)
+			}
+		}
+	}
+}
+
+// --- helpers ---
+
+var tinyPool = []string{"x", "y", "z"}
+
+func randomTinySigma(rng *rand.Rand, schema *relation.Schema) []*core.ECFD {
+	n := 1 + rng.Intn(3)
+	var out []*core.ECFD
+	attrs := schema.Names()
+	for i := 0; i < n; i++ {
+		x := attrs[rng.Intn(len(attrs))]
+		rest := attrs[(rng.Intn(len(attrs)))%len(attrs)]
+		e := &core.ECFD{Name: fmt.Sprintf("t%d", i), Schema: schema, X: []string{x}}
+		if rng.Intn(2) == 0 {
+			e.Y = []string{rest}
+		} else {
+			e.YP = []string{rest}
+		}
+		if e.Y != nil && e.Y[0] == x && rng.Intn(2) == 0 {
+			e.Y[0] = attrs[(schema.Index(x)+1)%len(attrs)]
+		}
+		e.Tableau = []core.PatternTuple{{
+			LHS: []core.Pattern{tinyPattern(rng)},
+			RHS: []core.Pattern{tinyPattern(rng)},
+		}}
+		out = append(out, e)
+	}
+	return out
+}
+
+func tinyPattern(rng *rand.Rand) core.Pattern {
+	switch rng.Intn(3) {
+	case 0:
+		return core.Any()
+	case 1:
+		k := 1 + rng.Intn(2)
+		return core.InStrings(tinyPool[rng.Intn(3)], tinyPool[(rng.Intn(3)+k)%3])
+	default:
+		return core.NotInStrings(tinyPool[rng.Intn(3)])
+	}
+}
+
+func randomTinyInstance(rng *rand.Rand, schema *relation.Schema, n int) *relation.Relation {
+	inst := relation.New(schema)
+	for i := 0; i < n; i++ {
+		t := make(relation.Tuple, schema.Width())
+		for j := range t {
+			// Include a fresh value outside the pattern pool sometimes.
+			if rng.Intn(4) == 0 {
+				t[j] = relation.Text(fmt.Sprintf("f%d", rng.Intn(2)))
+			} else {
+				t[j] = relation.Text(tinyPool[rng.Intn(len(tinyPool))])
+			}
+		}
+		inst.Rows = append(inst.Rows, t)
+	}
+	return inst
+}
+
+func sigmaStr(sigma []*core.ECFD) string {
+	s := ""
+	for _, e := range sigma {
+		s += e.String()
+	}
+	return s
+}

@@ -1,0 +1,163 @@
+package sat
+
+import (
+	"fmt"
+
+	"ecfd/internal/core"
+	"ecfd/internal/relation"
+)
+
+// Satisfiable decides whether a non-empty instance satisfying Σ exists
+// (the satisfiability problem, §III). By the single-tuple small-model
+// property (proof of Proposition 3.1) it suffices to search for one
+// witness tuple over the active domains; the search is a backtracking
+// DFS that prunes a branch as soon as some pattern constraint is
+// decided-violated. Returns the witness when satisfiable.
+//
+// The problem is NP-complete, so the worst case is exponential in the
+// number of attributes; the pruning makes realistic Σ instantaneous.
+func Satisfiable(schema *relation.Schema, sigma []*core.ECFD) (bool, relation.Tuple, error) {
+	for _, e := range sigma {
+		if err := e.Validate(); err != nil {
+			return false, nil, err
+		}
+	}
+	split := core.Split(sigma)
+	cands, err := ActiveDomains(schema, split, 1)
+	if err != nil {
+		return false, nil, err
+	}
+	cs := compileConstraints(schema, split)
+	t := make(relation.Tuple, schema.Width())
+	if dfsWitness(schema, cs, cands, t, 0, nil) {
+		return true, t, nil
+	}
+	return false, nil, nil
+}
+
+// cellRef is one pattern cell pinned to an attribute position.
+type cellRef struct {
+	attr int
+	pat  core.Pattern
+}
+
+// constraintC is a compiled single-pattern constraint: match all of lhs
+// ⇒ match all of rhs.
+type constraintC struct {
+	lhs, rhs []cellRef
+	maxAttr  int // highest attribute index the constraint mentions
+	e        *core.ECFD
+}
+
+func compileConstraints(schema *relation.Schema, split []*core.ECFD) []constraintC {
+	out := make([]constraintC, 0, len(split))
+	for _, e := range split {
+		tp := e.Tableau[0]
+		c := constraintC{e: e}
+		for j, attr := range e.X {
+			c.lhs = append(c.lhs, cellRef{attr: schema.Index(attr), pat: tp.LHS[j]})
+		}
+		for j, attr := range e.RHS() {
+			c.rhs = append(c.rhs, cellRef{attr: schema.Index(attr), pat: tp.RHS[j]})
+		}
+		for _, r := range append(append([]cellRef{}, c.lhs...), c.rhs...) {
+			if r.attr > c.maxAttr {
+				c.maxAttr = r.attr
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// violatedBy reports whether the fully assigned prefix t[0..assigned)
+// already decides the constraint as violated.
+func (c *constraintC) violatedBy(t relation.Tuple, assigned int) bool {
+	for _, r := range c.lhs {
+		if r.attr >= assigned {
+			return false // LHS not decided yet
+		}
+		if !r.pat.Matches(t[r.attr]) {
+			return false // constraint does not apply
+		}
+	}
+	for _, r := range c.rhs {
+		if r.attr < assigned && !r.pat.Matches(t[r.attr]) {
+			return true
+		}
+	}
+	return false
+}
+
+// dfsWitness assigns attributes in order, pruning on decided
+// violations. extra is an optional additional pruning predicate (used
+// by the implication search); it sees the partial tuple and the number
+// of assigned attributes and returns false to prune.
+func dfsWitness(schema *relation.Schema, cs []constraintC, cands [][]relation.Value,
+	t relation.Tuple, i int, extra func(relation.Tuple, int) bool) bool {
+	if i == schema.Width() {
+		return true
+	}
+	for _, v := range cands[i] {
+		t[i] = v
+		ok := true
+		for k := range cs {
+			// Only constraints whose attributes are all ≤ i can newly
+			// become decided; checking the rest is wasted work but not
+			// wrong — we check those with maxAttr ≤ i.
+			if cs[k].maxAttr <= i && cs[k].violatedBy(t, i+1) {
+				ok = false
+				break
+			}
+		}
+		if ok && extra != nil && !extra(t, i+1) {
+			ok = false
+		}
+		if ok && dfsWitness(schema, cs, cands, t, i+1, extra) {
+			return true
+		}
+	}
+	t[i] = relation.Null()
+	return false
+}
+
+// MaxSatisfiableBruteForce computes an exact maximum satisfiable
+// subset of the split constraints by enumerating all witness tuples
+// over the active domains — exponential, for tests and tiny Σ only.
+// It returns the best subset (as indices into core.Split(sigma)) and
+// its witness.
+func MaxSatisfiableBruteForce(schema *relation.Schema, sigma []*core.ECFD) ([]int, relation.Tuple, error) {
+	split := core.Split(sigma)
+	cands, err := ActiveDomains(schema, split, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	var best []int
+	var bestT relation.Tuple
+	t := make(relation.Tuple, schema.Width())
+	var walk func(i int)
+	walk = func(i int) {
+		if i == schema.Width() {
+			var sat []int
+			for k, e := range split {
+				if core.SatisfiesTuple(schema, t, []*core.ECFD{e}) {
+					sat = append(sat, k)
+				}
+			}
+			if len(sat) > len(best) {
+				best = append([]int(nil), sat...)
+				bestT = t.Clone()
+			}
+			return
+		}
+		for _, v := range cands[i] {
+			t[i] = v
+			walk(i + 1)
+		}
+	}
+	walk(0)
+	if bestT == nil {
+		return nil, nil, fmt.Errorf("sat: no candidate tuples")
+	}
+	return best, bestT, nil
+}

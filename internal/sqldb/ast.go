@@ -1,0 +1,219 @@
+package sqldb
+
+import (
+	"ecfd/internal/relation"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Kind relation.Kind
+}
+
+// CreateTable is CREATE TABLE [IF NOT EXISTS] name (cols...).
+type CreateTable struct {
+	Name        string
+	Cols        []ColumnDef
+	IfNotExists bool
+}
+
+// CreateIndex is CREATE INDEX name ON table (cols...).
+type CreateIndex struct {
+	Name  string
+	Table string
+	Cols  []string
+}
+
+// DropTable is DROP TABLE [IF EXISTS] name.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// TruncateTable is TRUNCATE TABLE name.
+type TruncateTable struct{ Name string }
+
+// Insert is INSERT INTO t [(cols)] VALUES (...),(...) | SELECT ... .
+type Insert struct {
+	Table string
+	Cols  []string
+	Rows  [][]Expr
+	Query *Select
+}
+
+// Assignment is one SET col = expr clause.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// Update is UPDATE t [alias] SET ... [WHERE ...].
+type Update struct {
+	Table string
+	Alias string
+	Set   []Assignment
+	Where Expr
+}
+
+// Delete is DELETE FROM t [alias] [WHERE ...].
+type Delete struct {
+	Table string
+	Alias string
+	Where Expr
+}
+
+// Select is a (possibly nested) SELECT statement.
+type Select struct {
+	Distinct bool
+	Exprs    []SelectExpr
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr // nil when absent
+	Offset   Expr
+}
+
+// SelectExpr is one item of the select list. Star selects all columns
+// (of StarTable when set).
+type SelectExpr struct {
+	Expr      Expr
+	Alias     string
+	Star      bool
+	StarTable string
+}
+
+// TableRef is one entry of the FROM list: a base table or a derived
+// table (subquery) with an alias. Joins are expressed as comma lists
+// or INNER JOIN ... ON (the ON predicate is folded into WHERE).
+type TableRef struct {
+	Table string
+	Alias string
+	Sub   *Select
+}
+
+// Name returns the binding name of the table reference.
+func (tr TableRef) Name() string {
+	if tr.Alias != "" {
+		return tr.Alias
+	}
+	return tr.Table
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+func (*CreateTable) stmt()   {}
+func (*CreateIndex) stmt()   {}
+func (*DropTable) stmt()     {}
+func (*TruncateTable) stmt() {}
+func (*Insert) stmt()        {}
+func (*Update) stmt()        {}
+func (*Delete) stmt()        {}
+func (*Select) stmt()        {}
+
+// Expr is any SQL expression node.
+type Expr interface{ expr() }
+
+// Literal is a constant value.
+type Literal struct{ Val relation.Value }
+
+// Param is the i-th '?' placeholder (0-based).
+type Param struct{ Index int }
+
+// ColumnRef names a column, optionally qualified by table alias.
+type ColumnRef struct{ Table, Column string }
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op string // "NOT", "-"
+	X  Expr
+}
+
+// Binary is a binary operator application.
+type Binary struct {
+	Op   string // AND OR = <> < <= > >= + - * / % ||
+	L, R Expr
+}
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Neg bool
+}
+
+// InList is x [NOT] IN (e1, e2, ...).
+type InList struct {
+	X    Expr
+	List []Expr
+	Neg  bool
+}
+
+// InSelect is x [NOT] IN (SELECT ...).
+type InSelect struct {
+	X   Expr
+	Sub *Select
+	Neg bool
+}
+
+// Exists is [NOT] EXISTS (SELECT ...).
+type Exists struct {
+	Sub *Select
+	Neg bool
+}
+
+// When is one WHEN ... THEN ... arm of a CASE.
+type When struct{ Cond, Result Expr }
+
+// Case is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type Case struct {
+	Operand Expr // nil for searched CASE
+	Whens   []When
+	Else    Expr
+}
+
+// FuncCall is a scalar or aggregate function application. Star is
+// COUNT(*); Distinct is COUNT(DISTINCT x) etc.
+type FuncCall struct {
+	Name     string // upper-cased
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+// ScalarSub is a subquery used as a scalar value.
+type ScalarSub struct{ Sub *Select }
+
+// Like is x [NOT] LIKE pattern (with % and _ wildcards).
+type Like struct {
+	X, Pattern Expr
+	Neg        bool
+}
+
+// Between is x [NOT] BETWEEN lo AND hi.
+type Between struct {
+	X, Lo, Hi Expr
+	Neg       bool
+}
+
+func (*Literal) expr()   {}
+func (*Param) expr()     {}
+func (*ColumnRef) expr() {}
+func (*Unary) expr()     {}
+func (*Binary) expr()    {}
+func (*IsNull) expr()    {}
+func (*InList) expr()    {}
+func (*InSelect) expr()  {}
+func (*Exists) expr()    {}
+func (*Case) expr()      {}
+func (*FuncCall) expr()  {}
+func (*ScalarSub) expr() {}
+func (*Like) expr()      {}
+func (*Between) expr()   {}

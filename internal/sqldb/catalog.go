@@ -1,0 +1,223 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ecfd/internal/relation"
+)
+
+// DB is an in-memory SQL database: a catalog of tables guarded by one
+// mutex (statement-level isolation; transactions use table snapshots).
+type DB struct {
+	mu       sync.Mutex
+	tables   map[string]*Table
+	activeTx *Tx
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{tables: make(map[string]*Table)} }
+
+// Table is one base table: schema, row store and secondary indexes.
+// Indexes are maintained lazily — mutations mark them dirty and the
+// next probe rebuilds.
+type Table struct {
+	Name    string
+	Schema  *relation.Schema
+	Rows    []relation.Tuple
+	indexes []*Index
+	version uint64 // bumped on every mutation; used by cached hash builds
+}
+
+// Index is a secondary hash index over a column list.
+type Index struct {
+	Name  string
+	Cols  []int // column positions
+	m     map[string][]int
+	dirty bool
+}
+
+func lowerName(s string) string { return strings.ToLower(s) }
+
+// CreateTable registers a new table.
+func (db *DB) CreateTable(name string, cols []ColumnDef, ifNotExists bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := lowerName(name)
+	if _, ok := db.tables[key]; ok {
+		if ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("sql: table %s already exists", name)
+	}
+	attrs := make([]relation.Attribute, len(cols))
+	for i, c := range cols {
+		attrs[i] = relation.Attribute{Name: c.Name, Kind: c.Kind}
+	}
+	schema, err := relation.NewSchema(name, attrs...)
+	if err != nil {
+		return fmt.Errorf("sql: %w", err)
+	}
+	db.tables[key] = &Table{Name: name, Schema: schema}
+	return nil
+}
+
+// DropTable removes a table.
+func (db *DB) DropTable(name string, ifExists bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := lowerName(name)
+	if _, ok := db.tables[key]; !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("sql: no table %s", name)
+	}
+	delete(db.tables, key)
+	return nil
+}
+
+// table looks a table up; callers hold db.mu.
+func (db *DB) table(name string) (*Table, error) {
+	t, ok := db.tables[lowerName(name)]
+	if !ok {
+		return nil, fmt.Errorf("sql: no table %s", name)
+	}
+	return t, nil
+}
+
+// TableNames returns the catalog's table names, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TableLen returns the row count of a table.
+func (db *DB) TableLen(name string) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(name)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.Rows), nil
+}
+
+// LoadRelation bulk-creates (or replaces the contents of) a table from
+// an in-memory relation. It is the fast path the benchmarks use to
+// install generated datasets without going through INSERT parsing.
+func (db *DB) LoadRelation(r *relation.Relation) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := lowerName(r.Schema.Name)
+	t, ok := db.tables[key]
+	if !ok {
+		t = &Table{Name: r.Schema.Name, Schema: r.Schema}
+		db.tables[key] = t
+	} else if t.Schema.Width() != r.Schema.Width() {
+		return fmt.Errorf("sql: LoadRelation: width mismatch for %s", r.Schema.Name)
+	}
+	t.Rows = make([]relation.Tuple, len(r.Rows))
+	for i, row := range r.Rows {
+		t.Rows[i] = row.Clone()
+	}
+	t.mutated()
+	return nil
+}
+
+// Snapshot copies a table back out as a relation.
+func (db *DB) Snapshot(name string) (*relation.Relation, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(name)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(t.Schema)
+	out.Rows = make([]relation.Tuple, len(t.Rows))
+	for i, row := range t.Rows {
+		out.Rows[i] = row.Clone()
+	}
+	return out, nil
+}
+
+// CreateIndex registers a secondary index.
+func (db *DB) CreateIndex(name, table string, cols []string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(table)
+	if err != nil {
+		return err
+	}
+	idx := &Index{Name: name, dirty: true}
+	for _, c := range cols {
+		j := t.Schema.Index(c)
+		if j < 0 {
+			return fmt.Errorf("sql: no column %s in %s", c, table)
+		}
+		idx.Cols = append(idx.Cols, j)
+	}
+	for _, existing := range t.indexes {
+		if existing.Name == name {
+			return fmt.Errorf("sql: index %s already exists on %s", name, table)
+		}
+	}
+	t.indexes = append(t.indexes, idx)
+	return nil
+}
+
+func (t *Table) mutated() {
+	t.version++
+	for _, idx := range t.indexes {
+		idx.dirty = true
+	}
+}
+
+// findIndex returns an index whose column set is exactly cols (in any
+// order), or nil. Callers rebuild before probing.
+func (t *Table) findIndex(cols []int) *Index {
+	want := append([]int(nil), cols...)
+	sort.Ints(want)
+	for _, idx := range t.indexes {
+		have := append([]int(nil), idx.Cols...)
+		sort.Ints(have)
+		if len(have) != len(want) {
+			continue
+		}
+		same := true
+		for i := range have {
+			if have[i] != want[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return idx
+		}
+	}
+	return nil
+}
+
+func (idx *Index) rebuild(t *Table) {
+	if !idx.dirty && idx.m != nil {
+		return
+	}
+	idx.m = make(map[string][]int, len(t.Rows))
+	key := make([]relation.Value, len(idx.Cols))
+	for ri, row := range t.Rows {
+		for i, c := range idx.Cols {
+			key[i] = row[c]
+		}
+		k := relation.KeyOf(key)
+		idx.m[k] = append(idx.m[k], ri)
+	}
+	idx.dirty = false
+}

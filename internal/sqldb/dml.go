@@ -1,0 +1,247 @@
+package sqldb
+
+import (
+	"fmt"
+
+	"ecfd/internal/relation"
+)
+
+// coerce converts v to the column kind, erring on lossy mismatches.
+func coerce(v relation.Value, k relation.Kind, col string) (relation.Value, error) {
+	if v.IsNull() || v.K == k {
+		return v, nil
+	}
+	switch k {
+	case relation.KindFloat:
+		if v.K == relation.KindInt || v.K == relation.KindBool {
+			return relation.Float(v.AsFloat()), nil
+		}
+	case relation.KindInt:
+		if v.K == relation.KindBool {
+			return relation.Int(v.I), nil
+		}
+		if v.K == relation.KindFloat && v.F == float64(int64(v.F)) {
+			return relation.Int(int64(v.F)), nil
+		}
+	case relation.KindBool:
+		if v.K == relation.KindInt && (v.I == 0 || v.I == 1) {
+			return relation.Bool(v.I == 1), nil
+		}
+	case relation.KindText:
+		// Text columns accept anything printable; this mirrors the lax
+		// typing of the CSV-shaped experimental data.
+		return relation.Text(v.String()), nil
+	}
+	return relation.Null(), fmt.Errorf("sql: cannot store %s value %s in %s column %s", v.K, v, k, col)
+}
+
+func (db *DB) execInsert(ins *Insert, params []relation.Value) (int64, error) {
+	t, err := db.table(ins.Table)
+	if err != nil {
+		return 0, err
+	}
+
+	// Map the column list (or the full schema) to schema positions.
+	cols := ins.Cols
+	pos := make([]int, 0, len(cols))
+	if len(cols) == 0 {
+		for i := range t.Schema.Attrs {
+			pos = append(pos, i)
+		}
+	} else {
+		for _, cname := range cols {
+			j := t.Schema.Index(cname)
+			if j < 0 {
+				return 0, fmt.Errorf("sql: no column %s in %s", cname, ins.Table)
+			}
+			pos = append(pos, j)
+		}
+	}
+
+	build := func(vals []relation.Value) (relation.Tuple, error) {
+		if len(vals) != len(pos) {
+			return nil, fmt.Errorf("sql: INSERT into %s: %d values for %d columns", ins.Table, len(vals), len(pos))
+		}
+		row := make(relation.Tuple, t.Schema.Width())
+		for i, j := range pos {
+			v, err := coerce(vals[i], t.Schema.Attrs[j].Kind, t.Schema.Attrs[j].Name)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		return row, nil
+	}
+
+	var newRows []relation.Tuple
+	switch {
+	case ins.Query != nil:
+		res, err := db.execSelect(ins.Query, params)
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range res.Rows {
+			row, err := build(r)
+			if err != nil {
+				return 0, err
+			}
+			newRows = append(newRows, row)
+		}
+	default:
+		c := &compiler{db: db}
+		en := newEnv(db, params)
+		for _, exprRow := range ins.Rows {
+			vals := make([]relation.Value, len(exprRow))
+			for i, e := range exprRow {
+				ce, err := c.compileExpr(e)
+				if err != nil {
+					return 0, err
+				}
+				if vals[i], err = ce(en); err != nil {
+					return 0, err
+				}
+			}
+			row, err := build(vals)
+			if err != nil {
+				return 0, err
+			}
+			newRows = append(newRows, row)
+		}
+	}
+
+	db.backupForTx(t)
+	t.Rows = append(t.Rows, newRows...)
+	t.mutated()
+	return int64(len(newRows)), nil
+}
+
+func (db *DB) execUpdate(up *Update, params []relation.Value) (int64, error) {
+	t, err := db.table(up.Table)
+	if err != nil {
+		return 0, err
+	}
+	name := up.Alias
+	if name == "" {
+		name = up.Table
+	}
+	c := &compiler{db: db, scopes: []*scopeInfo{
+		{sources: []sourceInfo{{name: name, cols: t.Schema.Names()}}},
+	}}
+
+	var where compiledExpr
+	if up.Where != nil {
+		if where, err = c.compileExpr(up.Where); err != nil {
+			return 0, err
+		}
+	}
+	type setter struct {
+		col int
+		ex  compiledExpr
+	}
+	setters := make([]setter, len(up.Set))
+	for i, a := range up.Set {
+		j := t.Schema.Index(a.Column)
+		if j < 0 {
+			return 0, fmt.Errorf("sql: no column %s in %s", a.Column, up.Table)
+		}
+		ex, err := c.compileExpr(a.Value)
+		if err != nil {
+			return 0, err
+		}
+		setters[i] = setter{col: j, ex: ex}
+	}
+
+	// Two phases: evaluate against the unmodified table, then apply, so
+	// the statement sees a consistent snapshot.
+	en := newEnv(db, params)
+	en.frames = append(en.frames, frame{rows: make([]relation.Tuple, 1)})
+	fr := &en.frames[0]
+	type change struct {
+		ri   int
+		vals []relation.Value
+	}
+	var changes []change
+	for ri, row := range t.Rows {
+		fr.rows[0] = row
+		if where != nil {
+			v, err := where(en)
+			if err != nil {
+				return 0, err
+			}
+			if !v.Truth() {
+				continue
+			}
+		}
+		vals := make([]relation.Value, len(setters))
+		for i, s := range setters {
+			v, err := s.ex(en)
+			if err != nil {
+				return 0, err
+			}
+			if vals[i], err = coerce(v, t.Schema.Attrs[s.col].Kind, t.Schema.Attrs[s.col].Name); err != nil {
+				return 0, err
+			}
+		}
+		changes = append(changes, change{ri: ri, vals: vals})
+	}
+	if len(changes) == 0 {
+		return 0, nil
+	}
+	db.backupForTx(t)
+	for _, ch := range changes {
+		for i, s := range setters {
+			t.Rows[ch.ri][s.col] = ch.vals[i]
+		}
+	}
+	t.mutated()
+	return int64(len(changes)), nil
+}
+
+func (db *DB) execDelete(del *Delete, params []relation.Value) (int64, error) {
+	t, err := db.table(del.Table)
+	if err != nil {
+		return 0, err
+	}
+	name := del.Alias
+	if name == "" {
+		name = del.Table
+	}
+	c := &compiler{db: db, scopes: []*scopeInfo{
+		{sources: []sourceInfo{{name: name, cols: t.Schema.Names()}}},
+	}}
+	var where compiledExpr
+	if del.Where != nil {
+		if where, err = c.compileExpr(del.Where); err != nil {
+			return 0, err
+		}
+	}
+
+	en := newEnv(db, params)
+	en.frames = append(en.frames, frame{rows: make([]relation.Tuple, 1)})
+	fr := &en.frames[0]
+	keep := t.Rows[:0:0]
+	var deleted int64
+	for _, row := range t.Rows {
+		drop := true
+		if where != nil {
+			fr.rows[0] = row
+			v, err := where(en)
+			if err != nil {
+				return 0, err
+			}
+			drop = v.Truth()
+		}
+		if drop {
+			deleted++
+		} else {
+			keep = append(keep, row)
+		}
+	}
+	if deleted == 0 {
+		return 0, nil
+	}
+	db.backupForTx(t)
+	t.Rows = keep
+	t.mutated()
+	return deleted, nil
+}

@@ -1,0 +1,701 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ecfd/internal/relation"
+)
+
+// Result is the output of a query: column names plus materialized rows.
+type Result struct {
+	Cols []string
+	Rows []relation.Tuple
+}
+
+// Query parses and runs a SELECT (or any row-returning statement).
+func (db *DB) Query(sqlText string, params ...relation.Value) (*Result, error) {
+	stmt, err := Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("sql: Query requires a SELECT statement")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.execSelect(sel, params)
+}
+
+// Exec parses and runs one or more non-query statements separated by
+// semicolons, returning the total number of affected rows.
+func (db *DB) Exec(sqlText string, params ...relation.Value) (int64, error) {
+	stmts, err := ParseScript(sqlText)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, stmt := range stmts {
+		n, err := db.ExecStmt(stmt, params...)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// QueryStmt runs a parsed SELECT.
+func (db *DB) QueryStmt(sel *Select, params ...relation.Value) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.execSelect(sel, params)
+}
+
+// ExecStmt runs one parsed statement.
+func (db *DB) ExecStmt(stmt Statement, params ...relation.Value) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.execStmtLocked(stmt, params)
+}
+
+func (db *DB) execStmtLocked(stmt Statement, params []relation.Value) (int64, error) {
+	switch s := stmt.(type) {
+	case *CreateTable:
+		db.mu.Unlock()
+		err := db.CreateTable(s.Name, s.Cols, s.IfNotExists)
+		db.mu.Lock()
+		return 0, err
+	case *CreateIndex:
+		db.mu.Unlock()
+		err := db.CreateIndex(s.Name, s.Table, s.Cols)
+		db.mu.Lock()
+		return 0, err
+	case *DropTable:
+		db.mu.Unlock()
+		err := db.DropTable(s.Name, s.IfExists)
+		db.mu.Lock()
+		return 0, err
+	case *TruncateTable:
+		t, err := db.table(s.Name)
+		if err != nil {
+			return 0, err
+		}
+		db.backupForTx(t)
+		n := int64(len(t.Rows))
+		t.Rows = t.Rows[:0]
+		t.mutated()
+		return n, nil
+	case *Insert:
+		return db.execInsert(s, params)
+	case *Update:
+		return db.execUpdate(s, params)
+	case *Delete:
+		return db.execDelete(s, params)
+	case *Select:
+		res, err := db.execSelect(s, params)
+		if err != nil {
+			return 0, err
+		}
+		return int64(len(res.Rows)), nil
+	default:
+		return 0, fmt.Errorf("sql: unhandled statement %T", stmt)
+	}
+}
+
+// --- SELECT ---
+
+type compiledSelect struct {
+	depth    int
+	sources  []compiledSource
+	where    compiledExpr
+	grouped  bool
+	groupBy  []compiledExpr
+	having   compiledExpr
+	aggs     []*aggSpec
+	cols     []string
+	outs     []compiledExpr
+	distinct bool
+	orderBy  []compiledOrder
+	limit    compiledExpr
+	offset   compiledExpr
+
+	// scratch is the reusable frame row slot for execExists. Statements
+	// run one at a time and a select cannot contain itself, so reuse
+	// across sequential invocations is safe.
+	scratch []relation.Tuple
+}
+
+// errFound is the sentinel execExists uses to abort the join loop at
+// the first produced row.
+var errFound = fmt.Errorf("sqldb: row found")
+
+// execExists reports whether the select yields at least one row,
+// without materializing output rows. Grouped or derived-table shapes
+// fall back to full execution.
+func (cs *compiledSelect) execExists(en *env) (bool, error) {
+	if cs.grouped || cs.limit != nil || cs.offset != nil {
+		rows, err := cs.exec(en)
+		return len(rows) > 0, err
+	}
+	for _, src := range cs.sources {
+		if src.sub != nil {
+			rows, err := cs.exec(en)
+			return len(rows) > 0, err
+		}
+	}
+	if len(en.frames) != cs.depth {
+		return false, fmt.Errorf("sql: internal: frame depth %d, want %d", len(en.frames), cs.depth)
+	}
+	srcRows := make([][]relation.Tuple, len(cs.sources))
+	for i, src := range cs.sources {
+		srcRows[i] = src.table.Rows
+	}
+	if cs.scratch == nil {
+		cs.scratch = make([]relation.Tuple, len(cs.sources))
+	}
+	en.frames = append(en.frames, frame{rows: cs.scratch})
+	err := cs.joinLoop(en, srcRows, 0, func() error { return errFound })
+	en.frames = en.frames[:cs.depth]
+	if err == errFound {
+		return true, nil
+	}
+	return false, err
+}
+
+type compiledOrder struct {
+	ex      compiledExpr
+	ordinal int // 1-based output column when > 0
+	desc    bool
+}
+
+type compiledSource struct {
+	table *Table
+	sub   *compiledSelect
+	width int
+}
+
+// execSelect compiles and runs a select at the top level.
+func (db *DB) execSelect(sel *Select, params []relation.Value) (*Result, error) {
+	c := &compiler{db: db}
+	cs, err := c.compileSubSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	en := newEnv(db, params)
+	rows, err := cs.exec(en)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: cs.cols, Rows: rows}, nil
+}
+
+func newEnv(db *DB, params []relation.Value) *env {
+	return &env{
+		db:     db,
+		params: params,
+		aggs:   make(map[*compiledSelect][]relation.Value),
+		hash:   make(map[*Exists]*hashBuild),
+		inSets: make(map[*InSelect]*inBuild),
+	}
+}
+
+// compileSubSelect compiles sel in a child scope of the compiler's
+// current scope stack.
+func (c *compiler) compileSubSelect(sel *Select) (*compiledSelect, error) {
+	scope, err := c.scopeFor(sel)
+	if err != nil {
+		return nil, err
+	}
+	inner := &compiler{
+		db:     c.db,
+		scopes: append(append([]*scopeInfo{}, c.scopes...), scope),
+	}
+	cs := &compiledSelect{depth: len(c.scopes)}
+
+	for _, tr := range sel.From {
+		var src compiledSource
+		if tr.Sub != nil {
+			// Derived tables see only outer scopes, not siblings.
+			sub, err := c.compileSubSelect(tr.Sub)
+			if err != nil {
+				return nil, err
+			}
+			src = compiledSource{sub: sub, width: len(sub.cols)}
+		} else {
+			t, err := c.db.table(tr.Table)
+			if err != nil {
+				return nil, err
+			}
+			src = compiledSource{table: t, width: t.Schema.Width()}
+		}
+		cs.sources = append(cs.sources, src)
+	}
+
+	if sel.Where != nil {
+		if cs.where, err = inner.compileExpr(sel.Where); err != nil {
+			return nil, err
+		}
+	}
+
+	// Decide grouping: explicit GROUP BY, or aggregates anywhere in the
+	// select list / HAVING.
+	cs.grouped = len(sel.GroupBy) > 0 || sel.Having != nil || selectHasAggregate(sel)
+	if cs.grouped {
+		inner.aggSink = &aggCollector{cs: cs}
+	}
+
+	for _, g := range sel.GroupBy {
+		// Group keys are row-context expressions: no aggregates.
+		sink := inner.aggSink
+		inner.aggSink = nil
+		ge, err := inner.compileExpr(g)
+		inner.aggSink = sink
+		if err != nil {
+			return nil, err
+		}
+		cs.groupBy = append(cs.groupBy, ge)
+	}
+
+	// Output expressions.
+	if cs.cols, err = outputColumns(c, sel); err != nil {
+		return nil, err
+	}
+	for _, se := range sel.Exprs {
+		if se.Star {
+			for si, src := range scope.sources {
+				if se.StarTable != "" && !strings.EqualFold(src.name, se.StarTable) {
+					continue
+				}
+				for ci := range src.cols {
+					b := binding{depth: cs.depth, src: si, col: ci}
+					cs.outs = append(cs.outs, func(en *env) (relation.Value, error) {
+						return en.frames[b.depth].rows[b.src][b.col], nil
+					})
+				}
+			}
+			continue
+		}
+		oe, err := inner.compileExpr(se.Expr)
+		if err != nil {
+			return nil, err
+		}
+		cs.outs = append(cs.outs, oe)
+	}
+	if len(cs.outs) != len(cs.cols) {
+		return nil, fmt.Errorf("sql: internal: %d output exprs for %d columns", len(cs.outs), len(cs.cols))
+	}
+
+	if sel.Having != nil {
+		if cs.having, err = inner.compileExpr(sel.Having); err != nil {
+			return nil, err
+		}
+	}
+	cs.distinct = sel.Distinct
+	for _, o := range sel.OrderBy {
+		co := compiledOrder{desc: o.Desc}
+		if lit, ok := o.Expr.(*Literal); ok && lit.Val.K == relation.KindInt {
+			co.ordinal = int(lit.Val.I)
+			if co.ordinal < 1 || co.ordinal > len(cs.cols) {
+				return nil, fmt.Errorf("sql: ORDER BY ordinal %d out of range", co.ordinal)
+			}
+		} else if co.ex, err = inner.compileExpr(o.Expr); err != nil {
+			return nil, err
+		}
+		cs.orderBy = append(cs.orderBy, co)
+	}
+	if sel.Limit != nil {
+		if cs.limit, err = inner.compileExpr(sel.Limit); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Offset != nil {
+		if cs.offset, err = inner.compileExpr(sel.Offset); err != nil {
+			return nil, err
+		}
+	}
+	if len(cs.aggs) == 0 && inner.aggSink != nil {
+		cs.aggs = inner.aggSink.specs
+	}
+	return cs, nil
+}
+
+func selectHasAggregate(sel *Select) bool {
+	found := false
+	var walk func(Expr)
+	walk = func(e Expr) {
+		if found || e == nil {
+			return
+		}
+		switch x := e.(type) {
+		case *FuncCall:
+			if aggNames[x.Name] {
+				found = true
+				return
+			}
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *Unary:
+			walk(x.X)
+		case *Binary:
+			walk(x.L)
+			walk(x.R)
+		case *IsNull:
+			walk(x.X)
+		case *InList:
+			walk(x.X)
+			for _, it := range x.List {
+				walk(it)
+			}
+		case *Like:
+			walk(x.X)
+			walk(x.Pattern)
+		case *Between:
+			walk(x.X)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *Case:
+			walk(x.Operand)
+			for _, w := range x.Whens {
+				walk(w.Cond)
+				walk(w.Result)
+			}
+			walk(x.Else)
+		}
+		// Subqueries keep their own aggregate scope.
+	}
+	for _, se := range sel.Exprs {
+		walk(se.Expr)
+	}
+	walk(sel.Having)
+	return found
+}
+
+// exec runs the compiled select and materializes its output rows. The
+// env's frame stack must hold exactly cs.depth frames.
+func (cs *compiledSelect) exec(en *env) ([]relation.Tuple, error) {
+	if len(en.frames) != cs.depth {
+		return nil, fmt.Errorf("sql: internal: frame depth %d, want %d", len(en.frames), cs.depth)
+	}
+
+	// Materialize sources.
+	srcRows := make([][]relation.Tuple, len(cs.sources))
+	for i, src := range cs.sources {
+		if src.table != nil {
+			srcRows[i] = src.table.Rows
+			continue
+		}
+		rows, err := src.sub.exec(en)
+		if err != nil {
+			return nil, err
+		}
+		srcRows[i] = rows
+	}
+
+	fr := frame{rows: make([]relation.Tuple, len(cs.sources))}
+	en.frames = append(en.frames, fr)
+	defer func() { en.frames = en.frames[:cs.depth] }()
+
+	var out []relation.Tuple
+	var sortKeys [][]relation.Value
+
+	emit := func() error {
+		row := make(relation.Tuple, len(cs.outs))
+		for i, oe := range cs.outs {
+			v, err := oe(en)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		if len(cs.orderBy) > 0 {
+			keys := make([]relation.Value, len(cs.orderBy))
+			for i, o := range cs.orderBy {
+				if o.ordinal > 0 {
+					keys[i] = row[o.ordinal-1]
+					continue
+				}
+				v, err := o.ex(en)
+				if err != nil {
+					return err
+				}
+				keys[i] = v
+			}
+			sortKeys = append(sortKeys, keys)
+		}
+		out = append(out, row)
+		return nil
+	}
+
+	if cs.grouped {
+		if err := cs.execGrouped(en, srcRows, emit); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := cs.joinLoop(en, srcRows, 0, emit); err != nil {
+			return nil, err
+		}
+	}
+
+	// DISTINCT before ORDER BY.
+	if cs.distinct {
+		seen := make(map[string]bool, len(out))
+		dedup := out[:0]
+		var dedupKeys [][]relation.Value
+		for i, row := range out {
+			k := row.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			dedup = append(dedup, row)
+			if len(cs.orderBy) > 0 {
+				dedupKeys = append(dedupKeys, sortKeys[i])
+			}
+		}
+		out = dedup
+		sortKeys = dedupKeys
+	}
+
+	if len(cs.orderBy) > 0 {
+		idx := make([]int, len(out))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			ka, kb := sortKeys[idx[a]], sortKeys[idx[b]]
+			for i, o := range cs.orderBy {
+				cmp := relation.Compare(ka[i], kb[i])
+				if o.desc {
+					cmp = -cmp
+				}
+				if cmp != 0 {
+					return cmp < 0
+				}
+			}
+			return false
+		})
+		sorted := make([]relation.Tuple, len(out))
+		for i, j := range idx {
+			sorted[i] = out[j]
+		}
+		out = sorted
+	}
+
+	// OFFSET / LIMIT.
+	if cs.offset != nil {
+		v, err := cs.offset(en)
+		if err != nil {
+			return nil, err
+		}
+		n := int(v.I)
+		if n > len(out) {
+			n = len(out)
+		}
+		if n > 0 {
+			out = out[n:]
+		}
+	}
+	if cs.limit != nil {
+		v, err := cs.limit(en)
+		if err != nil {
+			return nil, err
+		}
+		if n := int(v.I); n >= 0 && n < len(out) {
+			out = out[:n]
+		}
+	}
+	return out, nil
+}
+
+// joinLoop nested-loops over the FROM sources, calling yield for every
+// combination passing WHERE.
+func (cs *compiledSelect) joinLoop(en *env, src [][]relation.Tuple, i int, yield func() error) error {
+	if i == len(src) {
+		if cs.where != nil {
+			v, err := cs.where(en)
+			if err != nil {
+				return err
+			}
+			if !v.Truth() {
+				return nil
+			}
+		}
+		return yield()
+	}
+	fr := &en.frames[cs.depth]
+	for _, row := range src[i] {
+		fr.rows[i] = row
+		if err := cs.joinLoop(en, src, i+1, yield); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execGrouped evaluates GROUP BY / aggregate semantics: one output row
+// per group passing HAVING, non-aggregate expressions evaluated on a
+// representative row of the group.
+func (cs *compiledSelect) execGrouped(en *env, src [][]relation.Tuple, emit func() error) error {
+	type group struct {
+		rep  []relation.Tuple
+		accs []*aggAcc
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	fr := &en.frames[cs.depth]
+	var keyBuf []byte
+	err := cs.joinLoop(en, src, 0, func() error {
+		keyBuf = keyBuf[:0]
+		for _, ge := range cs.groupBy {
+			v, err := ge(en)
+			if err != nil {
+				return err
+			}
+			keyBuf = relation.AppendKey(keyBuf, v)
+			keyBuf = append(keyBuf, 0x1f)
+		}
+		g := groups[string(keyBuf)]
+		if g == nil {
+			key := string(keyBuf)
+			g = &group{rep: append([]relation.Tuple(nil), fr.rows...), accs: newAccs(cs.aggs)}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i, spec := range cs.aggs {
+			if err := g.accs[i].add(en, spec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// A global aggregate over an empty input still yields one row.
+	if len(groups) == 0 && len(cs.groupBy) == 0 {
+		rep := make([]relation.Tuple, len(cs.sources))
+		for i, s := range cs.sources {
+			rep[i] = make(relation.Tuple, s.width) // all NULLs
+		}
+		groups[""] = &group{rep: rep, accs: newAccs(cs.aggs)}
+		order = append(order, "")
+	}
+
+	for _, key := range order {
+		g := groups[key]
+		copy(fr.rows, g.rep)
+		vals := make([]relation.Value, len(cs.aggs))
+		for i, spec := range cs.aggs {
+			vals[i] = g.accs[i].final(spec)
+		}
+		en.aggs[cs] = vals
+		if cs.having != nil {
+			hv, err := cs.having(en)
+			if err != nil {
+				return err
+			}
+			if !hv.Truth() {
+				continue
+			}
+		}
+		if err := emit(); err != nil {
+			return err
+		}
+	}
+	delete(en.aggs, cs)
+	return nil
+}
+
+// aggAcc accumulates one aggregate over one group.
+type aggAcc struct {
+	rows     int64
+	nonNull  int64
+	sumI     int64
+	sumF     float64
+	isFloat  bool
+	min, max relation.Value
+	distinct map[string]bool
+}
+
+func newAccs(specs []*aggSpec) []*aggAcc {
+	out := make([]*aggAcc, len(specs))
+	for i, s := range specs {
+		out[i] = &aggAcc{}
+		if s.distinct {
+			out[i].distinct = make(map[string]bool)
+		}
+	}
+	return out
+}
+
+func (a *aggAcc) add(en *env, spec *aggSpec) error {
+	a.rows++
+	if spec.star {
+		return nil
+	}
+	v, err := spec.arg(en)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	if spec.distinct {
+		k := v.Key()
+		if a.distinct[k] {
+			return nil
+		}
+		a.distinct[k] = true
+	}
+	a.nonNull++
+	switch v.K {
+	case relation.KindFloat:
+		a.isFloat = true
+		a.sumF += v.F
+	case relation.KindInt, relation.KindBool:
+		a.sumI += v.I
+		a.sumF += float64(v.I)
+	}
+	if a.min.IsNull() || relation.Compare(v, a.min) < 0 {
+		a.min = v
+	}
+	if a.max.IsNull() || relation.Compare(v, a.max) > 0 {
+		a.max = v
+	}
+	return nil
+}
+
+func (a *aggAcc) final(spec *aggSpec) relation.Value {
+	switch spec.name {
+	case "COUNT":
+		if spec.star {
+			return relation.Int(a.rows)
+		}
+		return relation.Int(a.nonNull)
+	case "SUM":
+		if a.nonNull == 0 {
+			return relation.Null()
+		}
+		if a.isFloat {
+			return relation.Float(a.sumF)
+		}
+		return relation.Int(a.sumI)
+	case "AVG":
+		if a.nonNull == 0 {
+			return relation.Null()
+		}
+		return relation.Float(a.sumF / float64(a.nonNull))
+	case "MIN":
+		return a.min
+	case "MAX":
+		return a.max
+	default:
+		return relation.Null()
+	}
+}

@@ -1,0 +1,176 @@
+package sqldb
+
+import (
+	"testing"
+
+	"ecfd/internal/relation"
+)
+
+func TestExistsWithDerivedTableFallsBack(t *testing.T) {
+	db := testDB(t)
+	// EXISTS over a derived table cannot decorrelate or use execExists's
+	// fast path — it must still be correct.
+	res := mustQuery(t, db, `SELECT e.id FROM emp e WHERE EXISTS
+		(SELECT 1 FROM (SELECT dept AS dn FROM emp WHERE salary > 95) m WHERE m.dn = e.dept)
+		ORDER BY e.id`)
+	if flat(res) != "1;2" {
+		t.Errorf("got %q", flat(res))
+	}
+}
+
+func TestExistsGroupedSubquery(t *testing.T) {
+	db := testDB(t)
+	// Grouped subqueries bail to full execution inside EXISTS.
+	res := mustQuery(t, db, `SELECT e.id FROM emp e WHERE EXISTS
+		(SELECT dept FROM emp GROUP BY dept HAVING COUNT(*) > 2)`)
+	if flat(res) != "" { // no department has 3 members
+		t.Errorf("got %q", flat(res))
+	}
+	res = mustQuery(t, db, `SELECT COUNT(*) FROM emp e WHERE EXISTS
+		(SELECT dept FROM emp GROUP BY dept HAVING COUNT(*) > 1)`)
+	if flat(res) != "5" {
+		t.Errorf("got %q", flat(res))
+	}
+}
+
+func TestCorrelatedScalarSubquery(t *testing.T) {
+	db := testDB(t)
+	res := mustQuery(t, db, `SELECT e.name,
+		(SELECT COUNT(*) FROM emp e2 WHERE e2.dept = e.dept) FROM emp e ORDER BY e.id`)
+	if flat(res) != "ann,2;bob,2;cat,2;dan,2;eve,1" {
+		t.Errorf("got %q", flat(res))
+	}
+}
+
+func TestCorrelatedInSubquery(t *testing.T) {
+	db := testDB(t)
+	// Correlated IN: for each employee, the heads of their department.
+	res := mustQuery(t, db, `SELECT e.id FROM emp e WHERE e.name IN
+		(SELECT d.head FROM dept d WHERE d.name = e.dept) ORDER BY e.id`)
+	if flat(res) != "1;3" {
+		t.Errorf("got %q", flat(res))
+	}
+}
+
+func TestNestedSubqueryThreeDeep(t *testing.T) {
+	db := testDB(t)
+	res := mustQuery(t, db, `SELECT e.id FROM emp e WHERE EXISTS
+		(SELECT 1 FROM dept d WHERE d.name = e.dept AND EXISTS
+			(SELECT 1 FROM emp e2 WHERE e2.name = d.head AND e2.salary > 90))
+		ORDER BY e.id`)
+	// Only eng's head (ann, 100) passes the innermost filter.
+	if flat(res) != "1;2" {
+		t.Errorf("got %q", flat(res))
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	db := testDB(t)
+	res := mustQuery(t, db, `SELECT COUNT(*) FROM emp GROUP BY salary IS NULL ORDER BY 1`)
+	if flat(res) != "1;4" {
+		t.Errorf("got %q", flat(res))
+	}
+}
+
+func TestHavingWithoutGroupBy(t *testing.T) {
+	db := testDB(t)
+	res := mustQuery(t, db, `SELECT COUNT(*) FROM emp HAVING COUNT(*) > 3`)
+	if flat(res) != "5" {
+		t.Errorf("got %q", flat(res))
+	}
+	res = mustQuery(t, db, `SELECT COUNT(*) FROM emp HAVING COUNT(*) > 99`)
+	if flat(res) != "" {
+		t.Errorf("got %q", flat(res))
+	}
+}
+
+func TestLimitOffsetParams(t *testing.T) {
+	db := testDB(t)
+	res := mustQuery(t, db, `SELECT id FROM emp ORDER BY id LIMIT ? OFFSET ?`,
+		relation.Int(2), relation.Int(1))
+	if flat(res) != "2;3" {
+		t.Errorf("got %q", flat(res))
+	}
+}
+
+func TestUpdateMultipleColumnsSnapshot(t *testing.T) {
+	db := testDB(t)
+	// SET expressions see the pre-update values (snapshot semantics):
+	// swapping via two assignments must not cascade.
+	mustExec(t, db, `CREATE TABLE sw (a INTEGER, b INTEGER)`)
+	mustExec(t, db, `INSERT INTO sw VALUES (1, 2)`)
+	mustExec(t, db, `UPDATE sw SET a = b, b = a`)
+	res := mustQuery(t, db, `SELECT a, b FROM sw`)
+	if flat(res) != "2,1" {
+		t.Errorf("swap got %q", flat(res))
+	}
+}
+
+func TestInsertFromExpression(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `CREATE TABLE calc (v INTEGER)`)
+	mustExec(t, db, `INSERT INTO calc VALUES (1 + 2 * 3), (ABS(-4))`)
+	res := mustQuery(t, db, `SELECT v FROM calc ORDER BY v`)
+	if flat(res) != "4;7" {
+		t.Errorf("got %q", flat(res))
+	}
+}
+
+func TestDecorrelationDisabledEquivalence(t *testing.T) {
+	db := testDB(t)
+	q := `SELECT e.id FROM emp e WHERE EXISTS (SELECT 1 FROM dept d WHERE d.name = e.dept) ORDER BY e.id`
+	want := flat(mustQuery(t, db, q))
+
+	DisableDecorrelation = true
+	defer func() { DisableDecorrelation = false }()
+	if got := flat(mustQuery(t, db, q)); got != want {
+		t.Errorf("decorrelation changed semantics: %q vs %q", got, want)
+	}
+}
+
+func TestIndexProbeEquivalence(t *testing.T) {
+	// With an index on the probe columns the EXISTS path switches to
+	// persistent-index probing; results must match the hash-build path,
+	// including after mutations (lazy rebuild).
+	build := func(withIndex bool) *DB {
+		db := NewDB()
+		mustExec(t, db, `CREATE TABLE big (k INTEGER, v TEXT)`)
+		mustExec(t, db, `CREATE TABLE probe (k INTEGER)`)
+		if withIndex {
+			mustExec(t, db, `CREATE INDEX bigk ON big (k)`)
+		}
+		mustExec(t, db, `INSERT INTO big VALUES (1, 'a'), (2, 'b'), (3, 'c')`)
+		mustExec(t, db, `INSERT INTO probe VALUES (2), (3), (4)`)
+		return db
+	}
+	q := `SELECT p.k FROM probe p WHERE EXISTS (SELECT 1 FROM big b WHERE b.k = p.k) ORDER BY p.k`
+	plain := build(false)
+	indexed := build(true)
+	if a, b := flat(mustQuery(t, plain, q)), flat(mustQuery(t, indexed, q)); a != b {
+		t.Fatalf("index path diverges: %q vs %q", a, b)
+	}
+	// Mutate and re-query: the lazy rebuild must see the new row.
+	mustExec(t, indexed, `INSERT INTO big VALUES (4, 'd')`)
+	if got := flat(mustQuery(t, indexed, q)); got != "2;3;4" {
+		t.Errorf("after mutation got %q", got)
+	}
+	mustExec(t, indexed, `DELETE FROM big WHERE k = 2`)
+	if got := flat(mustQuery(t, indexed, q)); got != "3;4" {
+		t.Errorf("after delete got %q", got)
+	}
+}
+
+func TestCaseInOperandForm(t *testing.T) {
+	db := testDB(t)
+	res := mustQuery(t, db, `SELECT CASE dept WHEN 'eng' THEN 'E' WHEN 'ops' THEN 'O' ELSE '?' END
+		FROM emp ORDER BY id`)
+	if flat(res) != "E;E;O;O;?" {
+		t.Errorf("got %q", flat(res))
+	}
+	// NULL operand never matches any WHEN.
+	res = mustQuery(t, db, `SELECT CASE salary WHEN 100 THEN 'century' ELSE 'other' END
+		FROM emp WHERE id = 5`)
+	if flat(res) != "other" {
+		t.Errorf("NULL operand got %q", flat(res))
+	}
+}

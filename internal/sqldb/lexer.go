@@ -1,0 +1,175 @@
+// Package sqldb is an embedded, in-memory SQL database engine. It
+// stands in for the commercial RDBMS used in the paper's experiments
+// (§VI): the eCFD detection algorithms only *generate* SQL, so any
+// engine that executes the generated dialect — multi-table FROM lists,
+// correlated EXISTS / NOT EXISTS, GROUP BY / HAVING, CASE, DISTINCT,
+// UPDATE ... WHERE — reproduces them faithfully.
+//
+// The pipeline is conventional: lexer → recursive-descent parser → AST
+// → compiler (expressions become closures with resolved column
+// indexes) → executor. Correlated EXISTS subqueries whose predicates
+// are equality conjunctions against outer expressions are decorrelated
+// into one hash build plus O(1) probes per outer row, which is what
+// makes detection two passes over D as the paper requires.
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokString
+	tokNumber
+	tokPunct
+	tokParam // '?'
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents as written; strings unquoted
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"OFFSET": true, "AS": true, "DISTINCT": true, "ALL": true, "AND": true,
+	"OR": true, "NOT": true, "IN": true, "EXISTS": true, "IS": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "CASE": true, "WHEN": true,
+	"THEN": true, "ELSE": true, "END": true, "BETWEEN": true, "LIKE": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "CREATE": true, "TABLE": true, "INDEX": true, "DROP": true,
+	"IF": true, "ON": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"OUTER": true, "CROSS": true, "UNION": true, "PRIMARY": true, "KEY": true,
+	"INTEGER": true, "INT": true, "TEXT": true, "VARCHAR": true, "REAL": true,
+	"FLOAT": true, "BOOLEAN": true, "BOOL": true, "COUNT": true, "SUM": true,
+	"AVG": true, "MIN": true, "MAX": true, "BEGIN": true, "COMMIT": true,
+	"ROLLBACK": true, "TRUNCATE": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+// lexError is a positioned scan/parse error.
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("sql: at offset %d: %s", e.pos, e.msg) }
+
+func errAt(pos int, format string, args ...any) error {
+	return &lexError{pos: pos, msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return token{}, errAt(l.pos, "unterminated block comment")
+			}
+			l.pos += 2 + end + 2
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'') // '' escapes a quote
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: b.String(), pos: start}, nil
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+		return token{}, errAt(start, "unterminated string literal")
+
+	case c == '"': // quoted identifier
+		l.pos++
+		end := strings.IndexByte(l.src[l.pos:], '"')
+		if end < 0 {
+			return token{}, errAt(start, "unterminated quoted identifier")
+		}
+		text := l.src[l.pos : l.pos+end]
+		l.pos += end + 1
+		return token{kind: tokIdent, text: text, pos: start}, nil
+
+	case c >= '0' && c <= '9', c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' ||
+			l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+			((l.src[l.pos] == '+' || l.src[l.pos] == '-') && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+
+	case c == '?':
+		l.pos++
+		return token{kind: tokParam, text: "?", pos: start}, nil
+
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start}, nil
+
+	default:
+		for _, op := range [...]string{"<>", "<=", ">=", "!=", "||"} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += 2
+				return token{kind: tokPunct, text: op, pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("(),.*=<>+-/%;", rune(c)) {
+			l.pos++
+			return token{kind: tokPunct, text: string(c), pos: start}, nil
+		}
+		return token{}, errAt(start, "unexpected character %q", c)
+	}
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c|0x20 >= 'a' && c|0x20 <= 'z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) || c == '$' || c == '@' }

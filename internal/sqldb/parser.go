@@ -1,0 +1,1035 @@
+package sqldb
+
+import (
+	"strconv"
+	"strings"
+
+	"ecfd/internal/relation"
+)
+
+// Parse parses a single SQL statement.
+func Parse(src string) (Statement, error) {
+	stmts, err := ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, errAt(0, "expected exactly one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func ParseScript(src string) ([]Statement, error) {
+	p := &parser{lex: &lexer{src: src}}
+	p.bump()
+	var out []Statement
+	for {
+		for p.isPunct(";") {
+			p.bump()
+		}
+		if p.tok.kind == tokEOF {
+			break
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		if p.err != nil {
+			return nil, p.err
+		}
+		if p.tok.kind != tokEOF && !p.isPunct(";") {
+			return nil, errAt(p.tok.pos, "unexpected %s after statement", p.tok)
+		}
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if len(out) == 0 {
+		return nil, errAt(0, "empty statement")
+	}
+	return out, nil
+}
+
+type parser struct {
+	lex    *lexer
+	tok    token
+	err    error
+	params int
+}
+
+func (p *parser) bump() {
+	if p.err != nil {
+		p.tok = token{kind: tokEOF}
+		return
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		p.err = err
+		t = token{kind: tokEOF}
+	}
+	p.tok = t
+}
+
+func (p *parser) isKeyword(kw string) bool { return p.tok.kind == tokKeyword && p.tok.text == kw }
+func (p *parser) isPunct(s string) bool    { return p.tok.kind == tokPunct && p.tok.text == s }
+
+// accept consumes the keyword if present.
+func (p *parser) accept(kw string) bool {
+	if p.isKeyword(kw) {
+		p.bump()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return errAt(p.tok.pos, "expected %s, got %s", kw, p.tok)
+	}
+	p.bump()
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.isPunct(s) {
+		return errAt(p.tok.pos, "expected %q, got %s", s, p.tok)
+	}
+	p.bump()
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	// Non-reserved keywords (type names, function names) may be used as
+	// identifiers in practice; we allow a safe subset.
+	if p.tok.kind == tokIdent ||
+		(p.tok.kind == tokKeyword && relaxedIdent[p.tok.text]) {
+		s := p.tok.text
+		p.bump()
+		return s, nil
+	}
+	return "", errAt(p.tok.pos, "expected identifier, got %s", p.tok)
+}
+
+var relaxedIdent = map[string]bool{
+	"KEY": true, "INDEX": true, "COUNT": true, "SUM": true, "MIN": true,
+	"MAX": true, "AVG": true, "TEXT": true, "INT": true, "REAL": true,
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.isKeyword("SELECT"):
+		return p.selectStmt()
+	case p.isKeyword("CREATE"):
+		return p.createStmt()
+	case p.isKeyword("DROP"):
+		return p.dropStmt()
+	case p.isKeyword("TRUNCATE"):
+		p.bump()
+		p.accept("TABLE")
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &TruncateTable{Name: name}, nil
+	case p.isKeyword("INSERT"):
+		return p.insertStmt()
+	case p.isKeyword("UPDATE"):
+		return p.updateStmt()
+	case p.isKeyword("DELETE"):
+		return p.deleteStmt()
+	default:
+		return nil, errAt(p.tok.pos, "expected statement, got %s", p.tok)
+	}
+}
+
+func (p *parser) createStmt() (Statement, error) {
+	p.bump() // CREATE
+	switch {
+	case p.isKeyword("TABLE"):
+		p.bump()
+		ct := &CreateTable{}
+		if p.isKeyword("IF") {
+			p.bump()
+			if err := p.expectKeyword("NOT"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("EXISTS"); err != nil {
+				return nil, err
+			}
+			ct.IfNotExists = true
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ct.Name = name
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			kind, err := p.columnType()
+			if err != nil {
+				return nil, err
+			}
+			ct.Cols = append(ct.Cols, ColumnDef{Name: col, Kind: kind})
+			// Swallow simple column constraints.
+			for p.isKeyword("PRIMARY") || p.isKeyword("KEY") || p.isKeyword("NOT") || p.isKeyword("NULL") {
+				p.bump()
+			}
+			if p.isPunct(",") {
+				p.bump()
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return ct, nil
+	case p.isKeyword("INDEX"):
+		p.bump()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		ci := &CreateIndex{Name: name, Table: table}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ci.Cols = append(ci.Cols, col)
+			if p.isPunct(",") {
+				p.bump()
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return ci, nil
+	default:
+		return nil, errAt(p.tok.pos, "expected TABLE or INDEX after CREATE, got %s", p.tok)
+	}
+}
+
+func (p *parser) columnType() (relation.Kind, error) {
+	if p.tok.kind != tokKeyword {
+		return 0, errAt(p.tok.pos, "expected column type, got %s", p.tok)
+	}
+	var k relation.Kind
+	switch p.tok.text {
+	case "INTEGER", "INT":
+		k = relation.KindInt
+	case "TEXT", "VARCHAR":
+		k = relation.KindText
+	case "REAL", "FLOAT":
+		k = relation.KindFloat
+	case "BOOLEAN", "BOOL":
+		k = relation.KindBool
+	default:
+		return 0, errAt(p.tok.pos, "unknown column type %s", p.tok)
+	}
+	p.bump()
+	if p.isPunct("(") { // VARCHAR(255) — size is ignored
+		p.bump()
+		if p.tok.kind != tokNumber {
+			return 0, errAt(p.tok.pos, "expected size, got %s", p.tok)
+		}
+		p.bump()
+		if err := p.expectPunct(")"); err != nil {
+			return 0, err
+		}
+	}
+	return k, nil
+}
+
+func (p *parser) dropStmt() (Statement, error) {
+	p.bump() // DROP
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	dt := &DropTable{}
+	if p.isKeyword("IF") {
+		p.bump()
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		dt.IfExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	dt.Name = name
+	return dt, nil
+}
+
+func (p *parser) insertStmt() (Statement, error) {
+	p.bump() // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name}
+	if p.isPunct("(") {
+		p.bump()
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Cols = append(ins.Cols, col)
+			if p.isPunct(",") {
+				p.bump()
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case p.isKeyword("VALUES"):
+		p.bump()
+		for {
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			var row []Expr
+			for {
+				e, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if p.isPunct(",") {
+					p.bump()
+					continue
+				}
+				break
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			ins.Rows = append(ins.Rows, row)
+			if p.isPunct(",") {
+				p.bump()
+				continue
+			}
+			break
+		}
+		return ins, nil
+	case p.isKeyword("SELECT"):
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		ins.Query = sel
+		return ins, nil
+	default:
+		return nil, errAt(p.tok.pos, "expected VALUES or SELECT, got %s", p.tok)
+	}
+}
+
+func (p *parser) updateStmt() (Statement, error) {
+	p.bump() // UPDATE
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	up := &Update{Table: name}
+	if p.tok.kind == tokIdent { // optional alias
+		up.Alias = p.tok.text
+		p.bump()
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		val, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		up.Set = append(up.Set, Assignment{Column: col, Value: val})
+		if p.isPunct(",") {
+			p.bump()
+			continue
+		}
+		break
+	}
+	if p.accept("WHERE") {
+		if up.Where, err = p.expression(); err != nil {
+			return nil, err
+		}
+	}
+	return up, nil
+}
+
+func (p *parser) deleteStmt() (Statement, error) {
+	p.bump() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: name}
+	if p.tok.kind == tokIdent {
+		del.Alias = p.tok.text
+		p.bump()
+	}
+	if p.accept("WHERE") {
+		if del.Where, err = p.expression(); err != nil {
+			return nil, err
+		}
+	}
+	return del, nil
+}
+
+func (p *parser) selectStmt() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	if p.accept("DISTINCT") {
+		sel.Distinct = true
+	} else {
+		p.accept("ALL")
+	}
+	for {
+		se, err := p.selectExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Exprs = append(sel.Exprs, se)
+		if p.isPunct(",") {
+			p.bump()
+			continue
+		}
+		break
+	}
+	if p.accept("FROM") {
+		tr, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, tr)
+	fromList:
+		for {
+			switch {
+			case p.isPunct(","):
+				p.bump()
+				tr, err := p.tableRef()
+				if err != nil {
+					return nil, err
+				}
+				sel.From = append(sel.From, tr)
+			case p.isKeyword("CROSS"), p.isKeyword("INNER"), p.isKeyword("JOIN"):
+				p.accept("CROSS")
+				p.accept("INNER")
+				if err := p.expectKeyword("JOIN"); err != nil {
+					return nil, err
+				}
+				tr, err := p.tableRef()
+				if err != nil {
+					return nil, err
+				}
+				sel.From = append(sel.From, tr)
+				if p.accept("ON") {
+					cond, err := p.expression()
+					if err != nil {
+						return nil, err
+					}
+					sel.Where = conjoin(sel.Where, cond)
+				}
+			default:
+				break fromList
+			}
+		}
+	}
+	if p.accept("WHERE") {
+		w, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = conjoin(sel.Where, w)
+	}
+	if p.accept("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if p.isPunct(",") {
+				p.bump()
+				continue
+			}
+			break
+		}
+	}
+	if p.accept("HAVING") {
+		h, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+	if p.accept("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept("DESC") {
+				item.Desc = true
+			} else {
+				p.accept("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if p.isPunct(",") {
+				p.bump()
+				continue
+			}
+			break
+		}
+	}
+	if p.accept("LIMIT") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = e
+	}
+	if p.accept("OFFSET") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		sel.Offset = e
+	}
+	return sel, nil
+}
+
+func conjoin(a, b Expr) Expr {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &Binary{Op: "AND", L: a, R: b}
+}
+
+func (p *parser) selectExpr() (SelectExpr, error) {
+	if p.isPunct("*") {
+		p.bump()
+		return SelectExpr{Star: true}, nil
+	}
+	// t.* form: identifier '.' '*'
+	if p.tok.kind == tokIdent {
+		save := *p.lex
+		saveTok := p.tok
+		name := p.tok.text
+		p.bump()
+		if p.isPunct(".") {
+			p.bump()
+			if p.isPunct("*") {
+				p.bump()
+				return SelectExpr{Star: true, StarTable: name}, nil
+			}
+		}
+		*p.lex = save
+		p.tok = saveTok
+	}
+	e, err := p.expression()
+	if err != nil {
+		return SelectExpr{}, err
+	}
+	se := SelectExpr{Expr: e}
+	if p.accept("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return SelectExpr{}, err
+		}
+		se.Alias = alias
+	} else if p.tok.kind == tokIdent {
+		se.Alias = p.tok.text
+		p.bump()
+	}
+	return se, nil
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	var tr TableRef
+	if p.isPunct("(") {
+		p.bump()
+		sub, err := p.selectStmt()
+		if err != nil {
+			return tr, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return tr, err
+		}
+		tr.Sub = sub
+	} else {
+		name, err := p.ident()
+		if err != nil {
+			return tr, err
+		}
+		tr.Table = name
+	}
+	if p.accept("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return tr, err
+		}
+		tr.Alias = alias
+	} else if p.tok.kind == tokIdent {
+		tr.Alias = p.tok.text
+		p.bump()
+	}
+	if tr.Sub != nil && tr.Alias == "" {
+		return tr, errAt(p.tok.pos, "derived table requires an alias")
+	}
+	return tr, nil
+}
+
+// --- expressions (precedence climbing) ---
+
+func (p *parser) expression() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("OR") {
+		p.bump()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("AND") {
+		p.bump()
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.isKeyword("NOT") && !p.peekIsExists() {
+		p.bump()
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.comparison()
+}
+
+// peekIsExists reports whether the current NOT begins NOT EXISTS (...),
+// which comparison() handles so Exists carries its own negation flag.
+func (p *parser) peekIsExists() bool {
+	if !p.isKeyword("NOT") {
+		return false
+	}
+	save := *p.lex
+	saveTok := p.tok
+	p.bump()
+	isExists := p.isKeyword("EXISTS")
+	*p.lex = save
+	p.tok = saveTok
+	return isExists
+}
+
+func (p *parser) comparison() (Expr, error) {
+	if p.isKeyword("EXISTS") || (p.isKeyword("NOT") && p.peekIsExists()) {
+		neg := p.accept("NOT")
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		sub, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &Exists{Sub: sub, Neg: neg}, nil
+	}
+
+	l, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isPunct("=") || p.isPunct("<>") || p.isPunct("!=") ||
+			p.isPunct("<") || p.isPunct("<=") || p.isPunct(">") || p.isPunct(">="):
+			op := p.tok.text
+			if op == "!=" {
+				op = "<>"
+			}
+			p.bump()
+			r, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: op, L: l, R: r}
+
+		case p.isKeyword("IS"):
+			p.bump()
+			neg := p.accept("NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			l = &IsNull{X: l, Neg: neg}
+
+		case p.isKeyword("IN"), p.isKeyword("NOT"), p.isKeyword("LIKE"), p.isKeyword("BETWEEN"):
+			neg := false
+			if p.isKeyword("NOT") {
+				save := *p.lex
+				saveTok := p.tok
+				p.bump()
+				if !p.isKeyword("IN") && !p.isKeyword("LIKE") && !p.isKeyword("BETWEEN") {
+					*p.lex = save
+					p.tok = saveTok
+					return l, nil
+				}
+				neg = true
+			}
+			switch {
+			case p.accept("IN"):
+				if err := p.expectPunct("("); err != nil {
+					return nil, err
+				}
+				if p.isKeyword("SELECT") {
+					sub, err := p.selectStmt()
+					if err != nil {
+						return nil, err
+					}
+					if err := p.expectPunct(")"); err != nil {
+						return nil, err
+					}
+					l = &InSelect{X: l, Sub: sub, Neg: neg}
+				} else {
+					var list []Expr
+					for {
+						e, err := p.expression()
+						if err != nil {
+							return nil, err
+						}
+						list = append(list, e)
+						if p.isPunct(",") {
+							p.bump()
+							continue
+						}
+						break
+					}
+					if err := p.expectPunct(")"); err != nil {
+						return nil, err
+					}
+					l = &InList{X: l, List: list, Neg: neg}
+				}
+			case p.accept("LIKE"):
+				pat, err := p.additive()
+				if err != nil {
+					return nil, err
+				}
+				l = &Like{X: l, Pattern: pat, Neg: neg}
+			case p.accept("BETWEEN"):
+				lo, err := p.additive()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectKeyword("AND"); err != nil {
+					return nil, err
+				}
+				hi, err := p.additive()
+				if err != nil {
+					return nil, err
+				}
+				l = &Between{X: l, Lo: lo, Hi: hi, Neg: neg}
+			default:
+				return nil, errAt(p.tok.pos, "expected IN, LIKE or BETWEEN, got %s", p.tok)
+			}
+
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) additive() (Expr, error) {
+	l, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("+") || p.isPunct("-") || p.isPunct("||") {
+		op := p.tok.text
+		p.bump()
+		r, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) multiplicative() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("*") || p.isPunct("/") || p.isPunct("%") {
+		op := p.tok.text
+		p.bump()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.isPunct("-") {
+		p.bump()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	if p.isPunct("+") {
+		p.bump()
+		return p.unary()
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	tok := p.tok
+	switch {
+	case tok.kind == tokNumber:
+		p.bump()
+		if strings.ContainsAny(tok.text, ".eE") {
+			f, err := strconv.ParseFloat(tok.text, 64)
+			if err != nil {
+				return nil, errAt(tok.pos, "bad number %q", tok.text)
+			}
+			return &Literal{Val: relation.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(tok.text, 10, 64)
+		if err != nil {
+			return nil, errAt(tok.pos, "bad integer %q", tok.text)
+		}
+		return &Literal{Val: relation.Int(i)}, nil
+
+	case tok.kind == tokString:
+		p.bump()
+		return &Literal{Val: relation.Text(tok.text)}, nil
+
+	case tok.kind == tokParam:
+		p.bump()
+		e := &Param{Index: p.params}
+		p.params++
+		return e, nil
+
+	case p.isKeyword("NULL"):
+		p.bump()
+		return &Literal{Val: relation.Null()}, nil
+	case p.isKeyword("TRUE"):
+		p.bump()
+		return &Literal{Val: relation.Bool(true)}, nil
+	case p.isKeyword("FALSE"):
+		p.bump()
+		return &Literal{Val: relation.Bool(false)}, nil
+
+	case p.isKeyword("CASE"):
+		return p.caseExpr()
+
+	case p.isKeyword("COUNT") || p.isKeyword("SUM") || p.isKeyword("AVG") ||
+		p.isKeyword("MIN") || p.isKeyword("MAX"):
+		name := tok.text
+		p.bump()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		fc := &FuncCall{Name: name}
+		if p.isPunct("*") {
+			p.bump()
+			fc.Star = true
+		} else {
+			if p.accept("DISTINCT") {
+				fc.Distinct = true
+			}
+			arg, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = []Expr{arg}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+
+	case p.isPunct("("):
+		p.bump()
+		if p.isKeyword("SELECT") {
+			sub, err := p.selectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return &ScalarSub{Sub: sub}, nil
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case tok.kind == tokIdent:
+		name := tok.text
+		p.bump()
+		if p.isPunct("(") { // scalar function
+			p.bump()
+			fc := &FuncCall{Name: strings.ToUpper(name)}
+			if !p.isPunct(")") {
+				for {
+					arg, err := p.expression()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, arg)
+					if p.isPunct(",") {
+						p.bump()
+						continue
+					}
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		if p.isPunct(".") {
+			p.bump()
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: name, Column: col}, nil
+		}
+		return &ColumnRef{Column: name}, nil
+
+	default:
+		return nil, errAt(tok.pos, "unexpected %s in expression", tok)
+	}
+}
+
+func (p *parser) caseExpr() (Expr, error) {
+	p.bump() // CASE
+	c := &Case{}
+	if !p.isKeyword("WHEN") {
+		op, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+	}
+	for p.accept("WHEN") {
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, When{Cond: cond, Result: res})
+	}
+	if len(c.Whens) == 0 {
+		return nil, errAt(p.tok.pos, "CASE requires at least one WHEN")
+	}
+	if p.accept("ELSE") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,241 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ecfd/internal/relation"
+)
+
+// Property tests cross-checking the engine against straightforward Go
+// implementations of the same queries.
+
+func randomTable(t *testing.T, rng *rand.Rand, rows int) (*DB, []int64, []string) {
+	t.Helper()
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE p (n INTEGER, s TEXT)`)
+	ns := make([]int64, rows)
+	ss := make([]string, rows)
+	for i := range ns {
+		ns[i] = int64(rng.Intn(20))
+		ss[i] = string(rune('a' + rng.Intn(5)))
+		mustExec(t, db, `INSERT INTO p VALUES (?, ?)`, relation.Int(ns[i]), relation.Text(ss[i]))
+	}
+	return db, ns, ss
+}
+
+func TestPropertyCountMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		rows := 1 + rng.Intn(60)
+		db, ns, _ := randomTable(t, rng, rows)
+		threshold := int64(rng.Intn(20))
+
+		want := 0
+		for _, n := range ns {
+			if n > threshold {
+				want++
+			}
+		}
+		res := mustQuery(t, db, `SELECT COUNT(*) FROM p WHERE n > ?`, relation.Int(threshold))
+		if got := res.Rows[0][0].I; got != int64(want) {
+			t.Fatalf("trial %d: COUNT = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestPropertyOrderBySorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 10; trial++ {
+		db, _, _ := randomTable(t, rng, 1+rng.Intn(50))
+		res := mustQuery(t, db, `SELECT n FROM p ORDER BY n`)
+		for i := 1; i < len(res.Rows); i++ {
+			if res.Rows[i-1][0].I > res.Rows[i][0].I {
+				t.Fatalf("trial %d: not sorted at %d", trial, i)
+			}
+		}
+		res = mustQuery(t, db, `SELECT n FROM p ORDER BY n DESC`)
+		for i := 1; i < len(res.Rows); i++ {
+			if res.Rows[i-1][0].I < res.Rows[i][0].I {
+				t.Fatalf("trial %d: not desc-sorted at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestPropertyGroupBySums(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		db, ns, ss := randomTable(t, rng, 1+rng.Intn(50))
+		want := map[string]int64{}
+		for i := range ns {
+			want[ss[i]] += ns[i]
+		}
+		res := mustQuery(t, db, `SELECT s, SUM(n) FROM p GROUP BY s ORDER BY s`)
+		var keys []string
+		for k := range want {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if len(res.Rows) != len(keys) {
+			t.Fatalf("trial %d: %d groups, want %d", trial, len(res.Rows), len(keys))
+		}
+		for i, k := range keys {
+			if res.Rows[i][0].S != k || res.Rows[i][1].I != want[k] {
+				t.Fatalf("trial %d group %s: got (%s, %d), want sum %d",
+					trial, k, res.Rows[i][0].S, res.Rows[i][1].I, want[k])
+			}
+		}
+	}
+}
+
+func TestPropertyDistinctCardinality(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 10; trial++ {
+		db, _, ss := randomTable(t, rng, 1+rng.Intn(50))
+		uniq := map[string]bool{}
+		for _, s := range ss {
+			uniq[s] = true
+		}
+		res := mustQuery(t, db, `SELECT DISTINCT s FROM p`)
+		if len(res.Rows) != len(uniq) {
+			t.Fatalf("trial %d: DISTINCT returned %d, want %d", trial, len(res.Rows), len(uniq))
+		}
+	}
+}
+
+func TestPropertyDeleteComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 10; trial++ {
+		rows := 1 + rng.Intn(50)
+		db, ns, _ := randomTable(t, rng, rows)
+		pivot := int64(rng.Intn(20))
+		kept := 0
+		for _, n := range ns {
+			if n >= pivot {
+				kept++
+			}
+		}
+		mustExec(t, db, `DELETE FROM p WHERE n < ?`, relation.Int(pivot))
+		res := mustQuery(t, db, `SELECT COUNT(*) FROM p`)
+		if res.Rows[0][0].I != int64(kept) {
+			t.Fatalf("trial %d: kept %d, want %d", trial, res.Rows[0][0].I, kept)
+		}
+	}
+}
+
+// TestPropertyExistsEquivalence: the decorrelated EXISTS path and the
+// IN-subquery path must agree on semi-join semantics.
+func TestPropertyExistsEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 8; trial++ {
+		db := NewDB()
+		mustExec(t, db, `CREATE TABLE a (x INTEGER)`)
+		mustExec(t, db, `CREATE TABLE b (y INTEGER)`)
+		for i := 0; i < 1+rng.Intn(25); i++ {
+			mustExec(t, db, fmt.Sprintf(`INSERT INTO a VALUES (%d)`, rng.Intn(10)))
+		}
+		for i := 0; i < rng.Intn(25); i++ {
+			mustExec(t, db, fmt.Sprintf(`INSERT INTO b VALUES (%d)`, rng.Intn(10)))
+		}
+		viaExists := flat(mustQuery(t, db, `SELECT x FROM a WHERE EXISTS (SELECT 1 FROM b WHERE b.y = a.x) ORDER BY x`))
+		viaIn := flat(mustQuery(t, db, `SELECT x FROM a WHERE x IN (SELECT y FROM b) ORDER BY x`))
+		if viaExists != viaIn {
+			t.Fatalf("trial %d: EXISTS %q vs IN %q", trial, viaExists, viaIn)
+		}
+		// And the complements agree too.
+		notExists := flat(mustQuery(t, db, `SELECT x FROM a WHERE NOT EXISTS (SELECT 1 FROM b WHERE b.y = a.x) ORDER BY x`))
+		all := flat(mustQuery(t, db, `SELECT x FROM a ORDER BY x`))
+		if len(viaExists)+len(notExists) > 0 {
+			merged := mergeFlat(viaExists, notExists)
+			if merged != all {
+				t.Fatalf("trial %d: EXISTS ∪ NOT EXISTS ≠ all: %q + %q vs %q", trial, viaExists, notExists, all)
+			}
+		}
+	}
+}
+
+func mergeFlat(a, b string) string {
+	var parts []string
+	if a != "" {
+		parts = append(parts, splitFlat(a)...)
+	}
+	if b != "" {
+		parts = append(parts, splitFlat(b)...)
+	}
+	sort.Strings(parts)
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ";"
+		}
+		out += p
+	}
+	return out
+}
+
+func splitFlat(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ';' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	return append(out, cur)
+}
+
+// TestQuickLexerNeverPanics fuzzes the lexer+parser with random byte
+// strings: errors are fine, panics are not.
+func TestQuickLexerNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", src, r)
+			}
+		}()
+		_, _ = ParseScript(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRoundTripInsertSelect: values inserted through parameters
+// come back unchanged.
+func TestQuickRoundTripInsertSelect(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE rt (i INTEGER, f REAL, s TEXT, b BOOLEAN)`)
+	f := func(i int64, fl float64, s string, b bool) bool {
+		if fl != fl { // NaN never round-trips through equality
+			return true
+		}
+		mustExec(t, db, `TRUNCATE TABLE rt`)
+		mustExec(t, db, `INSERT INTO rt VALUES (?, ?, ?, ?)`,
+			relation.Int(i), relation.Float(fl), relation.Text(s), relation.Bool(b))
+		res := mustQuery(t, db, `SELECT i, f, s, b FROM rt`)
+		r := res.Rows[0]
+		return r[0].I == i && r[1].F == fl && r[2].S == s && (r[3].I != 0) == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ORDER BY with mixed directions and an expression key.
+func TestOrderByExpressionAndMixed(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE m (a INTEGER, b INTEGER)`)
+	mustExec(t, db, `INSERT INTO m VALUES (1, 9), (1, 3), (2, 5), (2, 1)`)
+	res := mustQuery(t, db, `SELECT a, b FROM m ORDER BY a DESC, a + b ASC`)
+	if flat(res) != "2,1;2,5;1,3;1,9" {
+		t.Errorf("got %q", flat(res))
+	}
+}

@@ -1,0 +1,402 @@
+package sqldb
+
+import (
+	"fmt"
+
+	"ecfd/internal/relation"
+)
+
+// hashBuild is the cached build side of a decorrelated EXISTS: the set
+// of key tuples present in the inner table (after inner-only filters).
+type hashBuild struct {
+	version uint64
+	set     map[string]bool
+}
+
+// inBuild caches the value set of an uncorrelated IN (SELECT ...).
+type inBuild struct {
+	set     map[string]bool
+	hasNull bool
+}
+
+// compileExists lowers [NOT] EXISTS (SELECT ...). Three strategies:
+//
+//  1. Decorrelated hash probe — the subquery is a single-table select
+//     whose WHERE is a conjunction of (a) inner-column = outer-expr
+//     equalities and (b) inner-only filters. One hash build over the
+//     inner table per statement, O(1) probe per outer row. This is the
+//     path the eCFD detection queries take (t.A = TA.A AND c.CID =
+//     TA.CID) and what keeps BatchDetect at two passes over D.
+//  2. Uncorrelated — the subquery never references outer scopes: it is
+//     executed once per statement and its emptiness cached.
+//  3. Naive — re-execute per outer row (correlated in a form we cannot
+//     decorrelate).
+func (c *compiler) compileExists(x *Exists) (compiledExpr, error) {
+	if probe, err := c.tryDecorrelate(x); err != nil {
+		return nil, err
+	} else if probe != nil {
+		return probe, nil
+	}
+
+	cs, err := c.compileSubSelect(x.Sub)
+	if err != nil {
+		return nil, err
+	}
+	neg := x.Neg
+
+	deps := map[int]bool{}
+	if err := c.depsOfSelect(x.Sub, deps); err != nil {
+		return nil, err
+	}
+	if len(deps) == 0 && !subqueryMutable(x.Sub) {
+		// Uncorrelated: evaluate once per env, cache emptiness.
+		return func(en *env) (relation.Value, error) {
+			b, ok := en.hash[x]
+			if !ok {
+				// Frames beyond the subquery's depth must be hidden while
+				// executing an uncorrelated subquery compiled at depth
+				// len(c.scopes). They are restored by the deferred pop in
+				// exec, so only truncate here.
+				saved := en.frames
+				en.frames = en.frames[:cs.depth]
+				rows, err := cs.exec(en)
+				en.frames = saved
+				if err != nil {
+					return relation.Null(), err
+				}
+				b = &hashBuild{set: map[string]bool{"": len(rows) > 0}}
+				en.hash[x] = b
+			}
+			return relation.Bool(b.set[""] != neg), nil
+		}, nil
+	}
+
+	return func(en *env) (relation.Value, error) {
+		found, err := cs.execExists(en)
+		if err != nil {
+			return relation.Null(), err
+		}
+		return relation.Bool(found != neg), nil
+	}, nil
+}
+
+// subqueryMutable reports whether caching the subquery result for the
+// duration of one statement would be unsound. Tables cannot change
+// mid-statement in this engine, so results are always cacheable.
+func subqueryMutable(*Select) bool { return false }
+
+// DisableIndexProbes turns persistent-index probing off, falling back
+// to per-statement hash builds (for A/B benchmarking).
+var DisableIndexProbes = false
+
+// DisableDecorrelation turns the EXISTS hash-probe optimization off.
+// It exists only so the ablation benchmark (DESIGN.md §5) can measure
+// what the optimization buys; production code must leave it false.
+var DisableDecorrelation = false
+
+// tryDecorrelate returns a hash-probe closure for x, or nil when the
+// subquery shape does not qualify.
+func (c *compiler) tryDecorrelate(x *Exists) (compiledExpr, error) {
+	if DisableDecorrelation {
+		return nil, nil
+	}
+	sub := x.Sub
+	if len(sub.From) != 1 || sub.From[0].Sub != nil ||
+		len(sub.GroupBy) > 0 || sub.Having != nil || sub.Limit != nil ||
+		sub.Offset != nil || selectHasAggregate(sub) {
+		return nil, nil
+	}
+	t, err := c.db.table(sub.From[0].Table)
+	if err != nil {
+		return nil, nil // unknown table: let the naive path report it
+	}
+
+	innerScope := &scopeInfo{sources: []sourceInfo{{name: sub.From[0].Name(), cols: t.Schema.Names()}}}
+	innerDepth := len(c.scopes)
+	ic := &compiler{db: c.db, scopes: append(append([]*scopeInfo{}, c.scopes...), innerScope)}
+
+	var conjuncts []Expr
+	splitConjuncts(sub.Where, &conjuncts)
+
+	type probe struct {
+		col   int
+		outer compiledExpr
+	}
+	var probes []probe
+	var filters []compiledExpr
+
+	for _, cj := range conjuncts {
+		deps := map[int]bool{}
+		if err := ic.depsOf(cj, deps); err != nil {
+			return nil, err
+		}
+		outerDeps, innerDeps := false, deps[innerDepth]
+		for d := range deps {
+			if d < innerDepth {
+				outerDeps = true
+			}
+		}
+		switch {
+		case !outerDeps:
+			// Inner-only (or constant) filter: applied at build time. It
+			// must be compiled against the inner scope.
+			f, err := ic.compileExpr(cj)
+			if err != nil {
+				return nil, err
+			}
+			filters = append(filters, f)
+		case outerDeps && innerDeps:
+			eq, ok := cj.(*Binary)
+			if !ok || eq.Op != "=" {
+				return nil, nil
+			}
+			col, outerExpr, ok := ic.probeSides(eq, innerDepth)
+			if !ok {
+				return nil, nil
+			}
+			oe, err := ic.compileExpr(outerExpr)
+			if err != nil {
+				return nil, err
+			}
+			probes = append(probes, probe{col: col, outer: oe})
+		default:
+			// References outer scopes only: row-independent w.r.t. the
+			// inner table but varies per outer row — cannot fold into the
+			// build. Bail to the naive path.
+			return nil, nil
+		}
+	}
+	if len(probes) == 0 {
+		return nil, nil
+	}
+
+	keyCols := make([]int, len(probes))
+	outerExprs := make([]compiledExpr, len(probes))
+	for i, p := range probes {
+		keyCols[i] = p.col
+		outerExprs[i] = p.outer
+	}
+	neg := x.Neg
+
+	// With no build-time filters, a secondary index on exactly the key
+	// columns replaces the per-statement hash build: the index persists
+	// across statements and only rebuilds after table mutations. The
+	// probe key must follow the index's column order.
+	if len(filters) == 0 && !DisableIndexProbes {
+		if idx, perm := probeIndex(t, keyCols); idx != nil {
+			// vals and keyBuf are reused across sequential probe calls.
+			vals := make([]relation.Value, len(outerExprs))
+			var keyBuf []byte
+			return func(en *env) (relation.Value, error) {
+				// db.mu is held for the whole statement, so the lazy
+				// rebuild below cannot race.
+				idx.rebuild(t)
+				for i, oe := range outerExprs {
+					v, err := oe(en)
+					if err != nil {
+						return relation.Null(), err
+					}
+					if v.IsNull() {
+						return relation.Bool(neg), nil
+					}
+					vals[i] = v
+				}
+				keyBuf = keyBuf[:0]
+				for _, pi := range perm {
+					keyBuf = relation.AppendKey(keyBuf, vals[pi])
+					keyBuf = append(keyBuf, 0x1f)
+				}
+				return relation.Bool((len(idx.m[string(keyBuf)]) > 0) != neg), nil
+			}, nil
+		}
+	}
+
+	// keyBuf is reused across probe calls; statements execute
+	// sequentially, so the compiled closure is never re-entered.
+	var keyBuf []byte
+	return func(en *env) (relation.Value, error) {
+		b := en.hash[x]
+		if b == nil || b.version != t.version {
+			set := make(map[string]bool, len(t.Rows))
+			key := make([]relation.Value, len(keyCols))
+			en.frames = append(en.frames, frame{rows: make([]relation.Tuple, 1)})
+			fr := &en.frames[len(en.frames)-1]
+		build:
+			for _, row := range t.Rows {
+				fr.rows[0] = row
+				for _, f := range filters {
+					v, err := f(en)
+					if err != nil {
+						en.frames = en.frames[:len(en.frames)-1]
+						return relation.Null(), err
+					}
+					if !v.Truth() {
+						continue build
+					}
+				}
+				for i, col := range keyCols {
+					if row[col].IsNull() {
+						continue build // NULL keys can never match an equality
+					}
+					key[i] = row[col]
+				}
+				set[relation.KeyOf(key)] = true
+			}
+			en.frames = en.frames[:len(en.frames)-1]
+			b = &hashBuild{version: t.version, set: set}
+			en.hash[x] = b
+		}
+
+		keyBuf = keyBuf[:0]
+		for _, oe := range outerExprs {
+			v, err := oe(en)
+			if err != nil {
+				return relation.Null(), err
+			}
+			if v.IsNull() {
+				return relation.Bool(neg), nil // = NULL never matches
+			}
+			keyBuf = relation.AppendKey(keyBuf, v)
+			keyBuf = append(keyBuf, 0x1f)
+		}
+		return relation.Bool(b.set[string(keyBuf)] != neg), nil
+	}, nil
+}
+
+// probeIndex finds a secondary index covering exactly the probe
+// columns and computes the permutation mapping probe positions to the
+// index's column order.
+func probeIndex(t *Table, keyCols []int) (*Index, []int) {
+	idx := t.findIndex(keyCols)
+	if idx == nil {
+		return nil, nil
+	}
+	perm := make([]int, len(idx.Cols))
+	for j, col := range idx.Cols {
+		perm[j] = -1
+		for i, kc := range keyCols {
+			if kc == col {
+				perm[j] = i
+				break
+			}
+		}
+		if perm[j] < 0 {
+			return nil, nil
+		}
+	}
+	return idx, perm
+}
+
+// probeSides identifies which side of an equality is the inner column
+// and verifies the other side never touches the inner scope.
+func (c *compiler) probeSides(eq *Binary, innerDepth int) (col int, outer Expr, ok bool) {
+	try := func(colSide, outerSide Expr) (int, Expr, bool) {
+		ref, isRef := colSide.(*ColumnRef)
+		if !isRef {
+			return 0, nil, false
+		}
+		b, err := c.resolve(ref)
+		if err != nil || b.depth != innerDepth {
+			return 0, nil, false
+		}
+		deps := map[int]bool{}
+		if err := c.depsOf(outerSide, deps); err != nil || deps[innerDepth] {
+			return 0, nil, false
+		}
+		return b.col, outerSide, true
+	}
+	if col, outer, ok := try(eq.L, eq.R); ok {
+		return col, outer, true
+	}
+	return try(eq.R, eq.L)
+}
+
+// splitConjuncts flattens an AND tree into its conjuncts.
+func splitConjuncts(e Expr, out *[]Expr) {
+	if e == nil {
+		return
+	}
+	if b, ok := e.(*Binary); ok && b.Op == "AND" {
+		splitConjuncts(b.L, out)
+		splitConjuncts(b.R, out)
+		return
+	}
+	*out = append(*out, e)
+}
+
+// compileInSelect lowers x [NOT] IN (SELECT ...). Uncorrelated
+// subqueries are executed once per statement and cached as a value set;
+// correlated ones are re-executed per row.
+func (c *compiler) compileInSelect(x *InSelect) (compiledExpr, error) {
+	lhs, err := c.compileExpr(x.X)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := c.compileSubSelect(x.Sub)
+	if err != nil {
+		return nil, err
+	}
+	if len(cs.cols) != 1 {
+		return nil, fmt.Errorf("sql: IN subquery must return one column, got %d", len(cs.cols))
+	}
+	neg := x.Neg
+
+	deps := map[int]bool{}
+	if err := c.depsOfSelect(x.Sub, deps); err != nil {
+		return nil, err
+	}
+	uncorrelated := len(deps) == 0
+
+	evalSet := func(en *env) (*inBuild, error) {
+		saved := en.frames
+		if uncorrelated {
+			en.frames = en.frames[:cs.depth]
+		}
+		rows, err := cs.exec(en)
+		if uncorrelated {
+			en.frames = saved
+		}
+		if err != nil {
+			return nil, err
+		}
+		b := &inBuild{set: make(map[string]bool, len(rows))}
+		for _, r := range rows {
+			if r[0].IsNull() {
+				b.hasNull = true
+				continue
+			}
+			b.set[r[0].Key()] = true
+		}
+		return b, nil
+	}
+
+	return func(en *env) (relation.Value, error) {
+		var b *inBuild
+		if uncorrelated {
+			b = en.inSets[x]
+		}
+		if b == nil {
+			var err error
+			if b, err = evalSet(en); err != nil {
+				return relation.Null(), err
+			}
+			if uncorrelated {
+				en.inSets[x] = b
+			}
+		}
+		v, err := lhs(en)
+		if err != nil {
+			return relation.Null(), err
+		}
+		if v.IsNull() {
+			return relation.Null(), nil
+		}
+		if b.set[v.Key()] {
+			return relation.Bool(!neg), nil
+		}
+		if b.hasNull {
+			return relation.Null(), nil
+		}
+		return relation.Bool(neg), nil
+	}, nil
+}

@@ -1,0 +1,80 @@
+package sqldb
+
+import (
+	"fmt"
+
+	"ecfd/internal/relation"
+)
+
+// Tx is a coarse-grained transaction: the first mutation of each table
+// inside the transaction snapshots its rows, and Rollback restores
+// them. One transaction may be active at a time (the engine executes
+// one statement at a time anyway; this matches the paper's batch/
+// incremental detection scripts, which are sequential).
+type Tx struct {
+	db      *DB
+	backups map[string][]relation.Tuple
+	done    bool
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() (*Tx, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.activeTx != nil {
+		return nil, fmt.Errorf("sql: a transaction is already active")
+	}
+	tx := &Tx{db: db, backups: make(map[string][]relation.Tuple)}
+	db.activeTx = tx
+	return tx, nil
+}
+
+// backupForTx snapshots a table the first time it is mutated inside the
+// active transaction. Callers hold db.mu.
+func (db *DB) backupForTx(t *Table) {
+	tx := db.activeTx
+	if tx == nil {
+		return
+	}
+	key := lowerName(t.Name)
+	if _, done := tx.backups[key]; done {
+		return
+	}
+	rows := make([]relation.Tuple, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = r.Clone()
+	}
+	tx.backups[key] = rows
+}
+
+// Commit makes the transaction's changes permanent.
+func (tx *Tx) Commit() error {
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	if tx.done {
+		return fmt.Errorf("sql: transaction already finished")
+	}
+	tx.done = true
+	tx.db.activeTx = nil
+	return nil
+}
+
+// Rollback restores every table the transaction touched.
+func (tx *Tx) Rollback() error {
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	if tx.done {
+		return fmt.Errorf("sql: transaction already finished")
+	}
+	tx.done = true
+	tx.db.activeTx = nil
+	for name, rows := range tx.backups {
+		t, ok := tx.db.tables[name]
+		if !ok {
+			continue // table dropped inside the tx; restoring rows is moot
+		}
+		t.Rows = rows
+		t.mutated()
+	}
+	return nil
+}

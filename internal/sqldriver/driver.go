@@ -1,0 +1,228 @@
+// Package sqldriver exposes the embedded sqldb engine through the
+// standard database/sql interface, registered as driver "ecfdmem".
+//
+// The paper's detection algorithms run against a commercial RDBMS
+// through SQL; here they run against sqldb through database/sql, so the
+// detection code is written exactly as it would be for a production
+// database (Open / Exec / Query / prepared statements / transactions).
+//
+// The data source name selects a named in-memory database: opening the
+// same DSN twice shares one engine instance, and RegisterDB installs a
+// pre-built engine under a DSN (used by tests and the bench harness to
+// bulk-load datasets without round-tripping through INSERT statements).
+package sqldriver
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"ecfd/internal/relation"
+	"ecfd/internal/sqldb"
+)
+
+// DriverName is the name the driver registers under.
+const DriverName = "ecfdmem"
+
+func init() {
+	sql.Register(DriverName, &Driver{})
+}
+
+// Driver implements driver.Driver over shared named engines.
+type Driver struct{}
+
+var (
+	mu      sync.Mutex
+	engines = make(map[string]*sqldb.DB)
+)
+
+// RegisterDB installs (or replaces) the engine behind a DSN.
+func RegisterDB(dsn string, db *sqldb.DB) {
+	mu.Lock()
+	defer mu.Unlock()
+	engines[dsn] = db
+}
+
+// Unregister drops the engine behind a DSN so its memory can be
+// reclaimed; a later Open of the same DSN starts fresh.
+func Unregister(dsn string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(engines, dsn)
+}
+
+// Engine returns the engine behind a DSN, creating it on first use.
+func Engine(dsn string) *sqldb.DB {
+	mu.Lock()
+	defer mu.Unlock()
+	db, ok := engines[dsn]
+	if !ok {
+		db = sqldb.NewDB()
+		engines[dsn] = db
+	}
+	return db
+}
+
+// Open implements driver.Driver.
+func (*Driver) Open(dsn string) (driver.Conn, error) {
+	return &conn{db: Engine(dsn)}, nil
+}
+
+type conn struct {
+	db *sqldb.DB
+	tx *sqldb.Tx
+}
+
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	stmt, err := sqldb.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return &prepared{conn: c, stmt: stmt, numInput: strings.Count(stripLiterals(query), "?")}, nil
+}
+
+// stripLiterals removes string literals so '?' inside them is not
+// counted as a placeholder.
+func stripLiterals(q string) string {
+	var b strings.Builder
+	in := false
+	for i := 0; i < len(q); i++ {
+		if q[i] == '\'' {
+			in = !in
+			continue
+		}
+		if !in {
+			b.WriteByte(q[i])
+		}
+	}
+	return b.String()
+}
+
+func (c *conn) Close() error { return nil }
+
+func (c *conn) Begin() (driver.Tx, error) {
+	tx, err := c.db.Begin()
+	if err != nil {
+		return nil, err
+	}
+	c.tx = tx
+	return &txWrap{conn: c}, nil
+}
+
+type txWrap struct{ conn *conn }
+
+func (t *txWrap) Commit() error {
+	defer func() { t.conn.tx = nil }()
+	return t.conn.tx.Commit()
+}
+
+func (t *txWrap) Rollback() error {
+	defer func() { t.conn.tx = nil }()
+	return t.conn.tx.Rollback()
+}
+
+type prepared struct {
+	conn     *conn
+	stmt     sqldb.Statement
+	numInput int
+}
+
+func (p *prepared) Close() error  { return nil }
+func (p *prepared) NumInput() int { return p.numInput }
+
+func (p *prepared) Exec(args []driver.Value) (driver.Result, error) {
+	params, err := toValues(args)
+	if err != nil {
+		return nil, err
+	}
+	n, err := p.conn.db.ExecStmt(p.stmt, params...)
+	if err != nil {
+		return nil, err
+	}
+	return result{rows: n}, nil
+}
+
+func (p *prepared) Query(args []driver.Value) (driver.Rows, error) {
+	sel, ok := p.stmt.(*sqldb.Select)
+	if !ok {
+		return nil, fmt.Errorf("sqldriver: Query requires a SELECT")
+	}
+	params, err := toValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.conn.db.QueryStmt(sel, params...)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{res: res}, nil
+}
+
+type result struct{ rows int64 }
+
+func (r result) LastInsertId() (int64, error) {
+	return 0, fmt.Errorf("sqldriver: LastInsertId is not supported")
+}
+func (r result) RowsAffected() (int64, error) { return r.rows, nil }
+
+type rows struct {
+	res *sqldb.Result
+	pos int
+}
+
+func (r *rows) Columns() []string { return r.res.Cols }
+func (r *rows) Close() error      { return nil }
+
+func (r *rows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.res.Rows) {
+		return io.EOF
+	}
+	row := r.res.Rows[r.pos]
+	r.pos++
+	for i, v := range row {
+		dest[i] = fromValue(v)
+	}
+	return nil
+}
+
+// toValues converts driver arguments into engine values.
+func toValues(args []driver.Value) ([]relation.Value, error) {
+	out := make([]relation.Value, len(args))
+	for i, a := range args {
+		switch x := a.(type) {
+		case nil:
+			out[i] = relation.Null()
+		case int64:
+			out[i] = relation.Int(x)
+		case float64:
+			out[i] = relation.Float(x)
+		case bool:
+			out[i] = relation.Bool(x)
+		case string:
+			out[i] = relation.Text(x)
+		case []byte:
+			out[i] = relation.Text(string(x))
+		default:
+			return nil, fmt.Errorf("sqldriver: unsupported parameter type %T", a)
+		}
+	}
+	return out, nil
+}
+
+func fromValue(v relation.Value) driver.Value {
+	switch v.K {
+	case relation.KindNull:
+		return nil
+	case relation.KindInt:
+		return v.I
+	case relation.KindBool:
+		return v.I != 0
+	case relation.KindFloat:
+		return v.F
+	default:
+		return v.S
+	}
+}
