@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet bench-short bench-json explain ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Quick perf signal: the two acceptance benchmarks plus the planner
+# ablation, a few iterations each.
+bench-short:
+	$(GO) test -run XXX -bench 'BenchmarkBatchDetect10k|BenchmarkFig5a|BenchmarkPlanner' -benchtime 3x .
+
+# Machine-readable figure series for BENCH_*.json trajectory files.
+bench-json:
+	$(GO) run ./cmd/ecfdbench -scale 0.1 -json
+
+# Query plans of the detector's fixed statement set.
+explain:
+	$(GO) run ./cmd/ecfdbench -explain
+
+ci: vet build test

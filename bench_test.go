@@ -117,6 +117,26 @@ func BenchmarkDecorrelation(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanner quantifies the query planner (hash/indexed joins,
+// predicate pushdown, OR-alternative hoisting, semi-join updates):
+// "off" forces every statement through the legacy all-pairs nested
+// loop with a monolithic WHERE closure.
+func BenchmarkPlanner(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"on", false},
+		{"off", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			sqldb.DisablePlanner = mode.disable
+			defer func() { sqldb.DisablePlanner = false }()
+			batchDetectOnce(b, 1_000)
+		})
+	}
+}
+
 // BenchmarkNaiveDetect is the in-memory oracle on the same workload —
 // the lower bound no SQL engine can beat, for context.
 func BenchmarkNaiveDetect(b *testing.B) {

@@ -6,6 +6,10 @@
 //	\tables              list tables
 //	\load <table> <csv>  bulk-load a CSV file into a new table (TEXT columns)
 //	\quit                exit
+//
+// A statement prefixed with EXPLAIN prints the engine's query plan
+// (join order, hash/index access paths, semi-join updates) instead of
+// running it.
 package main
 
 import (
@@ -56,6 +60,15 @@ func main() {
 }
 
 func run(db *sqldb.DB, stmt string) {
+	if rest, ok := stripExplain(stmt); ok {
+		plan, err := db.Explain(rest)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Print(plan)
+		return
+	}
 	if isQuery(stmt) {
 		res, err := db.Query(stmt)
 		if err != nil {
@@ -83,6 +96,16 @@ func run(db *sqldb.DB, stmt string) {
 
 func isQuery(stmt string) bool {
 	return strings.HasPrefix(strings.ToUpper(strings.TrimSpace(stmt)), "SELECT")
+}
+
+// stripExplain reports whether the statement carries an EXPLAIN prefix
+// and returns the statement proper.
+func stripExplain(stmt string) (string, bool) {
+	trimmed := strings.TrimSpace(stmt)
+	if len(trimmed) >= 8 && strings.EqualFold(trimmed[:8], "EXPLAIN ") {
+		return strings.TrimSpace(trimmed[8:]), true
+	}
+	return stmt, false
 }
 
 // load implements \load table file.csv: every column becomes TEXT.

@@ -1,0 +1,3 @@
+module ecfd
+
+go 1.24

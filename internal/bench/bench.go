@@ -8,6 +8,7 @@ package bench
 
 import (
 	"database/sql"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -41,18 +42,33 @@ func (o Options) scale(n int) int {
 
 // Point is one x position of a figure with one y value per series.
 type Point struct {
-	X      string
-	Series map[string]float64
+	X      string             `json:"x"`
+	Series map[string]float64 `json:"series"`
 }
 
 // Figure is a regenerated table/graph.
 type Figure struct {
-	ID     string
-	Title  string
-	XLabel string
-	YLabel string
-	Names  []string // series order
-	Points []Point
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	XLabel string   `json:"xlabel"`
+	YLabel string   `json:"ylabel"`
+	Names  []string `json:"names"` // series order
+	Points []Point  `json:"points"`
+}
+
+// Report is the machine-readable form of a benchmark run, consumed by
+// the BENCH_*.json trajectory files compared across PRs.
+type Report struct {
+	Scale   float64   `json:"scale"`
+	Seed    int64     `json:"seed"`
+	Figures []*Figure `json:"figures"`
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }
 
 // Print renders the figure as an aligned table.

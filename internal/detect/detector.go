@@ -273,18 +273,56 @@ func (d *Detector) loadEncoding() error {
 }
 
 func (d *Detector) insertSet(table string, cid int64, set []relation.Value) error {
-	var rows []string
-	for _, v := range set {
-		rows = append(rows, fmt.Sprintf("(%d, %s)", cid, v.SQL()))
-	}
-	if len(rows) == 0 {
-		return nil
-	}
-	q := fmt.Sprintf("INSERT INTO %s (CID, VAL) VALUES %s", table, strings.Join(rows, ", "))
-	if _, err := d.db.Exec(q); err != nil {
-		return fmt.Errorf("detect: load set table %s: %w", table, err)
+	// Batched and parameterized like bulkInsert: large pattern sets
+	// neither build unbounded statement strings nor lex their values.
+	for start := 0; start < len(set); start += insertBatch {
+		end := start + insertBatch
+		if end > len(set) {
+			end = len(set)
+		}
+		chunk := set[start:end]
+		args := make([]any, 0, 2*len(chunk))
+		for _, v := range chunk {
+			args = append(args, cid, valueArg(v))
+		}
+		q := fmt.Sprintf("INSERT INTO %s (CID, VAL) VALUES %s",
+			table, placeholderRows(len(chunk), 2))
+		if _, err := d.db.Exec(q, args...); err != nil {
+			return fmt.Errorf("detect: load set table %s: %w", table, err)
+		}
 	}
 	return nil
+}
+
+// placeholderRows renders "(?, ?), (?, ?), ..." for n rows of w
+// placeholders each.
+func placeholderRows(n, w int) string {
+	row := "(" + strings.Repeat("?, ", w-1) + "?)"
+	var b strings.Builder
+	b.Grow(n * (len(row) + 2))
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(row)
+	}
+	return b.String()
+}
+
+// valueArg converts an engine value to a database/sql argument.
+func valueArg(v relation.Value) any {
+	switch v.K {
+	case relation.KindNull:
+		return nil
+	case relation.KindInt:
+		return v.I
+	case relation.KindBool:
+		return v.I != 0
+	case relation.KindFloat:
+		return v.F
+	default:
+		return v.S
+	}
 }
 
 // LoadData inserts the instance into the data table in batches,
@@ -299,44 +337,53 @@ func (d *Detector) LoadData(inst *relation.Relation) ([]int64, error) {
 const insertBatch = 500
 
 func (d *Detector) bulkInsert(table string, inst *relation.Relation) ([]int64, error) {
+	// Parameterized prepared inserts: the full-batch statement text is
+	// constant, so after the first batch the engine's plan cache serves
+	// the compiled insert and no data value is ever lexed. One prepared
+	// handle per LoadData covers every full batch; the tail row count
+	// varies but its text is shared across calls too.
+	width := d.schema.Width() + 3 // RID + R + SV + MV
 	rids := make([]int64, 0, inst.Len())
-	var b strings.Builder
-	n := 0
-	flush := func() error {
-		if n == 0 {
-			return nil
-		}
-		if _, err := d.db.Exec(b.String()); err != nil {
-			return fmt.Errorf("detect: load data: %w", err)
-		}
-		b.Reset()
-		n = 0
-		return nil
-	}
-	for _, row := range inst.Rows {
-		if n == 0 {
-			fmt.Fprintf(&b, "INSERT INTO %s VALUES ", table)
-		} else {
-			b.WriteString(", ")
-		}
+	args := make([]any, 0, insertBatch*width)
+	appendRow := func(row relation.Tuple) {
 		d.nextRID++
-		rid := d.nextRID
-		rids = append(rids, rid)
-		fmt.Fprintf(&b, "(%d", rid)
+		rids = append(rids, d.nextRID)
+		args = append(args, d.nextRID)
 		for _, v := range row {
-			b.WriteString(", ")
-			b.WriteString(v.SQL())
+			args = append(args, valueArg(v))
 		}
-		b.WriteString(", 0, 0)")
-		n++
-		if n >= insertBatch {
-			if err := flush(); err != nil {
-				return nil, err
+		args = append(args, 0, 0)
+	}
+
+	rows := inst.Rows
+	nFull := len(rows) / insertBatch
+	if nFull > 0 {
+		stmt, err := d.db.Prepare(fmt.Sprintf("INSERT INTO %s VALUES %s",
+			table, placeholderRows(insertBatch, width)))
+		if err != nil {
+			return nil, fmt.Errorf("detect: load data: %w", err)
+		}
+		for i := 0; i < nFull; i++ {
+			args = args[:0]
+			for _, row := range rows[i*insertBatch : (i+1)*insertBatch] {
+				appendRow(row)
+			}
+			if _, err := stmt.Exec(args...); err != nil {
+				stmt.Close()
+				return nil, fmt.Errorf("detect: load data: %w", err)
 			}
 		}
+		stmt.Close()
 	}
-	if err := flush(); err != nil {
-		return nil, err
+	if tail := rows[nFull*insertBatch:]; len(tail) > 0 {
+		args = args[:0]
+		for _, row := range tail {
+			appendRow(row)
+		}
+		q := fmt.Sprintf("INSERT INTO %s VALUES %s", table, placeholderRows(len(tail), width))
+		if _, err := d.db.Exec(q, args...); err != nil {
+			return nil, fmt.Errorf("detect: load data: %w", err)
+		}
 	}
 	return rids, nil
 }

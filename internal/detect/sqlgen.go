@@ -167,10 +167,15 @@ func (d *Detector) auxProbe(table string) string {
 	return fmt.Sprintf("EXISTS (SELECT 1 FROM %s a WHERE %s)", table, strings.Join(conds, " AND "))
 }
 
-// genMVUpdate flags every tuple matching an Aux pattern: MV := 1.
+// genMVUpdate flags every tuple matching an Aux pattern: MV := 1. The
+// same per-CID guard as genMVSetOldRows leads the conjunction: it
+// depends only on the pattern row, so the engine's planner evaluates
+// it once per pattern and skips the projection probes for every data
+// tuple when a CID has no violating groups at all.
 func (d *Detector) genMVUpdate() string {
-	return fmt.Sprintf("UPDATE %s t SET %s = 1 WHERE EXISTS (SELECT 1 FROM %s c WHERE %s)",
-		d.dataTable, ColMV, d.encTable, d.auxProbe(d.auxTable))
+	cidGuard := fmt.Sprintf("EXISTS (SELECT 1 FROM %s g WHERE g.CID = c.CID)", d.auxTable)
+	return fmt.Sprintf("UPDATE %s t SET %s = 1 WHERE EXISTS (SELECT 1 FROM %s c WHERE %s AND %s)",
+		d.dataTable, ColMV, d.encTable, cidGuard, d.auxProbe(d.auxTable))
 }
 
 // genKeys collects the group keys touched by an update batch: the

@@ -15,10 +15,20 @@ type DB struct {
 	mu       sync.Mutex
 	tables   map[string]*Table
 	activeTx *Tx
+	// ddlVersion counts catalog changes (CREATE/DROP TABLE, CREATE
+	// INDEX, LoadRelation). Compiled plans record the version they were
+	// built against and recompile on mismatch. Starts at 1 so a zero
+	// version always means "never compiled".
+	ddlVersion uint64
+	stmtCache  *lruCache // text → *Prepared; guarded by mu
 }
 
 // NewDB returns an empty database.
-func NewDB() *DB { return &DB{tables: make(map[string]*Table)} }
+func NewDB() *DB { return &DB{tables: make(map[string]*Table), ddlVersion: 1} }
+
+// bumpDDL invalidates compiled plans after a catalog change. Callers
+// hold db.mu.
+func (db *DB) bumpDDL() { db.ddlVersion++ }
 
 // Table is one base table: schema, row store and secondary indexes.
 // Indexes are maintained lazily — mutations mark them dirty and the
@@ -61,6 +71,7 @@ func (db *DB) CreateTable(name string, cols []ColumnDef, ifNotExists bool) error
 		return fmt.Errorf("sql: %w", err)
 	}
 	db.tables[key] = &Table{Name: name, Schema: schema}
+	db.bumpDDL()
 	return nil
 }
 
@@ -76,6 +87,7 @@ func (db *DB) DropTable(name string, ifExists bool) error {
 		return fmt.Errorf("sql: no table %s", name)
 	}
 	delete(db.tables, key)
+	db.bumpDDL()
 	return nil
 }
 
@@ -122,6 +134,7 @@ func (db *DB) LoadRelation(r *relation.Relation) error {
 	if !ok {
 		t = &Table{Name: r.Schema.Name, Schema: r.Schema}
 		db.tables[key] = t
+		db.bumpDDL()
 	} else if t.Schema.Width() != r.Schema.Width() {
 		return fmt.Errorf("sql: LoadRelation: width mismatch for %s", r.Schema.Name)
 	}
@@ -171,6 +184,7 @@ func (db *DB) CreateIndex(name, table string, cols []string) error {
 		}
 	}
 	t.indexes = append(t.indexes, idx)
+	db.bumpDDL()
 	return nil
 }
 

@@ -18,6 +18,9 @@ type env struct {
 	aggs   map[*compiledSelect][]relation.Value
 	hash   map[*Exists]*hashBuild
 	inSets map[*InSelect]*inBuild
+	// schedules caches one join plan per select for the statement's
+	// lifetime, so hash builds survive across correlated re-executions.
+	schedules map[*compiledSelect]*schedule
 }
 
 type frame struct {
@@ -112,6 +115,20 @@ func (c *compiler) resolve(ref *ColumnRef) (binding, error) {
 // references touch. Subqueries are entered (their own scope pushed as a
 // placeholder so inner-only refs do not count as current-level refs).
 func (c *compiler) depsOf(e Expr, deps map[int]bool) error {
+	return c.walkBindings(e, func(b binding) { deps[b.depth] = true })
+}
+
+func (c *compiler) depsOfSelect(sel *Select, deps map[int]bool) error {
+	return c.walkSelectBindings(sel, func(b binding) { deps[b.depth] = true })
+}
+
+// walkBindings resolves every column reference in an expression and
+// reports its binding. Subqueries are entered with their own scope
+// pushed, and only references escaping back into c's scopes (depth <
+// len(c.scopes)) are reported — the planner and the subquery
+// decorrelator both depend on this walk being complete: a missed
+// binding would let a predicate run before its source row is bound.
+func (c *compiler) walkBindings(e Expr, report func(binding)) error {
 	switch x := e.(type) {
 	case nil:
 		return nil
@@ -122,83 +139,90 @@ func (c *compiler) depsOf(e Expr, deps map[int]bool) error {
 		if err != nil {
 			return err
 		}
-		deps[b.depth] = true
+		report(b)
 		return nil
 	case *Unary:
-		return c.depsOf(x.X, deps)
+		return c.walkBindings(x.X, report)
 	case *Binary:
-		if err := c.depsOf(x.L, deps); err != nil {
+		if err := c.walkBindings(x.L, report); err != nil {
 			return err
 		}
-		return c.depsOf(x.R, deps)
+		return c.walkBindings(x.R, report)
 	case *IsNull:
-		return c.depsOf(x.X, deps)
+		return c.walkBindings(x.X, report)
 	case *InList:
-		if err := c.depsOf(x.X, deps); err != nil {
+		if err := c.walkBindings(x.X, report); err != nil {
 			return err
 		}
 		for _, it := range x.List {
-			if err := c.depsOf(it, deps); err != nil {
+			if err := c.walkBindings(it, report); err != nil {
 				return err
 			}
 		}
 		return nil
 	case *Like:
-		if err := c.depsOf(x.X, deps); err != nil {
+		if err := c.walkBindings(x.X, report); err != nil {
 			return err
 		}
-		return c.depsOf(x.Pattern, deps)
+		return c.walkBindings(x.Pattern, report)
 	case *Between:
-		if err := c.depsOf(x.X, deps); err != nil {
+		if err := c.walkBindings(x.X, report); err != nil {
 			return err
 		}
-		if err := c.depsOf(x.Lo, deps); err != nil {
+		if err := c.walkBindings(x.Lo, report); err != nil {
 			return err
 		}
-		return c.depsOf(x.Hi, deps)
+		return c.walkBindings(x.Hi, report)
 	case *Case:
-		if err := c.depsOf(x.Operand, deps); err != nil {
+		if err := c.walkBindings(x.Operand, report); err != nil {
 			return err
 		}
 		for _, w := range x.Whens {
-			if err := c.depsOf(w.Cond, deps); err != nil {
+			if err := c.walkBindings(w.Cond, report); err != nil {
 				return err
 			}
-			if err := c.depsOf(w.Result, deps); err != nil {
+			if err := c.walkBindings(w.Result, report); err != nil {
 				return err
 			}
 		}
-		return c.depsOf(x.Else, deps)
+		return c.walkBindings(x.Else, report)
 	case *FuncCall:
 		for _, a := range x.Args {
-			if err := c.depsOf(a, deps); err != nil {
+			if err := c.walkBindings(a, report); err != nil {
 				return err
 			}
 		}
 		return nil
 	case *Exists:
-		return c.depsOfSelect(x.Sub, deps)
+		return c.walkSelectBindings(x.Sub, report)
 	case *InSelect:
-		if err := c.depsOf(x.X, deps); err != nil {
+		if err := c.walkBindings(x.X, report); err != nil {
 			return err
 		}
-		return c.depsOfSelect(x.Sub, deps)
+		return c.walkSelectBindings(x.Sub, report)
 	case *ScalarSub:
-		return c.depsOfSelect(x.Sub, deps)
+		return c.walkSelectBindings(x.Sub, report)
 	default:
-		return fmt.Errorf("sql: depsOf: unhandled %T", e)
+		return fmt.Errorf("sql: walkBindings: unhandled %T", e)
 	}
 }
 
-func (c *compiler) depsOfSelect(sel *Select, deps map[int]bool) error {
+// walkSelectBindings reports the bindings of a subquery's expressions
+// that escape into c's scopes.
+func (c *compiler) walkSelectBindings(sel *Select, report func(binding)) error {
 	sub := &compiler{db: c.db, scopes: c.scopes}
 	scope, err := sub.scopeFor(sel)
 	if err != nil {
 		return err
 	}
 	sub.scopes = append(append([]*scopeInfo{}, c.scopes...), scope)
-	inner := map[int]bool{}
-	collect := func(e Expr) error { return sub.depsOf(e, inner) }
+	outerLen := len(c.scopes)
+	escape := func(b binding) {
+		if b.depth < outerLen {
+			report(b)
+		}
+	}
+	collect := func(e Expr) error { return sub.walkBindings(e, escape) }
 	for _, se := range sel.Exprs {
 		if !se.Star {
 			if err := collect(se.Expr); err != nil {
@@ -221,9 +245,13 @@ func (c *compiler) depsOfSelect(sel *Select, deps map[int]bool) error {
 			return err
 		}
 	}
-	for d := range inner {
-		if d < len(c.scopes) { // reference escaping into our scopes
-			deps[d] = true
+	for _, tr := range sel.From {
+		if tr.Sub != nil {
+			// Derived tables see only outer scopes, not sel's own scope
+			// (mirroring compileSubSelect), so they walk with c directly.
+			if err := c.walkSelectBindings(tr.Sub, report); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -694,35 +722,25 @@ func (c *compiler) fastCompare(x *Binary) (compiledExpr, error) {
 		return nil, err
 	}
 	want := lit.Val.I
-	cmp := func(v relation.Value) (relation.Value, bool) {
-		switch v.K {
-		case relation.KindNull:
-			return relation.Null(), false
-		case relation.KindInt, relation.KindBool:
-			return v, true
-		default:
-			return v, false
-		}
-	}
 	switch op {
 	case "=":
 		return func(en *env) (relation.Value, error) {
-			v, fast := cmp(en.frames[b.depth].rows[b.src][b.col])
-			if fast {
+			v := en.frames[b.depth].rows[b.src][b.col]
+			if v.K == relation.KindInt || v.K == relation.KindBool {
 				return relation.Bool(v.I == want), nil
 			}
-			if v.IsNull() {
+			if v.K == relation.KindNull {
 				return relation.Null(), nil
 			}
 			return relation.Bool(relation.Equal(v, relation.Int(want))), nil
 		}, nil
 	case "<>":
 		return func(en *env) (relation.Value, error) {
-			v, fast := cmp(en.frames[b.depth].rows[b.src][b.col])
-			if fast {
+			v := en.frames[b.depth].rows[b.src][b.col]
+			if v.K == relation.KindInt || v.K == relation.KindBool {
 				return relation.Bool(v.I != want), nil
 			}
-			if v.IsNull() {
+			if v.K == relation.KindNull {
 				return relation.Null(), nil
 			}
 			return relation.Bool(!relation.Equal(v, relation.Int(want))), nil
@@ -730,8 +748,8 @@ func (c *compiler) fastCompare(x *Binary) (compiledExpr, error) {
 	default:
 		opc := op
 		return func(en *env) (relation.Value, error) {
-			v, fast := cmp(en.frames[b.depth].rows[b.src][b.col])
-			if fast {
+			v := en.frames[b.depth].rows[b.src][b.col]
+			if v.K == relation.KindInt || v.K == relation.KindBool {
 				var res bool
 				switch opc {
 				case "<":
@@ -745,7 +763,7 @@ func (c *compiler) fastCompare(x *Binary) (compiledExpr, error) {
 				}
 				return relation.Bool(res), nil
 			}
-			if v.IsNull() {
+			if v.K == relation.KindNull {
 				return relation.Null(), nil
 			}
 			c := relation.Compare(v, relation.Int(want))
@@ -828,6 +846,22 @@ func (c *compiler) compileCase(x *Case) (compiledExpr, error) {
 		if elseEx, err = c.compileExpr(x.Else); err != nil {
 			return nil, err
 		}
+	}
+	// The searched one-armed CASE ... WHEN c THEN a ELSE b END is the
+	// shape of the paper's '@'-blanking projections, evaluated once per
+	// (tuple, pattern) pair; a direct closure skips the arm loop.
+	if x.Operand == nil && len(x.Whens) == 1 && elseEx != nil {
+		cond, res, alt := conds[0], results[0], elseEx
+		return func(en *env) (relation.Value, error) {
+			cv, err := cond(en)
+			if err != nil {
+				return relation.Null(), err
+			}
+			if cv.Truth() {
+				return res(en)
+			}
+			return alt(en)
+		}, nil
 	}
 	return func(en *env) (relation.Value, error) {
 		var opv relation.Value
@@ -929,6 +963,43 @@ func (c *compiler) compileFunc(x *FuncCall) (compiledExpr, error) {
 	case "COALESCE", "IFNULL":
 		if len(args) == 0 {
 			return nil, fmt.Errorf("sql: %s needs arguments", x.Name)
+		}
+		// COALESCE(TOTEXT(e), 'lit') is the paper's NULL-marking idiom,
+		// evaluated once per (tuple, pattern) pair in the Fig. 4 macro;
+		// fuse it into a single closure.
+		if len(x.Args) == 2 {
+			if tt, ok := x.Args[0].(*FuncCall); ok && tt.Name == "TOTEXT" && len(tt.Args) == 1 {
+				if lit, ok := x.Args[1].(*Literal); ok {
+					inner, err := c.compileExpr(tt.Args[0])
+					if err != nil {
+						return nil, err
+					}
+					alt := lit.Val
+					return func(en *env) (relation.Value, error) {
+						v, err := inner(en)
+						if err != nil {
+							return relation.Null(), err
+						}
+						if v.K == relation.KindNull {
+							return alt, nil
+						}
+						if v.K == relation.KindText {
+							return v, nil
+						}
+						return relation.Text(v.String()), nil
+					}, nil
+				}
+			}
+		}
+		if len(args) == 2 {
+			a, b := args[0], args[1]
+			return func(en *env) (relation.Value, error) {
+				v, err := a(en)
+				if err != nil || !v.IsNull() {
+					return v, err
+				}
+				return b(en)
+			}, nil
 		}
 		return func(en *env) (relation.Value, error) {
 			for _, a := range args {

@@ -2,9 +2,15 @@ package sqldb
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"ecfd/internal/relation"
 )
+
+// DML statements compile into reusable plans (the prepared-statement
+// and plan-cache layers hold them across executions) and run in a
+// separate phase, mirroring the compile/exec split of SELECT.
 
 // coerce converts v to the column kind, erring on lossy mismatches.
 func coerce(v relation.Value, k relation.Kind, col string) (relation.Value, error) {
@@ -35,35 +41,66 @@ func coerce(v relation.Value, k relation.Kind, col string) (relation.Value, erro
 	return relation.Null(), fmt.Errorf("sql: cannot store %s value %s in %s column %s", v.K, v, k, col)
 }
 
-func (db *DB) execInsert(ins *Insert, params []relation.Value) (int64, error) {
+// --- INSERT ---
+
+type insertPlan struct {
+	t     *Table
+	table string
+	pos   []int // schema position per inserted column
+	query *compiledSelect
+	rows  [][]compiledExpr
+}
+
+func (db *DB) compileInsert(ins *Insert) (*insertPlan, error) {
 	t, err := db.table(ins.Table)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
+	p := &insertPlan{t: t, table: ins.Table}
 
 	// Map the column list (or the full schema) to schema positions.
-	cols := ins.Cols
-	pos := make([]int, 0, len(cols))
-	if len(cols) == 0 {
+	if len(ins.Cols) == 0 {
 		for i := range t.Schema.Attrs {
-			pos = append(pos, i)
+			p.pos = append(p.pos, i)
 		}
 	} else {
-		for _, cname := range cols {
+		for _, cname := range ins.Cols {
 			j := t.Schema.Index(cname)
 			if j < 0 {
-				return 0, fmt.Errorf("sql: no column %s in %s", cname, ins.Table)
+				return nil, fmt.Errorf("sql: no column %s in %s", cname, ins.Table)
 			}
-			pos = append(pos, j)
+			p.pos = append(p.pos, j)
 		}
 	}
 
+	if ins.Query != nil {
+		c := &compiler{db: db}
+		if p.query, err = c.compileSubSelect(ins.Query); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	c := &compiler{db: db}
+	p.rows = make([][]compiledExpr, len(ins.Rows))
+	for ri, exprRow := range ins.Rows {
+		p.rows[ri] = make([]compiledExpr, len(exprRow))
+		for i, e := range exprRow {
+			if p.rows[ri][i], err = c.compileExpr(e); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}
+
+func (db *DB) runInsert(p *insertPlan, params []relation.Value) (int64, error) {
+	t := p.t
 	build := func(vals []relation.Value) (relation.Tuple, error) {
-		if len(vals) != len(pos) {
-			return nil, fmt.Errorf("sql: INSERT into %s: %d values for %d columns", ins.Table, len(vals), len(pos))
+		if len(vals) != len(p.pos) {
+			return nil, fmt.Errorf("sql: INSERT into %s: %d values for %d columns", p.table, len(vals), len(p.pos))
 		}
 		row := make(relation.Tuple, t.Schema.Width())
-		for i, j := range pos {
+		for i, j := range p.pos {
 			v, err := coerce(vals[i], t.Schema.Attrs[j].Kind, t.Schema.Attrs[j].Name)
 			if err != nil {
 				return nil, err
@@ -74,32 +111,29 @@ func (db *DB) execInsert(ins *Insert, params []relation.Value) (int64, error) {
 	}
 
 	var newRows []relation.Tuple
-	switch {
-	case ins.Query != nil:
-		res, err := db.execSelect(ins.Query, params)
+	en := newEnv(db, params)
+	if p.query != nil {
+		rows, err := p.query.exec(en)
 		if err != nil {
 			return 0, err
 		}
-		for _, r := range res.Rows {
+		for _, r := range rows {
 			row, err := build(r)
 			if err != nil {
 				return 0, err
 			}
 			newRows = append(newRows, row)
 		}
-	default:
-		c := &compiler{db: db}
-		en := newEnv(db, params)
-		for _, exprRow := range ins.Rows {
-			vals := make([]relation.Value, len(exprRow))
-			for i, e := range exprRow {
-				ce, err := c.compileExpr(e)
+	} else {
+		vals := make([]relation.Value, 0, len(p.pos))
+		for _, exprRow := range p.rows {
+			vals = vals[:0]
+			for _, ce := range exprRow {
+				v, err := ce(en)
 				if err != nil {
 					return 0, err
 				}
-				if vals[i], err = ce(en); err != nil {
-					return 0, err
-				}
+				vals = append(vals, v)
 			}
 			row, err := build(vals)
 			if err != nil {
@@ -115,10 +149,51 @@ func (db *DB) execInsert(ins *Insert, params []relation.Value) (int64, error) {
 	return int64(len(newRows)), nil
 }
 
-func (db *DB) execUpdate(up *Update, params []relation.Value) (int64, error) {
-	t, err := db.table(up.Table)
+func (db *DB) execInsert(ins *Insert, params []relation.Value) (int64, error) {
+	p, err := db.compileInsert(ins)
 	if err != nil {
 		return 0, err
+	}
+	return db.runInsert(p, params)
+}
+
+// --- UPDATE ---
+
+type setter struct {
+	col int
+	ex  compiledExpr
+	// isConst marks a literal assignment (SET SV = 0); the coerced
+	// value is computed at compile time and shared by every changed
+	// row, so flag resets do not evaluate or allocate per row.
+	isConst  bool
+	constVal relation.Value
+}
+
+type updatePlan struct {
+	t       *Table
+	table   string
+	where   compiledExpr
+	setters []setter
+	// semi, when non-nil, is the joint semi-join select over
+	// [target] + EXISTS-subquery sources: running it and collecting the
+	// distinct target row indices is equivalent to filtering rows with
+	// the WHERE clause, but lets the planner drive the join from the
+	// small side (the paper's pattern tables) instead of probing the
+	// EXISTS once per data row.
+	semi *compiledSelect
+}
+
+// disableSemiJoinUpdate / forceSemiJoinUpdate are test hooks for the
+// differential suite; production code leaves both false.
+var (
+	disableSemiJoinUpdate = false
+	forceSemiJoinUpdate   = false
+)
+
+func (db *DB) compileUpdate(up *Update) (*updatePlan, error) {
+	t, err := db.table(up.Table)
+	if err != nil {
+		return nil, err
 	}
 	name := up.Alias
 	if name == "" {
@@ -128,29 +203,111 @@ func (db *DB) execUpdate(up *Update, params []relation.Value) (int64, error) {
 		{sources: []sourceInfo{{name: name, cols: t.Schema.Names()}}},
 	}}
 
-	var where compiledExpr
+	p := &updatePlan{t: t, table: up.Table}
 	if up.Where != nil {
-		if where, err = c.compileExpr(up.Where); err != nil {
-			return 0, err
+		if p.where, err = c.compileExpr(up.Where); err != nil {
+			return nil, err
 		}
 	}
-	type setter struct {
-		col int
-		ex  compiledExpr
-	}
-	setters := make([]setter, len(up.Set))
+	p.setters = make([]setter, len(up.Set))
 	for i, a := range up.Set {
 		j := t.Schema.Index(a.Column)
 		if j < 0 {
-			return 0, fmt.Errorf("sql: no column %s in %s", a.Column, up.Table)
+			return nil, fmt.Errorf("sql: no column %s in %s", a.Column, up.Table)
 		}
 		ex, err := c.compileExpr(a.Value)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
-		setters[i] = setter{col: j, ex: ex}
+		p.setters[i] = setter{col: j, ex: ex}
+		if lit, ok := a.Value.(*Literal); ok {
+			if cv, err := coerce(lit.Val, t.Schema.Attrs[j].Kind, t.Schema.Attrs[j].Name); err == nil {
+				p.setters[i].isConst = true
+				p.setters[i].constVal = cv
+			}
+		}
 	}
+	p.semi = db.trySemiJoinUpdate(up, name)
+	return p, nil
+}
 
+// trySemiJoinUpdate builds the joint semi-join select for an UPDATE
+// whose WHERE contains a plain EXISTS over base tables. Returns nil
+// when the shape does not qualify; the row-filter path then applies.
+func (db *DB) trySemiJoinUpdate(up *Update, name string) *compiledSelect {
+	if up.Where == nil {
+		return nil
+	}
+	var conjs []Expr
+	splitConjuncts(up.Where, &conjs)
+	exIdx := -1
+	var sub *Select
+	for i, cj := range conjs {
+		ex, ok := cj.(*Exists)
+		if !ok || ex.Neg || !semiJoinable(ex.Sub) {
+			continue
+		}
+		collides := false
+		for _, tr := range ex.Sub.From {
+			if strings.EqualFold(tr.Name(), name) {
+				collides = true
+				break
+			}
+		}
+		if collides {
+			continue
+		}
+		exIdx, sub = i, ex.Sub
+		break
+	}
+	if exIdx < 0 {
+		return nil
+	}
+	where := sub.Where
+	for i, cj := range conjs {
+		if i == exIdx {
+			continue
+		}
+		if where == nil {
+			where = cj
+		} else {
+			where = &Binary{Op: "AND", L: where, R: cj}
+		}
+	}
+	synth := &Select{
+		Exprs: []SelectExpr{{Expr: &Literal{Val: relation.Int(1)}}},
+		From:  append([]TableRef{{Table: up.Table, Alias: up.Alias}}, sub.From...),
+		Where: where,
+	}
+	c := &compiler{db: db}
+	cs, err := c.compileSubSelect(synth)
+	if err != nil || !cs.planOK {
+		// Merging scopes can introduce ambiguities the nested form did
+		// not have (unqualified names resolving into both scopes); the
+		// row-filter path stays available.
+		return nil
+	}
+	return cs
+}
+
+// semiJoinable reports whether an EXISTS subquery can be folded into a
+// joint join: base tables only, no grouping/aggregation/limit (those
+// change emptiness semantics or row multiplicity guarantees).
+func semiJoinable(sub *Select) bool {
+	if len(sub.From) == 0 || len(sub.GroupBy) > 0 || sub.Having != nil ||
+		sub.Limit != nil || sub.Offset != nil || selectHasAggregate(sub) {
+		return false
+	}
+	for _, tr := range sub.From {
+		if tr.Sub != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func (db *DB) runUpdate(p *updatePlan, params []relation.Value) (int64, error) {
+	t := p.t
 	// Two phases: evaluate against the unmodified table, then apply, so
 	// the statement sees a consistent snapshot.
 	en := newEnv(db, params)
@@ -161,35 +318,102 @@ func (db *DB) execUpdate(up *Update, params []relation.Value) (int64, error) {
 		vals []relation.Value
 	}
 	var changes []change
-	for ri, row := range t.Rows {
-		fr.rows[0] = row
-		if where != nil {
-			v, err := where(en)
-			if err != nil {
-				return 0, err
-			}
-			if !v.Truth() {
+	allConst := true
+	for _, s := range p.setters {
+		if !s.isConst {
+			allConst = false
+			break
+		}
+	}
+	var constVals []relation.Value
+	if allConst {
+		constVals = make([]relation.Value, len(p.setters))
+		for i, s := range p.setters {
+			constVals[i] = s.constVal
+		}
+	}
+	evalRow := func(ri int) error {
+		if allConst {
+			changes = append(changes, change{ri: ri, vals: constVals})
+			return nil
+		}
+		vals := make([]relation.Value, len(p.setters))
+		for i, s := range p.setters {
+			if s.isConst {
+				vals[i] = s.constVal
 				continue
 			}
-		}
-		vals := make([]relation.Value, len(setters))
-		for i, s := range setters {
 			v, err := s.ex(en)
 			if err != nil {
-				return 0, err
+				return err
 			}
 			if vals[i], err = coerce(v, t.Schema.Attrs[s.col].Kind, t.Schema.Attrs[s.col].Name); err != nil {
-				return 0, err
+				return err
 			}
 		}
 		changes = append(changes, change{ri: ri, vals: vals})
+		return nil
 	}
+
+	useSemi := false
+	if p.semi != nil && !DisablePlanner && !disableSemiJoinUpdate {
+		// Worth it when a subquery source is meaningfully smaller than
+		// the target: the join is then driven from that side instead of
+		// probing the EXISTS once per target row.
+		minSub := len(t.Rows) + 1
+		for _, src := range p.semi.sources[1:] {
+			if n := len(src.table.Rows); n < minSub {
+				minSub = n
+			}
+		}
+		useSemi = forceSemiJoinUpdate || minSub*4 <= len(t.Rows)
+	}
+
+	if useSemi {
+		sen := newEnv(db, params)
+		matched := make(map[int]bool)
+		err := p.semi.semiScan(sen, func(idx []int) error {
+			matched[idx[0]] = true
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		ris := make([]int, 0, len(matched))
+		for ri := range matched {
+			ris = append(ris, ri)
+		}
+		sort.Ints(ris)
+		for _, ri := range ris {
+			fr.rows[0] = t.Rows[ri]
+			if err := evalRow(ri); err != nil {
+				return 0, err
+			}
+		}
+	} else {
+		for ri, row := range t.Rows {
+			fr.rows[0] = row
+			if p.where != nil {
+				v, err := p.where(en)
+				if err != nil {
+					return 0, err
+				}
+				if !v.Truth() {
+					continue
+				}
+			}
+			if err := evalRow(ri); err != nil {
+				return 0, err
+			}
+		}
+	}
+
 	if len(changes) == 0 {
 		return 0, nil
 	}
 	db.backupForTx(t)
 	for _, ch := range changes {
-		for i, s := range setters {
+		for i, s := range p.setters {
 			t.Rows[ch.ri][s.col] = ch.vals[i]
 		}
 	}
@@ -197,10 +421,25 @@ func (db *DB) execUpdate(up *Update, params []relation.Value) (int64, error) {
 	return int64(len(changes)), nil
 }
 
-func (db *DB) execDelete(del *Delete, params []relation.Value) (int64, error) {
-	t, err := db.table(del.Table)
+func (db *DB) execUpdate(up *Update, params []relation.Value) (int64, error) {
+	p, err := db.compileUpdate(up)
 	if err != nil {
 		return 0, err
+	}
+	return db.runUpdate(p, params)
+}
+
+// --- DELETE ---
+
+type deletePlan struct {
+	t     *Table
+	where compiledExpr
+}
+
+func (db *DB) compileDelete(del *Delete) (*deletePlan, error) {
+	t, err := db.table(del.Table)
+	if err != nil {
+		return nil, err
 	}
 	name := del.Alias
 	if name == "" {
@@ -209,13 +448,17 @@ func (db *DB) execDelete(del *Delete, params []relation.Value) (int64, error) {
 	c := &compiler{db: db, scopes: []*scopeInfo{
 		{sources: []sourceInfo{{name: name, cols: t.Schema.Names()}}},
 	}}
-	var where compiledExpr
+	p := &deletePlan{t: t}
 	if del.Where != nil {
-		if where, err = c.compileExpr(del.Where); err != nil {
-			return 0, err
+		if p.where, err = c.compileExpr(del.Where); err != nil {
+			return nil, err
 		}
 	}
+	return p, nil
+}
 
+func (db *DB) runDelete(p *deletePlan, params []relation.Value) (int64, error) {
+	t := p.t
 	en := newEnv(db, params)
 	en.frames = append(en.frames, frame{rows: make([]relation.Tuple, 1)})
 	fr := &en.frames[0]
@@ -223,9 +466,9 @@ func (db *DB) execDelete(del *Delete, params []relation.Value) (int64, error) {
 	var deleted int64
 	for _, row := range t.Rows {
 		drop := true
-		if where != nil {
+		if p.where != nil {
 			fr.rows[0] = row
-			v, err := where(en)
+			v, err := p.where(en)
 			if err != nil {
 				return 0, err
 			}
@@ -244,4 +487,12 @@ func (db *DB) execDelete(del *Delete, params []relation.Value) (int64, error) {
 	t.Rows = keep
 	t.mutated()
 	return deleted, nil
+}
+
+func (db *DB) execDelete(del *Delete, params []relation.Value) (int64, error) {
+	p, err := db.compileDelete(del)
+	if err != nil {
+		return 0, err
+	}
+	return db.runDelete(p, params)
 }

@@ -14,37 +14,24 @@ type Result struct {
 	Rows []relation.Tuple
 }
 
-// Query parses and runs a SELECT (or any row-returning statement).
+// Query runs a SELECT through the plan cache: the statement text is
+// parsed and compiled at most once per catalog version.
 func (db *DB) Query(sqlText string, params ...relation.Value) (*Result, error) {
-	stmt, err := Parse(sqlText)
+	p, err := db.Prepare(sqlText)
 	if err != nil {
 		return nil, err
 	}
-	sel, ok := stmt.(*Select)
-	if !ok {
-		return nil, fmt.Errorf("sql: Query requires a SELECT statement")
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.execSelect(sel, params)
+	return p.Query(params...)
 }
 
-// Exec parses and runs one or more non-query statements separated by
-// semicolons, returning the total number of affected rows.
+// Exec runs one or more statements separated by semicolons through the
+// plan cache, returning the total number of affected rows.
 func (db *DB) Exec(sqlText string, params ...relation.Value) (int64, error) {
-	stmts, err := ParseScript(sqlText)
+	p, err := db.Prepare(sqlText)
 	if err != nil {
 		return 0, err
 	}
-	var total int64
-	for _, stmt := range stmts {
-		n, err := db.ExecStmt(stmt, params...)
-		if err != nil {
-			return total, err
-		}
-		total += n
-	}
-	return total, nil
+	return p.Exec(params...)
 }
 
 // QueryStmt runs a parsed SELECT.
@@ -110,7 +97,13 @@ func (db *DB) execStmtLocked(stmt Statement, params []relation.Value) (int64, er
 type compiledSelect struct {
 	depth    int
 	sources  []compiledSource
+	srcNames []string
 	where    compiledExpr
+	// planner decomposition of WHERE; planOK false falls back to the
+	// nested loop evaluating the monolithic where closure.
+	conjs    []*planConjunct
+	nTerms   int
+	planOK   bool
 	grouped  bool
 	groupBy  []compiledExpr
 	having   compiledExpr
@@ -157,7 +150,13 @@ func (cs *compiledSelect) execExists(en *env) (bool, error) {
 		cs.scratch = make([]relation.Tuple, len(cs.sources))
 	}
 	en.frames = append(en.frames, frame{rows: cs.scratch})
-	err := cs.joinLoop(en, srcRows, 0, func() error { return errFound })
+	var err error
+	if DisablePlanner || !cs.planOK {
+		err = cs.joinLoop(en, srcRows, 0, func() error { return errFound })
+	} else {
+		sch := en.scheduleFor(cs, srcRows)
+		err = cs.runPlan(en, sch, srcRows, yieldFound)
+	}
 	en.frames = en.frames[:cs.depth]
 	if err == errFound {
 		return true, nil
@@ -234,11 +233,18 @@ func (c *compiler) compileSubSelect(sel *Select) (*compiledSelect, error) {
 		cs.sources = append(cs.sources, src)
 	}
 
+	for _, src := range scope.sources {
+		cs.srcNames = append(cs.srcNames, src.name)
+	}
+
 	if sel.Where != nil {
 		if cs.where, err = inner.compileExpr(sel.Where); err != nil {
 			return nil, err
 		}
 	}
+	// Plan the WHERE decomposition while the compiler still rejects
+	// aggregates (WHERE is row-context; aggSink is not yet installed).
+	inner.planWhere(sel.Where, cs)
 
 	// Decide grouping: explicit GROUP BY, or aggregates anywhere in the
 	// select list / HAVING.
@@ -430,18 +436,46 @@ func (cs *compiledSelect) exec(en *env) ([]relation.Tuple, error) {
 		return nil
 	}
 
+	// DISTINCT without ORDER BY dedupes inline: output values land in a
+	// reused scratch row and only the first occurrence of each key is
+	// materialized. The Fig. 4 macro emits one row per (tuple, pattern)
+	// match but only |Aux|-many distinct ones, so this skips almost all
+	// of the row allocation.
+	dedupInline := cs.distinct && len(cs.orderBy) == 0 && !cs.grouped
+	if dedupInline {
+		seen := make(map[string]bool)
+		scratchRow := make(relation.Tuple, len(cs.outs))
+		var keyBuf []byte
+		emit = func() error {
+			for i, oe := range cs.outs {
+				v, err := oe(en)
+				if err != nil {
+					return err
+				}
+				scratchRow[i] = v
+			}
+			keyBuf = relation.AppendKeyOf(keyBuf[:0], scratchRow)
+			if seen[string(keyBuf)] {
+				return nil
+			}
+			seen[string(keyBuf)] = true
+			out = append(out, append(relation.Tuple(nil), scratchRow...))
+			return nil
+		}
+	}
+
 	if cs.grouped {
 		if err := cs.execGrouped(en, srcRows, emit); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := cs.joinLoop(en, srcRows, 0, emit); err != nil {
+		if err := cs.scan(en, srcRows, emit); err != nil {
 			return nil, err
 		}
 	}
 
 	// DISTINCT before ORDER BY.
-	if cs.distinct {
+	if cs.distinct && !dedupInline {
 		seen := make(map[string]bool, len(out))
 		dedup := out[:0]
 		var dedupKeys [][]relation.Value
@@ -549,7 +583,7 @@ func (cs *compiledSelect) execGrouped(en *env, src [][]relation.Tuple, emit func
 
 	fr := &en.frames[cs.depth]
 	var keyBuf []byte
-	err := cs.joinLoop(en, src, 0, func() error {
+	err := cs.scan(en, src, func() error {
 		keyBuf = keyBuf[:0]
 		for _, ge := range cs.groupBy {
 			v, err := ge(en)

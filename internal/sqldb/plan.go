@@ -1,0 +1,738 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ecfd/internal/relation"
+)
+
+// This file is the query planner. Compilation (planWhere) decomposes a
+// SELECT's WHERE clause into conjuncts, each conjunct into its OR
+// alternatives, and annotates every piece with the set of FROM sources
+// it reads. Execution (buildSchedule / runPlan) then replaces the
+// all-pairs nested loop with a planned join:
+//
+//   - sources are visited smallest-first, so a 10-row pattern table
+//     drives the loop over a 100k-row data table and not the reverse;
+//   - equality conjuncts between a source and already-bound values
+//     become hash probes — built once per statement over the build
+//     side, or answered by a persistent secondary index when one
+//     covers the key columns exactly;
+//   - every conjunct is evaluated at the outermost level where all of
+//     its sources are bound (predicate pushdown), pruning the join
+//     subtree as early as possible;
+//   - OR conjuncts are partially evaluated: each alternative runs at
+//     the level where its own sources are bound, and once one
+//     alternative is true the whole conjunct is satisfied for the
+//     entire subtree. This is what makes the paper's Fig. 4 queries
+//     cheap: terms like "c.A_L <> 1" resolve once per pattern tuple,
+//     so the expensive set probes only run for the few attributes a
+//     pattern actually constrains.
+//
+// The planner never changes semantics: a row combination is emitted
+// iff every conjunct has at least one true alternative, which is
+// exactly Truth(WHERE) under SQL three-valued logic. Evaluation order
+// of (side-effect-free) predicates is the only thing that shifts.
+
+// DisablePlanner forces every statement through the legacy all-pairs
+// nested-loop path. It exists for the differential property tests and
+// the ablation benchmark; production code must leave it false.
+var DisablePlanner = false
+
+// reorderMinRows is the largest-source threshold below which the
+// planner keeps the syntactic FROM order: for tiny joins reordering
+// buys nothing and would perturb the (unspecified but convenient)
+// result order small tests rely on.
+const reorderMinRows = 64
+
+// srcMask is a bitset over the FROM sources of one SELECT scope.
+type srcMask uint64
+
+// planTerm is one OR alternative of a conjunct. Its AND factors are
+// kept separate so each can run at the level where its own sources are
+// bound: an alternative like "c.A_R = 1 AND <probe over t>" has its
+// guard evaluated once per c row, and the probe only runs for the few
+// alternatives the guard leaves alive.
+type planTerm struct {
+	id    int // global index into planState term arrays
+	parts []planPart
+	srcs  srcMask // union of part sources
+}
+
+// planPart is one AND factor of an OR alternative.
+type planPart struct {
+	ex   compiledExpr
+	srcs srcMask
+}
+
+// planConjunct is one AND conjunct of the WHERE clause.
+type planConjunct struct {
+	terms []planTerm
+	srcs  srcMask
+	eqs   []equiSide // equality shapes usable as join/probe keys
+}
+
+// equiSide describes sources[src].col = key, with key reading only the
+// sources in otherSrcs (plus outer scopes, parameters and constants).
+type equiSide struct {
+	src, col  int
+	otherSrcs srcMask
+	key       compiledExpr
+}
+
+// planWhere decomposes the WHERE clause for cs. On any analysis
+// failure it leaves cs.planOK false and the executor falls back to the
+// legacy nested loop over cs.where.
+func (c *compiler) planWhere(where Expr, cs *compiledSelect) {
+	cs.planOK = false
+	if len(cs.sources) == 0 || len(cs.sources) > 64 {
+		return
+	}
+	depth := cs.depth
+	var conjExprs []Expr
+	splitConjuncts(where, &conjExprs)
+	conjs := make([]*planConjunct, 0, len(conjExprs))
+	nTerms := 0
+	for _, cj := range conjExprs {
+		var termExprs []Expr
+		flattenLogical("OR", cj, &termExprs)
+		pc := &planConjunct{}
+		for _, te := range termExprs {
+			var partExprs []Expr
+			splitConjuncts(te, &partExprs)
+			pt := planTerm{id: nTerms}
+			nTerms++
+			for _, pe := range partExprs {
+				var mask srcMask
+				err := c.walkBindings(pe, func(b binding) {
+					if b.depth == depth {
+						mask |= 1 << uint(b.src)
+					}
+				})
+				if err != nil {
+					return
+				}
+				ex, err := c.compileExpr(pe)
+				if err != nil {
+					return
+				}
+				pt.parts = append(pt.parts, planPart{ex: ex, srcs: mask})
+				pt.srcs |= mask
+			}
+			pc.terms = append(pc.terms, pt)
+			pc.srcs |= pt.srcs
+		}
+		if len(pc.terms) == 1 {
+			c.extractEqui(termExprs[0], depth, pc)
+		}
+		conjs = append(conjs, pc)
+	}
+	cs.conjs = conjs
+	cs.nTerms = nTerms
+	cs.planOK = true
+}
+
+// extractEqui records the join-key shapes of a single-term equality
+// conjunct, trying both orientations.
+func (c *compiler) extractEqui(e Expr, depth int, pc *planConjunct) {
+	b, ok := e.(*Binary)
+	if !ok || b.Op != "=" {
+		return
+	}
+	try := func(colSide, keySide Expr) {
+		ref, ok := colSide.(*ColumnRef)
+		if !ok {
+			return
+		}
+		bd, err := c.resolve(ref)
+		if err != nil || bd.depth != depth {
+			return
+		}
+		var keyMask srcMask
+		if err := c.walkBindings(keySide, func(kb binding) {
+			if kb.depth == depth {
+				keyMask |= 1 << uint(kb.src)
+			}
+		}); err != nil {
+			return
+		}
+		if keyMask&(1<<uint(bd.src)) != 0 {
+			return // key side reads the build source itself
+		}
+		kex, err := c.compileExpr(keySide)
+		if err != nil {
+			return
+		}
+		pc.eqs = append(pc.eqs, equiSide{src: bd.src, col: bd.col, otherSrcs: keyMask, key: kex})
+	}
+	try(b.L, b.R)
+	try(b.R, b.L)
+}
+
+// --- schedule ---
+
+// schedule is the executable join plan for one compiledSelect given
+// concrete source sizes. It is cached per env (one statement), so
+// repeated executions — correlated EXISTS probed per outer row — reuse
+// the hash builds.
+type schedule struct {
+	order  []int
+	pre    []preEval
+	levels []schedLevel
+	state  *planState
+}
+
+// preEval processes the parts of a conjunct's alternatives that read
+// no current-scope source, once before the loop starts. final marks
+// conjuncts whose every alternative is source-free: if none closes
+// true the WHERE is constant-false.
+type preEval struct {
+	conj  int
+	terms []schedTerm
+	final bool
+}
+
+type schedLevel struct {
+	src   int
+	probe *probePlan
+	evals []schedEval
+}
+
+// schedEval processes one conjunct at one level: the alternatives with
+// parts that become ready here. final means the conjunct has nothing
+// deeper: if it is still unsatisfied afterwards, the subtree is
+// pruned.
+type schedEval struct {
+	conj  int
+	terms []schedTerm
+	final bool
+}
+
+// schedTerm is one OR alternative's contribution to a level: the AND
+// parts ready here. closes means the alternative has no deeper parts —
+// if every part so far held, the alternative is true and satisfies its
+// conjunct. A part that fails kills the alternative for the subtree.
+type schedTerm struct {
+	term   int
+	parts  []compiledExpr
+	closes bool
+}
+
+// probePlan answers "which rows of this source match the bound key"
+// via a persistent index (exact column cover) or an ephemeral hash
+// built once per statement (base tables) or per execution (derived
+// tables, whose rows rematerialize each run).
+type probePlan struct {
+	keys      []compiledExpr
+	buildCols []int
+	conjs     []int // conjunct ids the probe satisfies
+	idx       *Index
+	perm      []int // probe position per index column (idx != nil)
+	hash      map[string][]int
+	derived   bool
+	vals      []relation.Value // scratch
+	keyBuf    []byte           // scratch
+}
+
+type planState struct {
+	// satLevel[c]: -1 pending, -2 satisfied before the loop, otherwise
+	// the level position that satisfied conjunct c.
+	satLevel []int
+	// termDead[t]: some AND part of alternative t failed in the current
+	// subtree, so the alternative can no longer satisfy its conjunct.
+	termDead  []bool
+	idx       []int // current row index per source
+	marks     [][]int
+	deadMarks [][]int
+}
+
+func isNaN(v relation.Value) bool {
+	return v.K == relation.KindFloat && v.F != v.F
+}
+
+// buildSchedule assigns every conjunct, OR alternative and equi key to
+// a join level for the chosen source order.
+func buildSchedule(cs *compiledSelect, srcRows [][]relation.Tuple) *schedule {
+	n := len(cs.sources)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if n > 1 {
+		max := 0
+		for _, rows := range srcRows {
+			if len(rows) > max {
+				max = len(rows)
+			}
+		}
+		if max >= reorderMinRows {
+			sort.SliceStable(order, func(a, b int) bool {
+				return len(srcRows[order[a]]) < len(srcRows[order[b]])
+			})
+		}
+	}
+	sch := &schedule{order: order}
+	consumed := make([]bool, len(cs.conjs))
+	for ci, pc := range cs.conjs {
+		var terms []schedTerm
+		for _, t := range pc.terms {
+			var parts []compiledExpr
+			for _, p := range t.parts {
+				if p.srcs == 0 {
+					parts = append(parts, p.ex)
+				}
+			}
+			if len(parts) > 0 {
+				terms = append(terms, schedTerm{term: t.id, parts: parts, closes: t.srcs == 0})
+			}
+		}
+		if len(terms) > 0 {
+			sch.pre = append(sch.pre, preEval{conj: ci, terms: terms, final: pc.srcs == 0})
+		}
+	}
+	var bound srcMask
+	for _, s := range order {
+		lv := schedLevel{src: s}
+		bit := srcMask(1) << uint(s)
+		var probe *probePlan
+		for ci, pc := range cs.conjs {
+			if consumed[ci] || len(pc.eqs) == 0 {
+				continue
+			}
+			for _, eq := range pc.eqs {
+				if eq.src == s && eq.otherSrcs&^bound == 0 {
+					if probe == nil {
+						probe = &probePlan{derived: cs.sources[s].sub != nil}
+					}
+					probe.keys = append(probe.keys, eq.key)
+					probe.buildCols = append(probe.buildCols, eq.col)
+					probe.conjs = append(probe.conjs, ci)
+					consumed[ci] = true
+					break
+				}
+			}
+		}
+		if probe != nil {
+			probe.vals = make([]relation.Value, len(probe.keys))
+			if t := cs.sources[s].table; t != nil {
+				probe.idx, probe.perm = probeIndex(t, probe.buildCols)
+			}
+		}
+		lv.probe = probe
+		boundAfter := bound | bit
+		for ci, pc := range cs.conjs {
+			if consumed[ci] || pc.srcs == 0 {
+				continue
+			}
+			var terms []schedTerm
+			for _, t := range pc.terms {
+				var parts []compiledExpr
+				for _, p := range t.parts {
+					if p.srcs != 0 && p.srcs&^boundAfter == 0 && p.srcs&bit != 0 {
+						parts = append(parts, p.ex)
+					}
+				}
+				if len(parts) > 0 {
+					terms = append(terms, schedTerm{term: t.id, parts: parts, closes: t.srcs&^boundAfter == 0})
+				}
+			}
+			final := pc.srcs&^boundAfter == 0 && pc.srcs&bit != 0
+			if len(terms) > 0 || final {
+				lv.evals = append(lv.evals, schedEval{conj: ci, terms: terms, final: final})
+			}
+		}
+		bound = boundAfter
+		sch.levels = append(sch.levels, lv)
+	}
+	sch.state = &planState{
+		satLevel:  make([]int, len(cs.conjs)),
+		termDead:  make([]bool, cs.nTerms),
+		idx:       make([]int, n),
+		marks:     make([][]int, n),
+		deadMarks: make([][]int, n),
+	}
+	return sch
+}
+
+// scheduleFor returns the (per-statement) cached schedule for cs.
+func (en *env) scheduleFor(cs *compiledSelect, srcRows [][]relation.Tuple) *schedule {
+	if en.schedules == nil {
+		en.schedules = make(map[*compiledSelect]*schedule)
+	}
+	sch := en.schedules[cs]
+	if sch == nil {
+		sch = buildSchedule(cs, srcRows)
+		en.schedules[cs] = sch
+	} else {
+		for i := range sch.levels {
+			if p := sch.levels[i].probe; p != nil && p.derived {
+				p.hash = nil // derived rows rematerialize per execution
+			}
+		}
+	}
+	return sch
+}
+
+// scan enumerates the row combinations passing WHERE, planned when
+// possible, by nested loop otherwise.
+func (cs *compiledSelect) scan(en *env, srcRows [][]relation.Tuple, yield func() error) error {
+	if DisablePlanner || !cs.planOK {
+		return cs.joinLoop(en, srcRows, 0, yield)
+	}
+	sch := en.scheduleFor(cs, srcRows)
+	return cs.runPlan(en, sch, srcRows, func([]int) error { return yield() })
+}
+
+var yieldFound = func([]int) error { return errFound }
+
+// runPlan executes the planned join. yield receives the current row
+// index per source (indexed by source position, not loop order).
+func (cs *compiledSelect) runPlan(en *env, sch *schedule, srcRows [][]relation.Tuple, yield func(idx []int) error) error {
+	st := sch.state
+	for i := range st.satLevel {
+		st.satLevel[i] = -1
+	}
+	for i := range st.termDead {
+		st.termDead[i] = false
+	}
+	for _, pe := range sch.pre {
+		satisfied := false
+		for ti := range pe.terms {
+			tr := &pe.terms[ti]
+			allTrue := true
+			for _, pex := range tr.parts {
+				v, err := pex(en)
+				if err != nil {
+					return err
+				}
+				if !v.Truth() {
+					allTrue = false
+					break
+				}
+			}
+			if !allTrue {
+				st.termDead[tr.term] = true
+				continue
+			}
+			if tr.closes {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			st.satLevel[pe.conj] = -2
+		} else if pe.final {
+			return nil // constant-false WHERE
+		}
+	}
+	return cs.planLevel(en, sch, srcRows, 0, yield)
+}
+
+func (cs *compiledSelect) planLevel(en *env, sch *schedule, srcRows [][]relation.Tuple, pos int, yield func([]int) error) error {
+	st := sch.state
+	if pos == len(sch.levels) {
+		return yield(st.idx)
+	}
+	lv := &sch.levels[pos]
+	rows := srcRows[lv.src]
+	bucket, scanAll, err := cs.probeRows(en, lv, rows)
+	if err != nil {
+		return err
+	}
+	fr := &en.frames[cs.depth]
+	marks := st.marks[pos][:0]
+	deadMarks := st.deadMarks[pos][:0]
+	n := len(rows)
+	if !scanAll {
+		n = len(bucket)
+	}
+	for i := 0; i < n; i++ {
+		ri := i
+		if !scanAll {
+			ri = bucket[i]
+		}
+		fr.rows[lv.src] = rows[ri]
+		st.idx[lv.src] = ri
+		ok := true
+		marks = marks[:0]
+		deadMarks = deadMarks[:0]
+		for ei := range lv.evals {
+			ev := &lv.evals[ei]
+			if st.satLevel[ev.conj] != -1 {
+				continue
+			}
+			satisfied := false
+			for ti := range ev.terms {
+				tr := &ev.terms[ti]
+				if st.termDead[tr.term] {
+					continue
+				}
+				allTrue := true
+				for _, pex := range tr.parts {
+					v, err := pex(en)
+					if err != nil {
+						st.marks[pos] = marks
+						st.deadMarks[pos] = deadMarks
+						return err
+					}
+					if !v.Truth() {
+						allTrue = false
+						break
+					}
+				}
+				if !allTrue {
+					st.termDead[tr.term] = true
+					deadMarks = append(deadMarks, tr.term)
+					continue
+				}
+				if tr.closes {
+					satisfied = true
+					break
+				}
+			}
+			if satisfied {
+				st.satLevel[ev.conj] = pos
+				marks = append(marks, ev.conj)
+			} else if ev.final {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if err := cs.planLevel(en, sch, srcRows, pos+1, yield); err != nil {
+				st.marks[pos] = marks
+				st.deadMarks[pos] = deadMarks
+				return err
+			}
+		}
+		for _, cj := range marks {
+			st.satLevel[cj] = -1
+		}
+		for _, tm := range deadMarks {
+			st.termDead[tm] = false
+		}
+	}
+	st.marks[pos] = marks[:0]
+	st.deadMarks[pos] = deadMarks[:0]
+	return nil
+}
+
+// probeRows returns the candidate row indices at a level. scanAll is
+// true when the level has no probe (full scan). A NULL or NaN key can
+// never satisfy an equality, so it yields an empty candidate set.
+func (cs *compiledSelect) probeRows(en *env, lv *schedLevel, rows []relation.Tuple) (bucket []int, scanAll bool, err error) {
+	p := lv.probe
+	if p == nil {
+		return nil, true, nil
+	}
+	for i, kex := range p.keys {
+		v, err := kex(en)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.IsNull() || isNaN(v) {
+			return nil, false, nil
+		}
+		p.vals[i] = v
+	}
+	if p.idx != nil {
+		if t := cs.sources[lv.src].table; p.idx.dirty || p.idx.m == nil {
+			p.idx.rebuild(t)
+		}
+		key := p.keyBuf[:0]
+		for _, pi := range p.perm {
+			key = relation.AppendKey(key, p.vals[pi])
+			key = append(key, 0x1f)
+		}
+		p.keyBuf = key
+		return p.idx.m[string(key)], false, nil
+	}
+	if p.hash == nil {
+		p.hash = buildJoinHash(rows, p.buildCols)
+	}
+	key := p.keyBuf[:0]
+	for _, v := range p.vals {
+		key = relation.AppendKey(key, v)
+		key = append(key, 0x1f)
+	}
+	p.keyBuf = key
+	return p.hash[string(key)], false, nil
+}
+
+// buildJoinHash indexes rows by the join-key columns. Rows with a NULL
+// (or NaN) key column are left out: an equality can never select them.
+func buildJoinHash(rows []relation.Tuple, cols []int) map[string][]int {
+	m := make(map[string][]int, len(rows))
+	var buf []byte
+outer:
+	for ri, row := range rows {
+		buf = buf[:0]
+		for _, c := range cols {
+			v := row[c]
+			if v.IsNull() || isNaN(v) {
+				continue outer
+			}
+			buf = relation.AppendKey(buf, v)
+			buf = append(buf, 0x1f)
+		}
+		m[string(buf)] = append(m[string(buf)], ri)
+	}
+	return m
+}
+
+// semiScan runs the planned join over base-table sources and yields
+// per-source row indices for every combination passing WHERE, without
+// materializing output rows. The semi-join UPDATE path uses it to
+// collect the target row set.
+func (cs *compiledSelect) semiScan(en *env, yield func(idx []int) error) error {
+	if !cs.planOK || cs.grouped || cs.limit != nil || cs.offset != nil {
+		return fmt.Errorf("sql: internal: semiScan on unplannable select")
+	}
+	if len(en.frames) != cs.depth {
+		return fmt.Errorf("sql: internal: frame depth %d, want %d", len(en.frames), cs.depth)
+	}
+	srcRows := make([][]relation.Tuple, len(cs.sources))
+	for i, src := range cs.sources {
+		if src.table == nil {
+			return fmt.Errorf("sql: internal: semiScan with derived source")
+		}
+		srcRows[i] = src.table.Rows
+	}
+	if cs.scratch == nil {
+		cs.scratch = make([]relation.Tuple, len(cs.sources))
+	}
+	en.frames = append(en.frames, frame{rows: cs.scratch})
+	sch := en.scheduleFor(cs, srcRows)
+	err := cs.runPlan(en, sch, srcRows, yield)
+	en.frames = en.frames[:cs.depth]
+	return err
+}
+
+// --- EXPLAIN ---
+
+// describePlan renders the join strategy of a compiled select, one
+// line per level, for EXPLAIN output and the plan tests.
+func (cs *compiledSelect) describePlan() []string {
+	var out []string
+	if !cs.planOK {
+		return []string{"nested loop (WHERE not analyzable; legacy path)"}
+	}
+	srcRows := make([][]relation.Tuple, len(cs.sources))
+	for i, src := range cs.sources {
+		if src.table != nil {
+			srcRows[i] = src.table.Rows
+		}
+	}
+	sch := buildSchedule(cs, srcRows)
+	if len(sch.pre) > 0 {
+		out = append(out, fmt.Sprintf("pre-loop: %d constant conjunct group(s)", len(sch.pre)))
+	}
+	for _, lv := range sch.levels {
+		name := lv.src
+		label := fmt.Sprintf("s%d", lv.src)
+		if name < len(cs.srcNames) {
+			label = cs.srcNames[lv.src]
+		}
+		size := ""
+		if t := cs.sources[lv.src].table; t != nil {
+			size = fmt.Sprintf(" (%d rows)", len(t.Rows))
+		} else {
+			size = " (derived)"
+		}
+		var line string
+		switch {
+		case lv.probe != nil && lv.probe.idx != nil:
+			line = fmt.Sprintf("index probe %s via %s%s", label, lv.probe.idx.Name, size)
+		case lv.probe != nil:
+			line = fmt.Sprintf("hash join %s on %d key col(s)%s", label, len(lv.probe.keys), size)
+		default:
+			line = fmt.Sprintf("scan %s%s", label, size)
+		}
+		full, partial := 0, 0
+		for _, ev := range lv.evals {
+			if ev.final {
+				full++
+			} else {
+				partial++
+			}
+		}
+		if full+partial > 0 {
+			line += fmt.Sprintf(" — %d conjunct(s) decided here, %d partial OR group(s)", full, partial)
+		}
+		out = append(out, line)
+	}
+	if cs.grouped {
+		out = append(out, "group/aggregate")
+	}
+	if cs.distinct {
+		out = append(out, "distinct")
+	}
+	if len(cs.orderBy) > 0 {
+		out = append(out, "sort")
+	}
+	return out
+}
+
+// Explain parses and compiles a single statement and reports the plan
+// the engine would run: join order, per-level access paths (scan, hash
+// join, index probe), predicate placement, and for UPDATE whether the
+// semi-join strategy is available.
+func (db *DB) Explain(sqlText string) (string, error) {
+	stmts, err := ParseScript(sqlText)
+	if err != nil {
+		return "", err
+	}
+	if len(stmts) != 1 {
+		return "", fmt.Errorf("sql: EXPLAIN wants exactly one statement, got %d", len(stmts))
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var b strings.Builder
+	switch s := stmts[0].(type) {
+	case *Select:
+		c := &compiler{db: db}
+		cs, err := c.compileSubSelect(s)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString("SELECT\n")
+		for _, line := range cs.describePlan() {
+			b.WriteString("  " + line + "\n")
+		}
+	case *Update:
+		p, err := db.compileUpdate(s)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString("UPDATE " + p.t.Name + "\n")
+		if p.semi != nil {
+			b.WriteString("  semi-join row selection:\n")
+			for _, line := range p.semi.describePlan() {
+				b.WriteString("    " + line + "\n")
+			}
+		} else {
+			b.WriteString("  full scan with row filter\n")
+		}
+	case *Delete:
+		b.WriteString("DELETE: full scan with row filter\n")
+	case *Insert:
+		if s.Query != nil {
+			c := &compiler{db: db}
+			cs, err := c.compileSubSelect(s.Query)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString("INSERT from SELECT\n")
+			for _, line := range cs.describePlan() {
+				b.WriteString("  " + line + "\n")
+			}
+		} else {
+			b.WriteString(fmt.Sprintf("INSERT %d literal row(s)\n", len(s.Rows)))
+		}
+	default:
+		b.WriteString(fmt.Sprintf("%T: no plan\n", s))
+	}
+	return b.String(), nil
+}

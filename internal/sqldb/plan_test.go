@@ -1,0 +1,262 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"ecfd/internal/relation"
+)
+
+// canonical renders a result as an order-independent multiset key.
+func canonical(res *Result) string {
+	rows := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		cells := make([]string, len(r))
+		for j, v := range r {
+			cells[j] = v.String()
+		}
+		rows[i] = strings.Join(cells, ",")
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, ";")
+}
+
+// runBothPaths executes q once through the planner and once through
+// the forced nested loop, returning both canonical results.
+func runBothPaths(t *testing.T, db *DB, q string) (planned, nested string) {
+	t.Helper()
+	DisablePlanner = false
+	p, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("planned %q: %v", q, err)
+	}
+	DisablePlanner = true
+	n, err := db.Query(q)
+	DisablePlanner = false
+	if err != nil {
+		t.Fatalf("nested %q: %v", q, err)
+	}
+	return canonical(p), canonical(n)
+}
+
+// TestExplainShowsHashJoin: an equality join between two base tables
+// must run as a hash join, visible in the EXPLAIN output.
+func TestExplainShowsHashJoin(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE big (k INTEGER, v INTEGER)`)
+	mustExec(t, db, `CREATE TABLE small (k INTEGER, w INTEGER)`)
+	for i := 0; i < 200; i++ {
+		mustExec(t, db, `INSERT INTO big VALUES (?, ?)`, relation.Int(int64(i%20)), relation.Int(int64(i)))
+	}
+	mustExec(t, db, `INSERT INTO small VALUES (1, 10), (2, 20), (3, 30)`)
+
+	plan, err := db.Explain(`SELECT b.v FROM big b, small s WHERE b.k = s.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "hash join") {
+		t.Fatalf("expected a hash join in plan:\n%s", plan)
+	}
+	// The small side must drive the loop: it appears first.
+	if strings.Index(plan, "scan s") > strings.Index(plan, "hash join b") {
+		t.Fatalf("expected small side first:\n%s", plan)
+	}
+
+	// And the join result matches the nested loop.
+	q := `SELECT b.v, s.w FROM big b, small s WHERE b.k = s.k`
+	planned, nested := runBothPaths(t, db, q)
+	if planned != nested {
+		t.Fatalf("hash join diverges from nested loop:\n%s\nvs\n%s", planned, nested)
+	}
+}
+
+// TestExplainShowsIndexProbe: a single-table equality over an indexed
+// column set resolves through the persistent index.
+func TestExplainShowsIndexProbe(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE it (k INTEGER, v TEXT)`)
+	mustExec(t, db, `INSERT INTO it VALUES (1, 'a'), (2, 'b'), (2, 'c')`)
+	mustExec(t, db, `CREATE INDEX idx_it_k ON it (k)`)
+
+	plan, err := db.Explain(`SELECT v FROM it WHERE k = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "index probe it via idx_it_k") {
+		t.Fatalf("expected an index probe in plan:\n%s", plan)
+	}
+	res := mustQuery(t, db, `SELECT v FROM it WHERE k = 2 ORDER BY v`)
+	if flat(res) != "b;c" {
+		t.Fatalf("index probe result: %q", flat(res))
+	}
+}
+
+// TestExplainSemiJoinUpdate: UPDATE ... WHERE EXISTS over base tables
+// reports the semi-join row selection.
+func TestExplainSemiJoinUpdate(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE d (id INTEGER, flag INTEGER)`)
+	mustExec(t, db, `CREATE TABLE pat (id INTEGER)`)
+	mustExec(t, db, `INSERT INTO d VALUES (1, 0), (2, 0)`)
+	mustExec(t, db, `INSERT INTO pat VALUES (2)`)
+	plan, err := db.Explain(`UPDATE d t SET flag = 1 WHERE EXISTS (SELECT 1 FROM pat p WHERE p.id = t.id)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "semi-join row selection") {
+		t.Fatalf("expected semi-join in plan:\n%s", plan)
+	}
+}
+
+// TestPlanCacheInvalidationOnDDL: a cached prepared statement must see
+// the new catalog after DROP TABLE / CREATE TABLE, per the planner's
+// invalidation contract.
+func TestPlanCacheInvalidationOnDDL(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE ct (a INTEGER)`)
+	mustExec(t, db, `INSERT INTO ct VALUES (1)`)
+
+	p, err := db.Prepare(`SELECT * FROM ct`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 1 || len(res.Rows) != 1 {
+		t.Fatalf("before DDL: %d cols, %d rows", len(res.Cols), len(res.Rows))
+	}
+
+	mustExec(t, db, `DROP TABLE ct`)
+	if _, err := p.Query(); err == nil {
+		t.Fatal("query against dropped table must fail")
+	}
+
+	mustExec(t, db, `CREATE TABLE ct (a INTEGER, b TEXT)`)
+	mustExec(t, db, `INSERT INTO ct VALUES (7, 'x')`)
+	res, err = p.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 2 {
+		t.Fatalf("after re-create: SELECT * sees %d cols, want 2 (stale plan)", len(res.Cols))
+	}
+	if flat(res) != "7,x" {
+		t.Fatalf("after re-create: %q", flat(res))
+	}
+
+	// Prepare must hand back the same cached object for the same text.
+	p2, err := db.Prepare(`SELECT * FROM ct`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p {
+		t.Fatal("plan cache did not reuse the prepared statement")
+	}
+}
+
+// TestPlanCacheInvalidationOnCreateIndex: creating an index recompiles
+// cached plans so they pick up the new access path.
+func TestPlanCacheInvalidationOnCreateIndex(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE ci (k INTEGER, v INTEGER)`)
+	mustExec(t, db, `INSERT INTO ci VALUES (1, 10), (2, 20)`)
+	q := `SELECT v FROM ci WHERE k = ?`
+	res := mustQuery(t, db, q, relation.Int(2))
+	if flat(res) != "20" {
+		t.Fatalf("pre-index: %q", flat(res))
+	}
+	mustExec(t, db, `CREATE INDEX idx_ci_k ON ci (k)`)
+	plan, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "index probe") {
+		t.Fatalf("expected index probe after CREATE INDEX:\n%s", plan)
+	}
+	res = mustQuery(t, db, q, relation.Int(2))
+	if flat(res) != "20" {
+		t.Fatalf("post-index: %q", flat(res))
+	}
+}
+
+// TestSemiJoinUpdateEquivalence: the semi-join UPDATE strategy and the
+// per-row filter produce identical table states.
+func TestSemiJoinUpdateEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		setup := func() *DB {
+			db := NewDB()
+			mustExec(t, db, `CREATE TABLE d (id INTEGER, a INTEGER, flag INTEGER)`)
+			mustExec(t, db, `CREATE TABLE pat (p INTEGER, q INTEGER)`)
+			rng2 := rand.New(rand.NewSource(int64(trial)))
+			for i := 0; i < 30+rng2.Intn(40); i++ {
+				mustExec(t, db, `INSERT INTO d VALUES (?, ?, 0)`,
+					relation.Int(int64(i)), relation.Int(int64(rng2.Intn(8))))
+			}
+			for i := 0; i < rng2.Intn(6); i++ {
+				mustExec(t, db, `INSERT INTO pat VALUES (?, ?)`,
+					relation.Int(int64(rng2.Intn(8))), relation.Int(int64(rng2.Intn(3))))
+			}
+			return db
+		}
+		lim := rng.Intn(30)
+		q := fmt.Sprintf(
+			`UPDATE d t SET flag = 1 WHERE t.id < %d AND EXISTS (SELECT 1 FROM pat c WHERE c.p = t.a AND c.q < 2)`, lim)
+
+		dbA := setup()
+		forceSemiJoinUpdate = true
+		mustExec(t, dbA, q)
+		forceSemiJoinUpdate = false
+
+		dbB := setup()
+		disableSemiJoinUpdate = true
+		mustExec(t, dbB, q)
+		disableSemiJoinUpdate = false
+
+		a := canonical(mustQuery(t, dbA, `SELECT id, a, flag FROM d`))
+		b := canonical(mustQuery(t, dbB, `SELECT id, a, flag FROM d`))
+		if a != b {
+			t.Fatalf("trial %d: semi-join update diverges:\n%s\nvs\n%s", trial, a, b)
+		}
+	}
+}
+
+// TestHashJoinNaNConsistency: NaN = NaN is false under SQL equality,
+// so a planned hash join must not pair NaN keys the nested loop
+// rejects.
+func TestHashJoinNaNConsistency(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE fa (x REAL)`)
+	mustExec(t, db, `CREATE TABLE fb (y REAL)`)
+	mustExec(t, db, `INSERT INTO fa VALUES (?)`, relation.Float(math.NaN()))
+	mustExec(t, db, `INSERT INTO fa VALUES (1.5)`)
+	mustExec(t, db, `INSERT INTO fb VALUES (?)`, relation.Float(math.NaN()))
+	mustExec(t, db, `INSERT INTO fb VALUES (1.5)`)
+	planned, nested := runBothPaths(t, db, `SELECT fa.x FROM fa, fb WHERE fa.x = fb.y`)
+	if planned != nested {
+		t.Fatalf("NaN keys diverge: planned %q vs nested %q", planned, nested)
+	}
+	if planned != "1.5" {
+		t.Fatalf("NaN must never join: got %q", planned)
+	}
+}
+
+// TestPreparedNumParams: parameter counts come from the AST, so '?'
+// inside string literals never counts.
+func TestPreparedNumParams(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE np (a INTEGER, s TEXT)`)
+	p, err := db.Prepare(`SELECT a FROM np WHERE s = '?' AND a = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NumParams(); got != 1 {
+		t.Fatalf("NumParams = %d, want 1", got)
+	}
+}

@@ -1,0 +1,363 @@
+package sqldb
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"ecfd/internal/relation"
+)
+
+// Prepared statements and the compiled-plan cache.
+//
+// Two cache layers keep the detector's fixed statement set from being
+// re-lexed, re-parsed and re-compiled on every call:
+//
+//   - a process-wide parse cache maps statement text to parsed ASTs.
+//     ASTs are immutable after parsing (compilation only reads them),
+//     so they are shared across engine instances — the bench harness
+//     opens a fresh engine per figure point but reuses one AST set;
+//   - a per-DB plan cache maps statement text to a *Prepared holding
+//     compiled plans. Plans bind catalog objects (tables, indexes), so
+//     they are invalidated by bumping DB.ddlVersion on CREATE TABLE,
+//     CREATE INDEX, DROP TABLE and LoadRelation; the next execution
+//     recompiles against the current catalog.
+
+const (
+	parseCacheSize = 512
+	planCacheSize  = 256
+)
+
+// lruCache is a plain LRU over string keys. Callers synchronize.
+type lruCache struct {
+	cap int
+	m   map[string]*list.Element
+	l   *list.List
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(cap int) *lruCache {
+	return &lruCache{cap: cap, m: make(map[string]*list.Element), l: list.New()}
+}
+
+func (c *lruCache) get(k string) (any, bool) {
+	el, ok := c.m[k]
+	if !ok {
+		return nil, false
+	}
+	c.l.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) put(k string, v any) {
+	if el, ok := c.m[k]; ok {
+		el.Value.(*lruEntry).val = v
+		c.l.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.l.PushFront(&lruEntry{key: k, val: v})
+	if c.l.Len() > c.cap {
+		last := c.l.Back()
+		c.l.Remove(last)
+		delete(c.m, last.Value.(*lruEntry).key)
+	}
+}
+
+var (
+	parseMu    sync.Mutex
+	parseCache = newLRU(parseCacheSize)
+)
+
+// parseScriptCached parses through the process-wide AST cache.
+func parseScriptCached(sqlText string) ([]Statement, error) {
+	parseMu.Lock()
+	if v, ok := parseCache.get(sqlText); ok {
+		parseMu.Unlock()
+		return v.([]Statement), nil
+	}
+	parseMu.Unlock()
+	stmts, err := ParseScript(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	parseMu.Lock()
+	parseCache.put(sqlText, stmts)
+	parseMu.Unlock()
+	return stmts, nil
+}
+
+// execPlan is a compiled, reusable statement plan: *compiledSelect,
+// *insertPlan, *updatePlan or *deletePlan. DDL statements have no plan.
+type execPlan any
+
+// Prepared is a statement (or semicolon-separated script) bound to a
+// DB, holding compiled plans that are reused across executions and
+// recompiled transparently after DDL.
+type Prepared struct {
+	db      *DB
+	text    string
+	stmts   []Statement
+	nParams int
+	// guarded by db.mu:
+	plans []execPlan
+	vers  []uint64
+	errs  []error
+}
+
+// Prepare parses sqlText (through the AST cache) and returns the
+// cached Prepared for it, creating one on first use.
+func (db *DB) Prepare(sqlText string) (*Prepared, error) {
+	db.mu.Lock()
+	if db.stmtCache != nil {
+		if v, ok := db.stmtCache.get(sqlText); ok {
+			db.mu.Unlock()
+			return v.(*Prepared), nil
+		}
+	}
+	db.mu.Unlock()
+	stmts, err := parseScriptCached(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{
+		db:      db,
+		text:    sqlText,
+		stmts:   stmts,
+		nParams: numParamsStmts(stmts),
+		plans:   make([]execPlan, len(stmts)),
+		vers:    make([]uint64, len(stmts)),
+		errs:    make([]error, len(stmts)),
+	}
+	db.mu.Lock()
+	if db.stmtCache == nil {
+		db.stmtCache = newLRU(planCacheSize)
+	}
+	db.stmtCache.put(sqlText, p)
+	db.mu.Unlock()
+	return p, nil
+}
+
+// NumParams reports how many '?' placeholders the statement(s) expect.
+func (p *Prepared) NumParams() int { return p.nParams }
+
+// Exec runs every statement of the prepared script and returns the
+// total number of affected rows.
+func (p *Prepared) Exec(params ...relation.Value) (int64, error) {
+	var total int64
+	for i := range p.stmts {
+		n, err := p.db.execPreparedStmt(p, i, params)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Query runs a single prepared SELECT.
+func (p *Prepared) Query(params ...relation.Value) (*Result, error) {
+	if len(p.stmts) != 1 {
+		return nil, fmt.Errorf("sql: Query requires exactly one statement, got %d", len(p.stmts))
+	}
+	p.db.mu.Lock()
+	defer p.db.mu.Unlock()
+	plan, err := p.db.planForLocked(p, 0)
+	if err != nil {
+		return nil, err
+	}
+	cs, ok := plan.(*compiledSelect)
+	if !ok {
+		return nil, fmt.Errorf("sql: Query requires a SELECT statement")
+	}
+	en := newEnv(p.db, params)
+	rows, err := cs.exec(en)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: cs.cols, Rows: rows}, nil
+}
+
+func (db *DB) execPreparedStmt(p *Prepared, i int, params []relation.Value) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch p.stmts[i].(type) {
+	case *CreateTable, *CreateIndex, *DropTable, *TruncateTable:
+		// DDL executes directly; it also bumps ddlVersion, so any plan
+		// compiled before it (including later statements of this very
+		// script) recompiles against the new catalog.
+		return db.execStmtLocked(p.stmts[i], params)
+	}
+	plan, err := db.planForLocked(p, i)
+	if err != nil {
+		return 0, err
+	}
+	switch pl := plan.(type) {
+	case *compiledSelect:
+		en := newEnv(db, params)
+		rows, err := pl.exec(en)
+		if err != nil {
+			return 0, err
+		}
+		return int64(len(rows)), nil
+	case *insertPlan:
+		return db.runInsert(pl, params)
+	case *updatePlan:
+		return db.runUpdate(pl, params)
+	case *deletePlan:
+		return db.runDelete(pl, params)
+	default:
+		return 0, fmt.Errorf("sql: unhandled prepared statement %T", p.stmts[i])
+	}
+}
+
+// planForLocked returns statement i's plan, compiling (or recompiling
+// after DDL) as needed. Compile errors are cached per catalog version:
+// the same error returns until DDL changes the catalog. Callers hold
+// db.mu.
+func (db *DB) planForLocked(p *Prepared, i int) (execPlan, error) {
+	if p.vers[i] == db.ddlVersion {
+		return p.plans[i], p.errs[i]
+	}
+	var plan execPlan
+	var err error
+	switch s := p.stmts[i].(type) {
+	case *Select:
+		c := &compiler{db: db}
+		var cs *compiledSelect
+		if cs, err = c.compileSubSelect(s); err == nil {
+			plan = cs
+		}
+	case *Insert:
+		var ip *insertPlan
+		if ip, err = db.compileInsert(s); err == nil {
+			plan = ip
+		}
+	case *Update:
+		var up *updatePlan
+		if up, err = db.compileUpdate(s); err == nil {
+			plan = up
+		}
+	case *Delete:
+		var dp *deletePlan
+		if dp, err = db.compileDelete(s); err == nil {
+			plan = dp
+		}
+	default:
+		err = fmt.Errorf("sql: cannot prepare %T", s)
+	}
+	p.plans[i], p.errs[i], p.vers[i] = plan, err, db.ddlVersion
+	return plan, err
+}
+
+// --- parameter counting ---
+
+// numParamsStmts counts the '?' placeholders a statement list binds:
+// one more than the highest parameter index referenced.
+func numParamsStmts(stmts []Statement) int {
+	max := 0
+	note := func(e Expr) {
+		if pr, ok := e.(*Param); ok && pr.Index+1 > max {
+			max = pr.Index + 1
+		}
+	}
+	for _, s := range stmts {
+		walkStmtExprs(s, note)
+	}
+	return max
+}
+
+// walkStmtExprs visits every expression node of a statement,
+// descending into subqueries.
+func walkStmtExprs(stmt Statement, fn func(Expr)) {
+	switch s := stmt.(type) {
+	case *Insert:
+		for _, row := range s.Rows {
+			for _, e := range row {
+				walkExprTree(e, fn)
+			}
+		}
+		if s.Query != nil {
+			walkSelectTree(s.Query, fn)
+		}
+	case *Update:
+		for _, a := range s.Set {
+			walkExprTree(a.Value, fn)
+		}
+		walkExprTree(s.Where, fn)
+	case *Delete:
+		walkExprTree(s.Where, fn)
+	case *Select:
+		walkSelectTree(s, fn)
+	}
+}
+
+func walkSelectTree(sel *Select, fn func(Expr)) {
+	for _, se := range sel.Exprs {
+		walkExprTree(se.Expr, fn)
+	}
+	for _, tr := range sel.From {
+		if tr.Sub != nil {
+			walkSelectTree(tr.Sub, fn)
+		}
+	}
+	walkExprTree(sel.Where, fn)
+	for _, g := range sel.GroupBy {
+		walkExprTree(g, fn)
+	}
+	walkExprTree(sel.Having, fn)
+	for _, o := range sel.OrderBy {
+		walkExprTree(o.Expr, fn)
+	}
+	walkExprTree(sel.Limit, fn)
+	walkExprTree(sel.Offset, fn)
+}
+
+func walkExprTree(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Unary:
+		walkExprTree(x.X, fn)
+	case *Binary:
+		walkExprTree(x.L, fn)
+		walkExprTree(x.R, fn)
+	case *IsNull:
+		walkExprTree(x.X, fn)
+	case *InList:
+		walkExprTree(x.X, fn)
+		for _, it := range x.List {
+			walkExprTree(it, fn)
+		}
+	case *Like:
+		walkExprTree(x.X, fn)
+		walkExprTree(x.Pattern, fn)
+	case *Between:
+		walkExprTree(x.X, fn)
+		walkExprTree(x.Lo, fn)
+		walkExprTree(x.Hi, fn)
+	case *Case:
+		walkExprTree(x.Operand, fn)
+		for _, w := range x.Whens {
+			walkExprTree(w.Cond, fn)
+			walkExprTree(w.Result, fn)
+		}
+		walkExprTree(x.Else, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			walkExprTree(a, fn)
+		}
+	case *Exists:
+		walkSelectTree(x.Sub, fn)
+	case *InSelect:
+		walkExprTree(x.X, fn)
+		walkSelectTree(x.Sub, fn)
+	case *ScalarSub:
+		walkSelectTree(x.Sub, fn)
+	}
+}

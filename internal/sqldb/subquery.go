@@ -189,8 +189,11 @@ func (c *compiler) tryDecorrelate(x *Exists) (compiledExpr, error) {
 			var keyBuf []byte
 			return func(en *env) (relation.Value, error) {
 				// db.mu is held for the whole statement, so the lazy
-				// rebuild below cannot race.
-				idx.rebuild(t)
+				// rebuild below cannot race. The dirty check is inlined so
+				// the common already-built probe skips the call.
+				if idx.dirty || idx.m == nil {
+					idx.rebuild(t)
+				}
 				for i, oe := range outerExprs {
 					v, err := oe(en)
 					if err != nil {

@@ -17,7 +17,6 @@ import (
 	"database/sql/driver"
 	"fmt"
 	"io"
-	"strings"
 	"sync"
 
 	"ecfd/internal/relation"
@@ -77,28 +76,15 @@ type conn struct {
 }
 
 func (c *conn) Prepare(query string) (driver.Stmt, error) {
-	stmt, err := sqldb.Parse(query)
+	// The engine's Prepare returns the cached compiled plan for this
+	// statement text, so repeated database/sql Prepare/Exec cycles (the
+	// detector's fixed statement set) skip lexing, parsing and
+	// compilation entirely.
+	p, err := c.db.Prepare(query)
 	if err != nil {
 		return nil, err
 	}
-	return &prepared{conn: c, stmt: stmt, numInput: strings.Count(stripLiterals(query), "?")}, nil
-}
-
-// stripLiterals removes string literals so '?' inside them is not
-// counted as a placeholder.
-func stripLiterals(q string) string {
-	var b strings.Builder
-	in := false
-	for i := 0; i < len(q); i++ {
-		if q[i] == '\'' {
-			in = !in
-			continue
-		}
-		if !in {
-			b.WriteByte(q[i])
-		}
-	}
-	return b.String()
+	return &prepared{conn: c, p: p}, nil
 }
 
 func (c *conn) Close() error { return nil }
@@ -125,20 +111,19 @@ func (t *txWrap) Rollback() error {
 }
 
 type prepared struct {
-	conn     *conn
-	stmt     sqldb.Statement
-	numInput int
+	conn *conn
+	p    *sqldb.Prepared
 }
 
 func (p *prepared) Close() error  { return nil }
-func (p *prepared) NumInput() int { return p.numInput }
+func (p *prepared) NumInput() int { return p.p.NumParams() }
 
 func (p *prepared) Exec(args []driver.Value) (driver.Result, error) {
 	params, err := toValues(args)
 	if err != nil {
 		return nil, err
 	}
-	n, err := p.conn.db.ExecStmt(p.stmt, params...)
+	n, err := p.p.Exec(params...)
 	if err != nil {
 		return nil, err
 	}
@@ -146,17 +131,13 @@ func (p *prepared) Exec(args []driver.Value) (driver.Result, error) {
 }
 
 func (p *prepared) Query(args []driver.Value) (driver.Rows, error) {
-	sel, ok := p.stmt.(*sqldb.Select)
-	if !ok {
-		return nil, fmt.Errorf("sqldriver: Query requires a SELECT")
-	}
 	params, err := toValues(args)
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.conn.db.QueryStmt(sel, params...)
+	res, err := p.p.Query(params...)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("sqldriver: %w", err)
 	}
 	return &rows{res: res}, nil
 }
