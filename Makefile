@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: build test vet bench-short bench-json explain ci
+.PHONY: build test race vet bench-short bench-json explain ci
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# Race-detector run: the engine's concurrent read path and the parallel
+# detector are only correct if this stays clean.
+race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -24,4 +29,4 @@ bench-json:
 explain:
 	$(GO) run ./cmd/ecfdbench -explain
 
-ci: vet build test
+ci: vet build test race

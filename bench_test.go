@@ -95,6 +95,42 @@ func batchDetectSigma(b *testing.B, rows int, sigma []*ECFD) {
 func BenchmarkBatchDetect2k(b *testing.B)  { batchDetectOnce(b, 2_000) }
 func BenchmarkBatchDetect10k(b *testing.B) { batchDetectOnce(b, 10_000) }
 
+// BenchmarkConcurrentDetect measures ParallelDetect on the Fig. 5(a)
+// workload (10k rows, 5 % noise, base Σ) across worker counts. The
+// worker pool fans the read-only violation queries over the engine's
+// shared read lock; scaling beyond one worker requires actual cores
+// (GOMAXPROCS), so read the series together with the recorded host
+// core count.
+func BenchmarkConcurrentDetect(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			name := fmt.Sprintf("bench_conc_%d_%d", workers, rand.Int63())
+			db, err := OpenMemory(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			defer CloseMemory(name)
+			d, err := detect.New(db, gen.Schema(), gen.Constraints())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := d.Install(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.LoadData(gen.Dataset(gen.Config{Rows: 10_000, Noise: 5, Seed: 1})); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.ParallelDetect(workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDecorrelation quantifies the correlated-EXISTS hash-probe
 // optimization (DESIGN.md §5). With a |Tp| = 200 tableau the pattern-
 // set tables hold hundreds of rows per attribute; disabling the

@@ -3,6 +3,7 @@
 // through database/sql.
 //
 //	ecfddetect -spec sigma.ecfd -data data.csv                # batch
+//	ecfddetect -spec sigma.ecfd -data data.csv -parallel 8    # fan out
 //	ecfddetect -spec sigma.ecfd -data data.csv -insert dplus.csv
 //	ecfddetect -spec sigma.ecfd -data data.csv -delete 5,9,23
 //
@@ -30,6 +31,7 @@ func main() {
 	deleteList := flag.String("delete", "", "comma-separated RIDs to delete incrementally")
 	out := flag.String("o", "-", "violation output CSV ('-' = stdout)")
 	quiet := flag.Bool("quiet", false, "suppress the violation listing, print summary only")
+	parallel := flag.Int("parallel", 0, "batch detection workers (0 = serial, -1 = GOMAXPROCS)")
 	flag.Parse()
 	if *specPath == "" || *dataPath == "" {
 		fmt.Fprintln(os.Stderr, "ecfddetect: -spec and -data are required")
@@ -82,12 +84,19 @@ func main() {
 		fail(err)
 	}
 
-	st, err := d.BatchDetect()
+	var st ecfd.BatchStats
+	mode := "batch"
+	if *parallel != 0 {
+		mode = "parallel batch"
+		st, err = d.ParallelDetect(*parallel)
+	} else {
+		st, err = d.BatchDetect()
+	}
 	if err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "batch: %d rows, %d violations (SV %d, MV %d) in %v\n",
-		inst.Len(), st.Total, st.SV, st.MV, st.Elapsed.Round(1e6))
+	fmt.Fprintf(os.Stderr, "%s: %d rows, %d violations (SV %d, MV %d) in %v\n",
+		mode, inst.Len(), st.Total, st.SV, st.MV, st.Elapsed.Round(1e6))
 
 	if *insertPath != "" {
 		f, err := os.Open(*insertPath)

@@ -23,10 +23,21 @@ import (
 
 // Options scales and seeds an experiment run. Scale 1.0 is paper scale
 // (|D| up to 100k); the CLI defaults lower so a full suite finishes in
-// minutes on a laptop.
+// minutes on a laptop. Workers != 0 replaces every measured batch
+// detection with ParallelDetect(Workers) (-1 = GOMAXPROCS).
 type Options struct {
-	Scale float64
-	Seed  int64
+	Scale   float64
+	Seed    int64
+	Workers int
+}
+
+// detect runs the configured batch detection: serial BatchDetect by
+// default, the fanned-out ParallelDetect when Workers is set.
+func (o Options) detect(d *detect.Detector) (detect.BatchStats, error) {
+	if o.Workers != 0 {
+		return d.ParallelDetect(o.Workers)
+	}
+	return d.BatchDetect()
 }
 
 func (o Options) scale(n int) int {
@@ -94,6 +105,7 @@ var Runners = map[string]func(Options) (*Figure, error){
 	"5a": Fig5a, "5b": Fig5b, "5c": Fig5c,
 	"6a": Fig6a, "6b": Fig6b, "6c": Fig6c,
 	"7a": Fig7a, "7b": Fig7b,
+	"par": FigPar,
 }
 
 // FigureIDs lists the runnable figures in paper order.
@@ -155,7 +167,7 @@ func Fig5a(opt Options) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := d.BatchDetect()
+		st, err := opt.detect(d)
 		cleanup()
 		if err != nil {
 			return nil, err
@@ -176,7 +188,7 @@ func Fig5b(opt Options) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := d.BatchDetect()
+		st, err := opt.detect(d)
 		cleanup()
 		if err != nil {
 			return nil, err
@@ -198,7 +210,7 @@ func Fig5c(opt Options) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := d.BatchDetect()
+		st, err := opt.detect(d)
 		cleanup()
 		if err != nil {
 			return nil, err
@@ -212,7 +224,7 @@ func Fig5c(opt Options) (*Figure, error) {
 // incVsBatch measures, for one configuration, the four §VI Experiment-2
 // series: incremental and batch response to an insertion batch and to a
 // deletion batch (ΔD⁺ and ΔD⁻ of equal size).
-func incVsBatch(sigma []*core.ECFD, cfg gen.Config, delta int, seed int64) (map[string]float64, error) {
+func incVsBatch(sigma []*core.ECFD, cfg gen.Config, delta int, opt Options) (map[string]float64, error) {
 	out := make(map[string]float64)
 
 	// Insertions, incremental.
@@ -241,7 +253,7 @@ func incVsBatch(sigma []*core.ECFD, cfg gen.Config, delta int, seed int64) (map[
 		cleanup()
 		return nil, err
 	}
-	bst, err := d.BatchDetect()
+	bst, err := opt.detect(d)
 	cleanup()
 	if err != nil {
 		return nil, err
@@ -257,7 +269,7 @@ func incVsBatch(sigma []*core.ECFD, cfg gen.Config, delta int, seed int64) (map[
 		cleanup()
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(opt.Seed))
 	doomed := gen.DeleteSample(rng, rids, delta)
 	ist, err := d.DeleteTuples(doomed)
 	cleanup()
@@ -275,7 +287,7 @@ func incVsBatch(sigma []*core.ECFD, cfg gen.Config, delta int, seed int64) (map[
 		cleanup()
 		return nil, err
 	}
-	bst, err = d.BatchDetect()
+	bst, err = opt.detect(d)
 	cleanup()
 	if err != nil {
 		return nil, err
@@ -293,7 +305,7 @@ func Fig6a(opt Options) (*Figure, error) {
 	delta := opt.scale(10_000)
 	for _, rows := range sweep(opt, 10_000, 100_000, 10_000) {
 		series, err := incVsBatch(gen.Constraints(),
-			gen.Config{Rows: rows, Noise: 5, Seed: opt.Seed}, min(delta, rows), opt.Seed)
+			gen.Config{Rows: rows, Noise: 5, Seed: opt.Seed}, min(delta, rows), opt)
 		if err != nil {
 			return nil, err
 		}
@@ -310,7 +322,7 @@ func Fig6b(opt Options) (*Figure, error) {
 	delta := opt.scale(10_000)
 	for noise := 0; noise <= 9; noise++ {
 		series, err := incVsBatch(gen.Constraints(),
-			gen.Config{Rows: rows, Noise: float64(noise), Seed: opt.Seed}, delta, opt.Seed)
+			gen.Config{Rows: rows, Noise: float64(noise), Seed: opt.Seed}, delta, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -327,7 +339,7 @@ func Fig6c(opt Options) (*Figure, error) {
 	delta := opt.scale(10_000)
 	for tp := 50; tp <= 500; tp += 50 {
 		series, err := incVsBatch(gen.ConstraintsScaled(tp, opt.Seed),
-			gen.Config{Rows: rows, Noise: 5, Seed: opt.Seed}, delta, opt.Seed)
+			gen.Config{Rows: rows, Noise: 5, Seed: opt.Seed}, delta, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -393,7 +405,7 @@ func Fig7a(opt Options) (*Figure, error) {
 			cleanup()
 			return nil, err
 		}
-		bst, err := d.BatchDetect()
+		bst, err := opt.detect(d)
 		cleanup()
 		if err != nil {
 			return nil, err
@@ -471,6 +483,48 @@ func Fig7b(opt Options) (*Figure, error) {
 		}
 		f.Points = append(f.Points, Point{X: fmt.Sprint(delta), Series: map[string]float64{
 			"DSV": dsv, "DMV": dmv}})
+	}
+	return f, nil
+}
+
+// FigPar — concurrent detection scaling on the Fig. 5(a) workload:
+// ParallelDetect at 1/2/4/8 workers against the serial BatchDetect
+// baseline. "speedup" is throughput relative to one parallel worker;
+// on a single-core host it stays flat at ~1.0 — the worker pool only
+// helps when the scheduler has cores to spread the read locks over.
+func FigPar(opt Options) (*Figure, error) {
+	f := &Figure{ID: "par", Title: "Parallel detection scaling (Fig. 5(a) workload)",
+		XLabel: "workers", YLabel: "seconds", Names: []string{"parallel", "batch", "speedup"}}
+	rows := opt.scale(100_000)
+	cfg := gen.Config{Rows: rows, Noise: 5, Seed: opt.Seed}
+
+	d, _, cleanup, err := setup(gen.Constraints(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	bst, err := d.BatchDetect()
+	cleanup()
+	if err != nil {
+		return nil, err
+	}
+
+	var oneWorker float64
+	for _, w := range []int{1, 2, 4, 8} {
+		d, _, cleanup, err := setup(gen.Constraints(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		st, err := d.ParallelDetect(w)
+		cleanup()
+		if err != nil {
+			return nil, err
+		}
+		secs := st.Elapsed.Seconds()
+		if w == 1 {
+			oneWorker = secs
+		}
+		f.Points = append(f.Points, Point{X: fmt.Sprint(w), Series: map[string]float64{
+			"parallel": secs, "batch": bst.Elapsed.Seconds(), "speedup": oneWorker / secs}})
 	}
 	return f, nil
 }

@@ -17,9 +17,45 @@ func TestRunUnknownFigure(t *testing.T) {
 
 func TestFigureIDs(t *testing.T) {
 	ids := FigureIDs()
-	want := []string{"5a", "5b", "5c", "6a", "6b", "6c", "7a", "7b"}
+	want := []string{"5a", "5b", "5c", "6a", "6b", "6c", "7a", "7b", "par"}
 	if strings.Join(ids, ",") != strings.Join(want, ",") {
 		t.Errorf("FigureIDs = %v", ids)
+	}
+}
+
+// TestFigParShape checks the parallel-scaling figure: four worker
+// counts, positive times, speedup anchored at 1.0 for one worker.
+func TestFigParShape(t *testing.T) {
+	f, err := Run("par", tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != 4 {
+		t.Fatalf("Fig par has %d points, want 4", len(f.Points))
+	}
+	for _, p := range f.Points {
+		if p.Series["parallel"] <= 0 || p.Series["batch"] <= 0 {
+			t.Errorf("point %s: non-positive time", p.X)
+		}
+	}
+	if s := f.Points[0].Series["speedup"]; s != 1.0 {
+		t.Errorf("one-worker speedup = %v, want 1.0", s)
+	}
+}
+
+// TestFigWithWorkers runs a batch figure through the parallel
+// detector to cover the Options.Workers plumbing.
+func TestFigWithWorkers(t *testing.T) {
+	opt := tinyOpts
+	opt.Workers = 2
+	f, err := Run("5a", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range f.Points {
+		if p.Series["batch"] <= 0 {
+			t.Errorf("point %s: non-positive time", p.X)
+		}
 	}
 }
 

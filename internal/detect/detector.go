@@ -86,6 +86,10 @@ type statements struct {
 	svOnIns      string
 	mergeIns     string
 	deleteRows   string
+	// parallel (read-only) forms, parameterized by RID slice / CID range
+	qsvRIDsSlice    string
+	qmvGroupsCIDRng string
+	mvRIDsSlice     string
 }
 
 // New validates Σ against the schema and prepares a detector. The

@@ -1,0 +1,365 @@
+package detect
+
+import (
+	"database/sql"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ParallelDetect computes the same violation flags as BatchDetect, but
+// fans the read-only violation queries across a worker pool so the
+// engine's concurrent read path (shared read lock, see internal/sqldb)
+// can use every core:
+//
+//   - the Qsv scan partitions the data into contiguous RID slices, one
+//     task per slice;
+//   - the Qmv grouping fans over contiguous CID ranges of Σ — the CID
+//     is part of the group key, so groups never span constraints and
+//     the per-range results union losslessly; one worker gets the
+//     whole range and does exactly the serial amount of work;
+//   - after the merged Aux patterns are installed, the MV flagging
+//     partitions over RID slices again.
+//
+// Workers collect RID sets and group keys; the merge sorts them, so
+// the resulting flags, Aux contents and Violations() output are
+// byte-identical to a serial run regardless of scheduling (the
+// determinism test pins this). Flag writes happen in a short serial
+// phase at the end — reads scale, writes stay exclusive.
+//
+// workers <= 0 selects GOMAXPROCS.
+func (d *Detector) ParallelDetect(workers int) (BatchStats, error) {
+	start := time.Now()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fail := func(err error) (BatchStats, error) {
+		return BatchStats{}, fmt.Errorf("detect: parallel: %w", err)
+	}
+	if _, err := d.db.Exec(d.stmts.resetFlags); err != nil {
+		return fail(err)
+	}
+	if _, err := d.db.Exec("TRUNCATE TABLE " + d.auxTable); err != nil {
+		return fail(err)
+	}
+
+	lo, hi, n, err := d.ridBounds()
+	if err != nil {
+		return fail(err)
+	}
+	if n == 0 {
+		return BatchStats{Elapsed: time.Since(start)}, nil
+	}
+	slices := ridSlices(lo, hi, n, workers)
+
+	// Phase 1 (concurrent reads): SV per RID slice, Qmv groups per CID
+	// range.
+	ranges := cidRanges(len(d.sigma), workers)
+	svSets := make([][]int64, len(slices))
+	groupSets := make([][][]any, len(ranges))
+	var tasks []func() error
+	for si, sl := range slices {
+		si, sl := si, sl
+		tasks = append(tasks, func() error {
+			rids, err := d.queryRIDs(d.stmts.qsvRIDsSlice, sl[0], sl[1])
+			svSets[si] = rids
+			return err
+		})
+	}
+	for ri, cr := range ranges {
+		ri, cr := ri, cr
+		tasks = append(tasks, func() error {
+			rows, err := d.queryGroups(cr[0], cr[1])
+			groupSets[ri] = rows
+			return err
+		})
+	}
+	if err := runTasks(workers, tasks); err != nil {
+		return fail(err)
+	}
+
+	// Serial write phase: install the merged Aux patterns and SV flags.
+	if err := d.insertAuxGroups(groupSets); err != nil {
+		return fail(err)
+	}
+	if err := d.setFlag(ColSV, mergeRIDs(svSets)); err != nil {
+		return fail(err)
+	}
+
+	// Phase 2 (concurrent reads): MV candidates per slice, then one
+	// serial flag write.
+	mvSets := make([][]int64, len(slices))
+	tasks = tasks[:0]
+	for si, sl := range slices {
+		si, sl := si, sl
+		tasks = append(tasks, func() error {
+			rids, err := d.queryRIDs(d.stmts.mvRIDsSlice, sl[0], sl[1])
+			mvSets[si] = rids
+			return err
+		})
+	}
+	if err := runTasks(workers, tasks); err != nil {
+		return fail(err)
+	}
+	if err := d.setFlag(ColMV, mergeRIDs(mvSets)); err != nil {
+		return fail(err)
+	}
+
+	sv, mv, total, err := d.Counts()
+	if err != nil {
+		return fail(err)
+	}
+	return BatchStats{SV: sv, MV: mv, Total: total, Elapsed: time.Since(start)}, nil
+}
+
+// runTasks drains tasks through a fixed pool of workers and returns
+// the first error (the remaining tasks still run to completion, so
+// result slots are never left half-written by a cancelled sibling).
+func runTasks(workers int, tasks []func() error) error {
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			if err := t(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ch := make(chan func() error)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				if err := t(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}
+
+// minSliceRows keeps partitioning worthwhile: below this many rows per
+// prospective slice the whole relation goes to one task (each slice
+// task scans the full table and filters to its RID range, so
+// over-slicing small relations only multiplies scans).
+const minSliceRows = 1024
+
+// ridSlices cuts [lo, hi] into up to `workers` contiguous inclusive
+// ranges covering every RID exactly once.
+func ridSlices(lo, hi, n int64, workers int) [][2]int64 {
+	slices := int64(workers)
+	if max := n / minSliceRows; slices > max {
+		slices = max
+	}
+	if slices <= 1 {
+		return [][2]int64{{lo, hi}}
+	}
+	span := hi - lo + 1
+	if slices > span {
+		slices = span
+	}
+	per := (span + slices - 1) / slices
+	var out [][2]int64
+	for a := lo; a <= hi; a += per {
+		b := a + per - 1
+		if b > hi {
+			b = hi
+		}
+		out = append(out, [2]int64{a, b})
+	}
+	return out
+}
+
+// ridBounds reports the data table's RID range and row count.
+func (d *Detector) ridBounds() (lo, hi, n int64, err error) {
+	q := fmt.Sprintf("SELECT MIN(%[1]s), MAX(%[1]s), COUNT(*) FROM %[2]s", ColRID, d.dataTable)
+	var loN, hiN sql.NullInt64
+	if err := d.db.QueryRow(q).Scan(&loN, &hiN, &n); err != nil {
+		return 0, 0, 0, err
+	}
+	return loN.Int64, hiN.Int64, n, nil
+}
+
+// queryRIDs runs a two-parameter RID-slice query and collects the ids.
+func (d *Detector) queryRIDs(q string, lo, hi int64) ([]int64, error) {
+	rows, err := d.db.Query(q, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []int64
+	for rows.Next() {
+		var rid int64
+		if err := rows.Scan(&rid); err != nil {
+			return nil, err
+		}
+		out = append(out, rid)
+	}
+	return out, rows.Err()
+}
+
+// cidRanges splits the CID space [1, n] into up to `workers`
+// contiguous inclusive ranges.
+func cidRanges(n, workers int) [][2]int64 {
+	k := workers
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	per := (n + k - 1) / k
+	var out [][2]int64
+	for a := 1; a <= n; a += per {
+		b := a + per - 1
+		if b > n {
+			b = n
+		}
+		out = append(out, [2]int64{int64(a), int64(b)})
+	}
+	return out
+}
+
+// queryGroups computes the violating Qmv group keys of a CID range.
+// Each returned row is insert-ready: the CID followed by the blanked
+// pattern columns.
+func (d *Detector) queryGroups(loCID, hiCID int64) ([][]any, error) {
+	rows, err := d.db.Query(d.stmts.qmvGroupsCIDRng, loCID, hiCID)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	width := 1 + len(d.schema.Attrs)
+	var cid int64
+	cells := make([]string, width-1)
+	ptrs := make([]any, width)
+	ptrs[0] = &cid
+	for i := range cells {
+		ptrs[i+1] = &cells[i]
+	}
+	var out [][]any
+	for rows.Next() {
+		if err := rows.Scan(ptrs...); err != nil {
+			return nil, err
+		}
+		row := make([]any, width)
+		row[0] = cid
+		for i, s := range cells {
+			row[i+1] = s
+		}
+		out = append(out, row)
+	}
+	return out, rows.Err()
+}
+
+// insertAuxGroups installs the merged group keys into Aux. The sets
+// cover disjoint ascending CID ranges; rows within a set sort by
+// (CID, pattern columns) so the Aux contents are identical across
+// runs whatever the task scheduling was.
+func (d *Detector) insertAuxGroups(groupSets [][][]any) error {
+	var all [][]any
+	for _, rows := range groupSets {
+		sort.Slice(rows, func(a, b int) bool {
+			ca, cb := rows[a][0].(int64), rows[b][0].(int64)
+			if ca != cb {
+				return ca < cb
+			}
+			for i := 1; i < len(rows[a]); i++ {
+				sa, sb := rows[a][i].(string), rows[b][i].(string)
+				if sa != sb {
+					return sa < sb
+				}
+			}
+			return false
+		})
+		all = append(all, rows...)
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	width := 1 + len(d.schema.Attrs)
+	for start := 0; start < len(all); start += insertBatch {
+		end := start + insertBatch
+		if end > len(all) {
+			end = len(all)
+		}
+		chunk := all[start:end]
+		args := make([]any, 0, len(chunk)*width)
+		for _, row := range chunk {
+			args = append(args, row...)
+		}
+		q := fmt.Sprintf("INSERT INTO %s VALUES %s", d.auxTable, placeholderRows(len(chunk), width))
+		if _, err := d.db.Exec(q, args...); err != nil {
+			return fmt.Errorf("install aux groups: %w", err)
+		}
+	}
+	return nil
+}
+
+// mergeRIDs unions the per-task RID sets into one sorted,
+// duplicate-free list (slices are disjoint, but DISTINCT within a
+// slice does not hold across merges of future callers — dedupe anyway).
+func mergeRIDs(sets [][]int64) []int64 {
+	var out []int64
+	for _, s := range sets {
+		out = append(out, s...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	dedup := out[:0]
+	var last int64
+	for i, rid := range out {
+		if i > 0 && rid == last {
+			continue
+		}
+		dedup = append(dedup, rid)
+		last = rid
+	}
+	return dedup
+}
+
+// setFlag sets a violation flag on the given RIDs with batched
+// parameterized updates (at most two distinct statement texts, so the
+// plan cache absorbs them).
+func (d *Detector) setFlag(col string, rids []int64) error {
+	for start := 0; start < len(rids); start += insertBatch {
+		end := start + insertBatch
+		if end > len(rids) {
+			end = len(rids)
+		}
+		chunk := rids[start:end]
+		args := make([]any, len(chunk))
+		for i, rid := range chunk {
+			args[i] = rid
+		}
+		q := fmt.Sprintf("UPDATE %s SET %s = 1 WHERE %s IN (%s)",
+			d.dataTable, col, ColRID, placeholders(len(chunk)))
+		if _, err := d.db.Exec(q, args...); err != nil {
+			return fmt.Errorf("set %s flags: %w", col, err)
+		}
+	}
+	return nil
+}
+
+// placeholders renders "?, ?, …, ?" (n of them).
+func placeholders(n int) string {
+	return strings.TrimSuffix(strings.Repeat("?, ", n), ", ")
+}

@@ -1,0 +1,241 @@
+package detect
+
+import (
+	"bytes"
+	"database/sql"
+	"fmt"
+	"testing"
+
+	"ecfd/internal/gen"
+	"ecfd/internal/sqldriver"
+)
+
+// newBenchDetector builds a detector over the generator's schema and
+// constraint set with a loaded dataset — the Fig. 5 workload shape.
+func newBenchDetector(t testing.TB, rows int, seed int64) (*Detector, func()) {
+	t.Helper()
+	dsn := fmt.Sprintf("detect_par_%d_%d_%d", rows, seed, dsnSeq.Add(1))
+	db, err := sql.Open(sqldriver.DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanup := func() {
+		db.Close()
+		sqldriver.Unregister(dsn)
+	}
+	d, err := New(db, gen.Schema(), gen.Constraints())
+	if err != nil {
+		cleanup()
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		cleanup()
+		t.Fatal(err)
+	}
+	if _, err := d.LoadData(gen.Dataset(gen.Config{Rows: rows, Noise: 5, Seed: seed})); err != nil {
+		cleanup()
+		t.Fatal(err)
+	}
+	return d, cleanup
+}
+
+// violationCSV renders the full violation set for byte-level
+// comparison across runs.
+func violationCSV(t *testing.T, d *Detector) []byte {
+	t.Helper()
+	vio, err := d.Violations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := vio.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelDetectMatchesBatch checks that ParallelDetect computes
+// exactly the flags of the serial BatchDetect, per RID, at several
+// worker counts — including worker counts that exceed the task count.
+func TestParallelDetectMatchesBatch(t *testing.T) {
+	const rows = 3_000
+	ds, cleanupS := newBenchDetector(t, rows, 7)
+	defer cleanupS()
+	bst, err := ds.BatchDetect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bst.Total == 0 {
+		t.Fatal("workload has no violations; test is vacuous")
+	}
+	want, err := ds.FlagsByRID()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 4, 8, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			dp, cleanupP := newBenchDetector(t, rows, 7)
+			defer cleanupP()
+			pst, err := dp.ParallelDetect(workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pst.SV != bst.SV || pst.MV != bst.MV || pst.Total != bst.Total {
+				t.Fatalf("counts: parallel (SV %d, MV %d, total %d) != batch (SV %d, MV %d, total %d)",
+					pst.SV, pst.MV, pst.Total, bst.SV, bst.MV, bst.Total)
+			}
+			got, err := dp.FlagsByRID()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("flag map size %d, want %d", len(got), len(want))
+			}
+			for rid, w := range want {
+				if got[rid] != w {
+					t.Fatalf("RID %d: flags %v, want %v", rid, got[rid], w)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelDetectDeterministic requires byte-identical violation
+// output across repeated parallel runs (scheduling must not leak into
+// the result) and against the serial run.
+func TestParallelDetectDeterministic(t *testing.T) {
+	const rows = 2_000
+	ds, cleanupS := newBenchDetector(t, rows, 3)
+	defer cleanupS()
+	if _, err := ds.BatchDetect(); err != nil {
+		t.Fatal(err)
+	}
+	serial := violationCSV(t, ds)
+
+	var first []byte
+	for run := 0; run < 3; run++ {
+		dp, cleanupP := newBenchDetector(t, rows, 3)
+		pst, err := dp.ParallelDetect(4)
+		if err != nil {
+			cleanupP()
+			t.Fatal(err)
+		}
+		if pst.Total == 0 {
+			cleanupP()
+			t.Fatal("no violations; test is vacuous")
+		}
+		got := violationCSV(t, dp)
+		cleanupP()
+		if run == 0 {
+			first = got
+		} else if !bytes.Equal(got, first) {
+			t.Fatalf("run %d produced different violation bytes", run)
+		}
+	}
+	if !bytes.Equal(first, serial) {
+		t.Fatal("parallel violation set differs from serial BatchDetect")
+	}
+}
+
+// TestParallelDetectThenIncremental checks that incremental
+// maintenance composes with a parallel base detection: ParallelDetect
+// must leave Aux and the flags in exactly the state IncDetect expects.
+func TestParallelDetectThenIncremental(t *testing.T) {
+	const rows = 2_000
+	mk := func(parallel bool) map[int64][2]bool {
+		d, cleanup := newBenchDetector(t, rows, 11)
+		defer cleanup()
+		var err error
+		if parallel {
+			_, err = d.ParallelDetect(4)
+		} else {
+			_, err = d.BatchDetect()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := gen.Updates(gen.Config{Rows: rows, Noise: 5, Seed: 11}, 200, 5)
+		if _, _, err := d.InsertTuples(batch); err != nil {
+			t.Fatal(err)
+		}
+		flags, err := d.FlagsByRID()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return flags
+	}
+	want := mk(false)
+	got := mk(true)
+	if len(got) != len(want) {
+		t.Fatalf("flag map size %d, want %d", len(got), len(want))
+	}
+	for rid, w := range want {
+		if got[rid] != w {
+			t.Fatalf("RID %d: flags %v, want %v", rid, got[rid], w)
+		}
+	}
+}
+
+// TestParallelDetectEmpty covers the empty-relation edge: no rows, no
+// violations, no partitioning arithmetic surprises.
+func TestParallelDetectEmpty(t *testing.T) {
+	dsn := fmt.Sprintf("detect_par_empty_%d", dsnSeq.Add(1))
+	db, err := sql.Open(sqldriver.DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	defer sqldriver.Unregister(dsn)
+	d, err := New(db, gen.Schema(), gen.Constraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.ParallelDetect(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SV != 0 || st.MV != 0 || st.Total != 0 {
+		t.Fatalf("empty relation produced violations: %+v", st)
+	}
+}
+
+// TestRIDSlices pins the partitioning arithmetic: full disjoint
+// coverage, no empty slices, and a single slice for small relations.
+func TestRIDSlices(t *testing.T) {
+	cases := []struct {
+		lo, hi, n int64
+		workers   int
+	}{
+		{1, 100_000, 100_000, 8},
+		{1, 100_000, 100_000, 3},
+		{5, 5, 1, 8},
+		{1, 500, 500, 4},       // below minSliceRows: one slice
+		{1, 10_000, 10_000, 4}, // above: up to 4 slices
+	}
+	for _, c := range cases {
+		slices := ridSlices(c.lo, c.hi, c.n, c.workers)
+		if len(slices) == 0 {
+			t.Fatalf("ridSlices(%v) returned no slices", c)
+		}
+		if c.n < minSliceRows*2 && len(slices) != 1 {
+			t.Errorf("ridSlices(%v): small relation split into %d slices", c, len(slices))
+		}
+		next := c.lo
+		for _, s := range slices {
+			if s[0] != next || s[1] < s[0] {
+				t.Fatalf("ridSlices(%v): bad slice %v (expected start %d)", c, s, next)
+			}
+			next = s[1] + 1
+		}
+		if next != c.hi+1 {
+			t.Fatalf("ridSlices(%v): coverage ends at %d, want %d", c, next-1, c.hi)
+		}
+		if len(slices) > c.workers {
+			t.Errorf("ridSlices(%v): %d slices exceed %d workers", c, len(slices), c.workers)
+		}
+	}
+}

@@ -29,6 +29,9 @@ func (d *Detector) generateSQL() {
 		mergeIns:     fmt.Sprintf("INSERT INTO %s SELECT * FROM %s", d.dataTable, d.insTable),
 		deleteRows: fmt.Sprintf("DELETE FROM %s WHERE %s IN (SELECT %s FROM %s)",
 			d.dataTable, ColRID, ColRID, d.delTable),
+		qsvRIDsSlice:    d.genQsvRIDsSlice(),
+		qmvGroupsCIDRng: d.genQmvGroupsCIDRange(),
+		mvRIDsSlice:     d.genMVRIDsSlice(),
 	}
 }
 
@@ -150,9 +153,52 @@ func (d *Detector) genQmvInsert() string {
 }
 
 func (d *Detector) genQmvInsertRestricted(extraWhere string) string {
+	return fmt.Sprintf("INSERT INTO %s %s", d.auxTable, d.genQmvSelect(extraWhere))
+}
+
+// genQmvSelect is the bare SELECT form of the Qmv grouping: the
+// violating (cid, p) group keys, optionally restricted by extraWhere.
+func (d *Detector) genQmvSelect(extraWhere string) string {
 	g := d.groupCols()
-	return fmt.Sprintf("INSERT INTO %s SELECT %s FROM (%s\n) m\nGROUP BY %s\nHAVING COUNT(*) > 1",
-		d.auxTable, strings.Join(g, ", "), d.macro(d.dataTable, extraWhere), strings.Join(g, ", "))
+	return fmt.Sprintf("SELECT %s FROM (%s\n) m\nGROUP BY %s\nHAVING COUNT(*) > 1",
+		strings.Join(g, ", "), d.macro(d.dataTable, extraWhere), strings.Join(g, ", "))
+}
+
+// --- parallel detection (ParallelDetect) ---
+//
+// The parallel mode decomposes the two fixed detection queries into
+// read-only violation queries that many workers can run concurrently
+// under the engine's shared read lock: the Qsv scan partitions over
+// RID slices of the data, the Qmv grouping fans over CID ranges of Σ
+// (groups never span CIDs — the CID is part of the group key), and the
+// MV flagging partitions over RID slices again. The statement texts
+// stay fixed; slice and range bounds bind as parameters, so every task
+// hits the compiled-plan cache.
+
+// genQsvRIDsSlice finds the RIDs of single-tuple violators within a
+// RID slice (params: lo, hi).
+func (d *Detector) genQsvRIDsSlice() string {
+	return fmt.Sprintf("SELECT DISTINCT t.%s FROM %s t, %s c\nWHERE t.%s >= ? AND t.%s <= ?\n  AND %s\n  AND (%s)",
+		ColRID, d.dataTable, d.encTable, ColRID, ColRID, d.lhsMatch(), d.rhsViolate())
+}
+
+// genQmvGroupsCIDRange computes the violating group keys of a
+// contiguous CID range (params: lo, hi). Grouping partitions cleanly
+// along CIDs because the CID is part of every group key; ranging
+// rather than going one-CID-at-a-time keeps the total scan count at
+// the worker count, so a one-worker run does exactly the serial
+// amount of work.
+func (d *Detector) genQmvGroupsCIDRange() string {
+	return d.genQmvSelect("c.CID >= ? AND c.CID <= ?")
+}
+
+// genMVRIDsSlice finds the RIDs matching any Aux pattern within a RID
+// slice (params: lo, hi) — the read-only form of the MV update, with
+// the same per-CID guard.
+func (d *Detector) genMVRIDsSlice() string {
+	cidGuard := fmt.Sprintf("EXISTS (SELECT 1 FROM %s g WHERE g.CID = c.CID)", d.auxTable)
+	return fmt.Sprintf("SELECT t.%s FROM %s t WHERE t.%s >= ? AND t.%s <= ? AND EXISTS (SELECT 1 FROM %s c WHERE %s AND %s)",
+		ColRID, d.dataTable, ColRID, ColRID, d.encTable, cidGuard, d.auxProbe(d.auxTable))
 }
 
 // auxProbe renders "t matches some (cid, p) in table for c's CID": the

@@ -9,18 +9,29 @@ import (
 	"ecfd/internal/relation"
 )
 
-// DB is an in-memory SQL database: a catalog of tables guarded by one
-// mutex (statement-level isolation; transactions use table snapshots).
+// DB is an in-memory SQL database: a catalog of tables guarded by a
+// reader/writer lock. SELECT statements hold the read lock for their
+// whole execution, so any number of queries run concurrently; DDL, DML
+// and transaction control take the write lock and therefore see (and
+// leave) the catalog quiescent. Statement-level isolation follows
+// directly: a query observes the table row slices that were current
+// when it acquired the lock, and no mutation can interleave with it.
 type DB struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	tables   map[string]*Table
 	activeTx *Tx
 	// ddlVersion counts catalog changes (CREATE/DROP TABLE, CREATE
 	// INDEX, LoadRelation). Compiled plans record the version they were
 	// built against and recompile on mismatch. Starts at 1 so a zero
-	// version always means "never compiled".
+	// version always means "never compiled". Written under mu (write);
+	// read under mu (read or write).
 	ddlVersion uint64
-	stmtCache  *lruCache // text → *Prepared; guarded by mu
+	// stmtCache maps statement text → *Prepared. It has its own mutex
+	// so concurrent readers can hit the cache without contending on the
+	// catalog lock (an LRU get mutates recency order, so a plain RLock
+	// would not do).
+	stmtMu    sync.Mutex
+	stmtCache *lruCache
 }
 
 // NewDB returns an empty database.
@@ -41,10 +52,18 @@ type Table struct {
 	version uint64 // bumped on every mutation; used by cached hash builds
 }
 
-// Index is a secondary hash index over a column list.
+// Index is a secondary hash index over a column list. The hash map is
+// built lazily: mutations (under the catalog write lock) mark it dirty,
+// and the next probe rebuilds it. Probes run under the catalog *read*
+// lock, so the rebuild itself is guarded by the index's own mutex with
+// double-checked locking — many concurrent queries may race to the
+// first probe after a mutation, exactly one rebuilds, the rest wait and
+// reuse its map.
 type Index struct {
-	Name  string
-	Cols  []int // column positions
+	Name string
+	Cols []int // column positions
+
+	mu    sync.RWMutex
 	m     map[string][]int
 	dirty bool
 }
@@ -91,7 +110,7 @@ func (db *DB) DropTable(name string, ifExists bool) error {
 	return nil
 }
 
-// table looks a table up; callers hold db.mu.
+// table looks a table up; callers hold db.mu (read or write).
 func (db *DB) table(name string) (*Table, error) {
 	t, ok := db.tables[lowerName(name)]
 	if !ok {
@@ -102,8 +121,8 @@ func (db *DB) table(name string) (*Table, error) {
 
 // TableNames returns the catalog's table names, sorted.
 func (db *DB) TableNames() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, 0, len(db.tables))
 	for _, t := range db.tables {
 		out = append(out, t.Name)
@@ -114,8 +133,8 @@ func (db *DB) TableNames() []string {
 
 // TableLen returns the row count of a table.
 func (db *DB) TableLen(name string) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.table(name)
 	if err != nil {
 		return 0, err
@@ -146,10 +165,11 @@ func (db *DB) LoadRelation(r *relation.Relation) error {
 	return nil
 }
 
-// Snapshot copies a table back out as a relation.
+// Snapshot copies a table back out as a relation. It holds the read
+// lock only: concurrent queries proceed, mutations wait.
 func (db *DB) Snapshot(name string) (*relation.Relation, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.table(name)
 	if err != nil {
 		return nil, err
@@ -191,12 +211,15 @@ func (db *DB) CreateIndex(name, table string, cols []string) error {
 func (t *Table) mutated() {
 	t.version++
 	for _, idx := range t.indexes {
+		idx.mu.Lock()
 		idx.dirty = true
+		idx.mu.Unlock()
 	}
 }
 
 // findIndex returns an index whose column set is exactly cols (in any
-// order), or nil. Callers rebuild before probing.
+// order), or nil. Callers probe through Index.lookup, which rebuilds
+// lazily under the index's own lock.
 func (t *Table) findIndex(cols []int) *Index {
 	want := append([]int(nil), cols...)
 	sort.Ints(want)
@@ -220,18 +243,35 @@ func (t *Table) findIndex(cols []int) *Index {
 	return nil
 }
 
-func (idx *Index) rebuild(t *Table) {
+// lookup returns the map behind the index, rebuilding it first when a
+// mutation marked it dirty. Safe under concurrent readers: the fast
+// path takes the index read lock only, the rebuild is double-checked
+// under the write lock. Callers hold at least the catalog read lock, so
+// t.Rows cannot change underneath the build.
+func (idx *Index) lookup(t *Table) map[string][]int {
+	idx.mu.RLock()
 	if !idx.dirty && idx.m != nil {
-		return
+		m := idx.m
+		idx.mu.RUnlock()
+		return m
 	}
-	idx.m = make(map[string][]int, len(t.Rows))
+	idx.mu.RUnlock()
+
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	if !idx.dirty && idx.m != nil {
+		return idx.m
+	}
+	m := make(map[string][]int, len(t.Rows))
 	key := make([]relation.Value, len(idx.Cols))
 	for ri, row := range t.Rows {
 		for i, c := range idx.Cols {
 			key[i] = row[c]
 		}
 		k := relation.KeyOf(key)
-		idx.m[k] = append(idx.m[k], ri)
+		m[k] = append(m[k], ri)
 	}
+	idx.m = m
 	idx.dirty = false
+	return m
 }

@@ -11,6 +11,11 @@ import (
 // env is the per-execution evaluation environment: a stack of frames
 // (one per nesting level of SELECT scopes), the statement parameters,
 // per-group aggregate values, and caches for decorrelated subqueries.
+//
+// Every piece of state a statement mutates while executing lives here
+// (or in the per-env schedule), never on the compiled plan: plans are
+// shared by all goroutines running the same prepared statement
+// concurrently under the catalog read lock.
 type env struct {
 	db     *DB
 	params []relation.Value
@@ -18,9 +23,29 @@ type env struct {
 	aggs   map[*compiledSelect][]relation.Value
 	hash   map[*Exists]*hashBuild
 	inSets map[*InSelect]*inBuild
+	// inLists caches the value sets of long literal/parameter IN lists.
+	inLists map[*InList]*inBuild
+	probes  map[*Exists]*probeScratch
 	// schedules caches one join plan per select for the statement's
 	// lifetime, so hash builds survive across correlated re-executions.
 	schedules map[*compiledSelect]*schedule
+	// scratch holds the reusable frame row slots for execExists and
+	// semiScan, one per select (a select cannot contain itself, so reuse
+	// across its sequential invocations within one statement is safe).
+	scratch map[*compiledSelect][]relation.Tuple
+}
+
+// scratchFor returns the env's frame row slot for cs.
+func (en *env) scratchFor(cs *compiledSelect) []relation.Tuple {
+	if s, ok := en.scratch[cs]; ok {
+		return s
+	}
+	if en.scratch == nil {
+		en.scratch = make(map[*compiledSelect][]relation.Tuple)
+	}
+	s := make([]relation.Tuple, len(cs.sources))
+	en.scratch[cs] = s
+	return s
 }
 
 type frame struct {
@@ -395,12 +420,60 @@ func (c *compiler) compileExpr(e Expr) (compiledExpr, error) {
 			return nil, err
 		}
 		items := make([]compiledExpr, len(x.List))
+		simple := true
 		for i, it := range x.List {
 			if items[i], err = c.compileExpr(it); err != nil {
 				return nil, err
 			}
+			switch it.(type) {
+			case *Literal, *Param:
+			default:
+				simple = false
+			}
 		}
 		neg := x.Neg
+		// A long list of literals/parameters (`RID IN (?, ?, …)` — the
+		// parallel detector's flag writes) builds a hash set once per
+		// execution instead of scanning the list per row. Literal and
+		// parameter values are fixed for the execution, so the set is
+		// sound to cache on the env.
+		if simple && len(items) >= 8 {
+			return func(en *env) (relation.Value, error) {
+				b := en.inLists[x]
+				if b == nil {
+					if en.inLists == nil {
+						en.inLists = make(map[*InList]*inBuild)
+					}
+					b = &inBuild{set: make(map[string]bool, len(items))}
+					for _, it := range items {
+						w, err := it(en)
+						if err != nil {
+							return relation.Null(), err
+						}
+						if w.IsNull() {
+							b.hasNull = true
+							continue
+						}
+						b.set[w.Key()] = true
+					}
+					en.inLists[x] = b
+				}
+				v, err := lhs(en)
+				if err != nil {
+					return relation.Null(), err
+				}
+				if v.IsNull() {
+					return relation.Null(), nil
+				}
+				if b.set[v.Key()] {
+					return relation.Bool(!neg), nil
+				}
+				if b.hasNull {
+					return relation.Null(), nil
+				}
+				return relation.Bool(neg), nil
+			}, nil
+		}
 		return func(en *env) (relation.Value, error) {
 			v, err := lhs(en)
 			if err != nil {
@@ -683,12 +756,37 @@ func flattenLogical(op string, e Expr, out *[]Expr) {
 // `c.A_R > 0`, …), skipping the generic literal closure, Equal kind
 // dispatch and Compare ranking. These dominate the eCFD detection
 // scans, where every (tuple, pattern) pair evaluates a few dozen of
-// them.
+// them. Column-vs-parameter comparisons (`t.RID >= ?` — the parallel
+// detector's RID-slice scans) get the same treatment with the bound
+// value fetched per execution.
 func (c *compiler) fastCompare(x *Binary) (compiledExpr, error) {
 	switch x.Op {
 	case "=", "<>", "<", "<=", ">", ">=":
 	default:
 		return nil, nil
+	}
+	flip := func(op string) string {
+		switch op {
+		case "<":
+			return ">"
+		case "<=":
+			return ">="
+		case ">":
+			return "<"
+		case ">=":
+			return "<="
+		}
+		return op
+	}
+	if ref, ok := x.L.(*ColumnRef); ok {
+		if pr, ok := x.R.(*Param); ok {
+			return c.fastCompareParam(ref, pr, x.Op)
+		}
+	}
+	if pr, ok := x.L.(*Param); ok {
+		if ref, ok := x.R.(*ColumnRef); ok {
+			return c.fastCompareParam(ref, pr, flip(x.Op))
+		}
 	}
 	ref, okL := x.L.(*ColumnRef)
 	lit, okR := x.R.(*Literal)
@@ -698,16 +796,7 @@ func (c *compiler) fastCompare(x *Binary) (compiledExpr, error) {
 		if lit2, ok := x.L.(*Literal); ok {
 			if ref2, ok := x.R.(*ColumnRef); ok {
 				ref, lit, okL, okR = ref2, lit2, true, true
-				switch op {
-				case "<":
-					op = ">"
-				case "<=":
-					op = ">="
-				case ">":
-					op = "<"
-				case ">=":
-					op = "<="
-				}
+				op = flip(op)
 			}
 		}
 		if !okL || !okR {
@@ -781,6 +870,66 @@ func (c *compiler) fastCompare(x *Binary) (compiledExpr, error) {
 			return relation.Bool(res), nil
 		}, nil
 	}
+}
+
+// fastCompareParam compiles `column OP ?`: one closure fetching the
+// row value and the bound parameter directly, with an integer fast
+// path and the generic Equal/Compare semantics otherwise.
+func (c *compiler) fastCompareParam(ref *ColumnRef, pr *Param, op string) (compiledExpr, error) {
+	b, err := c.resolve(ref)
+	if err != nil {
+		return nil, err
+	}
+	pi := pr.Index
+	return func(en *env) (relation.Value, error) {
+		if pi >= len(en.params) {
+			return relation.Null(), fmt.Errorf("sql: missing parameter %d", pi+1)
+		}
+		v := en.frames[b.depth].rows[b.src][b.col]
+		w := en.params[pi]
+		if v.K == relation.KindNull || w.K == relation.KindNull {
+			return relation.Null(), nil
+		}
+		if (v.K == relation.KindInt || v.K == relation.KindBool) &&
+			(w.K == relation.KindInt || w.K == relation.KindBool) {
+			var res bool
+			switch op {
+			case "=":
+				res = v.I == w.I
+			case "<>":
+				res = v.I != w.I
+			case "<":
+				res = v.I < w.I
+			case "<=":
+				res = v.I <= w.I
+			case ">":
+				res = v.I > w.I
+			case ">=":
+				res = v.I >= w.I
+			}
+			return relation.Bool(res), nil
+		}
+		var res bool
+		switch op {
+		case "=":
+			res = relation.Equal(v, w)
+		case "<>":
+			res = !relation.Equal(v, w)
+		default:
+			cmp := relation.Compare(v, w)
+			switch op {
+			case "<":
+				res = cmp < 0
+			case "<=":
+				res = cmp <= 0
+			case ">":
+				res = cmp > 0
+			case ">=":
+				res = cmp >= 0
+			}
+		}
+		return relation.Bool(res), nil
+	}, nil
 }
 
 func arith(op string, a, b relation.Value) (relation.Value, error) {

@@ -10,7 +10,11 @@ import (
 
 // DML statements compile into reusable plans (the prepared-statement
 // and plan-cache layers hold them across executions) and run in a
-// separate phase, mirroring the compile/exec split of SELECT.
+// separate phase, mirroring the compile/exec split of SELECT. All DML
+// executes under the catalog *write* lock (db.mu), so a mutation never
+// runs concurrently with anything — the two-phase evaluate/apply split
+// below is about a statement seeing its own target consistently, not
+// about other readers.
 
 // coerce converts v to the column kind, erring on lossy mismatches.
 func coerce(v relation.Value, k relation.Kind, col string) (relation.Value, error) {

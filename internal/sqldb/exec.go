@@ -34,10 +34,11 @@ func (db *DB) Exec(sqlText string, params ...relation.Value) (int64, error) {
 	return p.Exec(params...)
 }
 
-// QueryStmt runs a parsed SELECT.
+// QueryStmt runs a parsed SELECT. Like Prepared.Query it holds only
+// the catalog read lock, so queries execute concurrently.
 func (db *DB) QueryStmt(sel *Select, params ...relation.Value) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.execSelect(sel, params)
 }
 
@@ -114,11 +115,6 @@ type compiledSelect struct {
 	orderBy  []compiledOrder
 	limit    compiledExpr
 	offset   compiledExpr
-
-	// scratch is the reusable frame row slot for execExists. Statements
-	// run one at a time and a select cannot contain itself, so reuse
-	// across sequential invocations is safe.
-	scratch []relation.Tuple
 }
 
 // errFound is the sentinel execExists uses to abort the join loop at
@@ -146,10 +142,7 @@ func (cs *compiledSelect) execExists(en *env) (bool, error) {
 	for i, src := range cs.sources {
 		srcRows[i] = src.table.Rows
 	}
-	if cs.scratch == nil {
-		cs.scratch = make([]relation.Tuple, len(cs.sources))
-	}
-	en.frames = append(en.frames, frame{rows: cs.scratch})
+	en.frames = append(en.frames, frame{rows: en.scratchFor(cs)})
 	var err error
 	if DisablePlanner || !cs.planOK {
 		err = cs.joinLoop(en, srcRows, 0, func() error { return errFound })

@@ -538,16 +538,14 @@ func (cs *compiledSelect) probeRows(en *env, lv *schedLevel, rows []relation.Tup
 		p.vals[i] = v
 	}
 	if p.idx != nil {
-		if t := cs.sources[lv.src].table; p.idx.dirty || p.idx.m == nil {
-			p.idx.rebuild(t)
-		}
+		m := p.idx.lookup(cs.sources[lv.src].table)
 		key := p.keyBuf[:0]
 		for _, pi := range p.perm {
 			key = relation.AppendKey(key, p.vals[pi])
 			key = append(key, 0x1f)
 		}
 		p.keyBuf = key
-		return p.idx.m[string(key)], false, nil
+		return m[string(key)], false, nil
 	}
 	if p.hash == nil {
 		p.hash = buildJoinHash(rows, p.buildCols)
@@ -600,10 +598,7 @@ func (cs *compiledSelect) semiScan(en *env, yield func(idx []int) error) error {
 		}
 		srcRows[i] = src.table.Rows
 	}
-	if cs.scratch == nil {
-		cs.scratch = make([]relation.Tuple, len(cs.sources))
-	}
-	en.frames = append(en.frames, frame{rows: cs.scratch})
+	en.frames = append(en.frames, frame{rows: en.scratchFor(cs)})
 	sch := en.scheduleFor(cs, srcRows)
 	err := cs.runPlan(en, sch, srcRows, yield)
 	en.frames = en.frames[:cs.depth]
@@ -687,8 +682,8 @@ func (db *DB) Explain(sqlText string) (string, error) {
 	if len(stmts) != 1 {
 		return "", fmt.Errorf("sql: EXPLAIN wants exactly one statement, got %d", len(stmts))
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var b strings.Builder
 	switch s := stmts[0].(type) {
 	case *Select:

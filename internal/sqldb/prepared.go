@@ -22,6 +22,13 @@ import (
 //     they are invalidated by bumping DB.ddlVersion on CREATE TABLE,
 //     CREATE INDEX, DROP TABLE and LoadRelation; the next execution
 //     recompiles against the current catalog.
+//
+// Both layers are safe under the concurrent read path: the statement
+// cache has its own mutex (db.stmtMu), and each Prepared guards its
+// plan slots with p.mu so two queries racing to compile after DDL
+// serialize on the compile but not on execution. Compiled plans
+// themselves are immutable once built — all per-execution state lives
+// in the env — so any number of goroutines can run the same plan.
 
 const (
 	parseCacheSize = 512
@@ -102,7 +109,9 @@ type Prepared struct {
 	text    string
 	stmts   []Statement
 	nParams int
-	// guarded by db.mu:
+	// mu guards the plan slots. Callers hold db.mu (read or write) as
+	// well, which orders the ddlVersion reads below against DDL.
+	mu    sync.Mutex
 	plans []execPlan
 	vers  []uint64
 	errs  []error
@@ -111,14 +120,14 @@ type Prepared struct {
 // Prepare parses sqlText (through the AST cache) and returns the
 // cached Prepared for it, creating one on first use.
 func (db *DB) Prepare(sqlText string) (*Prepared, error) {
-	db.mu.Lock()
+	db.stmtMu.Lock()
 	if db.stmtCache != nil {
 		if v, ok := db.stmtCache.get(sqlText); ok {
-			db.mu.Unlock()
+			db.stmtMu.Unlock()
 			return v.(*Prepared), nil
 		}
 	}
-	db.mu.Unlock()
+	db.stmtMu.Unlock()
 	stmts, err := parseScriptCached(sqlText)
 	if err != nil {
 		return nil, err
@@ -132,12 +141,18 @@ func (db *DB) Prepare(sqlText string) (*Prepared, error) {
 		vers:    make([]uint64, len(stmts)),
 		errs:    make([]error, len(stmts)),
 	}
-	db.mu.Lock()
+	db.stmtMu.Lock()
 	if db.stmtCache == nil {
 		db.stmtCache = newLRU(planCacheSize)
 	}
+	// Two goroutines may have prepared the same text concurrently; keep
+	// the one already cached so every caller shares one Prepared.
+	if v, ok := db.stmtCache.get(sqlText); ok {
+		db.stmtMu.Unlock()
+		return v.(*Prepared), nil
+	}
 	db.stmtCache.put(sqlText, p)
-	db.mu.Unlock()
+	db.stmtMu.Unlock()
 	return p, nil
 }
 
@@ -158,14 +173,16 @@ func (p *Prepared) Exec(params ...relation.Value) (int64, error) {
 	return total, nil
 }
 
-// Query runs a single prepared SELECT.
+// Query runs a single prepared SELECT. It holds only the catalog read
+// lock, so any number of queries execute concurrently; DDL and DML wait
+// for them (and vice versa).
 func (p *Prepared) Query(params ...relation.Value) (*Result, error) {
 	if len(p.stmts) != 1 {
 		return nil, fmt.Errorf("sql: Query requires exactly one statement, got %d", len(p.stmts))
 	}
-	p.db.mu.Lock()
-	defer p.db.mu.Unlock()
-	plan, err := p.db.planForLocked(p, 0)
+	p.db.mu.RLock()
+	defer p.db.mu.RUnlock()
+	plan, err := p.db.planFor(p, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +208,7 @@ func (db *DB) execPreparedStmt(p *Prepared, i int, params []relation.Value) (int
 		// script) recompiles against the new catalog.
 		return db.execStmtLocked(p.stmts[i], params)
 	}
-	plan, err := db.planForLocked(p, i)
+	plan, err := db.planFor(p, i)
 	if err != nil {
 		return 0, err
 	}
@@ -214,11 +231,14 @@ func (db *DB) execPreparedStmt(p *Prepared, i int, params []relation.Value) (int
 	}
 }
 
-// planForLocked returns statement i's plan, compiling (or recompiling
-// after DDL) as needed. Compile errors are cached per catalog version:
-// the same error returns until DDL changes the catalog. Callers hold
-// db.mu.
-func (db *DB) planForLocked(p *Prepared, i int) (execPlan, error) {
+// planFor returns statement i's plan, compiling (or recompiling after
+// DDL) as needed. Compile errors are cached per catalog version: the
+// same error returns until DDL changes the catalog. Callers hold db.mu
+// (read suffices — compilation only reads the catalog); p.mu serializes
+// concurrent compilations of the same slot.
+func (db *DB) planFor(p *Prepared, i int) (execPlan, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.vers[i] == db.ddlVersion {
 		return p.plans[i], p.errs[i]
 	}

@@ -8,9 +8,13 @@ import (
 
 // Tx is a coarse-grained transaction: the first mutation of each table
 // inside the transaction snapshots its rows, and Rollback restores
-// them. One transaction may be active at a time (the engine executes
-// one statement at a time anyway; this matches the paper's batch/
-// incremental detection scripts, which are sequential).
+// them. One transaction may be active at a time; Begin/Commit/Rollback
+// and every mutation inside the transaction take the catalog write
+// lock, so transactions serialize with each other and with the
+// concurrent readers (which only ever observe statement-level
+// snapshots — there is no cross-statement MVCC). This matches the
+// paper's batch/incremental detection scripts, whose writes are
+// sequential; the concurrency the detector needs is on the read side.
 type Tx struct {
 	db      *DB
 	backups map[string][]relation.Tuple

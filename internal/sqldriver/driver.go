@@ -10,6 +10,13 @@
 // same DSN twice shares one engine instance, and RegisterDB installs a
 // pre-built engine under a DSN (used by tests and the bench harness to
 // bulk-load datasets without round-tripping through INSERT statements).
+//
+// The driver is safe for concurrent use: database/sql hands each
+// goroutine its own connection, every connection is a thin handle on
+// the shared engine, and the engine's reader/writer lock lets all
+// their SELECTs run in parallel while DML/DDL serialize. The parallel
+// detector (internal/detect.ParallelDetect) fans its violation
+// queries through exactly this path.
 package sqldriver
 
 import (
