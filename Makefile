@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench-short bench-json explain ci
+.PHONY: build test race vet bench-short bench-json benchsmoke explain ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,11 @@ bench-short:
 # Machine-readable figure series for BENCH_*.json trajectory files.
 bench-json:
 	$(GO) run ./cmd/ecfdbench -scale 0.1 -json
+
+# Bench smoke: run every benchmark exactly once (no measurement) so
+# bench-only code paths cannot silently rot; CI runs this too.
+benchsmoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
 # Query plans of the detector's fixed statement set.
 explain:

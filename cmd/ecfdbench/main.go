@@ -109,11 +109,17 @@ func explainPlans(seed int64) error {
 
 	eng := sqldriver.Engine(dsn)
 	qsvSelect, qsvUpdate, qmvInsert, mvUpdate := d.SQL()
+	qsvSlice, qmvRange, mvSlice := d.ParallelSQL()
 	for _, s := range []struct{ name, q string }{
 		{"Qsv (select form)", qsvSelect},
 		{"Qsv (SV update)", qsvUpdate},
 		{"Qmv (Aux insert)", qmvInsert},
 		{"MV update", mvUpdate},
+		{"Qsv RID slice (parallel)", qsvSlice},
+		{"Qmv CID range (parallel)", qmvRange},
+		{"MV RID slice (parallel)", mvSlice},
+		{"Violations (ORDER BY RID)", fmt.Sprintf(
+			"SELECT RID FROM %s WHERE SV = 1 OR MV = 1 ORDER BY RID", d.DataTable())},
 	} {
 		plan, err := eng.Explain(s.q)
 		if err != nil {

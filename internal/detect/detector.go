@@ -239,6 +239,16 @@ func (d *Detector) Install() error {
 		ddl = append(ddl, fmt.Sprintf("CREATE INDEX idx_%s ON %s (%s)", tbl, tbl, strings.Join(probeCols, ", ")))
 	}
 
+	// Ordered RID index on the data table: the parallel detector's
+	// RID-slice tasks and the incremental path's RID-range statements
+	// (mvSetNew/mvSetOld) prune to their slice through it instead of
+	// scanning the whole table, and ORDER BY RID reads (Violations,
+	// RIDs) iterate it in order with no sort. The engine maintains it
+	// incrementally: appends merge at the tail (RIDs are monotone) and
+	// SV/MV flag updates never touch it since RID is not among the set
+	// columns.
+	ddl = append(ddl, fmt.Sprintf("CREATE INDEX idx_%s_rid ON %s (%s)", d.dataTable, d.dataTable, ColRID))
+
 	for _, q := range ddl {
 		if _, err := d.db.Exec(q); err != nil {
 			return fmt.Errorf("detect: install: %w", err)

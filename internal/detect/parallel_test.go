@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"database/sql"
 	"fmt"
+	"strings"
 	"testing"
 
 	"ecfd/internal/gen"
@@ -237,5 +238,57 @@ func TestRIDSlices(t *testing.T) {
 		if len(slices) > c.workers {
 			t.Errorf("ridSlices(%v): %d slices exceed %d workers", c, len(slices), c.workers)
 		}
+	}
+}
+
+// TestParallelSliceQueriesRangePruned pins the access paths of the
+// worker statements: the RID-slice scans must run as range-pruned
+// scans over the data table's ordered RID index (not full scans), and
+// the Violations read must serve its ORDER BY from the index with no
+// sort. This is the plumbing that makes each worker's cost
+// proportional to its slice instead of the whole relation.
+func TestParallelSliceQueriesRangePruned(t *testing.T) {
+	dsn := fmt.Sprintf("detect_explain_%d", dsnSeq.Add(1))
+	db, err := sql.Open(sqldriver.DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	defer sqldriver.Unregister(dsn)
+
+	d, err := New(db, gen.Schema(), gen.Constraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.LoadData(gen.Dataset(gen.Config{Rows: 2000, Noise: 5, Seed: 11})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.BatchDetect(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := sqldriver.Engine(dsn)
+	qsvSlice, _, mvSlice := d.ParallelSQL()
+	for name, q := range map[string]string{"qsvRIDsSlice": qsvSlice, "mvRIDsSlice": mvSlice} {
+		plan, err := eng.Explain(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(plan, "range scan t via idx_"+d.dataTable+"_rid") {
+			t.Fatalf("%s is not range-pruned over the RID index:\n%s", name, plan)
+		}
+	}
+
+	vioQ := fmt.Sprintf("SELECT %s FROM %s WHERE %s = 1 OR %s = 1 ORDER BY %s",
+		ColRID, d.dataTable, ColSV, ColMV, ColRID)
+	plan, err := eng.Explain(vioQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "ordered scan") || !strings.Contains(plan, "no sort") {
+		t.Fatalf("Violations read does not use the ordered RID index:\n%s", plan)
 	}
 }

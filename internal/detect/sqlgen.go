@@ -41,6 +41,15 @@ func (d *Detector) SQL() (qsvSelect, qsvUpdate, qmvInsert, mvUpdate string) {
 	return d.stmts.qsvSelect, d.stmts.qsvUpdate, d.stmts.qmvInsert, d.stmts.mvUpdate
 }
 
+// ParallelSQL returns the read-only statements the parallel detector
+// fans across workers (RID-slice Qsv, CID-range Qmv grouping,
+// RID-slice MV matching) for inspection and testing — in particular
+// the EXPLAIN tests asserting that the RID-slice scans are range-
+// pruned through the data table's ordered RID index.
+func (d *Detector) ParallelSQL() (qsvRIDsSlice, qmvGroupsCIDRange, mvRIDsSlice string) {
+	return d.stmts.qsvRIDsSlice, d.stmts.qmvGroupsCIDRng, d.stmts.mvRIDsSlice
+}
+
 // setProbe renders EXISTS (or NOT EXISTS) over a pattern-set table:
 // "does t's A-value belong to the CID's set?" — the QA subqueries of
 // Fig. 4, applied to the encoding tables only, never to the data.

@@ -148,8 +148,11 @@ func Equal(a, b Value) bool {
 }
 
 // Compare orders two values: -1, 0 or +1. NULL sorts first, then
-// booleans, numbers, and text; mixed numeric kinds compare numerically.
-// Used by ORDER BY, GROUP BY key sorting and index probes.
+// booleans, numbers, and text; mixed numeric kinds compare
+// numerically, and NaN sorts after every other number (equal only to
+// itself), so Compare is a total order — the ordered indexes and
+// their binary-searched range scans depend on that. Used by ORDER BY,
+// GROUP BY key sorting, index order and index probes.
 func Compare(a, b Value) int {
 	ra, rb := rank(a), rank(b)
 	if ra != rb {
@@ -160,7 +163,14 @@ func Compare(a, b Value) int {
 		return 0
 	case a.numeric() && b.numeric():
 		af, bf := a.AsFloat(), b.AsFloat()
+		aNaN, bNaN := af != af, bf != bf
 		switch {
+		case aNaN && bNaN:
+			return 0
+		case aNaN:
+			return 1
+		case bNaN:
+			return -1
 		case af < bf:
 			return -1
 		case af > bf:

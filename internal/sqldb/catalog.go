@@ -42,8 +42,10 @@ func NewDB() *DB { return &DB{tables: make(map[string]*Table), ddlVersion: 1} }
 func (db *DB) bumpDDL() { db.ddlVersion++ }
 
 // Table is one base table: schema, row store and secondary indexes.
-// Indexes are maintained lazily — mutations mark them dirty and the
-// next probe rebuilds.
+// Mutations notify the indexes with exactly what changed (appended,
+// deleted or updated row positions), so built indexes are maintained
+// incrementally; only wholesale replacement (LoadRelation, transaction
+// rollback) falls back to mark-dirty-and-rebuild.
 type Table struct {
 	Name    string
 	Schema  *relation.Schema
@@ -52,20 +54,39 @@ type Table struct {
 	version uint64 // bumped on every mutation; used by cached hash builds
 }
 
-// Index is a secondary hash index over a column list. The hash map is
-// built lazily: mutations (under the catalog write lock) mark it dirty,
-// and the next probe rebuilds it. Probes run under the catalog *read*
-// lock, so the rebuild itself is guarded by the index's own mutex with
-// double-checked locking — many concurrent queries may race to the
-// first probe after a mutation, exactly one rebuilds, the rest wait and
-// reuse its map.
+// Index is an ordered secondary index over a column list. It keeps two
+// structures, each built lazily on first use and maintained
+// incrementally afterwards:
+//
+//   - m, a hash map from encoded key to ascending row positions —
+//     answers equality probes in O(1);
+//   - sorted, the row positions ordered by the index-column values
+//     (ties by position) — answers range scans (<, <=, >, >=, BETWEEN,
+//     RID-slice conjuncts) with a binary search returning a contiguous
+//     subslice, and serves ORDER BY via in-order iteration when the
+//     sort key is a prefix of Cols.
+//
+// Mutations (under the catalog write lock) maintain whichever
+// structures have been built: INSERT merges the appended positions,
+// DELETE filters and remaps surviving positions, UPDATE removes and
+// re-inserts only the changed rows of indexes whose columns were
+// actually set, TRUNCATE empties in place. A structure that has never
+// been probed stays nil/dirty and costs mutations nothing. The lazy
+// rebuild (double-checked under the index's own mutex, since probes
+// run under the catalog *read* lock) remains as the cold-start path
+// and after wholesale row replacement.
 type Index struct {
 	Name string
-	Cols []int // column positions
+	Cols []int // column positions, in declared order
 
-	mu    sync.RWMutex
-	m     map[string][]int
-	dirty bool
+	mu     sync.RWMutex
+	m      map[string][]int
+	sorted []int
+	mDirty bool
+	sDirty bool
+	// rebuilds counts full (non-incremental) builds of either
+	// structure; the DML maintenance regression tests read it.
+	rebuilds int
 }
 
 func lowerName(s string) string { return strings.ToLower(s) }
@@ -190,7 +211,7 @@ func (db *DB) CreateIndex(name, table string, cols []string) error {
 	if err != nil {
 		return err
 	}
-	idx := &Index{Name: name, dirty: true}
+	idx := &Index{Name: name, mDirty: true, sDirty: true}
 	for _, c := range cols {
 		j := t.Schema.Index(c)
 		if j < 0 {
@@ -208,13 +229,246 @@ func (db *DB) CreateIndex(name, table string, cols []string) error {
 	return nil
 }
 
+// mutated invalidates every index wholesale. It is the fallback for
+// row replacement where no per-row delta exists (LoadRelation,
+// transaction rollback); DML uses the incremental notifications below.
 func (t *Table) mutated() {
 	t.version++
 	for _, idx := range t.indexes {
 		idx.mu.Lock()
-		idx.dirty = true
+		idx.mDirty = true
+		idx.sDirty = true
 		idx.mu.Unlock()
 	}
+}
+
+// rowsAppended maintains the indexes after k rows were appended to
+// t.Rows. Appended positions are the largest, so built hash buckets
+// stay ascending by plain append and the sorted order merges (usually
+// degenerating to an append for monotone key columns like RID).
+// Callers hold the catalog write lock.
+func (t *Table) rowsAppended(k int) {
+	t.version++
+	oldLen := len(t.Rows) - k
+	for _, idx := range t.indexes {
+		idx.mu.Lock()
+		if idx.m != nil && !idx.mDirty {
+			key := make([]relation.Value, len(idx.Cols))
+			for ri := oldLen; ri < len(t.Rows); ri++ {
+				for i, c := range idx.Cols {
+					key[i] = t.Rows[ri][c]
+				}
+				k := relation.KeyOf(key)
+				idx.m[k] = append(idx.m[k], ri)
+			}
+		}
+		if idx.sorted != nil && !idx.sDirty {
+			add := make([]int, k)
+			for i := range add {
+				add[i] = oldLen + i
+			}
+			sort.Slice(add, func(a, b int) bool { return idx.lessPos(t, add[a], add[b]) })
+			idx.sorted = idx.mergeSorted(t, idx.sorted, add)
+		}
+		idx.mu.Unlock()
+	}
+}
+
+// rowsDeleted maintains the indexes after the rows at positions dels
+// (ascending, referring to the pre-delete t.Rows) were removed and the
+// remaining rows compacted in order. Surviving positions shift down by
+// the number of deleted positions below them; neither keys nor
+// relative order change, so both structures are filtered and remapped
+// in one pass — no key encoding, no re-sort, no rehash. Callers hold
+// the catalog write lock.
+func (t *Table) rowsDeleted(dels []int) {
+	t.version++
+	if len(dels) == 0 {
+		return
+	}
+	remap := func(ri int) int { return ri - sort.SearchInts(dels, ri) }
+	deleted := func(ri int) bool {
+		i := sort.SearchInts(dels, ri)
+		return i < len(dels) && dels[i] == ri
+	}
+	for _, idx := range t.indexes {
+		idx.mu.Lock()
+		if idx.m != nil && !idx.mDirty {
+			for k, bucket := range idx.m {
+				keep := bucket[:0]
+				for _, ri := range bucket {
+					if !deleted(ri) {
+						keep = append(keep, remap(ri))
+					}
+				}
+				if len(keep) == 0 {
+					delete(idx.m, k)
+				} else {
+					idx.m[k] = keep
+				}
+			}
+		}
+		if idx.sorted != nil && !idx.sDirty {
+			keep := idx.sorted[:0]
+			for _, ri := range idx.sorted {
+				if !deleted(ri) {
+					keep = append(keep, remap(ri))
+				}
+			}
+			idx.sorted = keep
+		}
+		idx.mu.Unlock()
+	}
+}
+
+// updateBegin removes the stale entries of rows about to change. pos
+// is ascending; cols are the schema positions being assigned. Indexes
+// reading none of the assigned columns are untouched — this is what
+// keeps the detector's SV/MV flag writes from ever invalidating the
+// RID index. Must run while t.Rows still holds the old values;
+// updateEnd re-inserts after the assignment. Callers hold the catalog
+// write lock.
+func (t *Table) updateBegin(pos, cols []int) {
+	for _, idx := range t.indexes {
+		if !idx.overlaps(cols) {
+			continue
+		}
+		idx.mu.Lock()
+		if idx.m != nil && !idx.mDirty {
+			key := make([]relation.Value, len(idx.Cols))
+			for _, ri := range pos {
+				for i, c := range idx.Cols {
+					key[i] = t.Rows[ri][c]
+				}
+				k := relation.KeyOf(key)
+				bucket := idx.m[k]
+				at := sort.SearchInts(bucket, ri)
+				if at < len(bucket) && bucket[at] == ri {
+					bucket = append(bucket[:at], bucket[at+1:]...)
+					if len(bucket) == 0 {
+						delete(idx.m, k)
+					} else {
+						idx.m[k] = bucket
+					}
+				}
+			}
+		}
+		if idx.sorted != nil && !idx.sDirty {
+			doomed := make(map[int]bool, len(pos))
+			for _, ri := range pos {
+				doomed[ri] = true
+			}
+			keep := idx.sorted[:0]
+			for _, ri := range idx.sorted {
+				if !doomed[ri] {
+					keep = append(keep, ri)
+				}
+			}
+			idx.sorted = keep
+		}
+		idx.mu.Unlock()
+	}
+}
+
+// updateEnd re-inserts the rows removed by updateBegin with their new
+// values. Callers hold the catalog write lock.
+func (t *Table) updateEnd(pos, cols []int) {
+	t.version++
+	for _, idx := range t.indexes {
+		if !idx.overlaps(cols) {
+			continue
+		}
+		idx.mu.Lock()
+		if idx.m != nil && !idx.mDirty {
+			key := make([]relation.Value, len(idx.Cols))
+			for _, ri := range pos {
+				for i, c := range idx.Cols {
+					key[i] = t.Rows[ri][c]
+				}
+				k := relation.KeyOf(key)
+				bucket := idx.m[k]
+				at := sort.SearchInts(bucket, ri)
+				bucket = append(bucket, 0)
+				copy(bucket[at+1:], bucket[at:])
+				bucket[at] = ri
+				idx.m[k] = bucket
+			}
+		}
+		if idx.sorted != nil && !idx.sDirty {
+			add := append([]int(nil), pos...)
+			sort.Slice(add, func(a, b int) bool { return idx.lessPos(t, add[a], add[b]) })
+			idx.sorted = idx.mergeSorted(t, idx.sorted, add)
+		}
+		idx.mu.Unlock()
+	}
+}
+
+// truncated resets built structures to empty in place (the post-
+// truncate index contents, whatever they held); never-built structures
+// stay lazy so an unprobed index keeps costing nothing. Callers hold
+// the catalog write lock.
+func (t *Table) truncated() {
+	t.version++
+	for _, idx := range t.indexes {
+		idx.mu.Lock()
+		if idx.m != nil && !idx.mDirty {
+			idx.m = make(map[string][]int)
+		}
+		if idx.sorted != nil && !idx.sDirty {
+			idx.sorted = idx.sorted[:0]
+		}
+		idx.mu.Unlock()
+	}
+}
+
+// overlaps reports whether the index reads any of the given columns.
+func (idx *Index) overlaps(cols []int) bool {
+	for _, c := range cols {
+		for _, ic := range idx.Cols {
+			if c == ic {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lessPos orders two row positions by the index-column values, ties by
+// position — the sort order of Index.sorted. Callers hold at least the
+// catalog read lock so t.Rows is stable.
+func (idx *Index) lessPos(t *Table, a, b int) bool {
+	ra, rb := t.Rows[a], t.Rows[b]
+	for _, c := range idx.Cols {
+		if cmp := relation.Compare(ra[c], rb[c]); cmp != 0 {
+			return cmp < 0
+		}
+	}
+	return a < b
+}
+
+// mergeSorted merges two position lists already in lessPos order. The
+// common case — appends with a monotone key column like RID — reduces
+// to a plain append.
+func (idx *Index) mergeSorted(t *Table, have, add []int) []int {
+	if len(add) == 0 {
+		return have
+	}
+	if len(have) == 0 || idx.lessPos(t, have[len(have)-1], add[0]) {
+		return append(have, add...)
+	}
+	out := make([]int, 0, len(have)+len(add))
+	i, j := 0, 0
+	for i < len(have) && j < len(add) {
+		if idx.lessPos(t, add[j], have[i]) {
+			out = append(out, add[j])
+			j++
+		} else {
+			out = append(out, have[i])
+			i++
+		}
+	}
+	out = append(out, have[i:]...)
+	return append(out, add[j:]...)
 }
 
 // findIndex returns an index whose column set is exactly cols (in any
@@ -243,14 +497,16 @@ func (t *Table) findIndex(cols []int) *Index {
 	return nil
 }
 
-// lookup returns the map behind the index, rebuilding it first when a
-// mutation marked it dirty. Safe under concurrent readers: the fast
-// path takes the index read lock only, the rebuild is double-checked
-// under the write lock. Callers hold at least the catalog read lock, so
-// t.Rows cannot change underneath the build.
+// lookup returns the equality map behind the index, rebuilding it
+// first on cold start (or after wholesale row replacement). Safe under
+// concurrent readers: the fast path takes the index read lock only,
+// the rebuild is double-checked under the write lock — many concurrent
+// queries may race to the first probe, exactly one rebuilds, the rest
+// wait and reuse its map. Callers hold at least the catalog read lock,
+// so t.Rows cannot change underneath the build.
 func (idx *Index) lookup(t *Table) map[string][]int {
 	idx.mu.RLock()
-	if !idx.dirty && idx.m != nil {
+	if !idx.mDirty && idx.m != nil {
 		m := idx.m
 		idx.mu.RUnlock()
 		return m
@@ -259,7 +515,7 @@ func (idx *Index) lookup(t *Table) map[string][]int {
 
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
-	if !idx.dirty && idx.m != nil {
+	if !idx.mDirty && idx.m != nil {
 		return idx.m
 	}
 	m := make(map[string][]int, len(t.Rows))
@@ -272,6 +528,93 @@ func (idx *Index) lookup(t *Table) map[string][]int {
 		m[k] = append(m[k], ri)
 	}
 	idx.m = m
-	idx.dirty = false
+	idx.mDirty = false
+	idx.rebuilds++
 	return m
+}
+
+// ordered returns the row positions in index order (column values
+// ascending, ties by position), rebuilding on cold start with the same
+// double-checked discipline as lookup. The returned slice is shared —
+// callers must not mutate it and must hold the catalog read lock while
+// using it.
+func (idx *Index) ordered(t *Table) []int {
+	idx.mu.RLock()
+	if !idx.sDirty && idx.sorted != nil {
+		s := idx.sorted
+		idx.mu.RUnlock()
+		return s
+	}
+	idx.mu.RUnlock()
+
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	if !idx.sDirty && idx.sorted != nil {
+		return idx.sorted
+	}
+	s := make([]int, len(t.Rows))
+	for i := range s {
+		s[i] = i
+	}
+	sort.Slice(s, func(a, b int) bool { return idx.lessPos(t, s[a], s[b]) })
+	idx.sorted = s
+	idx.sDirty = false
+	idx.rebuilds++
+	return s
+}
+
+// rangeOf returns the positions whose first index column lies between
+// lo and hi (each optional), as a subslice of the in-order positions —
+// zero-copy, and still sorted, so a range-pruned scan can also serve
+// ORDER BY. Bounds are conservative: values comparing equal to a bound
+// are included, and exclusivity is left to the retained filter
+// predicates, which keeps the pruning semantics-free (NaN bounds,
+// mixed numeric kinds and friends all fall out of relation.Compare the
+// same way the filters do).
+func (idx *Index) rangeOf(t *Table, lo, hi relation.Value, hasLo, hasHi bool) []int {
+	s := idx.ordered(t)
+	c0 := idx.Cols[0]
+	from, to := 0, len(s)
+	if hasLo {
+		from = sort.Search(len(s), func(i int) bool {
+			return relation.Compare(t.Rows[s[i]][c0], lo) >= 0
+		})
+	}
+	if hasHi {
+		to = sort.Search(len(s), func(i int) bool {
+			return relation.Compare(t.Rows[s[i]][c0], hi) > 0
+		})
+	}
+	if to < from {
+		to = from
+	}
+	return s[from:to]
+}
+
+// findPrefixIndex returns an index whose column list starts with
+// exactly cols (in order), or nil. Unlike findIndex, order matters:
+// in-order iteration only serves ORDER BY for a prefix match.
+func (t *Table) findPrefixIndex(cols []int) *Index {
+	for _, idx := range t.indexes {
+		if len(idx.Cols) < len(cols) {
+			continue
+		}
+		ok := true
+		for i, c := range cols {
+			if idx.Cols[i] != c {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return idx
+		}
+	}
+	return nil
+}
+
+// findRangeIndex returns an index whose first column is col, or nil —
+// the shape a single-column range conjunct can prune through.
+func (t *Table) findRangeIndex(col int) *Index {
+	return t.findPrefixIndex([]int{col})
 }

@@ -149,7 +149,7 @@ func (db *DB) runInsert(p *insertPlan, params []relation.Value) (int64, error) {
 
 	db.backupForTx(t)
 	t.Rows = append(t.Rows, newRows...)
-	t.mutated()
+	t.rowsAppended(len(newRows))
 	return int64(len(newRows)), nil
 }
 
@@ -416,12 +416,27 @@ func (db *DB) runUpdate(p *updatePlan, params []relation.Value) (int64, error) {
 		return 0, nil
 	}
 	db.backupForTx(t)
+	// Incremental index maintenance brackets the assignment: stale
+	// entries are removed while the rows still hold their old values,
+	// new entries inserted after. Both calls are per-index no-ops when
+	// the assigned columns are disjoint from the index's columns, so a
+	// flag update never touches a RID index. changes is ascending in ri
+	// on both the semi-join and the filter path.
+	pos := make([]int, len(changes))
+	for i, ch := range changes {
+		pos[i] = ch.ri
+	}
+	setCols := make([]int, len(p.setters))
+	for i, s := range p.setters {
+		setCols[i] = s.col
+	}
+	t.updateBegin(pos, setCols)
 	for _, ch := range changes {
 		for i, s := range p.setters {
 			t.Rows[ch.ri][s.col] = ch.vals[i]
 		}
 	}
-	t.mutated()
+	t.updateEnd(pos, setCols)
 	return int64(len(changes)), nil
 }
 
@@ -467,8 +482,8 @@ func (db *DB) runDelete(p *deletePlan, params []relation.Value) (int64, error) {
 	en.frames = append(en.frames, frame{rows: make([]relation.Tuple, 1)})
 	fr := &en.frames[0]
 	keep := t.Rows[:0:0]
-	var deleted int64
-	for _, row := range t.Rows {
+	var dropped []int
+	for ri, row := range t.Rows {
 		drop := true
 		if p.where != nil {
 			fr.rows[0] = row
@@ -479,18 +494,21 @@ func (db *DB) runDelete(p *deletePlan, params []relation.Value) (int64, error) {
 			drop = v.Truth()
 		}
 		if drop {
-			deleted++
+			dropped = append(dropped, ri)
 		} else {
 			keep = append(keep, row)
 		}
 	}
-	if deleted == 0 {
+	if len(dropped) == 0 {
 		return 0, nil
 	}
 	db.backupForTx(t)
 	t.Rows = keep
-	t.mutated()
-	return deleted, nil
+	// dropped is ascending by construction; built indexes filter and
+	// remap instead of rebuilding (a one-row DELETE costs one pass of
+	// integer rewrites, no key encoding or re-sort).
+	t.rowsDeleted(dropped)
+	return int64(len(dropped)), nil
 }
 
 func (db *DB) execDelete(del *Delete, params []relation.Value) (int64, error) {

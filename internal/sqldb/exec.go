@@ -74,7 +74,7 @@ func (db *DB) execStmtLocked(stmt Statement, params []relation.Value) (int64, er
 		db.backupForTx(t)
 		n := int64(len(t.Rows))
 		t.Rows = t.Rows[:0]
-		t.mutated()
+		t.truncated()
 		return n, nil
 	case *Insert:
 		return db.execInsert(s, params)
@@ -115,6 +115,14 @@ type compiledSelect struct {
 	orderBy  []compiledOrder
 	limit    compiledExpr
 	offset   compiledExpr
+	// Index-served ORDER BY candidate: when ordSrc >= 0, the ORDER BY
+	// keys are plain columns ordCols of that (single, base-table)
+	// source in one uniform direction. buildSchedule checks for an
+	// index with that column prefix and, if the level takes no equality
+	// probe, iterates it in order so exec skips the sort.
+	ordSrc  int
+	ordCols []int
+	ordDesc bool
 }
 
 // errFound is the sentinel execExists uses to abort the join loop at
@@ -305,6 +313,7 @@ func (c *compiler) compileSubSelect(sel *Select) (*compiledSelect, error) {
 		}
 		cs.orderBy = append(cs.orderBy, co)
 	}
+	inner.planOrderBy(sel, cs)
 	if sel.Limit != nil {
 		if cs.limit, err = inner.compileExpr(sel.Limit); err != nil {
 			return nil, err
@@ -401,6 +410,16 @@ func (cs *compiledSelect) exec(en *env) ([]relation.Tuple, error) {
 	var out []relation.Tuple
 	var sortKeys [][]relation.Value
 
+	// When the planner serves ORDER BY through in-order index iteration
+	// (schedule.orderServed), rows are emitted already sorted: skip key
+	// collection and the final sort entirely. Tie order among rows with
+	// equal sort keys may differ from the stable sort's emission order —
+	// SQL leaves it unspecified either way.
+	orderServed := false
+	if len(cs.orderBy) > 0 && !cs.grouped && cs.planOK && !DisablePlanner {
+		orderServed = en.scheduleFor(cs, srcRows).orderServed
+	}
+
 	emit := func() error {
 		row := make(relation.Tuple, len(cs.outs))
 		for i, oe := range cs.outs {
@@ -410,7 +429,7 @@ func (cs *compiledSelect) exec(en *env) ([]relation.Tuple, error) {
 			}
 			row[i] = v
 		}
-		if len(cs.orderBy) > 0 {
+		if len(cs.orderBy) > 0 && !orderServed {
 			keys := make([]relation.Value, len(cs.orderBy))
 			for i, o := range cs.orderBy {
 				if o.ordinal > 0 {
@@ -479,7 +498,7 @@ func (cs *compiledSelect) exec(en *env) ([]relation.Tuple, error) {
 			}
 			seen[k] = true
 			dedup = append(dedup, row)
-			if len(cs.orderBy) > 0 {
+			if len(sortKeys) > 0 {
 				dedupKeys = append(dedupKeys, sortKeys[i])
 			}
 		}
@@ -487,7 +506,7 @@ func (cs *compiledSelect) exec(en *env) ([]relation.Tuple, error) {
 		sortKeys = dedupKeys
 	}
 
-	if len(cs.orderBy) > 0 {
+	if len(cs.orderBy) > 0 && !orderServed {
 		idx := make([]int, len(out))
 		for i := range idx {
 			idx[i] = i

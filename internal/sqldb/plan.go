@@ -71,13 +71,27 @@ type planPart struct {
 type planConjunct struct {
 	terms []planTerm
 	srcs  srcMask
-	eqs   []equiSide // equality shapes usable as join/probe keys
+	eqs   []equiSide  // equality shapes usable as join/probe keys
+	rngs  []rangeSide // inequality shapes usable as range-scan bounds
 }
 
 // equiSide describes sources[src].col = key, with key reading only the
 // sources in otherSrcs (plus outer scopes, parameters and constants).
 type equiSide struct {
 	src, col  int
+	otherSrcs srcMask
+	key       compiledExpr
+}
+
+// rangeSide describes a single-term inequality bound on a column:
+// sources[src].col >= key (lower true) or <= key (lower false), with
+// key reading only otherSrcs. Bounds are recorded inclusively — range
+// pruning is conservative and the conjunct stays in the filter set, so
+// strict operators (and BETWEEN's two bounds) need no distinction
+// here.
+type rangeSide struct {
+	src, col  int
+	lower     bool
 	otherSrcs srcMask
 	key       compiledExpr
 }
@@ -126,6 +140,7 @@ func (c *compiler) planWhere(where Expr, cs *compiledSelect) {
 		}
 		if len(pc.terms) == 1 {
 			c.extractEqui(termExprs[0], depth, pc)
+			c.extractRange(termExprs[0], depth, pc)
 		}
 		conjs = append(conjs, pc)
 	}
@@ -171,6 +186,93 @@ func (c *compiler) extractEqui(e Expr, depth int, pc *planConjunct) {
 	try(b.R, b.L)
 }
 
+// extractRange records the range-bound shapes of a single-term
+// inequality conjunct (<, <=, >, >= and BETWEEN). The bound key must
+// not read the bounded source itself; outer scopes, parameters and
+// constants are fine. The conjunct is never consumed — range pruning
+// restricts the scan, the retained filter enforces exact semantics.
+func (c *compiler) extractRange(e Expr, depth int, pc *planConjunct) {
+	record := func(colSide, keySide Expr, lower bool) {
+		ref, ok := colSide.(*ColumnRef)
+		if !ok {
+			return
+		}
+		bd, err := c.resolve(ref)
+		if err != nil || bd.depth != depth {
+			return
+		}
+		var keyMask srcMask
+		if err := c.walkBindings(keySide, func(kb binding) {
+			if kb.depth == depth {
+				keyMask |= 1 << uint(kb.src)
+			}
+		}); err != nil {
+			return
+		}
+		if keyMask&(1<<uint(bd.src)) != 0 {
+			return
+		}
+		kex, err := c.compileExpr(keySide)
+		if err != nil {
+			return
+		}
+		pc.rngs = append(pc.rngs, rangeSide{src: bd.src, col: bd.col, lower: lower, otherSrcs: keyMask, key: kex})
+	}
+	switch x := e.(type) {
+	case *Binary:
+		switch x.Op {
+		case "<", "<=":
+			record(x.L, x.R, false) // col <= key: upper bound
+			record(x.R, x.L, true)  // key <= col: lower bound
+		case ">", ">=":
+			record(x.L, x.R, true)
+			record(x.R, x.L, false)
+		}
+	case *Between:
+		if x.Neg {
+			return // NOT BETWEEN is a disjunction of ranges, not a bound
+		}
+		record(x.X, x.Lo, true)
+		record(x.X, x.Hi, false)
+	}
+}
+
+// planOrderBy records the index-served ORDER BY candidate on cs: all
+// sort keys are plain columns of the (single, base-table) source, in
+// one uniform direction. Whether an index actually covers the column
+// prefix is decided per schedule (indexes can appear via CREATE INDEX,
+// which recompiles plans) in buildSchedule. Single-source only: with a
+// join, forcing the ordered source to drive the loop could invert the
+// smallest-first join order, which costs far more than the sort saves.
+func (c *compiler) planOrderBy(sel *Select, cs *compiledSelect) {
+	cs.ordSrc = -1
+	if !cs.planOK || cs.grouped || len(sel.OrderBy) == 0 {
+		return
+	}
+	if len(cs.sources) != 1 || cs.sources[0].table == nil {
+		return
+	}
+	desc := sel.OrderBy[0].Desc
+	var cols []int
+	for _, o := range sel.OrderBy {
+		if o.Desc != desc {
+			return // mixed directions: one index order cannot serve both
+		}
+		ref, ok := o.Expr.(*ColumnRef)
+		if !ok {
+			return
+		}
+		bd, err := c.resolve(ref)
+		if err != nil || bd.depth != cs.depth || bd.src != 0 {
+			return
+		}
+		cols = append(cols, bd.col)
+	}
+	cs.ordSrc = 0
+	cs.ordCols = cols
+	cs.ordDesc = desc
+}
+
 // --- schedule ---
 
 // schedule is the executable join plan for one compiledSelect given
@@ -182,6 +284,10 @@ type schedule struct {
 	pre    []preEval
 	levels []schedLevel
 	state  *planState
+	// orderServed marks that the driving level iterates an ordered
+	// index covering the ORDER BY prefix, so the executor can skip the
+	// final sort entirely.
+	orderServed bool
 }
 
 // preEval processes the parts of a conjunct's alternatives that read
@@ -197,7 +303,26 @@ type preEval struct {
 type schedLevel struct {
 	src   int
 	probe *probePlan
+	// rng, when set (and probe is nil), prunes the level's scan to the
+	// index-order subslice whose first column lies within the bound
+	// keys. ord, when set, makes the level iterate in full index order.
+	// Both yield in-order candidate lists; desc reverses the iteration
+	// for descending ORDER BY.
+	rng   *rangePlan
+	ord   *Index
+	desc  bool
 	evals []schedEval
+}
+
+// rangePlan restricts a scan level to an ordered-index range. Either
+// bound may be nil (half-open). Bounds are evaluated per entry into
+// the level — they may read outer levels or correlated frames — and a
+// NULL bound empties the candidate set, since `col OP NULL` never
+// holds.
+type rangePlan struct {
+	idx    *Index
+	col    int // schema position of idx.Cols[0], for EXPLAIN
+	lo, hi compiledExpr
 }
 
 // schedEval processes one conjunct at one level: the alternatives with
@@ -321,6 +446,26 @@ func buildSchedule(cs *compiledSelect, srcRows [][]relation.Tuple) *schedule {
 			}
 		}
 		lv.probe = probe
+		// Probe-free levels over base tables can still narrow their scan
+		// through an ordered index: a range conjunct whose bounds are
+		// already bound prunes to an index-order subslice, and when the
+		// ORDER BY prefix matches an index the level iterates in index
+		// order so the executor skips the final sort. When both apply
+		// they must agree on the index; order service wins the tie.
+		if probe == nil {
+			if t := cs.sources[s].table; t != nil {
+				var ordIdx *Index
+				if cs.ordSrc == s {
+					ordIdx = t.findPrefixIndex(cs.ordCols)
+				}
+				lv.rng = buildRangePlan(cs, t, s, bound, ordIdx)
+				if ordIdx != nil {
+					lv.ord = ordIdx
+					lv.desc = cs.ordDesc
+					sch.orderServed = true
+				}
+			}
+		}
 		boundAfter := bound | bit
 		for ci, pc := range cs.conjs {
 			if consumed[ci] || pc.srcs == 0 {
@@ -354,6 +499,50 @@ func buildSchedule(cs *compiledSelect, srcRows [][]relation.Tuple) *schedule {
 		deadMarks: make([][]int, n),
 	}
 	return sch
+}
+
+// buildRangePlan collects the usable range bounds for source s given
+// the already-bound source set. Only one column can prune (the first
+// with a covering index, or the ORDER BY index's leading column when
+// the level must also serve ordering); further bounds on it tighten
+// nothing here but remain as filters, like every range conjunct does —
+// pruning is a pure access-path restriction, never a semantic one.
+func buildRangePlan(cs *compiledSelect, t *Table, s int, bound srcMask, only *Index) *rangePlan {
+	var rp *rangePlan
+	for _, pc := range cs.conjs {
+		for _, rs := range pc.rngs {
+			if rs.src != s || rs.otherSrcs&^bound != 0 {
+				continue
+			}
+			if rp == nil {
+				var idx *Index
+				if only != nil {
+					if only.Cols[0] == rs.col {
+						idx = only
+					}
+				} else {
+					idx = t.findRangeIndex(rs.col)
+				}
+				if idx == nil {
+					continue
+				}
+				rp = &rangePlan{idx: idx, col: rs.col}
+			} else if rs.col != rp.col {
+				continue
+			}
+			if rs.lower {
+				if rp.lo == nil {
+					rp.lo = rs.key
+				}
+			} else if rp.hi == nil {
+				rp.hi = rs.key
+			}
+		}
+	}
+	if rp != nil && rp.lo == nil && rp.hi == nil {
+		return nil
+	}
+	return rp
 }
 
 // scheduleFor returns the (per-statement) cached schedule for cs.
@@ -449,9 +638,13 @@ func (cs *compiledSelect) planLevel(en *env, sch *schedule, srcRows [][]relation
 		n = len(bucket)
 	}
 	for i := 0; i < n; i++ {
-		ri := i
+		j := i
+		if lv.desc {
+			j = n - 1 - i
+		}
+		ri := j
 		if !scanAll {
-			ri = bucket[i]
+			ri = bucket[j]
 		}
 		fr.rows[lv.src] = rows[ri]
 		st.idx[lv.src] = ri
@@ -520,11 +713,18 @@ func (cs *compiledSelect) planLevel(en *env, sch *schedule, srcRows [][]relation
 }
 
 // probeRows returns the candidate row indices at a level. scanAll is
-// true when the level has no probe (full scan). A NULL or NaN key can
-// never satisfy an equality, so it yields an empty candidate set.
+// true when the level has no probe and no index-backed restriction
+// (full scan). A NULL or NaN key can never satisfy an equality, so it
+// yields an empty candidate set; likewise a NULL range bound.
 func (cs *compiledSelect) probeRows(en *env, lv *schedLevel, rows []relation.Tuple) (bucket []int, scanAll bool, err error) {
 	p := lv.probe
 	if p == nil {
+		if lv.rng != nil {
+			return cs.rangeRows(en, lv)
+		}
+		if lv.ord != nil {
+			return lv.ord.ordered(cs.sources[lv.src].table), false, nil
+		}
 		return nil, true, nil
 	}
 	for i, kex := range p.keys {
@@ -557,6 +757,39 @@ func (cs *compiledSelect) probeRows(en *env, lv *schedLevel, rows []relation.Tup
 	}
 	p.keyBuf = key
 	return p.hash[string(key)], false, nil
+}
+
+// rangeRows evaluates a level's range bounds and returns the ordered-
+// index subslice they select. The bounds may read outer frames, so
+// they re-evaluate every time the level is entered (two binary
+// searches; the slice itself is shared with the index, zero-copy). A
+// NULL bound empties the result — `col OP NULL` never holds, and the
+// retained filter agrees.
+func (cs *compiledSelect) rangeRows(en *env, lv *schedLevel) ([]int, bool, error) {
+	rp := lv.rng
+	var lo, hi relation.Value
+	hasLo, hasHi := false, false
+	if rp.lo != nil {
+		v, err := rp.lo(en)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.IsNull() {
+			return nil, false, nil
+		}
+		lo, hasLo = v, true
+	}
+	if rp.hi != nil {
+		v, err := rp.hi(en)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.IsNull() {
+			return nil, false, nil
+		}
+		hi, hasHi = v, true
+	}
+	return rp.idx.rangeOf(cs.sources[lv.src].table, lo, hi, hasLo, hasHi), false, nil
 }
 
 // buildJoinHash indexes rows by the join-key columns. Rows with a NULL
@@ -642,6 +875,14 @@ func (cs *compiledSelect) describePlan() []string {
 			line = fmt.Sprintf("index probe %s via %s%s", label, lv.probe.idx.Name, size)
 		case lv.probe != nil:
 			line = fmt.Sprintf("hash join %s on %d key col(s)%s", label, len(lv.probe.keys), size)
+		case lv.rng != nil && lv.ord != nil:
+			line = fmt.Sprintf("ordered range scan %s via %s on %s%s",
+				label, lv.rng.idx.Name, cs.sources[lv.src].table.Schema.Attrs[lv.rng.col].Name, size)
+		case lv.rng != nil:
+			line = fmt.Sprintf("range scan %s via %s on %s%s",
+				label, lv.rng.idx.Name, cs.sources[lv.src].table.Schema.Attrs[lv.rng.col].Name, size)
+		case lv.ord != nil:
+			line = fmt.Sprintf("ordered scan %s via %s%s", label, lv.ord.Name, size)
 		default:
 			line = fmt.Sprintf("scan %s%s", label, size)
 		}
@@ -665,7 +906,11 @@ func (cs *compiledSelect) describePlan() []string {
 		out = append(out, "distinct")
 	}
 	if len(cs.orderBy) > 0 {
-		out = append(out, "sort")
+		if sch.orderServed {
+			out = append(out, "order by: served by index (no sort)")
+		} else {
+			out = append(out, "sort")
+		}
 	}
 	return out
 }

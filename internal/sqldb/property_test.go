@@ -233,10 +233,13 @@ func TestQuickRoundTripInsertSelect(t *testing.T) {
 // TestPropertyPlannerNestedLoopEquivalence is the plan-equivalence
 // oracle: every generated SELECT runs through both the hash-join /
 // pushdown planner and the forced all-pairs nested loop, and the two
-// must produce identical multisets. 120 queries cover joins (equi and
-// cross), OR conjuncts spanning sources, AND-within-OR alternatives,
+// must produce identical multisets — identical sequences when an
+// ORDER BY pins the order. 160 queries cover joins (equi and cross),
+// OR conjuncts spanning sources, AND-within-OR alternatives,
 // correlated EXISTS / NOT EXISTS, IN-subqueries, NULL columns,
-// DISTINCT and grouped aggregates.
+// DISTINCT, grouped aggregates, range predicates (<, <=, >, >=,
+// BETWEEN — range-pruned through the index on w.k) and ORDER BY
+// clauses (index-served on single-table w queries).
 func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(97))
 	db := NewDB()
@@ -278,7 +281,7 @@ func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 	}
 
 	checked := 0
-	for trial := 0; trial < 120; trial++ {
+	for trial := 0; trial < 160; trial++ {
 		n := 1 + rng.Intn(3)
 		idx := rng.Perm(len(pool))[:n]
 		aliases := make([]string, n)
@@ -293,13 +296,18 @@ func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 		}
 		leaf := func() string {
 			i := rng.Intn(n)
-			switch rng.Intn(4) {
+			switch rng.Intn(5) {
 			case 0:
 				return fmt.Sprintf("%s = %d", intCol(i), rng.Intn(8))
 			case 1:
+				// Range predicates: on w.k these go through the ordered
+				// index as range-pruned scans.
 				ops := []string{"<", "<=", ">", ">=", "<>"}
 				return fmt.Sprintf("%s %s %d", intCol(i), ops[rng.Intn(len(ops))], rng.Intn(8))
 			case 2:
+				lo := rng.Intn(8)
+				return fmt.Sprintf("%s BETWEEN %d AND %d", intCol(i), lo, lo+rng.Intn(5))
+			case 3:
 				return fmt.Sprintf("%s IS NOT NULL", intCol(i))
 			default:
 				if n > 1 {
@@ -336,7 +344,8 @@ func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 			where = " WHERE " + strings.Join(conjs, " AND ")
 		}
 		var q string
-		switch rng.Intn(4) {
+		ordered := false
+		switch rng.Intn(5) {
 		case 0:
 			q = fmt.Sprintf("SELECT COUNT(*) FROM %s%s", strings.Join(from, ", "), where)
 		case 1:
@@ -346,6 +355,31 @@ func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 		case 2:
 			q = fmt.Sprintf("SELECT DISTINCT %s FROM %s%s",
 				intCol(rng.Intn(n)), strings.Join(from, ", "), where)
+		case 3:
+			// ORDER BY over every output column in one uniform direction:
+			// the result sequence is then fully determined (rows agreeing
+			// on all sort keys are identical), so the planned path — which
+			// may serve the order from an index with a different tie order
+			// — must be byte-identical to the forced nested loop, not just
+			// multiset-equal. Single-table w queries with ORDER BY w.k hit
+			// the index-served (sort-free) path.
+			ordered = true
+			var outs []string
+			for i := 0; i < n; i++ {
+				for _, c := range pool[idx[i]].intCols {
+					outs = append(outs, aliases[i]+"."+c)
+				}
+			}
+			dir := ""
+			if rng.Intn(2) == 0 {
+				dir = " DESC"
+			}
+			orderKeys := make([]string, len(outs))
+			for i, o := range outs {
+				orderKeys[i] = o + dir
+			}
+			q = fmt.Sprintf("SELECT %s FROM %s%s ORDER BY %s",
+				strings.Join(outs, ", "), strings.Join(from, ", "), where, strings.Join(orderKeys, ", "))
 		default:
 			var outs []string
 			for i := 0; i < n; i++ {
@@ -354,15 +388,41 @@ func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 			q = fmt.Sprintf("SELECT %s FROM %s%s", strings.Join(outs, ", "), strings.Join(from, ", "), where)
 		}
 
-		planned, nested := runBothPaths(t, db, q)
-		if planned != nested {
-			t.Fatalf("trial %d: planner diverges on %q:\nplanned %q\nnested  %q", trial, q, planned, nested)
+		if ordered {
+			planned, nested := runBothPathsExact(t, db, q)
+			if planned != nested {
+				t.Fatalf("trial %d: ORDER BY sequence diverges on %q:\nplanned %q\nnested  %q", trial, q, planned, nested)
+			}
+		} else {
+			planned, nested := runBothPaths(t, db, q)
+			if planned != nested {
+				t.Fatalf("trial %d: planner diverges on %q:\nplanned %q\nnested  %q", trial, q, planned, nested)
+			}
 		}
 		checked++
 	}
 	if checked < 100 {
 		t.Fatalf("only %d queries checked, want >= 100", checked)
 	}
+}
+
+// runBothPathsExact is runBothPaths without the multiset
+// canonicalization: the two row sequences are compared as emitted.
+// Only valid for queries whose ORDER BY pins the full sequence.
+func runBothPathsExact(t *testing.T, db *DB, q string) (planned, nested string) {
+	t.Helper()
+	DisablePlanner = false
+	p, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("planned %q: %v", q, err)
+	}
+	DisablePlanner = true
+	n, err := db.Query(q)
+	DisablePlanner = false
+	if err != nil {
+		t.Fatalf("nested %q: %v", q, err)
+	}
+	return flat(p), flat(n)
 }
 
 // ORDER BY with mixed directions and an expression key.
