@@ -15,20 +15,13 @@ type BatchStats struct {
 // flags, flag single-tuple violations with the Qsv update, materialize
 // the embedded-FD violation patterns into Aux(D) with Qmv, and flag the
 // matching tuples. The statement count is fixed — two passes over D —
-// regardless of |Σ|, pattern-tuple counts or set sizes.
+// regardless of |Σ|, pattern-tuple counts or set sizes. The whole
+// sequence is submitted as one pipelined script (a single prepared
+// driver round trip); the engine executes the statements in order.
 func (d *Detector) BatchDetect() (BatchStats, error) {
 	start := time.Now()
-	steps := []string{
-		d.stmts.resetFlags,
-		d.stmts.qsvUpdate,
-		"TRUNCATE TABLE " + d.auxTable,
-		d.stmts.qmvInsert,
-		d.stmts.mvUpdate,
-	}
-	for _, q := range steps {
-		if _, err := d.db.Exec(q); err != nil {
-			return BatchStats{}, fmt.Errorf("detect: batch: %w", err)
-		}
+	if _, err := d.db.Exec(d.stmts.batchScript); err != nil {
+		return BatchStats{}, fmt.Errorf("detect: batch: %w", err)
 	}
 	sv, mv, total, err := d.Counts()
 	if err != nil {

@@ -90,6 +90,13 @@ type statements struct {
 	qsvRIDsSlice    string
 	qmvGroupsCIDRng string
 	mvRIDsSlice     string
+	// pipelined scripts: the fixed statement sequences of BatchDetect
+	// and ApplyUpdates joined into one semicolon-separated text, so the
+	// whole sequence goes through database/sql as a single prepared
+	// round trip (one driver call, one plan-cache entry) instead of one
+	// per statement. Parameter indexes run through the script in order.
+	batchScript string
+	incScript   string
 }
 
 // New validates Σ against the schema and prepares a detector. The

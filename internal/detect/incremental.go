@@ -104,31 +104,11 @@ func (d *Detector) ApplyUpdates(insBatch *relation.Relation, delRids []int64) ([
 		return nil, IncStats{}, err
 	}
 
-	type step struct {
-		q      string
-		params []any
-	}
-	steps := []step{
-		{q: d.stmts.svOnIns},
-		{q: "TRUNCATE TABLE " + d.keysTable},
-		{q: d.stmts.keysFromDel}, // before the doomed rows disappear
-		{q: d.stmts.keysFromIns},
-		{q: "TRUNCATE TABLE " + d.auxOldTable},
-		{q: d.stmts.auxSaveOld},
-		{q: d.stmts.auxDeleteAff},
-		{q: d.stmts.deleteRows},
-		{q: d.stmts.mergeIns},
-		{q: d.stmts.auxRecompute},
-		{q: "TRUNCATE TABLE " + d.auxNewTable},
-		{q: d.stmts.auxNewComp},
-		{q: d.stmts.mvSetNew, params: []any{firstRID}},
-		{q: d.stmts.mvSetOld, params: []any{firstRID}},
-		{q: d.stmts.mvClear},
-	}
-	for _, s := range steps {
-		if _, err := d.db.Exec(s.q, s.params...); err != nil {
-			return nil, IncStats{}, fmt.Errorf("detect: combined update: %w", err)
-		}
+	// The §V-B maintenance sequence runs as one pipelined script (see
+	// statements.incScript): a single prepared round trip, with the two
+	// RID-threshold parameters bound positionally (mvSetNew, mvSetOld).
+	if _, err := d.db.Exec(d.stmts.incScript, firstRID, firstRID); err != nil {
+		return nil, IncStats{}, fmt.Errorf("detect: combined update: %w", err)
 	}
 	return rids, IncStats{Applied: applied, Elapsed: time.Since(start)}, nil
 }

@@ -280,6 +280,11 @@ func TestParallelSliceQueriesRangePruned(t *testing.T) {
 		if !strings.Contains(plan, "range scan t via idx_"+d.dataTable+"_rid") {
 			t.Fatalf("%s is not range-pruned over the RID index:\n%s", name, plan)
 		}
+		// The slice bounds must also run as batch kernels: the data scan
+		// source reports batch mode, with both RID bounds vectorized.
+		if !strings.Contains(plan, "[batch: 2 kernel filter(s)]") {
+			t.Fatalf("%s data scan is not in batch mode:\n%s", name, plan)
+		}
 	}
 
 	vioQ := fmt.Sprintf("SELECT %s FROM %s WHERE %s = 1 OR %s = 1 ORDER BY %s",

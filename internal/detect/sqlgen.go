@@ -33,6 +33,37 @@ func (d *Detector) generateSQL() {
 		qmvGroupsCIDRng: d.genQmvGroupsCIDRange(),
 		mvRIDsSlice:     d.genMVRIDsSlice(),
 	}
+	// The batch-detection pipeline: the five fixed statements of
+	// BatchDetect as one script, submitted in a single driver round
+	// trip. The statement set stays fixed and Σ-independent; only the
+	// packaging changes.
+	d.stmts.batchScript = strings.Join([]string{
+		d.stmts.resetFlags,
+		d.stmts.qsvUpdate,
+		"TRUNCATE TABLE " + d.auxTable,
+		d.stmts.qmvInsert,
+		d.stmts.mvUpdate,
+	}, ";\n")
+	// The incremental-maintenance pipeline (§V-B steps): parameter
+	// placeholders index through the script in order, so the two
+	// RID-threshold parameters (mvSetNew, mvSetOld) bind as ?1 and ?2.
+	d.stmts.incScript = strings.Join([]string{
+		d.stmts.svOnIns,
+		"TRUNCATE TABLE " + d.keysTable,
+		d.stmts.keysFromDel, // before the doomed rows disappear
+		d.stmts.keysFromIns,
+		"TRUNCATE TABLE " + d.auxOldTable,
+		d.stmts.auxSaveOld,
+		d.stmts.auxDeleteAff,
+		d.stmts.deleteRows,
+		d.stmts.mergeIns,
+		d.stmts.auxRecompute,
+		"TRUNCATE TABLE " + d.auxNewTable,
+		d.stmts.auxNewComp,
+		d.stmts.mvSetNew,
+		d.stmts.mvSetOld,
+		d.stmts.mvClear,
+	}, ";\n")
 }
 
 // SQL returns the generated batch-detection queries (Qsv select form,

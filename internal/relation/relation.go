@@ -17,17 +17,19 @@ func (t Tuple) Clone() Tuple {
 	return out
 }
 
-// Equal reports field-wise equality (NULLs compare equal here — this is
-// tuple identity, not SQL expression equality).
+// Equal reports field-wise identity: NULLs compare equal and NaN is
+// equal to itself. This is tuple *identity*, not SQL expression
+// equality — it must agree with Compare's total order (which already
+// treats NaN as self-equal) so that dedup, index-maintenance
+// cross-checks and other identity contexts never disagree with index
+// order. SQL expression semantics (NULL ≠ NULL, NaN ≠ NaN) live in
+// Equal over Values.
 func (t Tuple) Equal(u Tuple) bool {
 	if len(t) != len(u) {
 		return false
 	}
 	for i := range t {
-		if t[i].K == KindNull && u[i].K == KindNull {
-			continue
-		}
-		if !Equal(t[i], u[i]) {
+		if !Identical(t[i], u[i]) {
 			return false
 		}
 	}

@@ -2,6 +2,7 @@ package relation
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
@@ -178,6 +179,39 @@ func TestReadCSVColumnReorderAndErrors(t *testing.T) {
 	}
 	if _, err := ReadCSV(strings.NewReader(""), s); err == nil {
 		t.Error("empty input must fail on header")
+	}
+}
+
+// TestTupleEqualNaNIdentity is the regression test for the NaN
+// identity asymmetry: Compare totally orders NaN equal to itself, so
+// tuple *identity* (dedup, index-maintenance cross-checks) must too —
+// before Identical, Tuple.Equal said NaN ≠ NaN and identity contexts
+// could disagree with index order. SQL expression equality (Equal)
+// must keep rejecting NaN = NaN.
+func TestTupleEqualNaNIdentity(t *testing.T) {
+	nan := Float(math.NaN())
+	a := Tuple{Int(1), nan}
+	b := Tuple{Int(1), Float(math.NaN())}
+	if !a.Equal(b) {
+		t.Fatal("tuples differing only in NaN payload must be identical")
+	}
+	if !Identical(nan, Float(math.NaN())) {
+		t.Fatal("Identical(NaN, NaN) must hold")
+	}
+	if Identical(nan, Float(1)) || Identical(nan, Null()) {
+		t.Fatal("NaN is identical only to NaN")
+	}
+	if Equal(nan, nan) {
+		t.Fatal("SQL expression equality must still reject NaN = NaN")
+	}
+	// Identity must agree with Compare's total order pairwise.
+	vals := []Value{Null(), Bool(true), Int(1), Float(1), Float(math.NaN()), Text("x")}
+	for _, x := range vals {
+		for _, y := range vals {
+			if Identical(x, y) != (Compare(x, y) == 0) {
+				t.Fatalf("Identical(%s, %s) disagrees with Compare", x, y)
+			}
+		}
 	}
 }
 

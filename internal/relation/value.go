@@ -9,6 +9,7 @@ package relation
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -125,16 +126,56 @@ func (v Value) numeric() bool {
 	return v.K == KindInt || v.K == KindFloat || v.K == KindBool
 }
 
-// Equal reports value equality with numeric widening: 1 = 1.0.
-// Comparisons involving NULL are never equal (callers wanting SQL
-// semantics should special-case NULL before calling).
+// cmpIntFloat compares an int64 with a float64 exactly: -1, 0 or +1
+// as i is below, equal to or above f. Widening the int to float64
+// would merge values beyond 2^53 and make mixed-kind comparison
+// intransitive, which neither the total order (index sorting, binary
+// searches) nor the hash keys can tolerate. NaN sorts above every
+// number, matching Compare's rule.
+func cmpIntFloat(i int64, f float64) int {
+	if f != f {
+		return -1 // i < NaN
+	}
+	if f >= 9223372036854775808.0 { // 2^63: f exceeds every int64
+		return -1
+	}
+	if f < -9223372036854775808.0 { // below -2^63: f is under every int64
+		return 1
+	}
+	t := math.Trunc(f)
+	ti := int64(t) // exact: t is integral and within int64 range
+	switch {
+	case i < ti:
+		return -1
+	case i > ti:
+		return 1
+	case f > t: // equal integer parts, f has a positive fraction
+		return -1
+	case f < t: // negative fraction
+		return 1
+	}
+	return 0
+}
+
+// Equal reports value equality with numeric comparison across kinds:
+// 1 = 1.0, exactly — mixed int/float pairs compare via cmpIntFloat,
+// never by float widening, so Equal is a true equivalence relation
+// and agrees with Key()'s canonicalization and Compare's total order
+// at every magnitude. Comparisons involving NULL are never equal
+// (callers wanting SQL semantics should special-case NULL before
+// calling), and NaN equals nothing.
 func Equal(a, b Value) bool {
 	if a.K == KindNull || b.K == KindNull {
 		return false
 	}
 	if a.numeric() && b.numeric() {
-		if a.K == KindFloat || b.K == KindFloat {
-			return a.AsFloat() == b.AsFloat()
+		switch {
+		case a.K == KindFloat && b.K == KindFloat:
+			return a.F == b.F
+		case a.K == KindFloat:
+			return cmpIntFloat(b.I, a.F) == 0
+		case b.K == KindFloat:
+			return cmpIntFloat(a.I, b.F) == 0
 		}
 		return a.I == b.I
 	}
@@ -147,12 +188,36 @@ func Equal(a, b Value) bool {
 	return a.I == b.I
 }
 
+// Identical reports value *identity*: like Equal, but NULL is
+// identical to NULL and NaN to NaN (any NaN payload), mirroring
+// Compare's total order exactly — Identical(a, b) ⇔ Compare(a, b) == 0.
+// Identity contexts (tuple dedup, index-maintenance cross-checks)
+// use this so they can never disagree with index order; SQL
+// expression equality stays on Equal.
+func Identical(a, b Value) bool {
+	if a.K == KindNull || b.K == KindNull {
+		return a.K == b.K
+	}
+	if a.numeric() && b.numeric() {
+		af, bf := a.AsFloat(), b.AsFloat()
+		if af != af || bf != bf { // NaN on either side
+			return af != af && bf != bf
+		}
+	}
+	return Equal(a, b)
+}
+
 // Compare orders two values: -1, 0 or +1. NULL sorts first, then
-// booleans, numbers, and text; mixed numeric kinds compare
-// numerically, and NaN sorts after every other number (equal only to
-// itself), so Compare is a total order — the ordered indexes and
-// their binary-searched range scans depend on that. Used by ORDER BY,
-// GROUP BY key sorting, index order and index probes.
+// numbers (booleans included), then text. Numeric comparison is
+// *exact* in every kind combination — int64 pairs on int64, mixed
+// int/float pairs via cmpIntFloat, never by widening the int to
+// float64 (which merges values beyond 2^53 and is intransitive) —
+// and NaN sorts after every other number, equal only to itself. So
+// Compare is a transitive total order with Compare(a, b) == 0 ⇔
+// Identical(a, b) — the ordered indexes, their binary-searched range
+// scans and the equality-by-search prefix probes depend on both.
+// Used by ORDER BY, GROUP BY key sorting, index order and index
+// probes.
 func Compare(a, b Value) int {
 	ra, rb := rank(a), rank(b)
 	if ra != rb {
@@ -162,7 +227,27 @@ func Compare(a, b Value) int {
 	case a.K == KindNull:
 		return 0
 	case a.numeric() && b.numeric():
-		af, bf := a.AsFloat(), b.AsFloat()
+		// Numeric comparison is exact in every combination — integer
+		// pairs on int64, mixed pairs via cmpIntFloat — so the order is
+		// the mathematical order (transitive, total) and Compare == 0
+		// coincides with Equal wherever NaN is not involved. The probes
+		// that answer equality through Compare == 0 (eqPrefixRange) and
+		// the index binary searches depend on both properties.
+		switch {
+		case a.K != KindFloat && b.K != KindFloat:
+			switch {
+			case a.I < b.I:
+				return -1
+			case a.I > b.I:
+				return 1
+			}
+			return 0
+		case a.K != KindFloat:
+			return cmpIntFloat(a.I, b.F)
+		case b.K != KindFloat:
+			return -cmpIntFloat(b.I, a.F)
+		}
+		af, bf := a.F, b.F
 		aNaN, bNaN := af != af, bf != bf
 		switch {
 		case aNaN && bNaN:

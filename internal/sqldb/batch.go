@@ -1,0 +1,614 @@
+package sqldb
+
+import (
+	"ecfd/internal/relation"
+)
+
+// Batched (vector-at-a-time) execution.
+//
+// The planner's join levels normally evaluate every scheduled
+// predicate as a compiled closure, once per candidate row. For the
+// detection workload that per-row dispatch is pure overhead on the
+// *simple* predicates — column-vs-constant/parameter compares
+// (`t.RID >= ?`, `t.MV = 0`), IN-set probes, flag tests — whose
+// right-hand sides never change while a level iterates. This file
+// adds the second compilation target: such predicates lower to batch
+// kernels that run over the table's cached column vectors
+// (Table.column) and tighten a selection vector chunk-by-chunk, with
+// no closure call per row. Anything else — OR groups, subquery
+// probes, cross-column arithmetic — stays on the compiledExpr path,
+// so semantics never change; the kernels are an exact, not a
+// conservative, evaluation of the conjuncts they consume (verified by
+// the three-way differential oracle).
+//
+// A kernel evaluates its invariant inputs once per level *entry*
+// (bind), then filters fixed-size batches of candidate row positions
+// (filter). NULL semantics collapse the same way the closure path
+// does at filter level: a NULL comparison result keeps the row out.
+
+// batchChunk is the selection-vector batch size: small enough that a
+// chunk of positions stays cache-resident, large enough to amortize
+// the per-chunk bookkeeping.
+const batchChunk = 1024
+
+// DisableBatchKernels forces every predicate back onto the per-row
+// closure path. It exists for the differential property tests and the
+// ablation benchmark; production code must leave it false. Consulted
+// when schedules are built (per execution), not at compile time.
+var DisableBatchKernels = false
+
+// kernOp enumerates the kernel predicate shapes.
+type kernOp uint8
+
+const (
+	kernEQ kernOp = iota
+	kernNE
+	kernLT
+	kernLE
+	kernGT
+	kernGE
+	kernIsNull  // neg: IS NOT NULL
+	kernIn      // neg: NOT IN; items are literals/params only
+	kernBetween // neg: NOT BETWEEN
+)
+
+// kernelPred is one compiled batch kernel: a simple predicate over one
+// column of the level's source. rhs / lo / hi / items read anything
+// *except* that source (outer levels, outer scopes, parameters,
+// constants), so they are loop-invariant for the level and bind once
+// per entry.
+type kernelPred struct {
+	col    int
+	op     kernOp
+	neg    bool
+	rhs    compiledExpr   // compare ops
+	lo, hi compiledExpr   // kernBetween
+	items  []compiledExpr // kernIn
+}
+
+// kernelCand records that a plan part can run as a kernel when source
+// src is the part's scheduled level.
+type kernelCand struct {
+	src int
+	k   *kernelPred
+}
+
+// kernBind is the per-level-entry bound state of one kernel.
+type kernBind struct {
+	// empty short-circuits the whole level: a NULL bound means the
+	// predicate holds for no row (col OP NULL is never true), exactly
+	// like the closure returning NULL for every row.
+	empty   bool
+	w       relation.Value
+	wInt    bool // w is integer-like: the compare loop takes the int path
+	lo, hi  relation.Value
+	set     map[string]bool  // kernIn, >= inListHashThreshold items
+	vals    []relation.Value // kernIn, shorter lists: Equal-scan values
+	keyBuf  []byte           // kernIn set lookups: reused key scratch
+	hasNull bool
+	// setBuilt: the IN item state is built once per execution, not per
+	// level entry — the items are literals/params, fixed for the
+	// statement (the bind state lives on the per-env planState).
+	setBuilt bool
+}
+
+// bind evaluates the kernel's invariant inputs for one level entry.
+func (k *kernelPred) bind(en *env, b *kernBind) error {
+	b.empty = false
+	switch k.op {
+	case kernIsNull:
+		return nil
+	case kernBetween:
+		lo, err := k.lo(en)
+		if err != nil {
+			return err
+		}
+		hi, err := k.hi(en)
+		if err != nil {
+			return err
+		}
+		if lo.IsNull() || hi.IsNull() {
+			b.empty = true
+			return nil
+		}
+		b.lo, b.hi = lo, hi
+		return nil
+	case kernIn:
+		if b.setBuilt {
+			return nil
+		}
+		// Mirror the closure path's per-size strategy exactly: short
+		// lists are Equal-scanned, long lists use the Key()-hashed set.
+		// The strategies agree (Equal and Key() are both exact across
+		// numeric kinds), but mirroring keeps batch and row execution
+		// equivalent by construction.
+		if len(k.items) >= inListHashThreshold {
+			b.set = make(map[string]bool, len(k.items))
+			var err error
+			if b.hasNull, err = buildInSet(en, k.items, b.set); err != nil {
+				return err
+			}
+		} else {
+			b.vals = b.vals[:0]
+			for _, it := range k.items {
+				w, err := it(en)
+				if err != nil {
+					return err
+				}
+				if w.IsNull() {
+					b.hasNull = true
+					continue
+				}
+				b.vals = append(b.vals, w)
+			}
+		}
+		b.setBuilt = true
+		return nil
+	default:
+		w, err := k.rhs(en)
+		if err != nil {
+			return err
+		}
+		if w.IsNull() {
+			b.empty = true
+			return nil
+		}
+		b.w = w
+		b.wInt = w.K == relation.KindInt || w.K == relation.KindBool
+		return nil
+	}
+}
+
+// filter tightens the selection vector in place: sel holds candidate
+// row positions, colv the level source's cached column vector, and the
+// surviving positions are returned as a prefix of sel's storage. The
+// relative order of positions is preserved, so kernel filtering
+// composes with range-pruned and order-served scans.
+func (k *kernelPred) filter(colv []relation.Value, b *kernBind, sel []int) []int {
+	out := sel[:0]
+	switch k.op {
+	case kernIsNull:
+		for _, ri := range sel {
+			if (colv[ri].K == relation.KindNull) != k.neg {
+				out = append(out, ri)
+			}
+		}
+	case kernIn:
+		for _, ri := range sel {
+			v := colv[ri]
+			if v.K == relation.KindNull {
+				continue // NULL IN (...) is NULL: row out either way
+			}
+			match := false
+			if b.set != nil {
+				b.keyBuf = relation.AppendKey(b.keyBuf[:0], v)
+				match = b.set[string(b.keyBuf)]
+			} else {
+				for _, w := range b.vals {
+					if relation.Equal(v, w) {
+						match = true
+						break
+					}
+				}
+			}
+			switch {
+			case match:
+				if !k.neg {
+					out = append(out, ri)
+				}
+			case b.hasNull:
+				// no match but a NULL item: NULL, row out either way
+			default:
+				if k.neg {
+					out = append(out, ri)
+				}
+			}
+		}
+	case kernBetween:
+		for _, ri := range sel {
+			v := colv[ri]
+			if v.K == relation.KindNull {
+				continue
+			}
+			in := relation.Compare(v, b.lo) >= 0 && relation.Compare(v, b.hi) <= 0
+			if in != k.neg {
+				out = append(out, ri)
+			}
+		}
+	case kernEQ, kernNE:
+		want := k.op == kernEQ
+		for _, ri := range sel {
+			v := colv[ri]
+			if v.K == relation.KindNull {
+				continue
+			}
+			var eq bool
+			if b.wInt && (v.K == relation.KindInt || v.K == relation.KindBool) {
+				eq = v.I == b.w.I
+			} else {
+				eq = relation.Equal(v, b.w)
+			}
+			if eq == want {
+				out = append(out, ri)
+			}
+		}
+	default: // kernLT, kernLE, kernGT, kernGE
+		for _, ri := range sel {
+			v := colv[ri]
+			if v.K == relation.KindNull {
+				continue
+			}
+			var res bool
+			if b.wInt && (v.K == relation.KindInt || v.K == relation.KindBool) {
+				switch k.op {
+				case kernLT:
+					res = v.I < b.w.I
+				case kernLE:
+					res = v.I <= b.w.I
+				case kernGT:
+					res = v.I > b.w.I
+				case kernGE:
+					res = v.I >= b.w.I
+				}
+			} else {
+				c := relation.Compare(v, b.w)
+				switch k.op {
+				case kernLT:
+					res = c < 0
+				case kernLE:
+					res = c <= 0
+				case kernGT:
+					res = c > 0
+				case kernGE:
+					res = c >= 0
+				}
+			}
+			if res {
+				out = append(out, ri)
+			}
+		}
+	}
+	return out
+}
+
+// extractKernels compiles the batch-kernel candidates of one plan-part
+// expression, one per source orientation that works: the part must be
+// a simple predicate whose tested column belongs to that source (at
+// the current depth) and whose remaining inputs never read it. Returns
+// nil when the shape does not qualify — the part then stays on the
+// closure path, which is always available.
+func (c *compiler) extractKernels(e Expr, depth int) []kernelCand {
+	var out []kernelCand
+	// colOf resolves a ColumnRef at the current depth; invariant checks
+	// that an input expression never reads the given source.
+	colOf := func(side Expr) (src, col int, ok bool) {
+		ref, isRef := side.(*ColumnRef)
+		if !isRef {
+			return 0, 0, false
+		}
+		b, err := c.resolve(ref)
+		if err != nil || b.depth != depth {
+			return 0, 0, false
+		}
+		return b.src, b.col, true
+	}
+	invariant := func(src int, exprs ...Expr) bool {
+		for _, x := range exprs {
+			ok := true
+			if err := c.walkBindings(x, func(b binding) {
+				if b.depth == depth && b.src == src {
+					ok = false
+				}
+			}); err != nil || !ok {
+				return false
+			}
+		}
+		return true
+	}
+	compileAll := func(exprs ...Expr) ([]compiledExpr, bool) {
+		ces := make([]compiledExpr, len(exprs))
+		for i, x := range exprs {
+			var err error
+			if ces[i], err = c.compileExpr(x); err != nil {
+				return nil, false
+			}
+		}
+		return ces, true
+	}
+
+	switch x := e.(type) {
+	case *Binary:
+		var op kernOp
+		switch x.Op {
+		case "=":
+			op = kernEQ
+		case "<>":
+			op = kernNE
+		case "<":
+			op = kernLT
+		case "<=":
+			op = kernLE
+		case ">":
+			op = kernGT
+		case ">=":
+			op = kernGE
+		default:
+			return nil
+		}
+		flip := func(op kernOp) kernOp {
+			switch op {
+			case kernLT:
+				return kernGT
+			case kernLE:
+				return kernGE
+			case kernGT:
+				return kernLT
+			case kernGE:
+				return kernLE
+			}
+			return op
+		}
+		try := func(colSide, keySide Expr, o kernOp) {
+			src, col, ok := colOf(colSide)
+			if !ok || !invariant(src, keySide) {
+				return
+			}
+			ce, ok := compileAll(keySide)
+			if !ok {
+				return
+			}
+			out = append(out, kernelCand{src: src, k: &kernelPred{col: col, op: o, rhs: ce[0]}})
+		}
+		try(x.L, x.R, op)
+		try(x.R, x.L, flip(op))
+		return out
+
+	case *IsNull:
+		src, col, ok := colOf(x.X)
+		if !ok {
+			return nil
+		}
+		return []kernelCand{{src: src, k: &kernelPred{col: col, op: kernIsNull, neg: x.Neg}}}
+
+	case *InList:
+		src, col, ok := colOf(x.X)
+		if !ok {
+			return nil
+		}
+		for _, it := range x.List {
+			switch it.(type) {
+			case *Literal, *Param:
+			default:
+				return nil // mirror the closure's "simple list" shape only
+			}
+		}
+		items, ok := compileAll(x.List...)
+		if !ok {
+			return nil
+		}
+		return []kernelCand{{src: src, k: &kernelPred{col: col, op: kernIn, neg: x.Neg, items: items}}}
+
+	case *Between:
+		src, col, ok := colOf(x.X)
+		if !ok || !invariant(src, x.Lo, x.Hi) {
+			return nil
+		}
+		ce, ok := compileAll(x.Lo, x.Hi)
+		if !ok {
+			return nil
+		}
+		return []kernelCand{{src: src, k: &kernelPred{col: col, op: kernBetween, neg: x.Neg, lo: ce[0], hi: ce[1]}}}
+	}
+	return nil
+}
+
+// kernFor picks the candidate matching a level's source.
+func kernFor(cands []kernelCand, src int) *kernelPred {
+	for i := range cands {
+		if cands[i].src == src {
+			return cands[i].k
+		}
+	}
+	return nil
+}
+
+// --- batch-aware projection ---
+//
+// The pipeline's project stage. The Qmv macro emits, per surviving
+// (tuple, pattern) pair, one '@'-blanking CASE per attribute per side:
+//
+//	CASE WHEN c.A_L > 0 THEN COALESCE(TOTEXT(t.A), '@NULL@') ELSE '@' END
+//
+// Every CASE condition (and c.CID itself) reads only the pattern site
+// c, bound in an outer level over ten-odd pattern tuples, while the
+// surviving data rows stream underneath. projSpec classifies each
+// output expression once at compile time — pattern-invariant, split
+// CASE, or general — and the emit path then re-evaluates per row only
+// the THEN projections of the few attributes the current pattern
+// actually constrains; everything else replays from a per-pattern
+// cache keyed on the site row's identity. Semantics are unchanged
+// (the same sub-closures run, just not per row); the differential
+// oracle pins this, with the nested-loop leg evaluating the plain
+// outs closures as the independent reference.
+
+type projMode uint8
+
+const (
+	projGeneral projMode = iota
+	projInv              // whole output reads only the site: cached per site row
+	projCase             // one-armed CASE, site-only condition, literal ELSE
+)
+
+type projPart struct {
+	mode projMode
+	cond compiledExpr
+	res  compiledExpr
+	alt  relation.Value
+}
+
+// projSpec is the compiled projection plan of one select.
+type projSpec struct {
+	site  binding
+	parts []projPart
+}
+
+// projScratch is the per-env, per-select projection cache.
+type projScratch struct {
+	patRow   relation.Tuple // site row the cache was computed for
+	condBits uint64         // bit i: part i's CASE condition held
+	invVals  []relation.Value
+}
+
+// buildProjSpec classifies the output expressions. astOuts aligns with
+// cs.outs (nil for star-expanded columns, which stay general). Returns
+// nil when no output would benefit.
+func (c *compiler) buildProjSpec(astOuts []Expr) *projSpec {
+	if len(astOuts) == 0 || len(astOuts) > 64 {
+		return nil
+	}
+	depth := len(c.scopes) - 1
+	sp := &projSpec{parts: make([]projPart, len(astOuts))}
+	sc := &siteClassifier{c: c, innerDepth: depth + 1}
+	// Fix the site from the split-CASE conditions first — the detection
+	// macros' '@'-blanking CASEs read the pattern table, which is the
+	// site worth caching — choosing the site *most* conditions agree on
+	// rather than the first one seen: without this, a leading output
+	// that happens to read the fast-changing scan source would latch
+	// the site, every pattern-side CASE would fail adoption, and the
+	// cache would silently refresh per emitted row. Whether the
+	// optimization fires must not depend on column order.
+	type siteTally struct {
+		site binding
+		n    int
+	}
+	var tallies []siteTally
+	for _, e := range astOuts {
+		cse, ok := cacheableCase(e)
+		if !ok {
+			continue
+		}
+		site, ok := c.singleSite(cse.Whens[0].Cond, depth+1)
+		if !ok {
+			continue
+		}
+		found := false
+		for i := range tallies {
+			if tallies[i].site == site {
+				tallies[i].n++
+				found = true
+				break
+			}
+		}
+		if !found {
+			tallies = append(tallies, siteTally{site: site, n: 1})
+		}
+	}
+	best := -1
+	for i := range tallies {
+		if best < 0 || tallies[i].n > tallies[best].n {
+			best = i
+		}
+	}
+	if best >= 0 {
+		sc.site, sc.hasSite = tallies[best].site, true
+	}
+	useful := false
+	for i, e := range astOuts {
+		if e == nil {
+			continue
+		}
+		if sc.adopt(e) {
+			sp.parts[i].mode = projInv
+			useful = true
+			continue
+		}
+		cond, res, alt, ok, err := sc.splitCase(e)
+		if err != nil || !ok {
+			continue // an uncompilable half just stays general
+		}
+		sp.parts[i] = projPart{mode: projCase, cond: cond, res: res, alt: alt}
+		useful = true
+	}
+	if !useful || !sc.hasSite {
+		return nil
+	}
+	sp.site = sc.site
+	// A single-source select whose site is its own scanned source can
+	// never hit the cache: the site row changes on every emit, so the
+	// spec would only add refresh overhead per row. The cache is for
+	// join shapes where an outer (pattern) source drives many emits.
+	if sp.site.depth == depth && len(c.scopes[depth].sources) == 1 {
+		return nil
+	}
+	return sp
+}
+
+// scratch returns the env's projection cache for cs.
+func (sp *projSpec) scratch(en *env, cs *compiledSelect) *projScratch {
+	ps := en.projs[cs]
+	if ps == nil {
+		if en.projs == nil {
+			en.projs = make(map[*compiledSelect]*projScratch)
+		}
+		ps = &projScratch{invVals: make([]relation.Value, len(sp.parts))}
+		en.projs[cs] = ps
+	}
+	return ps
+}
+
+// evalOuts evaluates the output row into dst, replaying the
+// site-invariant parts from the cache when the site row is unchanged
+// since the previous emit.
+func (sp *projSpec) evalOuts(en *env, cs *compiledSelect, ps *projScratch, dst relation.Tuple) error {
+	row := en.frames[sp.site.depth].rows[sp.site.src]
+	if ps.patRow == nil || len(row) == 0 || &ps.patRow[0] != &row[0] {
+		ps.patRow = nil // a mid-refresh error must not leave stale state
+		ps.condBits = 0
+		for i := range sp.parts {
+			p := &sp.parts[i]
+			switch p.mode {
+			case projInv:
+				v, err := cs.outs[i](en)
+				if err != nil {
+					return err
+				}
+				ps.invVals[i] = v
+			case projCase:
+				cv, err := p.cond(en)
+				if err != nil {
+					return err
+				}
+				if cv.Truth() {
+					ps.condBits |= 1 << uint(i)
+				}
+			}
+		}
+		if len(row) > 0 {
+			ps.patRow = row
+		}
+	}
+	for i := range sp.parts {
+		p := &sp.parts[i]
+		switch p.mode {
+		case projInv:
+			dst[i] = ps.invVals[i]
+		case projCase:
+			if ps.condBits&(1<<uint(i)) != 0 {
+				v, err := p.res(en)
+				if err != nil {
+					return err
+				}
+				dst[i] = v
+			} else {
+				dst[i] = p.alt
+			}
+		default:
+			v, err := cs.outs[i](en)
+			if err != nil {
+				return err
+			}
+			dst[i] = v
+		}
+	}
+	return nil
+}

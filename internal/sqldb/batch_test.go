@@ -1,0 +1,517 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ecfd/internal/relation"
+)
+
+// Tests for the batched execution pipeline: kernel-vs-closure
+// differentials over generated predicates, the columnar scan cache's
+// incremental maintenance, the compound equality-prefix range probe,
+// and the EXPLAIN batch/row surface.
+
+// kernelTable builds a table mixing integer, float, text and NULL
+// values — every kind a kernel compare can meet — plus indexes so
+// kernels compose with range pruning and probes.
+func kernelTable(t *testing.T, rng *rand.Rand, rows int) *DB {
+	t.Helper()
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE kt (a INTEGER, f REAL, s TEXT, flag INTEGER)`)
+	mustExec(t, db, `CREATE INDEX idx_kt_a ON kt (a)`)
+	for i := 0; i < rows; i++ {
+		a := relation.Int(int64(rng.Intn(12)))
+		if rng.Intn(9) == 0 {
+			a = relation.Null()
+		}
+		f := relation.Float(float64(rng.Intn(10)) / 2)
+		switch rng.Intn(12) {
+		case 0:
+			f = relation.Null()
+		case 1:
+			f = relation.Float(math.NaN())
+		}
+		s := relation.Text(string(rune('a' + rng.Intn(5))))
+		if rng.Intn(10) == 0 {
+			s = relation.Null()
+		}
+		mustExec(t, db, `INSERT INTO kt VALUES (?, ?, ?, ?)`,
+			a, f, s, relation.Int(int64(rng.Intn(2))))
+	}
+	return db
+}
+
+// TestKernelClosureDifferential generates random simple-predicate
+// WHERE clauses — exactly the shapes the kernel compiler targets,
+// including NaN and NULL data — and checks the batch, row and
+// nested-loop paths agree on every one.
+func TestKernelClosureDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	db := kernelTable(t, rng, 120)
+	cols := []string{"a", "f", "s", "flag"}
+	leaf := func() string {
+		col := cols[rng.Intn(len(cols))]
+		switch rng.Intn(6) {
+		case 0:
+			ops := []string{"=", "<>", "<", "<=", ">", ">="}
+			if col == "s" {
+				return fmt.Sprintf("s %s '%c'", ops[rng.Intn(len(ops))], rune('a'+rng.Intn(5)))
+			}
+			return fmt.Sprintf("%s %s %d", col, ops[rng.Intn(len(ops))], rng.Intn(10))
+		case 1:
+			neg := ""
+			if rng.Intn(2) == 0 {
+				neg = "NOT "
+			}
+			return fmt.Sprintf("%s IS %sNULL", col, neg)
+		case 2:
+			neg := ""
+			if rng.Intn(2) == 0 {
+				neg = "NOT "
+			}
+			if col == "s" {
+				return fmt.Sprintf("s %sIN ('a', 'c', 'e')", neg)
+			}
+			return fmt.Sprintf("%s %sIN (%d, %d, %d)", col, neg, rng.Intn(10), rng.Intn(10), rng.Intn(10))
+		case 3:
+			neg := ""
+			if rng.Intn(3) == 0 {
+				neg = "NOT "
+			}
+			lo := rng.Intn(8)
+			return fmt.Sprintf("%s %sBETWEEN %d AND %d", col, neg, lo, lo+rng.Intn(5))
+		case 4:
+			// literal OP column: the flipped orientation
+			return fmt.Sprintf("%d <= %s", rng.Intn(10), col)
+		default:
+			return fmt.Sprintf("%s = %d", col, rng.Intn(10))
+		}
+	}
+	for trial := 0; trial < 120; trial++ {
+		var conjs []string
+		for k := 1 + rng.Intn(3); k > 0; k-- {
+			conjs = append(conjs, leaf())
+		}
+		q := "SELECT a, f, s, flag FROM kt WHERE " + strings.Join(conjs, " AND ")
+		batch, row, nested := runThreeWays(t, db, q, false)
+		if batch != row || row != nested {
+			t.Fatalf("trial %d: divergence on %q:\nbatch  %q\nrow    %q\nnested %q",
+				trial, q, batch, row, nested)
+		}
+	}
+}
+
+// TestKernelParamDifferential covers parameterized kernel bounds — the
+// parallel detector's RID-slice shape — including NULL parameters,
+// which must empty the scan exactly like the closure path does.
+func TestKernelParamDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	db := kernelTable(t, rng, 80)
+	run := func(q string, params ...relation.Value) (string, string) {
+		t.Helper()
+		DisableBatchKernels = false
+		b, err := db.Query(q, params...)
+		if err != nil {
+			t.Fatalf("batch %q: %v", q, err)
+		}
+		DisableBatchKernels = true
+		r, err := db.Query(q, params...)
+		DisableBatchKernels = false
+		if err != nil {
+			t.Fatalf("row %q: %v", q, err)
+		}
+		return canonical(b), canonical(r)
+	}
+	for trial := 0; trial < 30; trial++ {
+		lo := relation.Value(relation.Int(int64(rng.Intn(8))))
+		hi := relation.Value(relation.Int(int64(rng.Intn(8)) + 4))
+		if trial%7 == 0 {
+			lo = relation.Null()
+		}
+		b, r := run(`SELECT a, flag FROM kt WHERE a >= ? AND a <= ? AND flag = 0`, lo, hi)
+		if b != r {
+			t.Fatalf("trial %d: param slice diverges: %q vs %q", trial, b, r)
+		}
+	}
+}
+
+// TestExplainBatchMode pins the EXPLAIN surface: levels with consumed
+// kernels report batch mode, everything else reports row mode, and
+// flipping DisableBatchKernels flips the marker.
+func TestExplainBatchMode(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE data (rid INTEGER, city TEXT, sv INTEGER, mv INTEGER)`)
+	mustExec(t, db, `CREATE TABLE enc (cid INTEGER, city_l INTEGER)`)
+	mustExec(t, db, `CREATE INDEX idx_data_rid ON data (rid)`)
+	for i := 0; i < 80; i++ {
+		mustExec(t, db, `INSERT INTO data VALUES (?, ?, 0, 0)`,
+			relation.Int(int64(i)), relation.Text(string(rune('A'+i%4))))
+	}
+	mustExec(t, db, `INSERT INTO enc VALUES (1, 1), (2, 0)`)
+
+	// RID-slice scan: both bounds and the flag test kernelize, and the
+	// range pruning stays. (`mv <> 1` rather than `mv = 0` — an equality
+	// would be consumed by a probe before the kernels get to it.)
+	plan, err := db.Explain(`SELECT rid FROM data WHERE rid >= ? AND rid <= ? AND mv <> 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "range scan data via idx_data_rid on rid") ||
+		!strings.Contains(plan, "[batch: 3 kernel filter(s)]") {
+		t.Fatalf("expected a batched range scan:\n%s", plan)
+	}
+
+	// An equality conjunct goes to the probe; the slice bounds still
+	// kernelize on top of the probe's bucket.
+	plan, err = db.Explain(`SELECT rid FROM data WHERE rid >= ? AND rid <= ? AND mv = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "hash join data") || !strings.Contains(plan, "[batch: 2 kernel filter(s)]") {
+		t.Fatalf("expected a batched probe level:\n%s", plan)
+	}
+
+	// A join whose data side carries kernelizable conjuncts and whose
+	// pattern side does not: per-source modes differ.
+	plan, err = db.Explain(`SELECT d.rid FROM enc c, data d WHERE d.rid >= ? AND d.mv <> 1 AND (c.city_l <> 1 OR d.city = 'A')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "[batch: 2 kernel filter(s)]") {
+		t.Fatalf("expected the data side in batch mode:\n%s", plan)
+	}
+	if !strings.Contains(plan, "scan c (2 rows) [row]") {
+		t.Fatalf("expected the pattern side in row mode:\n%s", plan)
+	}
+
+	// Kernels off: everything reports row mode.
+	DisableBatchKernels = true
+	plan, err = db.Explain(`SELECT rid FROM data WHERE rid >= ? AND rid <= ? AND mv <> 1`)
+	DisableBatchKernels = false
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "batch:") || !strings.Contains(plan, "[row]") {
+		t.Fatalf("expected row mode with kernels disabled:\n%s", plan)
+	}
+}
+
+// TestColumnCacheMaintenance hammers a table with random DML and
+// verifies after every step that built column vectors exactly mirror
+// the row store without being fully rebuilt.
+func TestColumnCacheMaintenance(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE cc (k INTEGER, s TEXT, w INTEGER)`)
+	tbl, _ := db.tables["cc"]
+	for i := 0; i < 30; i++ {
+		mustExec(t, db, `INSERT INTO cc VALUES (?, ?, ?)`,
+			relation.Int(int64(rng.Intn(9))), relation.Text(string(rune('a'+rng.Intn(4)))), relation.Int(int64(i)))
+	}
+	// Build two of the three vectors through batched scans.
+	mustQuery(t, db, `SELECT w FROM cc WHERE k >= 2 AND k <= 6`)
+	mustQuery(t, db, `SELECT k FROM cc WHERE s = 'a' AND w < 1000`)
+
+	verify := func(step int) {
+		t.Helper()
+		tbl.cols.mu.RLock()
+		defer tbl.cols.mu.RUnlock()
+		for ci, vec := range tbl.cols.vecs {
+			if vec == nil {
+				continue
+			}
+			if len(vec) != len(tbl.Rows) {
+				t.Fatalf("step %d: column %d has %d entries for %d rows", step, ci, len(vec), len(tbl.Rows))
+			}
+			for ri := range vec {
+				if !relation.Identical(vec[ri], tbl.Rows[ri][ci]) {
+					t.Fatalf("step %d: column %d row %d: cached %s, stored %s",
+						step, ci, ri, vec[ri], tbl.Rows[ri][ci])
+				}
+			}
+		}
+	}
+	verify(-1)
+	builds := tbl.cols.rebuilds
+	if builds == 0 {
+		t.Fatal("no column vector was built before the DML storm")
+	}
+
+	for step := 0; step < 80; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			mustExec(t, db, `INSERT INTO cc VALUES (?, ?, ?)`,
+				relation.Int(int64(rng.Intn(9))), relation.Text(string(rune('a'+rng.Intn(4)))), relation.Int(int64(1000+step)))
+		case 4, 5:
+			mustExec(t, db, `UPDATE cc SET k = ? WHERE w % 5 = ?`,
+				relation.Int(int64(rng.Intn(9))), relation.Int(int64(rng.Intn(5))))
+		case 6, 7:
+			mustExec(t, db, `DELETE FROM cc WHERE k = ? AND w % 3 = ?`,
+				relation.Int(int64(rng.Intn(9))), relation.Int(int64(rng.Intn(3))))
+		default:
+			if rng.Intn(5) == 0 {
+				mustExec(t, db, `TRUNCATE TABLE cc`)
+			}
+		}
+		verify(step)
+	}
+	if tbl.cols.rebuilds != builds {
+		t.Fatalf("DML forced a full column rebuild (%d → %d)", builds, tbl.cols.rebuilds)
+	}
+}
+
+// TestEqPrefixRangeProbe pins the compound access path: a table with
+// only a (p, q) index answers p-equality through the prefix probe and
+// p-equality + q-range through the compound-bound search, both visible
+// in EXPLAIN and both agreeing with the closure paths.
+func TestEqPrefixRangeProbe(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE cp (p INTEGER, q INTEGER, w INTEGER)`)
+	mustExec(t, db, `CREATE INDEX idx_cp_pq ON cp (p, q)`)
+	for i := 0; i < 120; i++ {
+		q := relation.Int(int64(rng.Intn(10)))
+		if rng.Intn(10) == 0 {
+			q = relation.Null()
+		}
+		mustExec(t, db, `INSERT INTO cp VALUES (?, ?, ?)`,
+			relation.Int(int64(rng.Intn(7))), q, relation.Int(int64(i)))
+	}
+
+	plan, err := db.Explain(`SELECT w FROM cp WHERE p = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "index prefix probe cp via idx_cp_pq (1 eq col(s))") {
+		t.Fatalf("expected a prefix probe:\n%s", plan)
+	}
+	plan, err = db.Explain(`SELECT w FROM cp WHERE p = 3 AND q > 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "index prefix range probe cp via idx_cp_pq (1 eq col(s) + range on q)") {
+		t.Fatalf("expected a compound-bound probe:\n%s", plan)
+	}
+
+	for _, q := range []string{
+		`SELECT w FROM cp WHERE p = 3`,
+		`SELECT w FROM cp WHERE p = 3 AND q > 4`,
+		`SELECT w FROM cp WHERE p = 2 AND q >= 1 AND q <= 6`,
+		`SELECT w FROM cp WHERE p = 5 AND q BETWEEN 2 AND 7`,
+		`SELECT w FROM cp WHERE p = 99 AND q < 3`,
+		`SELECT w FROM cp WHERE p = 1 AND q > NULL`,
+	} {
+		batch, row, nested := runThreeWays(t, db, q, false)
+		if batch != row || row != nested {
+			t.Fatalf("compound probe diverges on %q:\nbatch  %q\nrow    %q\nnested %q", q, batch, row, nested)
+		}
+	}
+
+	// Correlated form: the equality key and the range bound both come
+	// from the driving side, re-evaluated per entry.
+	mustExec(t, db, `CREATE TABLE drv (pp INTEGER, lo INTEGER)`)
+	mustExec(t, db, `INSERT INTO drv VALUES (2, 3), (4, 0), (6, 8)`)
+	q := `SELECT d.pp, c.w FROM drv d, cp c WHERE c.p = d.pp AND c.q >= d.lo`
+	batch, row, nested := runThreeWays(t, db, q, false)
+	if batch != row || row != nested {
+		t.Fatalf("correlated compound probe diverges:\nbatch  %q\nrow    %q\nnested %q", batch, row, nested)
+	}
+}
+
+// TestBigIntExactness is the review-found regression: int64 values
+// beyond 2^53 collapse under float widening, so Compare must order
+// integer pairs exactly — otherwise the equality-by-search prefix
+// probe returns rows `=` rejects, and ordering kernels (exact int
+// fast path) diverge from the generic Compare closures.
+func TestBigIntExactness(t *testing.T) {
+	const big = int64(1) << 53 // 9007199254740992; big+1 rounds to the same float64
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE z (p INTEGER, q INTEGER)`)
+	mustExec(t, db, `CREATE INDEX idx_z_pq ON z (p, q)`)
+	mustExec(t, db, `INSERT INTO z VALUES (?, 1)`, relation.Int(big))
+	mustExec(t, db, `INSERT INTO z VALUES (?, 2)`, relation.Int(big+1))
+	mustExec(t, db, `CREATE TABLE k (v INTEGER)`)
+	mustExec(t, db, `INSERT INTO k VALUES (?)`, relation.Int(big))
+
+	// Prefix probe: equality answered by binary search must match only
+	// the exact key.
+	q := `SELECT z.q FROM k, z WHERE z.p = k.v`
+	batch, row, nested := runThreeWays(t, db, q, false)
+	if batch != row || row != nested {
+		t.Fatalf("prefix probe big-int diverges:\nbatch  %q\nrow    %q\nnested %q", batch, row, nested)
+	}
+	if batch != "1" {
+		t.Fatalf("prefix probe big-int: got %q, want exactly row q=1", batch)
+	}
+
+	// Ordering kernel vs generic closure: column-vs-column compare with
+	// adjacent big ints.
+	q = `SELECT z.q FROM k, z WHERE z.p > k.v`
+	batch, row, nested = runThreeWays(t, db, q, false)
+	if batch != row || row != nested {
+		t.Fatalf("ordering kernel big-int diverges:\nbatch  %q\nrow    %q\nnested %q", batch, row, nested)
+	}
+	if batch != "2" {
+		t.Fatalf("big-int > compare: got %q, want exactly row q=2", batch)
+	}
+
+	// IN lists across the hash threshold with a mixed float/big-int
+	// pair: comparison is exact across kinds, so Float(2^53) never
+	// matches the Int(2^53+1) item — for both list sizes (Equal scan
+	// and Key()-hashed set) and all three execution paths.
+	mustExec(t, db, `CREATE TABLE f (x REAL)`)
+	mustExec(t, db, `INSERT INTO f VALUES (?)`, relation.Float(float64(big)))
+	short := `SELECT x FROM f WHERE x IN (9007199254740993, 1)`
+	long := `SELECT x FROM f WHERE x IN (9007199254740993, 1, 2, 3, 4, 5, 6, 7)`
+	for _, q := range []string{short, long} {
+		b, r, n := runThreeWays(t, db, q, false)
+		if b != r || r != n {
+			t.Fatalf("mixed-kind IN diverges on %q:\nbatch  %q\nrow    %q\nnested %q", q, b, r, n)
+		}
+		if b != "" {
+			t.Fatalf("mixed-kind IN on %q: got %q, want no match (exact comparison)", q, b)
+		}
+	}
+
+	// Transitivity of the order itself: big ints and floats mixed in
+	// one indexed column must sort exactly, not through float widening.
+	mustExec(t, db, `CREATE TABLE mi (y INTEGER)`)
+	mustExec(t, db, `CREATE INDEX idx_mi_y ON mi (y)`)
+	mustExec(t, db, `INSERT INTO mi VALUES (?), (?)`, relation.Int(big), relation.Int(big+1))
+	if got := flat(mustQuery(t, db, `SELECT y FROM mi ORDER BY y`)); got != "9007199254740992;9007199254740993" {
+		t.Fatalf("big-int ORDER BY: %q", got)
+	}
+	if relation.Compare(relation.Int(big+1), relation.Float(float64(big))) <= 0 {
+		t.Fatal("Compare(2^53+1, Float(2^53)) must be +1 (exact mixed comparison)")
+	}
+}
+
+// TestUpdatePlannedRowSelection: an UPDATE whose WHERE is kernel-shaped
+// but has no EXISTS (so the semi-join path does not apply) selects its
+// rows through the planned, batched scan — and the result matches the
+// closure filter.
+func TestUpdatePlannedRowSelection(t *testing.T) {
+	setup := func() *DB {
+		db := NewDB()
+		mustExec(t, db, `CREATE TABLE ud (rid INTEGER, v INTEGER, flag INTEGER)`)
+		mustExec(t, db, `CREATE INDEX idx_ud_rid ON ud (rid)`)
+		for i := 0; i < 60; i++ {
+			mustExec(t, db, `INSERT INTO ud VALUES (?, ?, 0)`,
+				relation.Int(int64(i)), relation.Int(int64(i%7)))
+		}
+		return db
+	}
+	q := `UPDATE ud SET flag = 1 WHERE rid >= 10 AND rid <= 40 AND v <> 3`
+
+	dbA := setup()
+	plan, err := dbA.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "planned row selection") || !strings.Contains(plan, "batch:") {
+		t.Fatalf("expected a batched planned row selection:\n%s", plan)
+	}
+	mustExec(t, dbA, q)
+
+	dbB := setup()
+	DisablePlanner = true
+	mustExec(t, dbB, q)
+	DisablePlanner = false
+
+	a := canonical(mustQuery(t, dbA, `SELECT rid, v, flag FROM ud`))
+	b := canonical(mustQuery(t, dbB, `SELECT rid, v, flag FROM ud`))
+	if a != b {
+		t.Fatalf("planned UPDATE selection diverges:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestInListNaNConsistency is the review-found regression: the three
+// IN implementations (short-list Equal scan, long-list Key()-set,
+// batch kernel) must agree when NaN appears as an item, as the probed
+// value, or both — under SQL equality NaN matches nothing.
+func TestInListNaNConsistency(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE ni (x REAL, w INTEGER)`)
+	mustExec(t, db, `INSERT INTO ni VALUES (?, 1)`, relation.Float(math.NaN()))
+	mustExec(t, db, `INSERT INTO ni VALUES (1.5, 2), (3.0, 3)`)
+	nan := relation.Float(math.NaN())
+
+	run := func(q string, params ...relation.Value) [3]string {
+		t.Helper()
+		var out [3]string
+		DisablePlanner, DisableBatchKernels = false, false
+		r, err := db.Query(q, params...)
+		if err != nil {
+			t.Fatalf("batch %q: %v", q, err)
+		}
+		out[0] = canonical(r)
+		DisableBatchKernels = true
+		r, err = db.Query(q, params...)
+		DisableBatchKernels = false
+		if err != nil {
+			t.Fatalf("row %q: %v", q, err)
+		}
+		out[1] = canonical(r)
+		DisablePlanner = true
+		r, err = db.Query(q, params...)
+		DisablePlanner = false
+		if err != nil {
+			t.Fatalf("nested %q: %v", q, err)
+		}
+		out[2] = canonical(r)
+		return out
+	}
+	cases := []struct {
+		q      string
+		params []relation.Value
+	}{
+		// short list (Equal scan) with a NaN parameter
+		{`SELECT w FROM ni WHERE x IN (?, ?)`, []relation.Value{nan, relation.Float(1.5)}},
+		{`SELECT w FROM ni WHERE x NOT IN (?, ?)`, []relation.Value{nan, relation.Float(1.5)}},
+		// long list (>= 8 items: Key()-set) with a NaN parameter
+		{`SELECT w FROM ni WHERE x IN (?, 10, 11, 12, 13, 14, 15, ?)`,
+			[]relation.Value{nan, relation.Float(1.5)}},
+		{`SELECT w FROM ni WHERE x NOT IN (?, 10, 11, 12, 13, 14, 15, ?)`,
+			[]relation.Value{nan, relation.Float(1.5)}},
+	}
+	for _, tc := range cases {
+		got := run(tc.q, tc.params...)
+		if got[0] != got[1] || got[1] != got[2] {
+			t.Fatalf("IN NaN diverges on %q: batch %q, row %q, nested %q", tc.q, got[0], got[1], got[2])
+		}
+		// And NaN must never have matched: the NaN data row appears only
+		// in NOT IN results, the NaN item selects nothing.
+		if strings.Contains(tc.q, "NOT IN") {
+			if got[0] != "1;3" {
+				t.Fatalf("NOT IN with NaN on %q: got %q, want rows 1 and 3", tc.q, got[0])
+			}
+		} else if got[0] != "2" {
+			t.Fatalf("IN with NaN on %q: got %q, want row 2 only", tc.q, got[0])
+		}
+	}
+}
+
+// TestKernelNaNDifferential: NaN-bearing float data through the
+// kernel compare paths must match the closure semantics exactly (the
+// engine's ordered compares follow relation.Compare, not IEEE).
+func TestKernelNaNDifferential(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE nf (x REAL, w INTEGER)`)
+	mustExec(t, db, `INSERT INTO nf VALUES (?, 1)`, relation.Float(math.NaN()))
+	mustExec(t, db, `INSERT INTO nf VALUES (1.5, 2), (3.0, 3)`)
+	for _, q := range []string{
+		`SELECT w FROM nf WHERE x > 2`,
+		`SELECT w FROM nf WHERE x <= 2`,
+		`SELECT w FROM nf WHERE x = 1.5 AND w <> 0`,
+		`SELECT w FROM nf WHERE x BETWEEN 0 AND 9`,
+	} {
+		batch, row, nested := runThreeWays(t, db, q, false)
+		if batch != row || row != nested {
+			t.Fatalf("NaN kernel diverges on %q:\nbatch  %q\nrow    %q\nnested %q", q, batch, row, nested)
+		}
+	}
+}

@@ -52,6 +52,138 @@ type Table struct {
 	Rows    []relation.Tuple
 	indexes []*Index
 	version uint64 // bumped on every mutation; used by cached hash builds
+	// cols is the columnar scan cache behind the batch kernels: one
+	// lazily built value vector per column, maintained incrementally by
+	// the same DML notifications that maintain the indexes.
+	cols colStore
+}
+
+// colStore caches column vectors of a table: vecs[ci][ri] ==
+// t.Rows[ri][ci] for every built column. Batch kernels scan these flat
+// vectors instead of chasing one Tuple pointer per row. A vector is
+// built on first use (double-checked under mu, since scans run under
+// the catalog *read* lock) and from then on maintained by the DML
+// hooks, which run under the catalog write lock: appends extend,
+// deletes compact, updates rewrite exactly the changed positions.
+// Wholesale row replacement (LoadRelation, rollback) drops the cache.
+type colStore struct {
+	mu   sync.RWMutex
+	vecs [][]relation.Value
+	// rebuilds counts full (non-incremental) vector builds; the
+	// maintenance regression tests read it.
+	rebuilds int
+}
+
+// column returns the cached value vector for schema position ci,
+// building it on first use. The returned slice is shared — callers
+// must not mutate it and must hold the catalog read lock while using
+// it.
+func (t *Table) column(ci int) []relation.Value {
+	t.cols.mu.RLock()
+	if ci < len(t.cols.vecs) {
+		if v := t.cols.vecs[ci]; v != nil {
+			t.cols.mu.RUnlock()
+			return v
+		}
+	}
+	t.cols.mu.RUnlock()
+
+	t.cols.mu.Lock()
+	defer t.cols.mu.Unlock()
+	if t.cols.vecs == nil {
+		t.cols.vecs = make([][]relation.Value, t.Schema.Width())
+	}
+	if v := t.cols.vecs[ci]; v != nil {
+		return v
+	}
+	v := make([]relation.Value, len(t.Rows))
+	for ri, row := range t.Rows {
+		v[ri] = row[ci]
+	}
+	t.cols.vecs[ci] = v
+	t.cols.rebuilds++
+	return v
+}
+
+// colsDrop invalidates every built column vector (wholesale row
+// replacement). Callers hold the catalog write lock.
+func (t *Table) colsDrop() {
+	t.cols.mu.Lock()
+	for i := range t.cols.vecs {
+		t.cols.vecs[i] = nil
+	}
+	t.cols.mu.Unlock()
+}
+
+// colsAppended extends built vectors with the k freshly appended rows.
+func (t *Table) colsAppended(k int) {
+	t.cols.mu.Lock()
+	oldLen := len(t.Rows) - k
+	for ci, v := range t.cols.vecs {
+		if v == nil {
+			continue
+		}
+		for ri := oldLen; ri < len(t.Rows); ri++ {
+			v = append(v, t.Rows[ri][ci])
+		}
+		t.cols.vecs[ci] = v
+	}
+	t.cols.mu.Unlock()
+}
+
+// colsDeleted compacts built vectors after the rows at positions dels
+// (ascending, pre-delete positions) were removed. Order is preserved,
+// so this is one filtering pass per built column.
+func (t *Table) colsDeleted(dels []int) {
+	t.cols.mu.Lock()
+	for ci, v := range t.cols.vecs {
+		if v == nil {
+			continue
+		}
+		keep := v[:0]
+		di := 0
+		for ri := range v {
+			if di < len(dels) && dels[di] == ri {
+				di++
+				continue
+			}
+			keep = append(keep, v[ri])
+		}
+		t.cols.vecs[ci] = keep
+	}
+	t.cols.mu.Unlock()
+}
+
+// colsUpdated rewrites the changed cells of built vectors after an
+// UPDATE assigned cols at row positions pos. Vectors of unassigned
+// columns are untouched.
+func (t *Table) colsUpdated(pos, cols []int) {
+	t.cols.mu.Lock()
+	for _, ci := range cols {
+		if ci >= len(t.cols.vecs) {
+			continue
+		}
+		v := t.cols.vecs[ci]
+		if v == nil {
+			continue
+		}
+		for _, ri := range pos {
+			v[ri] = t.Rows[ri][ci]
+		}
+	}
+	t.cols.mu.Unlock()
+}
+
+// colsTruncated empties built vectors in place.
+func (t *Table) colsTruncated() {
+	t.cols.mu.Lock()
+	for ci, v := range t.cols.vecs {
+		if v == nil {
+			continue
+		}
+		t.cols.vecs[ci] = v[:0]
+	}
+	t.cols.mu.Unlock()
 }
 
 // Index is an ordered secondary index over a column list. It keeps two
@@ -240,6 +372,7 @@ func (t *Table) mutated() {
 		idx.sDirty = true
 		idx.mu.Unlock()
 	}
+	t.colsDrop()
 }
 
 // rowsAppended maintains the indexes after k rows were appended to
@@ -249,6 +382,7 @@ func (t *Table) mutated() {
 // Callers hold the catalog write lock.
 func (t *Table) rowsAppended(k int) {
 	t.version++
+	t.colsAppended(k)
 	oldLen := len(t.Rows) - k
 	for _, idx := range t.indexes {
 		idx.mu.Lock()
@@ -286,6 +420,7 @@ func (t *Table) rowsDeleted(dels []int) {
 	if len(dels) == 0 {
 		return
 	}
+	t.colsDeleted(dels)
 	remap := func(ri int) int { return ri - sort.SearchInts(dels, ri) }
 	deleted := func(ri int) bool {
 		i := sort.SearchInts(dels, ri)
@@ -374,6 +509,7 @@ func (t *Table) updateBegin(pos, cols []int) {
 // values. Callers hold the catalog write lock.
 func (t *Table) updateEnd(pos, cols []int) {
 	t.version++
+	t.colsUpdated(pos, cols)
 	for _, idx := range t.indexes {
 		if !idx.overlaps(cols) {
 			continue
@@ -409,6 +545,7 @@ func (t *Table) updateEnd(pos, cols []int) {
 // the catalog write lock.
 func (t *Table) truncated() {
 	t.version++
+	t.colsTruncated()
 	for _, idx := range t.indexes {
 		idx.mu.Lock()
 		if idx.m != nil && !idx.mDirty {
@@ -589,6 +726,88 @@ func (idx *Index) rangeOf(t *Table, lo, hi relation.Value, hasLo, hasHi bool) []
 		to = from
 	}
 	return s[from:to]
+}
+
+// eqPrefixRange returns the positions whose first k index columns
+// compare equal to vals (one value per index column, in index order)
+// and whose (k+1)-th column lies within lo/hi (each optional), as a
+// subslice of the in-order positions — the compound-bound form of
+// rangeOf. Equality via Compare == 0 is exact here because callers
+// guard NULL and NaN keys (probeRows): for non-NULL, non-NaN operands
+// Compare(a, b) == 0 ⇔ Equal(a, b), and NULL/NaN *rows* sort outside
+// the equal region. The range bound stays conservative-inclusive like
+// rangeOf — exclusivity is the retained filter's job.
+func (idx *Index) eqPrefixRange(t *Table, vals []relation.Value, lo, hi relation.Value, hasLo, hasHi bool) []int {
+	s := idx.ordered(t)
+	k := len(vals)
+	// cmpPrefix ranks a row against the equality prefix.
+	cmpPrefix := func(ri int) int {
+		row := t.Rows[ri]
+		for j := 0; j < k; j++ {
+			if c := relation.Compare(row[idx.Cols[j]], vals[j]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	var next int
+	if k < len(idx.Cols) {
+		next = idx.Cols[k]
+	}
+	from := sort.Search(len(s), func(i int) bool {
+		c := cmpPrefix(s[i])
+		if c != 0 {
+			return c > 0
+		}
+		return !hasLo || relation.Compare(t.Rows[s[i]][next], lo) >= 0
+	})
+	to := sort.Search(len(s), func(i int) bool {
+		c := cmpPrefix(s[i])
+		if c != 0 {
+			return c > 0
+		}
+		return hasHi && relation.Compare(t.Rows[s[i]][next], hi) > 0
+	})
+	if to < from {
+		to = from
+	}
+	return s[from:to]
+}
+
+// findEqPrefixIndex returns an index whose leading columns are exactly
+// the (distinct) probe columns in any order, with at least one more
+// column after them, plus the permutation mapping each prefix position
+// to its probe-key position. The ordered structure then answers the
+// equality by binary search — and a range bound on Cols[len(cols)] can
+// tighten the same search, the "equality prefix + range on the next
+// column" compound access path.
+func (t *Table) findEqPrefixIndex(cols []int) (*Index, []int) {
+	k := len(cols)
+	if k == 0 {
+		return nil, nil
+	}
+outer:
+	for _, idx := range t.indexes {
+		if len(idx.Cols) <= k {
+			continue // exact covers are findIndex territory
+		}
+		perm := make([]int, k)
+		used := make([]bool, k)
+		for j := 0; j < k; j++ {
+			perm[j] = -1
+			for i, c := range cols {
+				if c == idx.Cols[j] && !used[i] {
+					perm[j], used[i] = i, true
+					break
+				}
+			}
+			if perm[j] < 0 {
+				continue outer
+			}
+		}
+		return idx, perm
+	}
+	return nil, nil
 }
 
 // findPrefixIndex returns an index whose column list starts with

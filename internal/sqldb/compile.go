@@ -29,6 +29,9 @@ type env struct {
 	// schedules caches one join plan per select for the statement's
 	// lifetime, so hash builds survive across correlated re-executions.
 	schedules map[*compiledSelect]*schedule
+	// projs holds the per-select projection caches of the batch-aware
+	// emit path (site-invariant output parts, see projSpec).
+	projs map[*compiledSelect]*projScratch
 	// scratch holds the reusable frame row slots for execExists and
 	// semiScan, one per select (a select cannot contain itself, so reuse
 	// across its sequential invocations within one statement is safe).
@@ -437,7 +440,7 @@ func (c *compiler) compileExpr(e Expr) (compiledExpr, error) {
 		// execution instead of scanning the list per row. Literal and
 		// parameter values are fixed for the execution, so the set is
 		// sound to cache on the env.
-		if simple && len(items) >= 8 {
+		if simple && len(items) >= inListHashThreshold {
 			return func(en *env) (relation.Value, error) {
 				b := en.inLists[x]
 				if b == nil {
@@ -445,16 +448,9 @@ func (c *compiler) compileExpr(e Expr) (compiledExpr, error) {
 						en.inLists = make(map[*InList]*inBuild)
 					}
 					b = &inBuild{set: make(map[string]bool, len(items))}
-					for _, it := range items {
-						w, err := it(en)
-						if err != nil {
-							return relation.Null(), err
-						}
-						if w.IsNull() {
-							b.hasNull = true
-							continue
-						}
-						b.set[w.Key()] = true
+					var err error
+					if b.hasNull, err = buildInSet(en, items, b.set); err != nil {
+						return relation.Null(), err
 					}
 					en.inLists[x] = b
 				}
@@ -599,6 +595,40 @@ func (c *compiler) compileExpr(e Expr) (compiledExpr, error) {
 	default:
 		return nil, fmt.Errorf("sql: cannot compile %T", e)
 	}
+}
+
+// inListHashThreshold is the item count at which a literal/parameter
+// IN list switches from the per-row Equal scan to a Key()-hashed set.
+// Equal and Key() agree on every non-NULL, non-NaN value (both are
+// exact across numeric kinds; buildInSet handles the NaN carve-out),
+// so the two strategies return identical rows; the batch kernel still
+// mirrors the same per-size choice so batch and row execution stay
+// equivalent by construction even if the semantics ever drift.
+const inListHashThreshold = 8
+
+// buildInSet evaluates a literal/parameter IN list into a lookup set —
+// the single source of truth for hash-set IN semantics, shared by the
+// long-list closure above and the batch kernel (kernIn). NULL items
+// only set hasNull; NaN items stay out of the set entirely, because
+// Equal(v, NaN) never holds while Key() would encode NaN as
+// self-equal — keeping them out makes the set lookup agree with the
+// short-list Equal scan exactly.
+func buildInSet(en *env, items []compiledExpr, set map[string]bool) (hasNull bool, err error) {
+	for _, it := range items {
+		w, err := it(en)
+		if err != nil {
+			return false, err
+		}
+		if w.IsNull() {
+			hasNull = true
+			continue
+		}
+		if isNaN(w) {
+			continue
+		}
+		set[w.Key()] = true
+	}
+	return hasNull, nil
 }
 
 func (c *compiler) compileBinary(x *Binary) (compiledExpr, error) {

@@ -185,6 +185,13 @@ type updatePlan struct {
 	// small side (the paper's pattern tables) instead of probing the
 	// EXISTS once per data row.
 	semi *compiledSelect
+	// filterSel is the planned single-source select over the target with
+	// the same WHERE: when the semi-join path is not taken, the row
+	// selection runs through the batched executor (kernel filters over
+	// the column vectors, e.g. the detector's RID-slice and MV = 0
+	// guards) instead of the per-row closure loop. nil when the WHERE
+	// does not plan; the closure loop remains the fallback.
+	filterSel *compiledSelect
 }
 
 // disableSemiJoinUpdate / forceSemiJoinUpdate are test hooks for the
@@ -232,6 +239,17 @@ func (db *DB) compileUpdate(up *Update) (*updatePlan, error) {
 		}
 	}
 	p.semi = db.trySemiJoinUpdate(up, name)
+	if up.Where != nil {
+		synth := &Select{
+			Exprs: []SelectExpr{{Expr: &Literal{Val: relation.Int(1)}}},
+			From:  []TableRef{{Table: up.Table, Alias: up.Alias}},
+			Where: up.Where,
+		}
+		fc := &compiler{db: db}
+		if cs, err := fc.compileSubSelect(synth); err == nil && cs.planOK && !cs.grouped {
+			p.filterSel = cs
+		}
+	}
 	return p, nil
 }
 
@@ -310,6 +328,25 @@ func semiJoinable(sub *Select) bool {
 	return true
 }
 
+// useSemiJoin reports whether the update would take the semi-join
+// path given current table sizes: worth it when a subquery source is
+// meaningfully smaller than the target, so the join is driven from
+// that side instead of probing the EXISTS once per target row. Shared
+// by runUpdate and EXPLAIN so the reported access path is the one
+// that actually executes. Callers hold db.mu (read suffices).
+func (p *updatePlan) useSemiJoin() bool {
+	if p.semi == nil || DisablePlanner || disableSemiJoinUpdate {
+		return false
+	}
+	minSub := len(p.t.Rows) + 1
+	for _, src := range p.semi.sources[1:] {
+		if n := len(src.table.Rows); n < minSub {
+			minSub = n
+		}
+	}
+	return forceSemiJoinUpdate || minSub*4 <= len(p.t.Rows)
+}
+
 func (db *DB) runUpdate(p *updatePlan, params []relation.Value) (int64, error) {
 	t := p.t
 	// Two phases: evaluate against the unmodified table, then apply, so
@@ -359,24 +396,25 @@ func (db *DB) runUpdate(p *updatePlan, params []relation.Value) (int64, error) {
 		return nil
 	}
 
-	useSemi := false
-	if p.semi != nil && !DisablePlanner && !disableSemiJoinUpdate {
-		// Worth it when a subquery source is meaningfully smaller than
-		// the target: the join is then driven from that side instead of
-		// probing the EXISTS once per target row.
-		minSub := len(t.Rows) + 1
-		for _, src := range p.semi.sources[1:] {
-			if n := len(src.table.Rows); n < minSub {
-				minSub = n
-			}
-		}
-		useSemi = forceSemiJoinUpdate || minSub*4 <= len(t.Rows)
-	}
+	useSemi := p.useSemiJoin()
 
-	if useSemi {
+	// Planned row selection: semi-join (the target joins the EXISTS
+	// sources, driven from the small side) or the single-source batched
+	// scan (simple WHERE conjuncts run as kernel filters). Both collect
+	// the distinct target row indices, deduped and sorted — evalRow and
+	// the index-maintenance bracket below depend on ascending, unique
+	// positions regardless of the scan's visit order.
+	var sel *compiledSelect
+	switch {
+	case useSemi:
+		sel = p.semi
+	case p.filterSel != nil && !DisablePlanner:
+		sel = p.filterSel
+	}
+	if sel != nil {
 		sen := newEnv(db, params)
 		matched := make(map[int]bool)
-		err := p.semi.semiScan(sen, func(idx []int) error {
+		err := sel.semiScan(sen, func(idx []int) error {
 			matched[idx[0]] = true
 			return nil
 		})

@@ -123,6 +123,11 @@ type compiledSelect struct {
 	ordSrc  int
 	ordCols []int
 	ordDesc bool
+	// proj, when non-nil, is the batch-aware projection plan: output
+	// parts invariant in one source's row (the detection queries'
+	// pattern site) replay from a per-site-row cache instead of
+	// re-evaluating per emitted row. Built for ungrouped selects only.
+	proj *projSpec
 }
 
 // errFound is the sentinel execExists uses to abort the join loop at
@@ -266,10 +271,13 @@ func (c *compiler) compileSubSelect(sel *Select) (*compiledSelect, error) {
 		cs.groupBy = append(cs.groupBy, ge)
 	}
 
-	// Output expressions.
+	// Output expressions. astOuts keeps the AST per output slot (nil
+	// for star-expanded columns) so the batch-aware projection can
+	// classify them after compilation.
 	if cs.cols, err = outputColumns(c, sel); err != nil {
 		return nil, err
 	}
+	var astOuts []Expr
 	for _, se := range sel.Exprs {
 		if se.Star {
 			for si, src := range scope.sources {
@@ -281,6 +289,7 @@ func (c *compiler) compileSubSelect(sel *Select) (*compiledSelect, error) {
 					cs.outs = append(cs.outs, func(en *env) (relation.Value, error) {
 						return en.frames[b.depth].rows[b.src][b.col], nil
 					})
+					astOuts = append(astOuts, nil)
 				}
 			}
 			continue
@@ -290,9 +299,15 @@ func (c *compiler) compileSubSelect(sel *Select) (*compiledSelect, error) {
 			return nil, err
 		}
 		cs.outs = append(cs.outs, oe)
+		astOuts = append(astOuts, se.Expr)
 	}
 	if len(cs.outs) != len(cs.cols) {
 		return nil, fmt.Errorf("sql: internal: %d output exprs for %d columns", len(cs.outs), len(cs.cols))
+	}
+	if !cs.grouped {
+		// Grouped emission stays row-at-a-time: aggregate outputs read
+		// per-group state that the invariance analysis cannot see.
+		cs.proj = inner.buildProjSpec(astOuts)
 	}
 
 	if sel.Having != nil {
@@ -420,14 +435,32 @@ func (cs *compiledSelect) exec(en *env) ([]relation.Tuple, error) {
 		orderServed = en.scheduleFor(cs, srcRows).orderServed
 	}
 
-	emit := func() error {
-		row := make(relation.Tuple, len(cs.outs))
+	// The batch-aware projection replays site-invariant output parts
+	// from a per-pattern cache. It stays off under DisablePlanner so
+	// the forced nested-loop differential leg evaluates the plain outs
+	// closures as an independent reference.
+	var projPS *projScratch
+	if cs.proj != nil && !DisablePlanner {
+		projPS = cs.proj.scratch(en, cs)
+	}
+	evalOuts := func(dst relation.Tuple) error {
+		if projPS != nil {
+			return cs.proj.evalOuts(en, cs, projPS, dst)
+		}
 		for i, oe := range cs.outs {
 			v, err := oe(en)
 			if err != nil {
 				return err
 			}
-			row[i] = v
+			dst[i] = v
+		}
+		return nil
+	}
+
+	emit := func() error {
+		row := make(relation.Tuple, len(cs.outs))
+		if err := evalOuts(row); err != nil {
+			return err
 		}
 		if len(cs.orderBy) > 0 && !orderServed {
 			keys := make([]relation.Value, len(cs.orderBy))
@@ -459,12 +492,8 @@ func (cs *compiledSelect) exec(en *env) ([]relation.Tuple, error) {
 		scratchRow := make(relation.Tuple, len(cs.outs))
 		var keyBuf []byte
 		emit = func() error {
-			for i, oe := range cs.outs {
-				v, err := oe(en)
-				if err != nil {
-					return err
-				}
-				scratchRow[i] = v
+			if err := evalOuts(scratchRow); err != nil {
+				return err
 			}
 			keyBuf = relation.AppendKeyOf(keyBuf[:0], scratchRow)
 			if seen[string(keyBuf)] {

@@ -95,10 +95,10 @@ func TestDeleteNoFullRebuild(t *testing.T) {
 			relation.Int(int64(i)), relation.Text(string(rune('a'+i%7))))
 	}
 	// Force both structures of both indexes to build.
-	mustQuery(t, db, `SELECT v FROM d WHERE rid = 17`)             // eq map on rid
+	mustQuery(t, db, `SELECT v FROM d WHERE rid = 17`)                 // eq map on rid
 	mustQuery(t, db, `SELECT rid FROM d WHERE rid > 100 ORDER BY rid`) // sorted on rid
-	mustQuery(t, db, `SELECT rid FROM d WHERE v = 'c'`)            // eq map on v
-	mustQuery(t, db, `SELECT v FROM d ORDER BY v`)                 // sorted on v
+	mustQuery(t, db, `SELECT rid FROM d WHERE v = 'c'`)                // eq map on v
+	mustQuery(t, db, `SELECT v FROM d ORDER BY v`)                     // sorted on v
 
 	ridIdx := testIndex(t, db, "d", "idx_d_rid")
 	vIdx := testIndex(t, db, "d", "idx_d_v")

@@ -61,10 +61,15 @@ type planTerm struct {
 	srcs  srcMask // union of part sources
 }
 
-// planPart is one AND factor of an OR alternative.
+// planPart is one AND factor of an OR alternative. kerns holds the
+// batch-kernel compilations of the part (one per source orientation
+// that qualifies); buildSchedule consumes them for plain conjuncts so
+// the level filters a selection vector instead of dispatching ex per
+// row.
 type planPart struct {
-	ex   compiledExpr
-	srcs srcMask
+	ex    compiledExpr
+	srcs  srcMask
+	kerns []kernelCand
 }
 
 // planConjunct is one AND conjunct of the WHERE clause.
@@ -132,7 +137,14 @@ func (c *compiler) planWhere(where Expr, cs *compiledSelect) {
 				if err != nil {
 					return
 				}
-				pt.parts = append(pt.parts, planPart{ex: ex, srcs: mask})
+				part := planPart{ex: ex, srcs: mask}
+				if len(termExprs) == 1 {
+					// Kernels are only ever consumed from plain (single-
+					// alternative) conjuncts, like extractEqui/extractRange
+					// below; extracting for OR parts would be dead work.
+					part.kerns = c.extractKernels(pe, depth)
+				}
+				pt.parts = append(pt.parts, part)
 				pt.srcs |= mask
 			}
 			pc.terms = append(pc.terms, pt)
@@ -308,9 +320,17 @@ type schedLevel struct {
 	// keys. ord, when set, makes the level iterate in full index order.
 	// Both yield in-order candidate lists; desc reverses the iteration
 	// for descending ORDER BY.
-	rng   *rangePlan
-	ord   *Index
-	desc  bool
+	rng  *rangePlan
+	ord  *Index
+	desc bool
+	// kerns are the batch kernels consumed at this level: plain (single-
+	// alternative) conjuncts fully decided here whose predicate lowers
+	// to a vector filter. The level then runs in batch mode — candidates
+	// are chunked into selection vectors, kernels tighten them over the
+	// cached column vectors, and only survivors reach the per-row evals
+	// and the deeper levels. Kernel-consumed conjuncts never appear in
+	// evals; the kernels evaluate them exactly.
+	kerns []*kernelPred
 	evals []schedEval
 }
 
@@ -359,6 +379,18 @@ type probePlan struct {
 	derived   bool
 	vals      []relation.Value // scratch
 	keyBuf    []byte           // scratch
+	// Compound-prefix fallback (idx == nil): an ordered index whose
+	// leading columns are exactly the probe columns answers the
+	// equality by binary search — no hash build — and an optional range
+	// bound on the next index column tightens the same search
+	// (multi-column pruning: equality prefix + range). The range
+	// conjunct is never consumed; its retained filter keeps exactness.
+	pfx       *Index
+	pfxPerm   []int // prefix position → probe key position
+	pfxLo     compiledExpr
+	pfxHi     compiledExpr
+	pfxRngCol int              // schema position of the ranged column (EXPLAIN)
+	pfxVals   []relation.Value // scratch, in index-column order
 }
 
 type planState struct {
@@ -371,6 +403,12 @@ type planState struct {
 	idx       []int // current row index per source
 	marks     [][]int
 	deadMarks [][]int
+	// Batch-mode scratch, per level: the selection-vector chunk, the
+	// per-entry kernel bindings, and the column vectors fetched once
+	// per level entry.
+	sel   [][]int
+	binds [][]kernBind
+	kcols [][][]relation.Value
 }
 
 func isNaN(v relation.Value) bool {
@@ -443,6 +481,32 @@ func buildSchedule(cs *compiledSelect, srcRows [][]relation.Tuple) *schedule {
 			probe.vals = make([]relation.Value, len(probe.keys))
 			if t := cs.sources[s].table; t != nil {
 				probe.idx, probe.perm = probeIndex(t, probe.buildCols)
+				if probe.idx == nil {
+					// No exact-cover index: a compound index whose leading
+					// columns are the probe columns still beats the hash
+					// build — binary-searched equality, optionally tightened
+					// by a range bound on the next index column.
+					if pfx, perm := t.findEqPrefixIndex(probe.buildCols); pfx != nil {
+						probe.pfx, probe.pfxPerm = pfx, perm
+						probe.pfxVals = make([]relation.Value, len(perm))
+						k := len(probe.buildCols)
+						probe.pfxRngCol = pfx.Cols[k]
+						for _, pc := range cs.conjs {
+							for _, rs := range pc.rngs {
+								if rs.src != s || rs.col != pfx.Cols[k] || rs.otherSrcs&^bound != 0 {
+									continue
+								}
+								if rs.lower {
+									if probe.pfxLo == nil {
+										probe.pfxLo = rs.key
+									}
+								} else if probe.pfxHi == nil {
+									probe.pfxHi = rs.key
+								}
+							}
+						}
+					}
+				}
 			}
 		}
 		lv.probe = probe
@@ -467,6 +531,33 @@ func buildSchedule(cs *compiledSelect, srcRows [][]relation.Tuple) *schedule {
 			}
 		}
 		boundAfter := bound | bit
+		// Batch-kernel consumption: a plain conjunct (one OR alternative)
+		// whose every part is ready exactly here and lowers to a kernel
+		// for this source runs as a vector filter over the cached column
+		// vectors instead of per-row closures. Descending iteration keeps
+		// the row path (the chunked driver emits ascending per chunk);
+		// derived sources have no column vectors.
+		if !DisableBatchKernels && !lv.desc && cs.sources[s].table != nil {
+			for ci, pc := range cs.conjs {
+				if consumed[ci] || len(pc.terms) != 1 {
+					continue
+				}
+				ready := len(pc.terms[0].parts) > 0
+				for _, p := range pc.terms[0].parts {
+					if p.srcs == 0 || p.srcs&bit == 0 || p.srcs&^boundAfter != 0 || kernFor(p.kerns, s) == nil {
+						ready = false
+						break
+					}
+				}
+				if !ready {
+					continue
+				}
+				for _, p := range pc.terms[0].parts {
+					lv.kerns = append(lv.kerns, kernFor(p.kerns, s))
+				}
+				consumed[ci] = true
+			}
+		}
 		for ci, pc := range cs.conjs {
 			if consumed[ci] || pc.srcs == 0 {
 				continue
@@ -497,6 +588,16 @@ func buildSchedule(cs *compiledSelect, srcRows [][]relation.Tuple) *schedule {
 		idx:       make([]int, n),
 		marks:     make([][]int, n),
 		deadMarks: make([][]int, n),
+		sel:       make([][]int, n),
+		binds:     make([][]kernBind, n),
+		kcols:     make([][][]relation.Value, n),
+	}
+	for i := range sch.levels {
+		if k := len(sch.levels[i].kerns); k > 0 {
+			sch.state.sel[i] = make([]int, 0, batchChunk)
+			sch.state.binds[i] = make([]kernBind, k)
+			sch.state.kcols[i] = make([][]relation.Value, k)
+		}
 	}
 	return sch
 }
@@ -630,7 +731,9 @@ func (cs *compiledSelect) planLevel(en *env, sch *schedule, srcRows [][]relation
 	if err != nil {
 		return err
 	}
-	fr := &en.frames[cs.depth]
+	if len(lv.kerns) > 0 {
+		return cs.planLevelBatch(en, sch, srcRows, pos, lv, rows, bucket, scanAll, yield)
+	}
 	marks := st.marks[pos][:0]
 	deadMarks := st.deadMarks[pos][:0]
 	n := len(rows)
@@ -646,67 +749,154 @@ func (cs *compiledSelect) planLevel(en *env, sch *schedule, srcRows [][]relation
 		if !scanAll {
 			ri = bucket[j]
 		}
-		fr.rows[lv.src] = rows[ri]
-		st.idx[lv.src] = ri
-		ok := true
-		marks = marks[:0]
-		deadMarks = deadMarks[:0]
-		for ei := range lv.evals {
-			ev := &lv.evals[ei]
-			if st.satLevel[ev.conj] != -1 {
+		if err := cs.stepRow(en, sch, srcRows, pos, lv, rows, ri, &marks, &deadMarks, yield); err != nil {
+			st.marks[pos] = marks
+			st.deadMarks[pos] = deadMarks
+			return err
+		}
+	}
+	st.marks[pos] = marks[:0]
+	st.deadMarks[pos] = deadMarks[:0]
+	return nil
+}
+
+// stepRow is the shared per-row body of both level drivers: bind the
+// candidate row, run the per-row conjunct machinery, recurse into the
+// deeper levels, and unwind the satisfied/dead bookkeeping. On error
+// the caller saves the scratch slices back into the plan state.
+func (cs *compiledSelect) stepRow(en *env, sch *schedule, srcRows [][]relation.Tuple, pos int, lv *schedLevel, rows []relation.Tuple, ri int, marks, deadMarks *[]int, yield func([]int) error) error {
+	st := sch.state
+	fr := &en.frames[cs.depth]
+	fr.rows[lv.src] = rows[ri]
+	st.idx[lv.src] = ri
+	*marks = (*marks)[:0]
+	*deadMarks = (*deadMarks)[:0]
+	ok, err := cs.evalLevelRow(en, st, lv, pos, marks, deadMarks)
+	if err != nil {
+		return err
+	}
+	if ok {
+		if err := cs.planLevel(en, sch, srcRows, pos+1, yield); err != nil {
+			return err
+		}
+	}
+	for _, cj := range *marks {
+		st.satLevel[cj] = -1
+	}
+	for _, tm := range *deadMarks {
+		st.termDead[tm] = false
+	}
+	return nil
+}
+
+// evalLevelRow runs one level's per-row conjunct machinery for the
+// currently bound row: evaluates the scheduled OR alternatives,
+// updates the satisfied/dead bookkeeping (collecting the changes in
+// marks/deadMarks for the caller to unwind after the subtree), and
+// reports whether the subtree below this row survives.
+func (cs *compiledSelect) evalLevelRow(en *env, st *planState, lv *schedLevel, pos int, marks, deadMarks *[]int) (bool, error) {
+	for ei := range lv.evals {
+		ev := &lv.evals[ei]
+		if st.satLevel[ev.conj] != -1 {
+			continue
+		}
+		satisfied := false
+		for ti := range ev.terms {
+			tr := &ev.terms[ti]
+			if st.termDead[tr.term] {
 				continue
 			}
-			satisfied := false
-			for ti := range ev.terms {
-				tr := &ev.terms[ti]
-				if st.termDead[tr.term] {
-					continue
+			allTrue := true
+			for _, pex := range tr.parts {
+				v, err := pex(en)
+				if err != nil {
+					return false, err
 				}
-				allTrue := true
-				for _, pex := range tr.parts {
-					v, err := pex(en)
-					if err != nil {
-						st.marks[pos] = marks
-						st.deadMarks[pos] = deadMarks
-						return err
-					}
-					if !v.Truth() {
-						allTrue = false
-						break
-					}
-				}
-				if !allTrue {
-					st.termDead[tr.term] = true
-					deadMarks = append(deadMarks, tr.term)
-					continue
-				}
-				if tr.closes {
-					satisfied = true
+				if !v.Truth() {
+					allTrue = false
 					break
 				}
 			}
-			if satisfied {
-				st.satLevel[ev.conj] = pos
-				marks = append(marks, ev.conj)
-			} else if ev.final {
-				ok = false
+			if !allTrue {
+				st.termDead[tr.term] = true
+				*deadMarks = append(*deadMarks, tr.term)
+				continue
+			}
+			if tr.closes {
+				satisfied = true
 				break
 			}
 		}
-		if ok {
-			if err := cs.planLevel(en, sch, srcRows, pos+1, yield); err != nil {
+		if satisfied {
+			st.satLevel[ev.conj] = pos
+			*marks = append(*marks, ev.conj)
+		} else if ev.final {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// planLevelBatch is the vectorized level driver: candidate positions
+// are chunked into fixed-size selection vectors, the level's kernels
+// tighten each chunk over the table's cached column vectors, and only
+// the surviving rows run the per-row machinery and the deeper levels.
+// Kernel bindings (the loop-invariant right-hand sides) evaluate once
+// per level entry. Candidate order is preserved end to end, so batch
+// mode composes with range-pruned and order-served scans.
+func (cs *compiledSelect) planLevelBatch(en *env, sch *schedule, srcRows [][]relation.Tuple, pos int, lv *schedLevel, rows []relation.Tuple, bucket []int, scanAll bool, yield func([]int) error) error {
+	st := sch.state
+	n := len(rows)
+	if !scanAll {
+		n = len(bucket)
+	}
+	if n == 0 {
+		return nil // empty candidate set: skip the kernel binds entirely
+	}
+	t := cs.sources[lv.src].table
+	binds := st.binds[pos]
+	kcols := st.kcols[pos]
+	for i, k := range lv.kerns {
+		if err := k.bind(en, &binds[i]); err != nil {
+			return err
+		}
+		if binds[i].empty {
+			return nil // NULL bound: the predicate holds for no row
+		}
+		kcols[i] = t.column(k.col)
+	}
+	marks := st.marks[pos][:0]
+	deadMarks := st.deadMarks[pos][:0]
+	sel := st.sel[pos]
+	for start := 0; start < n; start += batchChunk {
+		end := start + batchChunk
+		if end > n {
+			end = n
+		}
+		sel = sel[:0]
+		if scanAll {
+			for ri := start; ri < end; ri++ {
+				sel = append(sel, ri)
+			}
+		} else {
+			sel = append(sel, bucket[start:end]...)
+		}
+		for i, k := range lv.kerns {
+			sel = k.filter(kcols[i], &binds[i], sel)
+			if len(sel) == 0 {
+				break
+			}
+		}
+		for _, ri := range sel {
+			if err := cs.stepRow(en, sch, srcRows, pos, lv, rows, ri, &marks, &deadMarks, yield); err != nil {
+				st.sel[pos] = sel
 				st.marks[pos] = marks
 				st.deadMarks[pos] = deadMarks
 				return err
 			}
 		}
-		for _, cj := range marks {
-			st.satLevel[cj] = -1
-		}
-		for _, tm := range deadMarks {
-			st.termDead[tm] = false
-		}
 	}
+	st.sel[pos] = sel
 	st.marks[pos] = marks[:0]
 	st.deadMarks[pos] = deadMarks[:0]
 	return nil
@@ -746,6 +936,38 @@ func (cs *compiledSelect) probeRows(en *env, lv *schedLevel, rows []relation.Tup
 		}
 		p.keyBuf = key
 		return m[string(key)], false, nil
+	}
+	if p.pfx != nil {
+		// Compound-prefix probe: binary-searched equality on the index's
+		// leading columns, tightened by the optional range bound on the
+		// next column. A NULL range bound empties the level — `col OP
+		// NULL` never holds, and the retained filter agrees.
+		for j, pi := range p.pfxPerm {
+			p.pfxVals[j] = p.vals[pi]
+		}
+		var lo, hi relation.Value
+		hasLo, hasHi := false, false
+		if p.pfxLo != nil {
+			v, err := p.pfxLo(en)
+			if err != nil {
+				return nil, false, err
+			}
+			if v.IsNull() {
+				return nil, false, nil
+			}
+			lo, hasLo = v, true
+		}
+		if p.pfxHi != nil {
+			v, err := p.pfxHi(en)
+			if err != nil {
+				return nil, false, err
+			}
+			if v.IsNull() {
+				return nil, false, nil
+			}
+			hi, hasHi = v, true
+		}
+		return p.pfx.eqPrefixRange(cs.sources[lv.src].table, p.pfxVals, lo, hi, hasLo, hasHi), false, nil
 	}
 	if p.hash == nil {
 		p.hash = buildJoinHash(rows, p.buildCols)
@@ -873,6 +1095,13 @@ func (cs *compiledSelect) describePlan() []string {
 		switch {
 		case lv.probe != nil && lv.probe.idx != nil:
 			line = fmt.Sprintf("index probe %s via %s%s", label, lv.probe.idx.Name, size)
+		case lv.probe != nil && lv.probe.pfx != nil && (lv.probe.pfxLo != nil || lv.probe.pfxHi != nil):
+			line = fmt.Sprintf("index prefix range probe %s via %s (%d eq col(s) + range on %s)%s",
+				label, lv.probe.pfx.Name, len(lv.probe.buildCols),
+				cs.sources[lv.src].table.Schema.Attrs[lv.probe.pfxRngCol].Name, size)
+		case lv.probe != nil && lv.probe.pfx != nil:
+			line = fmt.Sprintf("index prefix probe %s via %s (%d eq col(s))%s",
+				label, lv.probe.pfx.Name, len(lv.probe.buildCols), size)
 		case lv.probe != nil:
 			line = fmt.Sprintf("hash join %s on %d key col(s)%s", label, len(lv.probe.keys), size)
 		case lv.rng != nil && lv.ord != nil:
@@ -885,6 +1114,11 @@ func (cs *compiledSelect) describePlan() []string {
 			line = fmt.Sprintf("ordered scan %s via %s%s", label, lv.ord.Name, size)
 		default:
 			line = fmt.Sprintf("scan %s%s", label, size)
+		}
+		if len(lv.kerns) > 0 {
+			line += fmt.Sprintf(" [batch: %d kernel filter(s)]", len(lv.kerns))
+		} else {
+			line += " [row]"
 		}
 		full, partial := 0, 0
 		for _, ev := range lv.evals {
@@ -947,12 +1181,21 @@ func (db *DB) Explain(sqlText string) (string, error) {
 			return "", err
 		}
 		b.WriteString("UPDATE " + p.t.Name + "\n")
-		if p.semi != nil {
+		// Mirror runUpdate's runtime choice exactly (useSemiJoin reads
+		// the same live table sizes), so the reported access path is the
+		// one that would execute right now.
+		switch {
+		case p.useSemiJoin():
 			b.WriteString("  semi-join row selection:\n")
 			for _, line := range p.semi.describePlan() {
 				b.WriteString("    " + line + "\n")
 			}
-		} else {
+		case p.filterSel != nil && !DisablePlanner:
+			b.WriteString("  planned row selection:\n")
+			for _, line := range p.filterSel.describePlan() {
+				b.WriteString("    " + line + "\n")
+			}
+		default:
 			b.WriteString("  full scan with row filter\n")
 		}
 	case *Delete:

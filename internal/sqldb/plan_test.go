@@ -96,19 +96,36 @@ func TestExplainShowsIndexProbe(t *testing.T) {
 }
 
 // TestExplainSemiJoinUpdate: UPDATE ... WHERE EXISTS over base tables
-// reports the semi-join row selection.
+// reports the semi-join row selection when the size heuristic would
+// actually take it, and the planned (batched) row selection otherwise —
+// EXPLAIN mirrors runUpdate's runtime choice.
 func TestExplainSemiJoinUpdate(t *testing.T) {
 	db := NewDB()
 	mustExec(t, db, `CREATE TABLE d (id INTEGER, flag INTEGER)`)
 	mustExec(t, db, `CREATE TABLE pat (id INTEGER)`)
-	mustExec(t, db, `INSERT INTO d VALUES (1, 0), (2, 0)`)
+	for i := 0; i < 12; i++ {
+		mustExec(t, db, `INSERT INTO d VALUES (?, 0)`, relation.Int(int64(i)))
+	}
 	mustExec(t, db, `INSERT INTO pat VALUES (2)`)
-	plan, err := db.Explain(`UPDATE d t SET flag = 1 WHERE EXISTS (SELECT 1 FROM pat p WHERE p.id = t.id)`)
+	q := `UPDATE d t SET flag = 1 WHERE EXISTS (SELECT 1 FROM pat p WHERE p.id = t.id)`
+	plan, err := db.Explain(q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(plan, "semi-join row selection") {
 		t.Fatalf("expected semi-join in plan:\n%s", plan)
+	}
+	// Grow the subquery side past the heuristic: the same statement now
+	// executes (and reports) the planned row selection instead.
+	for i := 0; i < 40; i++ {
+		mustExec(t, db, `INSERT INTO pat VALUES (?)`, relation.Int(int64(100+i)))
+	}
+	plan, err = db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "semi-join row selection") || !strings.Contains(plan, "planned row selection") {
+		t.Fatalf("expected the planned row selection once the subquery side dominates:\n%s", plan)
 	}
 }
 

@@ -231,14 +231,16 @@ func TestQuickRoundTripInsertSelect(t *testing.T) {
 }
 
 // TestPropertyPlannerNestedLoopEquivalence is the plan-equivalence
-// oracle: every generated SELECT runs through both the hash-join /
-// pushdown planner and the forced all-pairs nested loop, and the two
-// must produce identical multisets — identical sequences when an
-// ORDER BY pins the order. 160 queries cover joins (equi and cross),
-// OR conjuncts spanning sources, AND-within-OR alternatives,
-// correlated EXISTS / NOT EXISTS, IN-subqueries, NULL columns,
+// oracle: every generated SELECT runs three ways — the planner with
+// batch kernels, the planner with kernels forced off (per-row
+// closures), and the forced all-pairs nested loop — and all three must
+// produce identical multisets, identical sequences when an ORDER BY
+// pins the order. 160 queries cover joins (equi and cross), OR
+// conjuncts spanning sources, AND-within-OR alternatives, correlated
+// EXISTS / NOT EXISTS, IN-subqueries, IN lists, NULL columns,
 // DISTINCT, grouped aggregates, range predicates (<, <=, >, >=,
-// BETWEEN — range-pruned through the index on w.k) and ORDER BY
+// BETWEEN — range-pruned through the index on w.k, compound
+// equality-prefix + range through the (p, q) index on z) and ORDER BY
 // clauses (index-served on single-table w queries).
 func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(97))
@@ -247,6 +249,11 @@ func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 	mustExec(t, db, `CREATE TABLE u (x INTEGER, y TEXT)`)
 	mustExec(t, db, `CREATE TABLE w (k INTEGER, v INTEGER)`)
 	mustExec(t, db, `CREATE INDEX idx_w_k ON w (k)`)
+	// z has only a compound index: equality on p alone must fall back to
+	// the prefix probe (binary search), and p-equality + q-range hits the
+	// compound-bound path.
+	mustExec(t, db, `CREATE TABLE z (p INTEGER, q INTEGER, c INTEGER)`)
+	mustExec(t, db, `CREATE INDEX idx_z_pq ON z (p, q)`)
 	for i := 0; i < 70; i++ {
 		b := relation.Int(int64(rng.Intn(6)))
 		if rng.Intn(8) == 0 {
@@ -269,6 +276,14 @@ func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 		}
 		mustExec(t, db, `INSERT INTO w VALUES (?, ?)`, relation.Int(int64(rng.Intn(10))), v)
 	}
+	for i := 0; i < 50; i++ {
+		q := relation.Int(int64(rng.Intn(8)))
+		if rng.Intn(9) == 0 {
+			q = relation.Null()
+		}
+		mustExec(t, db, `INSERT INTO z VALUES (?, ?, ?)`,
+			relation.Int(int64(rng.Intn(6))), q, relation.Int(int64(rng.Intn(5))))
+	}
 
 	type src struct {
 		table   string
@@ -278,6 +293,7 @@ func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 		{table: "r", intCols: []string{"a", "b"}},
 		{table: "u", intCols: []string{"x"}},
 		{table: "w", intCols: []string{"k", "v"}},
+		{table: "z", intCols: []string{"p", "q", "c"}},
 	}
 
 	checked := 0
@@ -296,7 +312,7 @@ func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 		}
 		leaf := func() string {
 			i := rng.Intn(n)
-			switch rng.Intn(5) {
+			switch rng.Intn(7) {
 			case 0:
 				return fmt.Sprintf("%s = %d", intCol(i), rng.Intn(8))
 			case 1:
@@ -309,6 +325,12 @@ func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 				return fmt.Sprintf("%s BETWEEN %d AND %d", intCol(i), lo, lo+rng.Intn(5))
 			case 3:
 				return fmt.Sprintf("%s IS NOT NULL", intCol(i))
+			case 4:
+				neg := ""
+				if rng.Intn(3) == 0 {
+					neg = "NOT "
+				}
+				return fmt.Sprintf("%s %sIN (%d, %d, %d)", intCol(i), neg, rng.Intn(8), rng.Intn(8), rng.Intn(8))
 			default:
 				if n > 1 {
 					j := rng.Intn(n)
@@ -388,16 +410,10 @@ func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 			q = fmt.Sprintf("SELECT %s FROM %s%s", strings.Join(outs, ", "), strings.Join(from, ", "), where)
 		}
 
-		if ordered {
-			planned, nested := runBothPathsExact(t, db, q)
-			if planned != nested {
-				t.Fatalf("trial %d: ORDER BY sequence diverges on %q:\nplanned %q\nnested  %q", trial, q, planned, nested)
-			}
-		} else {
-			planned, nested := runBothPaths(t, db, q)
-			if planned != nested {
-				t.Fatalf("trial %d: planner diverges on %q:\nplanned %q\nnested  %q", trial, q, planned, nested)
-			}
+		batch, row, nested := runThreeWays(t, db, q, ordered)
+		if batch != row || row != nested {
+			t.Fatalf("trial %d: three-way divergence on %q (ordered=%v):\nbatch  %q\nrow    %q\nnested %q",
+				trial, q, ordered, batch, row, nested)
 		}
 		checked++
 	}
@@ -406,15 +422,27 @@ func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 	}
 }
 
-// runBothPathsExact is runBothPaths without the multiset
-// canonicalization: the two row sequences are compared as emitted.
-// Only valid for queries whose ORDER BY pins the full sequence.
-func runBothPathsExact(t *testing.T, db *DB, q string) (planned, nested string) {
+// runThreeWays executes q through (1) the planner with batch kernels,
+// (2) the planner with kernels forced onto the per-row closure path,
+// and (3) the forced all-pairs nested loop. exact compares the emitted
+// sequences byte-for-byte (valid when an ORDER BY pins the order);
+// otherwise results canonicalize to multisets.
+func runThreeWays(t *testing.T, db *DB, q string, exact bool) (batch, row, nested string) {
 	t.Helper()
-	DisablePlanner = false
-	p, err := db.Query(q)
+	canon := canonical
+	if exact {
+		canon = flat
+	}
+	DisablePlanner, DisableBatchKernels = false, false
+	b, err := db.Query(q)
 	if err != nil {
-		t.Fatalf("planned %q: %v", q, err)
+		t.Fatalf("batch %q: %v", q, err)
+	}
+	DisableBatchKernels = true
+	r, err := db.Query(q)
+	DisableBatchKernels = false
+	if err != nil {
+		t.Fatalf("row %q: %v", q, err)
 	}
 	DisablePlanner = true
 	n, err := db.Query(q)
@@ -422,7 +450,7 @@ func runBothPathsExact(t *testing.T, db *DB, q string) (planned, nested string) 
 	if err != nil {
 		t.Fatalf("nested %q: %v", q, err)
 	}
-	return flat(p), flat(n)
+	return canon(b), canon(r), canon(n)
 }
 
 // ORDER BY with mixed directions and an expression key.

@@ -441,14 +441,73 @@ func (c *compiler) probeSides(eq *Binary, innerDepth int) (col int, outer Expr, 
 	return try(eq.R, eq.L)
 }
 
+// siteClassifier fixes one invariance site across a sequence of
+// expressions and recognizes the two cacheable shapes — whole-
+// expression site-invariance, and the one-armed searched CASE whose
+// condition is site-only with a literal ELSE. It is the single source
+// of truth for the invariance rules, shared by the decorrelated
+// probe keys (buildProbeKey) and the batch-aware projection
+// (buildProjSpec). The first qualifying expression fixes the site;
+// expressions reading other sites stay on the general path.
+type siteClassifier struct {
+	c          *compiler
+	innerDepth int
+	site       binding
+	hasSite    bool
+}
+
+// adopt fixes the site on first use and reports whether e reads
+// exactly that site (and nothing deeper or elsewhere).
+func (sc *siteClassifier) adopt(e Expr) bool {
+	site, ok := sc.c.singleSite(e, sc.innerDepth)
+	if !ok {
+		return false
+	}
+	if !sc.hasSite {
+		sc.site, sc.hasSite = site, true
+	}
+	return site == sc.site
+}
+
+// cacheableCase reports the one-armed searched CASE with a literal
+// ELSE — the only CASE shape splitCase can split — without compiling
+// or adopting anything. Shared by splitCase and buildProjSpec's
+// site-fixing pre-pass so the two can never drift apart.
+func cacheableCase(e Expr) (*Case, bool) {
+	cse, ok := e.(*Case)
+	if !ok || cse.Operand != nil || len(cse.Whens) != 1 {
+		return nil, false
+	}
+	if _, ok := cse.Else.(*Literal); !ok {
+		return nil, false
+	}
+	return cse, true
+}
+
+// splitCase recognizes `CASE WHEN cond THEN res ELSE lit END` with a
+// site-only condition, compiling both halves. The shape check comes
+// first so adopt's site-fixing side effect only fires for qualifying
+// shapes.
+func (sc *siteClassifier) splitCase(e Expr) (cond, res compiledExpr, alt relation.Value, ok bool, err error) {
+	cse, isCase := cacheableCase(e)
+	if !isCase || !sc.adopt(cse.Whens[0].Cond) {
+		return
+	}
+	lit := cse.Else.(*Literal)
+	if cond, err = sc.c.compileExpr(cse.Whens[0].Cond); err != nil {
+		return nil, nil, relation.Value{}, false, err
+	}
+	if res, err = sc.c.compileExpr(cse.Whens[0].Result); err != nil {
+		return nil, nil, relation.Value{}, false, err
+	}
+	return cond, res, lit.Val, true, nil
+}
+
 // buildProbeKey compiles the outer (key) expressions of a decorrelated
-// probe and classifies each for loop-invariance. A part qualifies as
-// invariant when every column it reads lives at one outer binding site
-// (the pattern site) and it contains no subquery; a one-armed searched
-// CASE whose *condition* is pattern-site-only with a literal ELSE gets
-// the split treatment (condition cached per pattern tuple, THEN branch
-// evaluated per probe). The first qualifying part fixes the site; parts
-// reading other sites stay on the general path.
+// probe and classifies each for loop-invariance against the pattern
+// site (siteClassifier): invariant parts cache per pattern tuple,
+// split CASEs cache their condition and evaluate only the THEN branch
+// per probe, everything else stays on the general path.
 func (c *compiler) buildProbeKey(x *Exists, outer []Expr, innerDepth int) (*probeKey, error) {
 	pk := &probeKey{x: x, parts: make([]probePart, len(outer))}
 	for i, e := range outer {
@@ -461,41 +520,21 @@ func (c *compiler) buildProbeKey(x *Exists, outer []Expr, innerDepth int) (*prob
 	if DisableInvariantKeys || len(outer) > 64 {
 		return pk, nil
 	}
-	// adopt fixes the pattern site on first use and reports whether an
-	// expression reads exactly that site (and nothing deeper/elsewhere).
-	adopt := func(e Expr) bool {
-		site, ok := c.singleSite(e, innerDepth)
-		if !ok {
-			return false
-		}
-		if !pk.hasSite {
-			pk.site, pk.hasSite = site, true
-		}
-		return site == pk.site
-	}
+	sc := &siteClassifier{c: c, innerDepth: innerDepth}
 	for i, e := range outer {
-		if adopt(e) {
+		if sc.adopt(e) {
 			pk.parts[i].inv = true
 			continue
 		}
-		cs, ok := e.(*Case)
-		if !ok || cs.Operand != nil || len(cs.Whens) != 1 {
-			continue
-		}
-		lit, ok := cs.Else.(*Literal)
-		if !ok || !adopt(cs.Whens[0].Cond) {
-			continue
-		}
-		cond, err := c.compileExpr(cs.Whens[0].Cond)
+		cond, res, alt, ok, err := sc.splitCase(e)
 		if err != nil {
 			return nil, err
 		}
-		res, err := c.compileExpr(cs.Whens[0].Result)
-		if err != nil {
-			return nil, err
+		if ok {
+			pk.parts[i].cond, pk.parts[i].res, pk.parts[i].alt = cond, res, alt
 		}
-		pk.parts[i].cond, pk.parts[i].res, pk.parts[i].alt = cond, res, lit.Val
 	}
+	pk.site, pk.hasSite = sc.site, sc.hasSite
 	return pk, nil
 }
 

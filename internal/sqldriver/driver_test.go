@@ -196,6 +196,59 @@ func TestRegisterDBSharesEngine(t *testing.T) {
 	}
 }
 
+// TestPipelinedScript: a fixed multi-statement sequence — the shape
+// the detector's BatchDetect/ApplyUpdates pipelines use — goes through
+// database/sql as ONE prepared round trip, with parameter placeholders
+// indexing through the script in statement order.
+func TestPipelinedScript(t *testing.T) {
+	db := open(t, "t_pipeline")
+	if _, err := db.Exec(`CREATE TABLE pl (rid INTEGER, flag INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO pl VALUES (1, 9), (2, 9), (3, 9), (4, 9)`); err != nil {
+		t.Fatal(err)
+	}
+	script := `UPDATE pl SET flag = 0;
+UPDATE pl SET flag = 1 WHERE rid >= ?;
+UPDATE pl SET flag = 2 WHERE rid <= ?`
+	res, err := db.Exec(script, int64(3), int64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 reset + 2 high-slice + 1 low-slice rows affected in total.
+	if n, _ := res.RowsAffected(); n != 7 {
+		t.Errorf("pipelined script affected %d rows, want 7", n)
+	}
+	rows, err := db.Query(`SELECT flag FROM pl ORDER BY rid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var got []int64
+	for rows.Next() {
+		var f int64
+		if err := rows.Scan(&f); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, f)
+	}
+	want := []int64{2, 0, 1, 1}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("flags after pipeline: %v, want %v", got, want)
+		}
+	}
+	// And the prepared form reuses one handle for the whole script.
+	stmt, err := db.Prepare(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	if _, err := stmt.Exec(int64(2), int64(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestQueryErrors(t *testing.T) {
 	db := open(t, "t_err")
 	if _, err := db.Query(`SELECT * FROM missing`); err == nil {
