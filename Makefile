@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test race vet bench-short bench-json benchsmoke explain ci
+# Pipelines (benchmeasure's `go test | tee`) must fail when the test
+# binary fails, not report tee's exit status.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: build test race vet bench-short bench-json benchmeasure benchsmoke benchbaseline explain ci
 
 build:
 	$(GO) build ./...
@@ -25,10 +30,31 @@ bench-short:
 bench-json:
 	$(GO) run ./cmd/ecfdbench -scale 0.1 -json
 
+# The benchtime the baseline guard uses. Each tracked benchmark runs in
+# its own `go test` process: sharing a binary lets one benchmark's heap
+# inflate the next one's GC pacing by ~20%, which would poison the
+# committed numbers.
+BENCH_TIME = 15x
+
+# benchmeasure appends standalone runs of the tracked acceptance
+# benchmarks to bench_current.txt.
+benchmeasure:
+	$(GO) test -run '^$$' -bench 'BenchmarkBatchDetect10k$$' -benchtime $(BENCH_TIME) . | tee bench_current.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkFig5a$$' -benchtime $(BENCH_TIME) . | tee -a bench_current.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkConcurrentDetect$$' -benchtime $(BENCH_TIME) . | tee -a bench_current.txt
+
 # Bench smoke: run every benchmark exactly once (no measurement) so
-# bench-only code paths cannot silently rot; CI runs this too.
-benchsmoke:
+# bench-only code paths cannot silently rot, then measure the tracked
+# acceptance benchmarks, record them to bench_current.json, and fail on
+# a >25% regression against the committed BENCH_pr5.json. CI runs this.
+benchsmoke: benchmeasure
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+	$(GO) run ./cmd/benchguard -write bench_current.json < bench_current.txt
+	$(GO) run ./cmd/benchguard -check BENCH_pr5.json < bench_current.txt
+
+# Refresh the committed perf baseline after an intentional change.
+benchbaseline: benchmeasure
+	$(GO) run ./cmd/benchguard -write BENCH_pr5.json < bench_current.txt
 
 # Query plans of the detector's fixed statement set.
 explain:

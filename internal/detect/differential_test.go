@@ -1,0 +1,156 @@
+package detect
+
+import (
+	"bytes"
+	"database/sql"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ecfd/internal/gen"
+	"ecfd/internal/relation"
+	"ecfd/internal/sqldb"
+	"ecfd/internal/sqldriver"
+)
+
+// TestDetectThreeWayDifferential drives three detectors over identical
+// random DML sequences and asserts byte-identical violation sets after
+// every step:
+//
+//   - d_inc runs BatchDetect once, then maintains flags and Aux
+//     incrementally (ApplyUpdates) — the §V-B path;
+//   - d_batch applies the same changes raw (no maintenance) and
+//     recomputes with BatchDetect after each step;
+//   - d_par applies the same raw changes and recomputes with
+//     ParallelDetect(8).
+//
+// All three assign identical RID sequences (same insert batches in the
+// same order), so Violations() must render to the same bytes — not
+// just the same multiset. The whole differential runs with batch
+// kernels on and forced off, pinning every kernel path end to end.
+func TestDetectThreeWayDifferential(t *testing.T) {
+	run := func(t *testing.T) {
+		rng := rand.New(rand.NewSource(157))
+		for trial := 0; trial < 6; trial++ {
+			inst, sigma := randomInstanceAndSigma(rng, 45)
+			dInc := newDetector(t, sigma, inst)
+			dBatch := newDetector(t, sigma, inst)
+			dPar := newDetector(t, sigma, inst)
+			if _, err := dInc.BatchDetect(); err != nil {
+				t.Fatal(err)
+			}
+
+			for step := 0; step < 4; step++ {
+				// One combined update ΔD = (ΔD⁻, ΔD⁺): a random subset of
+				// current RIDs leaves, a random batch arrives.
+				rids, err := dInc.RIDs()
+				if err != nil {
+					t.Fatal(err)
+				}
+				var doomed []int64
+				if len(rids) > 0 && rng.Intn(4) > 0 {
+					k := 1 + rng.Intn(len(rids)/3+1)
+					for _, i := range rng.Perm(len(rids))[:k] {
+						doomed = append(doomed, rids[i])
+					}
+				}
+				var batch *relation.Relation
+				if rng.Intn(5) > 0 {
+					batch = randomRows(rng, inst.Schema, 1+rng.Intn(12))
+				}
+
+				if _, _, err := dInc.ApplyUpdates(batch, doomed); err != nil {
+					t.Fatalf("trial %d step %d incremental: %v", trial, step, err)
+				}
+				for _, d := range []*Detector{dBatch, dPar} {
+					if err := d.DeleteRaw(doomed); err != nil {
+						t.Fatal(err)
+					}
+					if batch != nil {
+						if _, err := d.InsertRaw(batch); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if _, err := dBatch.BatchDetect(); err != nil {
+					t.Fatalf("trial %d step %d batch: %v", trial, step, err)
+				}
+				if _, err := dPar.ParallelDetect(8); err != nil {
+					t.Fatalf("trial %d step %d parallel: %v", trial, step, err)
+				}
+
+				vInc := violationCSV(t, dInc)
+				vBatch := violationCSV(t, dBatch)
+				vPar := violationCSV(t, dPar)
+				if !bytes.Equal(vInc, vBatch) {
+					t.Fatalf("trial %d step %d: incremental vs batch violation sets differ\nsigma: %s\ninc:\n%s\nbatch:\n%s",
+						trial, step, sigmaString(sigma), vInc, vBatch)
+				}
+				if !bytes.Equal(vBatch, vPar) {
+					t.Fatalf("trial %d step %d: batch vs parallel(8) violation sets differ\nbatch:\n%s\npar:\n%s",
+						trial, step, vBatch, vPar)
+				}
+			}
+		}
+	}
+	t.Run("kernels=on", run)
+	t.Run("kernels=off", func(t *testing.T) {
+		sqldb.DisableBatchKernels = true
+		defer func() { sqldb.DisableBatchKernels = false }()
+		run(t)
+	})
+}
+
+// TestBatchDetectStatementsFullyBatched is the EXPLAIN acceptance for
+// the kernelized closure tail: none of the five BatchDetect statements
+// may contain a `[row]` scan source — every scan level with predicate
+// work runs kernels or OR groups, and pure join drivers carry no
+// evaluation-mode marker at all.
+func TestBatchDetectStatementsFullyBatched(t *testing.T) {
+	dsn := fmt.Sprintf("detect_batched_%d", dsnSeq.Add(1))
+	db, err := sql.Open(sqldriver.DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	defer sqldriver.Unregister(dsn)
+	d, err := New(db, gen.Schema(), gen.Constraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.LoadData(gen.Dataset(gen.Config{Rows: 1000, Noise: 5, Seed: 23})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.BatchDetect(); err != nil {
+		t.Fatal(err)
+	}
+	eng := sqldriver.Engine(dsn)
+	stmts := map[string]string{
+		"resetFlags": d.stmts.resetFlags,
+		"qsvUpdate":  d.stmts.qsvUpdate,
+		"qmvInsert":  d.stmts.qmvInsert,
+		"mvUpdate":   d.stmts.mvUpdate,
+		"truncAux":   "TRUNCATE TABLE " + d.auxTable,
+	}
+	for name, q := range stmts {
+		plan, err := eng.Explain(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if strings.Contains(plan, "[row]") {
+			t.Fatalf("%s still has a [row] scan source:\n%s", name, plan)
+		}
+	}
+	// And the pattern-predicate scans run OR-group kernels, not just
+	// marker-free drivers.
+	for _, name := range []string{"qsvUpdate", "qmvInsert", "mvUpdate"} {
+		plan, _ := eng.Explain(stmts[name])
+		if !strings.Contains(plan, "or-group(") {
+			t.Fatalf("%s carries no OR-group kernels:\n%s", name, plan)
+		}
+	}
+}

@@ -280,11 +280,17 @@ func TestParallelSliceQueriesRangePruned(t *testing.T) {
 		if !strings.Contains(plan, "range scan t via idx_"+d.dataTable+"_rid") {
 			t.Fatalf("%s is not range-pruned over the RID index:\n%s", name, plan)
 		}
-		// The slice bounds must also run as batch kernels: the data scan
-		// source reports batch mode, with both RID bounds vectorized.
-		if !strings.Contains(plan, "[batch: 2 kernel filter(s)]") {
-			t.Fatalf("%s data scan is not in batch mode:\n%s", name, plan)
+		// The inclusive slice bounds are exactly implied by the range
+		// prune, so their filters elide — no per-row RID re-checks at
+		// all, vectorized or otherwise.
+		if !strings.Contains(plan, "2 filter(s) elided: implied by range") {
+			t.Fatalf("%s slice bounds are not elided into the range prune:\n%s", name, plan)
 		}
+	}
+	// The Qsv slice scan additionally runs its OR-alternative pattern
+	// predicates as OR-group kernels over the data's column vectors.
+	if plan, err := eng.Explain(qsvSlice); err != nil || !strings.Contains(plan, "or-group(") {
+		t.Fatalf("qsvRIDsSlice pattern predicates are not OR-group kernels (%v):\n%s", err, plan)
 	}
 
 	vioQ := fmt.Sprintf("SELECT %s FROM %s WHERE %s = 1 OR %s = 1 ORDER BY %s",

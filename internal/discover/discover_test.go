@@ -1,6 +1,7 @@
 package discover
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -166,5 +167,75 @@ func TestDiscoverNullsIgnored(t *testing.T) {
 	// The NULL rows do not match any In-pattern, so nothing violates.
 	if v.Count() != 0 {
 		t.Errorf("NULL handling broke soundness: %d violations", v.Count())
+	}
+}
+
+// TestDiscoverPropertyHoldsOnSample is the randomized soundness
+// property: whatever the workload — row count, noise level, support
+// and size bounds — every constraint Discover returns must (a) pass
+// Validate and (b) hold on the exact relation it was mined from, even
+// when that relation is noisy (the miner only reports patterns that
+// are violation-free on the sample by construction).
+func TestDiscoverPropertyHoldsOnSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(167))
+	for trial := 0; trial < 8; trial++ {
+		inst := gen.Dataset(gen.Config{
+			Rows:  500 + rng.Intn(1500),
+			Noise: float64(rng.Intn(10)),
+			Seed:  int64(trial + 11),
+		})
+		opts := Options{
+			MinSupport:    5 + rng.Intn(25),
+			MaxRHSSet:     2 + rng.Intn(10),
+			MaxExceptions: 1 + rng.Intn(6),
+			MaxBindings:   5 + rng.Intn(20),
+		}
+		found, err := Discover(inst, opts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, e := range found {
+			if err := e.Validate(); err != nil {
+				t.Fatalf("trial %d: discovered constraint fails validation: %v\n%s", trial, err, e)
+			}
+		}
+		if len(found) == 0 {
+			continue // heavy noise with tight bounds can mine nothing
+		}
+		v, err := core.NaiveDetect(inst, found)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := v.Count(); n != 0 {
+			t.Fatalf("trial %d: discovered constraints violated by their own sample (%d violating rows, opts=%+v)",
+				trial, n, opts)
+		}
+	}
+}
+
+// TestDiscoverRediscoversRepairedData closes the loop with the repair
+// package's contract: a repaired (violation-free) instance must yield
+// constraints that hold on it — and mining clean data at descending
+// support must be monotone in the candidate count (a looser support
+// bound can only add candidates).
+func TestDiscoverSupportMonotonicity(t *testing.T) {
+	inst := gen.Dataset(gen.Config{Rows: 3000, Noise: 0, Seed: 29})
+	prev := -1
+	for _, sup := range []int{80, 40, 20, 10} {
+		found, err := Discover(inst, Options{MinSupport: sup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := core.NaiveDetect(inst, found)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Count() != 0 {
+			t.Fatalf("support %d: mined constraints violated by the sample", sup)
+		}
+		if prev >= 0 && len(found) < prev {
+			t.Fatalf("support %d mined %d constraints, fewer than the tighter bound's %d", sup, len(found), prev)
+		}
+		prev = len(found)
 	}
 }

@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"math/rand"
 	"testing"
 
 	"ecfd/internal/core"
@@ -158,5 +159,98 @@ func TestRepairInvalidConstraint(t *testing.T) {
 	bad := &core.ECFD{Name: "bad", Schema: core.CustSchema(), X: []string{"CT"}, Y: []string{"AC"}}
 	if _, err := Repair(core.Fig1Instance(), []*core.ECFD{bad}, Options{}); err == nil {
 		t.Error("invalid constraint must error")
+	}
+}
+
+// TestRepairPropertyRandom is the randomized soundness property: over
+// random workloads (row counts, noise levels, constraint subsets,
+// round budgets) a repair result must be internally consistent —
+// Remaining equals the naive violation count of the repaired instance,
+// Remaining == 0 implies the instance satisfies Σ, the input is never
+// modified, and every cell that differs between input and output is
+// accounted for by a logged Change.
+func TestRepairPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	all := gen.Constraints()
+	for trial := 0; trial < 10; trial++ {
+		rows := 200 + rng.Intn(400)
+		noise := float64(rng.Intn(12))
+		inst := gen.Dataset(gen.Config{Rows: rows, Noise: noise, Seed: int64(trial + 1)})
+		before := inst.Clone()
+
+		k := 1 + rng.Intn(len(all))
+		var sigma []*core.ECFD
+		for _, i := range rng.Perm(len(all))[:k] {
+			sigma = append(sigma, all[i])
+		}
+		opts := Options{MaxRounds: 1 + rng.Intn(6)}
+
+		res, err := Repair(inst, sigma, opts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// The input is untouched.
+		for ri := range inst.Rows {
+			if !inst.Rows[ri].Equal(before.Rows[ri]) {
+				t.Fatalf("trial %d: Repair modified its input at row %d", trial, ri)
+			}
+		}
+		// Remaining agrees with the naive oracle on the repaired data.
+		v, err := core.NaiveDetect(res.Repaired, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := v.Count(); got != res.Remaining {
+			t.Fatalf("trial %d: Remaining=%d but naive counts %d violating rows", trial, res.Remaining, got)
+		}
+		if res.Remaining == 0 {
+			ok, err := core.Satisfies(res.Repaired, sigma)
+			if err != nil || !ok {
+				t.Fatalf("trial %d: Remaining=0 but Satisfies=%v (%v)", trial, ok, err)
+			}
+		}
+		// Every differing cell is covered by a logged change.
+		changed := map[[2]int]bool{}
+		for _, ch := range res.Changes {
+			ci := inst.Schema.Index(ch.Attribute)
+			if ci < 0 {
+				t.Fatalf("trial %d: change names unknown attribute %q", trial, ch.Attribute)
+			}
+			changed[[2]int{ch.Row, ci}] = true
+		}
+		for ri := range inst.Rows {
+			for ci := range inst.Rows[ri] {
+				same := relation.Identical(inst.Rows[ri][ci], res.Repaired.Rows[ri][ci])
+				if !same && !changed[[2]int{ri, ci}] {
+					t.Fatalf("trial %d: cell (%d,%d) differs but no Change logs it", trial, ri, ci)
+				}
+			}
+		}
+		if res.Rounds < 1 || res.Rounds > opts.MaxRounds {
+			t.Fatalf("trial %d: rounds %d outside [1,%d]", trial, res.Rounds, opts.MaxRounds)
+		}
+	}
+}
+
+// TestRepairFullSigmaConverges: with the full generated Σ and the
+// default round budget, repairs of moderately noisy data always reach
+// a satisfying instance (the deterministic test pins one workload;
+// this sweeps seeds and noise levels).
+func TestRepairFullSigmaConverges(t *testing.T) {
+	sigma := gen.Constraints()
+	for seed := int64(1); seed <= 4; seed++ {
+		inst := gen.Dataset(gen.Config{Rows: 800, Noise: float64(seed * 2), Seed: seed})
+		res, err := Repair(inst, sigma, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Remaining != 0 {
+			t.Fatalf("seed %d: %d violations remain after %d rounds", seed, res.Remaining, res.Rounds)
+		}
+		ok, err := core.Satisfies(res.Repaired, sigma)
+		if err != nil || !ok {
+			t.Fatalf("seed %d: repaired instance does not satisfy Σ (%v)", seed, err)
+		}
 	}
 }

@@ -402,14 +402,865 @@ func (c *compiler) extractKernels(e Expr, depth int) []kernelCand {
 	return nil
 }
 
-// kernFor picks the candidate matching a level's source.
-func kernFor(cands []kernelCand, src int) *kernelPred {
+// ---- generalized kernel predicates: OR groups and probe kernels ----
+//
+// The simple kernels above cover plain conjuncts. The eCFD detection
+// queries, however, are dominated by OR groups whose alternatives mix
+// pattern-side guards with per-row set probes:
+//
+//	(c.A_L <> 1 OR EXISTS (SELECT 1 FROM tal s WHERE s.CID = c.CID AND s.VAL = t.A))
+//
+// kpred is the compiled, kernelizable form of one AND part of one OR
+// alternative, relative to one source orientation. Four shapes:
+//
+//   - inv: the part never reads the level source — it is loop-invariant
+//     for the level and evaluates once per entry (the guards above);
+//   - simple: the PR-4 kernel shapes (compare, IN, IS NULL, BETWEEN);
+//   - probe: a decorrelated EXISTS whose hash/index build and key
+//     scratch resolve once per level entry instead of once per row;
+//   - or: a nested disjunction of kernelizable atoms (the NotIn
+//     alternative's `t.A IS NULL OR EXISTS (...)`).
+//
+// buildSchedule consumes a whole conjunct as an OR-group kernel when
+// every part that reads the level's source lowers to a kpred; a group
+// with any non-kernelizable part falls back whole to the per-row
+// closure path, so semantics never change.
+type kpred struct {
+	inv    compiledExpr
+	simple *kernelPred
+	probe  *kprobe
+	or     []*kpred
+}
+
+// kpredCand records that a part can run as a kernel when source src is
+// the part's scheduled level.
+type kpredCand struct {
+	src int
+	k   *kpred
+}
+
+// kpFor picks the generalized candidate matching a level's source.
+func kpFor(cands []kpredCand, src int) *kpred {
 	for i := range cands {
 		if cands[i].src == src {
 			return cands[i].k
 		}
 	}
 	return nil
+}
+
+// kpSimpleFor returns the plain kernel of a part for a source, if the
+// part lowers to one — the existing AND-conjunct consumption reads it.
+func kpSimpleFor(cands []kpredCand, src int) *kernelPred {
+	if k := kpFor(cands, src); k != nil {
+		return k.simple
+	}
+	return nil
+}
+
+// kprobePartKind classifies one key part of a probe kernel relative to
+// the level source.
+type kprobePartKind uint8
+
+const (
+	pkInv     kprobePartKind = iota // never reads the level source: bind once per entry
+	pkCol                           // plain column of the level source: vector read
+	pkCase                          // one-armed CASE, condition invariant for the level
+	pkGeneric                       // reads the level source arbitrarily: per-row closure
+)
+
+// kprobeResKind classifies the THEN arm of a pkCase part.
+type kprobeResKind uint8
+
+const (
+	resGeneric      kprobeResKind = iota // per-row closure
+	resCol                               // plain column of the level source
+	resTextCoalesce                      // COALESCE(TOTEXT(col), lit) — the '@'-blanking shape
+)
+
+type kprobePart struct {
+	kind    kprobePartKind
+	full    compiledExpr   // pkInv, pkGeneric
+	col     int            // pkCol; pkCase resCol / resTextCoalesce
+	cond    compiledExpr   // pkCase
+	resKind kprobeResKind  // pkCase
+	resFull compiledExpr   // pkCase resGeneric
+	alt     relation.Value // pkCase ELSE literal
+	nullLit relation.Value // resTextCoalesce COALESCE fallback literal
+}
+
+// kprobe is the compiled batch form of a decorrelated EXISTS for one
+// level source: the shared decorrProbe plus the per-part vectorization
+// classes. Semantics mirror the closure path exactly — same build set
+// or index, same key encoding, NULL key parts never match.
+type kprobe struct {
+	d        *decorrProbe
+	neg      bool
+	src      int
+	parts    []kprobePart
+	needsRow bool // some part evaluates a closure against the level row
+}
+
+// extractKPred compiles the generalized kernel candidates of one plan
+// part, one per source orientation that works. Returns nil when the
+// part's shape does not qualify for any source — the closure path is
+// always available.
+func (c *compiler) extractKPred(e Expr, depth int) []kpredCand {
+	if cands := c.extractKernels(e, depth); len(cands) > 0 {
+		out := make([]kpredCand, len(cands))
+		for i, kc := range cands {
+			out[i] = kpredCand{src: kc.src, k: &kpred{simple: kc.k}}
+		}
+		return out
+	}
+	switch x := e.(type) {
+	case *Exists:
+		return c.extractProbeKernels(x, depth)
+	case *Binary:
+		if x.Op != "OR" {
+			return nil
+		}
+		var atoms []Expr
+		flattenLogical("OR", x, &atoms)
+		return c.extractNestedOr(atoms, depth)
+	}
+	return nil
+}
+
+// extractNestedOr lowers a disjunction nested inside an AND part: for
+// a source candidate, every atom reading that source must itself
+// kernelize; atoms not reading it become per-entry invariant closures
+// (an invariant atom binding true makes the whole disjunction true for
+// every row of the entry).
+func (c *compiler) extractNestedOr(atoms []Expr, depth int) []kpredCand {
+	var union srcMask
+	masks := make([]srcMask, len(atoms))
+	for i, a := range atoms {
+		var m srcMask
+		if err := c.walkBindings(a, func(b binding) {
+			if b.depth == depth {
+				m |= 1 << uint(b.src)
+			}
+		}); err != nil {
+			return nil
+		}
+		masks[i] = m
+		union |= m
+	}
+	var out []kpredCand
+	for src := 0; src < 64; src++ {
+		bit := srcMask(1) << uint(src)
+		if union&bit == 0 {
+			continue
+		}
+		sub := make([]*kpred, 0, len(atoms))
+		ok := true
+		for i, a := range atoms {
+			if masks[i]&bit == 0 {
+				ce, err := c.compileExpr(a)
+				if err != nil {
+					ok = false
+					break
+				}
+				sub = append(sub, &kpred{inv: ce})
+				continue
+			}
+			k := kpFor(c.extractKPred(a, depth), src)
+			if k == nil {
+				ok = false
+				break
+			}
+			sub = append(sub, k)
+		}
+		if ok {
+			out = append(out, kpredCand{src: src, k: &kpred{or: sub}})
+		}
+	}
+	return out
+}
+
+// extractProbeKernels lowers a [NOT] EXISTS part to probe kernels, one
+// per current-depth source its key expressions read.
+func (c *compiler) extractProbeKernels(x *Exists, depth int) []kpredCand {
+	d, err := c.analyzeDecorrelate(x)
+	if err != nil || d == nil {
+		return nil
+	}
+	var union srcMask
+	masks := make([]srcMask, len(d.outer))
+	for i, e := range d.outer {
+		var m srcMask
+		if err := c.walkBindings(e, func(b binding) {
+			if b.depth == depth {
+				m |= 1 << uint(b.src)
+			}
+		}); err != nil {
+			return nil
+		}
+		masks[i] = m
+		union |= m
+	}
+	var out []kpredCand
+	for src := 0; src < 64; src++ {
+		if union&(1<<uint(src)) == 0 {
+			continue
+		}
+		if kp := c.buildProbeKernel(d, masks, depth, src); kp != nil {
+			out = append(out, kpredCand{src: src, k: &kpred{probe: kp}})
+		}
+	}
+	return out
+}
+
+// buildProbeKernel classifies every key part of a decorrelated probe
+// relative to one source. Classification is total (pkGeneric catches
+// everything), so this only fails on compile errors.
+func (c *compiler) buildProbeKernel(d *decorrProbe, masks []srcMask, depth, src int) *kprobe {
+	bit := srcMask(1) << uint(src)
+	kp := &kprobe{d: d, neg: d.neg, src: src, parts: make([]kprobePart, len(d.outer))}
+	for i, e := range d.outer {
+		p := &kp.parts[i]
+		if masks[i]&bit == 0 {
+			ce, err := c.compileExpr(e)
+			if err != nil {
+				return nil
+			}
+			p.kind, p.full = pkInv, ce
+			continue
+		}
+		if ref, ok := e.(*ColumnRef); ok {
+			if b, err := c.resolve(ref); err == nil && b.depth == depth && b.src == src {
+				p.kind, p.col = pkCol, b.col
+				continue
+			}
+		}
+		if c.classifyCasePart(p, e, depth, src, bit) {
+			if p.resKind == resGeneric && p.resFull == nil {
+				return nil // compile error in the THEN arm
+			}
+			kp.needsRow = kp.needsRow || (p.resKind == resGeneric)
+			continue
+		}
+		ce, err := c.compileExpr(e)
+		if err != nil {
+			return nil
+		}
+		p.kind, p.full = pkGeneric, ce
+		kp.needsRow = true
+	}
+	return kp
+}
+
+// classifyCasePart recognizes the '@'-blanking key shape — a one-armed
+// searched CASE with a level-invariant condition and a literal ELSE —
+// and fills p as a pkCase part. Returns false when e is not that shape
+// (the caller falls back to pkGeneric).
+func (c *compiler) classifyCasePart(p *kprobePart, e Expr, depth, src int, bit srcMask) bool {
+	cse, ok := cacheableCase(e)
+	if !ok {
+		return false
+	}
+	var cm srcMask
+	if err := c.walkBindings(cse.Whens[0].Cond, func(b binding) {
+		if b.depth == depth {
+			cm |= 1 << uint(b.src)
+		}
+	}); err != nil || cm&bit != 0 {
+		return false
+	}
+	cond, err := c.compileExpr(cse.Whens[0].Cond)
+	if err != nil {
+		return false
+	}
+	p.kind, p.cond, p.alt = pkCase, cond, cse.Else.(*Literal).Val
+	res := cse.Whens[0].Result
+	if col, lit, ok := c.textCoalesceCol(res, depth, src); ok {
+		p.resKind, p.col, p.nullLit = resTextCoalesce, col, lit
+		return true
+	}
+	if ref, ok := res.(*ColumnRef); ok {
+		if b, err := c.resolve(ref); err == nil && b.depth == depth && b.src == src {
+			p.resKind, p.col = resCol, b.col
+			return true
+		}
+	}
+	rf, err := c.compileExpr(res)
+	if err != nil {
+		p.resKind, p.resFull = resGeneric, nil // caller rejects
+		return true
+	}
+	p.resKind, p.resFull = resGeneric, rf
+	return true
+}
+
+// textCoalesceCol matches COALESCE(TOTEXT(col), lit) / IFNULL(...) over
+// a column of the given source — the Qmv macro's NULL-marking idiom —
+// returning the column and the fallback literal.
+func (c *compiler) textCoalesceCol(e Expr, depth, src int) (int, relation.Value, bool) {
+	fc, ok := e.(*FuncCall)
+	if !ok || (fc.Name != "COALESCE" && fc.Name != "IFNULL") || len(fc.Args) != 2 {
+		return 0, relation.Value{}, false
+	}
+	tt, ok := fc.Args[0].(*FuncCall)
+	if !ok || tt.Name != "TOTEXT" || len(tt.Args) != 1 {
+		return 0, relation.Value{}, false
+	}
+	ref, ok := tt.Args[0].(*ColumnRef)
+	if !ok {
+		return 0, relation.Value{}, false
+	}
+	lit, ok := fc.Args[1].(*Literal)
+	if !ok {
+		return 0, relation.Value{}, false
+	}
+	b, err := c.resolve(ref)
+	if err != nil || b.depth != depth || b.src != src {
+		return 0, relation.Value{}, false
+	}
+	return b.col, lit.Val, true
+}
+
+// ---- per-schedule OR-group instances ----
+
+// Tri-state of a pred for one level entry.
+const (
+	pNormal uint8 = iota
+	pAlways       // holds for every candidate row: skip at filter time
+	pNever        // holds for no row: the alternative is dead this entry
+)
+
+// orGroupK is the per-schedule (single-goroutine) instance of one
+// group-kernel-consumed conjunct. All mutable bind state lives here;
+// the compiled kpred tree is shared and immutable.
+//
+// Binding is lazy, term by term, at filter time: alternative i's
+// invariant parts and kernel binds evaluate only when a candidate row
+// actually reaches it (no earlier alternative matched it) — exactly
+// when the row path would evaluate that alternative's closures. An
+// erroring expression in a later alternative therefore errors the
+// batch path precisely when it errors the row path, never earlier.
+type orGroupK struct {
+	conj   int
+	nTerms int
+	terms  []orTermK
+	// entry state
+	pass bool // some alternative holds for every row: group filters nothing
+}
+
+type orTermK struct {
+	binds []compiledExpr // parts not reading the level source: all must bind true
+	preds []predInst
+	bound bool // binds evaluated and preds bound for this entry
+	live  bool
+	// always: binds held and every pred is pAlways — the alternative
+	// holds for every candidate row of the entry, so the whole group
+	// passes from the first row that reaches it.
+	always bool
+}
+
+// predInst carries one kpred's per-entry bind state.
+type predInst struct {
+	k     *kpred
+	state uint8
+	b     kernBind
+	colv  []relation.Value
+	probe *probeInst
+	or    []predInst
+	// nested-or scratch: candidate copies and the row-match mask
+	orRem, orCur []int
+	orMask       []bool
+}
+
+// probeInst is the bound state of one probe kernel.
+type probeInst struct {
+	k       *kprobe
+	m       map[string][]int
+	set     map[string]bool
+	vals    []relation.Value   // constant part values this entry
+	con     []bool             // part i is constant this entry
+	condT   []bool             // pkCase condition held this entry
+	colvs   [][]relation.Value // column vectors for vectorized parts
+	rowVals []relation.Value   // per-row key scratch
+	keyBuf  []byte
+	// Per-entry key plan: pfx holds the encoded constant key prefix
+	// (the leading parts of the encode order — index column order for
+	// index probes, natural order for hash probes — that are constant
+	// for the entry, e.g. the pattern's CID), tail the part indices
+	// still encoded per row.
+	pfx  []byte
+	tail []int
+	// Small-set scan: when an index probe's only per-row part is a
+	// plain column (the `s.CID = c.CID AND s.VAL = t.A` shape with CID
+	// bound), the entry's matching inner values are materialized once
+	// via the index's ordered prefix search, and each row Identical-
+	// scans that tiny set instead of encoding a key and hashing.
+	// Identical mirrors the key encoding exactly (exact numerics, NaN
+	// self-equal), so hit/miss never diverges from the hash path.
+	scanVals []relation.Value
+	scanOn   bool
+	scanCol  int // part index of the per-row column
+	pfxVals  []relation.Value
+}
+
+// probeScanSetMax bounds the materialized per-entry value set: beyond
+// this many matching inner rows the hash path stays cheaper.
+const probeScanSetMax = 24
+
+// newPredInst instantiates the bind-state tree for a compiled kpred.
+func newPredInst(k *kpred) predInst {
+	p := predInst{k: k}
+	if k.probe != nil {
+		n := len(k.probe.parts)
+		p.probe = &probeInst{
+			k:       k.probe,
+			vals:    make([]relation.Value, n),
+			con:     make([]bool, n),
+			condT:   make([]bool, n),
+			colvs:   make([][]relation.Value, n),
+			rowVals: make([]relation.Value, n),
+		}
+	}
+	for _, sub := range k.or {
+		p.or = append(p.or, newPredInst(sub))
+	}
+	return p
+}
+
+// newOrGroupK builds the group instance for conjunct ci consumed at
+// the level scanning source s.
+func newOrGroupK(pc *planConjunct, ci, s int) *orGroupK {
+	bit := srcMask(1) << uint(s)
+	g := &orGroupK{conj: ci, nTerms: len(pc.terms)}
+	for _, t := range pc.terms {
+		tm := orTermK{}
+		for _, p := range t.parts {
+			if p.srcs&bit == 0 {
+				tm.binds = append(tm.binds, p.ex)
+				continue
+			}
+			tm.preds = append(tm.preds, newPredInst(kpFor(p.kp, s)))
+		}
+		g.terms = append(g.terms, tm)
+	}
+	return g
+}
+
+// enter resets the group's per-entry state. No expression evaluates
+// here — terms bind lazily, at the first filter moment a candidate
+// row reaches them, mirroring the row path's evaluation order.
+func (g *orGroupK) enter() {
+	g.pass = false
+	for ti := range g.terms {
+		g.terms[ti].bound = false
+	}
+}
+
+// bindTerm evaluates one alternative's invariant parts and kernel
+// binds for the current entry. Called only when candidate rows reach
+// the alternative.
+func (g *orGroupK) bindTerm(en *env, t *Table, tm *orTermK) error {
+	tm.bound, tm.live, tm.always = true, true, true
+	for _, ex := range tm.binds {
+		v, err := ex(en)
+		if err != nil {
+			return err
+		}
+		if !v.Truth() {
+			tm.live = false
+			return nil
+		}
+	}
+	for pi := range tm.preds {
+		p := &tm.preds[pi]
+		if err := p.bind(en, t); err != nil {
+			return err
+		}
+		if p.state == pNever {
+			tm.live = false
+			return nil
+		}
+		if p.state != pAlways {
+			tm.always = false
+		}
+	}
+	return nil
+}
+
+func (p *predInst) bind(en *env, t *Table) error {
+	k := p.k
+	switch {
+	case k.inv != nil:
+		v, err := k.inv(en)
+		if err != nil {
+			return err
+		}
+		if v.Truth() {
+			p.state = pAlways
+		} else {
+			p.state = pNever
+		}
+	case k.simple != nil:
+		if err := k.simple.bind(en, &p.b); err != nil {
+			return err
+		}
+		if p.b.empty {
+			p.state = pNever
+			return nil
+		}
+		p.state = pNormal
+		p.colv = t.column(k.simple.col)
+	case k.probe != nil:
+		return p.probe.bind(en, t, &p.state)
+	default: // nested OR
+		p.state = pNever
+		for i := range p.or {
+			sub := &p.or[i]
+			if err := sub.bind(en, t); err != nil {
+				return err
+			}
+			if sub.state == pAlways {
+				p.state = pAlways
+				return nil
+			}
+			if sub.state == pNormal {
+				p.state = pNormal
+			}
+		}
+	}
+	return nil
+}
+
+func (pb *probeInst) bind(en *env, t *Table, state *uint8) error {
+	k := pb.k
+	if k.d.idx != nil {
+		pb.m = k.d.idx.lookup(k.d.t)
+	} else {
+		hb, err := k.d.ensureHash(en)
+		if err != nil {
+			return err
+		}
+		pb.set = hb.set
+	}
+	*state = pNormal
+	constNull := false
+	for i := range k.parts {
+		part := &k.parts[i]
+		pb.con[i] = false
+		switch part.kind {
+		case pkInv:
+			v, err := part.full(en)
+			if err != nil {
+				return err
+			}
+			pb.vals[i], pb.con[i] = v, true
+			if v.IsNull() {
+				constNull = true
+			}
+		case pkCol:
+			pb.colvs[i] = t.column(part.col)
+		case pkCase:
+			cv, err := part.cond(en)
+			if err != nil {
+				return err
+			}
+			pb.condT[i] = cv.Truth()
+			if !pb.condT[i] {
+				pb.vals[i], pb.con[i] = part.alt, true
+				if part.alt.IsNull() {
+					constNull = true
+				}
+			} else if part.resKind == resCol || part.resKind == resTextCoalesce {
+				pb.colvs[i] = t.column(part.col)
+			}
+		}
+	}
+	if constNull {
+		// A NULL key part never matches: EXISTS is false for every row,
+		// exactly like the closure's NULL-key check.
+		if k.neg {
+			*state = pAlways
+		} else {
+			*state = pNever
+		}
+		return nil
+	}
+	// Key plan: pre-encode the constant prefix of the encode order and
+	// remember which parts remain per-row. Constant parts are non-NULL
+	// here (constNull returned above), so the prefix never hides a
+	// NULL-key miss.
+	pb.pfx = pb.pfx[:0]
+	pb.tail = pb.tail[:0]
+	pb.pfxVals = pb.pfxVals[:0]
+	pb.scanOn = false
+	n := len(k.parts)
+	inPrefix := true
+	for j := 0; j < n; j++ {
+		i := j
+		if k.d.idx != nil {
+			i = k.d.perm[j]
+		}
+		if inPrefix && pb.con[i] {
+			pb.pfx = relation.AppendKey(pb.pfx, pb.vals[i])
+			pb.pfx = append(pb.pfx, 0x1f)
+			pb.pfxVals = append(pb.pfxVals, pb.vals[i])
+			continue
+		}
+		inPrefix = false
+		pb.tail = append(pb.tail, i)
+		if pb.con[i] {
+			pb.rowVals[i] = pb.vals[i]
+		}
+	}
+	// Small-set scan: an index probe whose single per-row part is the
+	// index's last column materializes the entry's matching values once
+	// and compares per row instead of hashing per row.
+	if d := k.d; d.idx != nil && len(pb.tail) == 1 && len(pb.pfxVals) == n-1 && n >= 2 &&
+		k.parts[pb.tail[0]].kind == pkCol {
+		pos := d.idx.eqPrefixRange(d.t, pb.pfxVals, relation.Value{}, relation.Value{}, false, false)
+		if len(pos) <= probeScanSetMax {
+			valCol := d.idx.Cols[n-1]
+			pb.scanVals = pb.scanVals[:0]
+			for _, p := range pos {
+				pb.scanVals = append(pb.scanVals, d.t.Rows[p][valCol])
+			}
+			pb.scanCol = pb.tail[0]
+			pb.scanOn = true
+		}
+	}
+	return nil
+}
+
+// filter keeps the rows of sel whose probe result (hit != neg) holds.
+// Order is preserved; sel is tightened in place.
+func (pb *probeInst) filter(en *env, cs *compiledSelect, src int, rows []relation.Tuple, sel []int) ([]int, error) {
+	k := pb.k
+	out := sel[:0]
+	if pb.scanOn {
+		colv := pb.colvs[pb.scanCol]
+		neg := k.neg
+		for _, ri := range sel {
+			v := colv[ri]
+			if v.K == relation.KindNull {
+				if neg {
+					out = append(out, ri) // NULL key never matches
+				}
+				continue
+			}
+			hit := false
+			for _, w := range pb.scanVals {
+				if relation.Identical(v, w) {
+					hit = true
+					break
+				}
+			}
+			if hit != neg {
+				out = append(out, ri)
+			}
+		}
+		return out, nil
+	}
+	var fr *frame
+	if k.needsRow {
+		fr = &en.frames[cs.depth]
+	}
+rowLoop:
+	for _, ri := range sel {
+		if fr != nil {
+			fr.rows[src] = rows[ri]
+		}
+		key := append(pb.keyBuf[:0], pb.pfx...)
+		for _, i := range pb.tail {
+			part := &k.parts[i]
+			v := pb.rowVals[i] // constants were planted at bind
+			if !pb.con[i] {
+				switch part.kind {
+				case pkCol:
+					v = pb.colvs[i][ri]
+				case pkCase:
+					switch part.resKind {
+					case resCol:
+						v = pb.colvs[i][ri]
+					case resTextCoalesce:
+						cv := pb.colvs[i][ri]
+						switch cv.K {
+						case relation.KindNull:
+							v = part.nullLit
+						case relation.KindText:
+							v = cv
+						default:
+							v = relation.Text(cv.String())
+						}
+					default:
+						var err error
+						if v, err = part.resFull(en); err != nil {
+							return nil, err
+						}
+					}
+				default: // pkGeneric
+					var err error
+					if v, err = part.full(en); err != nil {
+						return nil, err
+					}
+				}
+				if v.IsNull() {
+					pb.keyBuf = key
+					if k.neg {
+						out = append(out, ri)
+					}
+					continue rowLoop
+				}
+			}
+			key = relation.AppendKey(key, v)
+			key = append(key, 0x1f)
+		}
+		pb.keyBuf = key
+		var hit bool
+		if pb.m != nil {
+			hit = len(pb.m[string(key)]) > 0
+		} else {
+			hit = pb.set[string(key)]
+		}
+		if hit != k.neg {
+			out = append(out, ri)
+		}
+	}
+	return out, nil
+}
+
+// filter applies one pred to a candidate list, tightening it in place.
+func (p *predInst) filter(en *env, cs *compiledSelect, src int, rows []relation.Tuple, sel []int) ([]int, error) {
+	k := p.k
+	switch {
+	case k.simple != nil:
+		return k.simple.filter(p.colv, &p.b, sel), nil
+	case k.probe != nil:
+		return p.probe.filter(en, cs, src, rows, sel)
+	}
+	// Nested OR: a row survives when any live atom holds for it. Atoms
+	// test only the rows no earlier atom matched; the row-index mask
+	// restores the original candidate order at the end.
+	if len(p.orMask) < len(rows) {
+		p.orMask = make([]bool, len(rows))
+	}
+	rem := append(p.orRem[:0], sel...)
+	for i := range p.or {
+		sub := &p.or[i]
+		if sub.state != pNormal || len(rem) == 0 {
+			continue // pAlways was handled at bind; pNever holds nowhere
+		}
+		cur := append(p.orCur[:0], rem...)
+		cur, err := sub.filter(en, cs, src, rows, cur)
+		p.orCur = cur[:0]
+		if err != nil {
+			p.orRem = rem[:0]
+			return nil, err
+		}
+		if len(cur) == 0 {
+			continue
+		}
+		for _, ri := range cur {
+			p.orMask[ri] = true
+		}
+		keep := rem[:0]
+		for _, ri := range rem {
+			if !p.orMask[ri] {
+				keep = append(keep, ri)
+			}
+		}
+		rem = keep
+	}
+	p.orRem = rem[:0]
+	out := sel[:0]
+	for _, ri := range sel {
+		if p.orMask[ri] {
+			out = append(out, ri)
+			p.orMask[ri] = false
+		}
+	}
+	return out, nil
+}
+
+// groupScratch is the per-level scratch of the group filters.
+type groupScratch struct {
+	rem, cur []int
+	mask     []bool
+}
+
+// filter OR-merges the group's live alternatives into the selection
+// vector: a row survives when some live alternative's preds all hold.
+// Alternatives test only rows no earlier alternative matched, so the
+// total per-row work is bounded by the first matching alternative —
+// mirroring the row path's short-circuit. Order is preserved.
+func (g *orGroupK) filter(en *env, cs *compiledSelect, src int, t *Table, gs *groupScratch, rows []relation.Tuple, sel []int) ([]int, error) {
+	rem := append(gs.rem[:0], sel...)
+	for ti := range g.terms {
+		tm := &g.terms[ti]
+		if len(rem) == 0 {
+			break // every candidate matched: later alternatives never run
+		}
+		if !tm.bound {
+			if err := g.bindTerm(en, t, tm); err != nil {
+				gs.rem = rem[:0]
+				return nil, err
+			}
+		}
+		if !tm.live {
+			continue
+		}
+		if tm.always {
+			// Holds for every candidate that reaches it: combined with the
+			// earlier alternatives' matches, every row of this chunk — and
+			// of every later chunk of the entry — passes the group.
+			g.pass = true
+			if len(rem) == len(sel) {
+				gs.rem = rem[:0]
+				return sel, nil // mask untouched: nothing to clear
+			}
+			for _, ri := range rem {
+				gs.mask[ri] = true
+			}
+			rem = rem[:0]
+			break
+		}
+		cur := append(gs.cur[:0], rem...)
+		var err error
+		for pi := range tm.preds {
+			p := &tm.preds[pi]
+			if p.state == pAlways {
+				continue
+			}
+			if cur, err = p.filter(en, cs, src, rows, cur); err != nil {
+				gs.rem, gs.cur = rem[:0], cur[:0]
+				return nil, err
+			}
+			if len(cur) == 0 {
+				break
+			}
+		}
+		gs.cur = cur[:0]
+		if len(cur) == 0 {
+			continue
+		}
+		for _, ri := range cur {
+			gs.mask[ri] = true
+		}
+		keep := rem[:0]
+		for _, ri := range rem {
+			if !gs.mask[ri] {
+				keep = append(keep, ri)
+			}
+		}
+		rem = keep
+	}
+	gs.rem = rem[:0]
+	out := sel[:0]
+	for _, ri := range sel {
+		if gs.mask[ri] {
+			out = append(out, ri)
+			gs.mask[ri] = false
+		}
+	}
+	return out, nil
 }
 
 // --- batch-aware projection ---
@@ -444,12 +1295,25 @@ type projPart struct {
 	cond compiledExpr
 	res  compiledExpr
 	alt  relation.Value
+	// resCols are the current-scope columns the THEN arm reads — the
+	// raw inputs of this output when its condition holds. Feeds the
+	// DISTINCT pre-dedup key (preKeyOK).
+	resCols []binding
 }
 
 // projSpec is the compiled projection plan of one select.
 type projSpec struct {
 	site  binding
 	parts []projPart
+	// preKeyOK gates the raw-value DISTINCT pre-filter: every output is
+	// site-invariant or a split CASE whose THEN arm reads a known set
+	// of current-scope columns (resCols), so for a fixed site row the
+	// output row is a pure function of the raw values in the *active*
+	// parts' columns (condition-false parts collapse to their literal).
+	// Two emits with the same site row and identical active raw values
+	// therefore produce byte-identical output rows, and the second is
+	// skipped before evaluating or hashing a single output.
+	preKeyOK bool
 }
 
 // projScratch is the per-env, per-select projection cache.
@@ -457,6 +1321,16 @@ type projScratch struct {
 	patRow   relation.Tuple // site row the cache was computed for
 	condBits uint64         // bit i: part i's CASE condition held
 	invVals  []relation.Value
+	// siteSeq distinguishes site rows in the raw pre-dedup key: it
+	// bumps on every site-row refresh, so raw keys never collide across
+	// pattern tuples (a revisited site row gets a fresh sequence, which
+	// only costs pre-filter hits, never correctness — the exact
+	// output-key dedup still runs behind the pre-filter). The seen-set
+	// itself lives in exec, scoped to one execution: a correlated
+	// subquery re-executing in the same env must not suppress rows its
+	// previous execution emitted.
+	siteSeq uint64
+	rawBuf  []byte
 }
 
 // buildProjSpec classifies the output expressions. astOuts aligns with
@@ -513,8 +1387,27 @@ func (c *compiler) buildProjSpec(astOuts []Expr) *projSpec {
 		sc.site, sc.hasSite = tallies[best].site, true
 	}
 	useful := false
+	sp.preKeyOK = true
+	resCols := func(e Expr) ([]binding, bool) {
+		if exprHasSubquery(e) {
+			return nil, false
+		}
+		var cols []binding
+		ok := true
+		if err := c.walkBindings(e, func(b binding) {
+			if b.depth != depth {
+				ok = false // outer reads vary across re-executions
+				return
+			}
+			cols = append(cols, b)
+		}); err != nil || !ok {
+			return nil, false
+		}
+		return cols, true
+	}
 	for i, e := range astOuts {
 		if e == nil {
+			sp.preKeyOK = false // star expansion stays general
 			continue
 		}
 		if sc.adopt(e) {
@@ -524,9 +1417,15 @@ func (c *compiler) buildProjSpec(astOuts []Expr) *projSpec {
 		}
 		cond, res, alt, ok, err := sc.splitCase(e)
 		if err != nil || !ok {
-			continue // an uncompilable half just stays general
+			sp.preKeyOK = false // general outputs defeat the raw pre-key
+			continue            // an uncompilable half just stays general
 		}
-		sp.parts[i] = projPart{mode: projCase, cond: cond, res: res, alt: alt}
+		cse, _ := cacheableCase(e)
+		cols, colsOK := resCols(cse.Whens[0].Result)
+		if !colsOK {
+			sp.preKeyOK = false
+		}
+		sp.parts[i] = projPart{mode: projCase, cond: cond, res: res, alt: alt, resCols: cols}
 		useful = true
 	}
 	if !useful || !sc.hasSite {
@@ -556,36 +1455,87 @@ func (sp *projSpec) scratch(en *env, cs *compiledSelect) *projScratch {
 	return ps
 }
 
+// refreshSite recomputes the per-site-row cache when the site row has
+// changed since the previous emit: invariant outputs re-evaluate, CASE
+// conditions re-test, and the raw pre-dedup sequence advances so keys
+// from different site rows can never collide.
+func (sp *projSpec) refreshSite(en *env, cs *compiledSelect, ps *projScratch) error {
+	row := en.frames[sp.site.depth].rows[sp.site.src]
+	if ps.patRow != nil && len(row) > 0 && &ps.patRow[0] == &row[0] {
+		return nil
+	}
+	ps.patRow = nil // a mid-refresh error must not leave stale state
+	ps.condBits = 0
+	ps.siteSeq++
+	for i := range sp.parts {
+		p := &sp.parts[i]
+		switch p.mode {
+		case projInv:
+			v, err := cs.outs[i](en)
+			if err != nil {
+				return err
+			}
+			ps.invVals[i] = v
+		case projCase:
+			cv, err := p.cond(en)
+			if err != nil {
+				return err
+			}
+			if cv.Truth() {
+				ps.condBits |= 1 << uint(i)
+			}
+		}
+	}
+	if len(row) > 0 {
+		ps.patRow = row
+	}
+	return nil
+}
+
+// preDedup reports whether the current emit's output row is provably
+// identical to one already emitted in this execution: same site row,
+// same raw values in every column the outputs read. Sound because the
+// outputs are pure functions of exactly those inputs (preKeyOK); the
+// exact output-key dedup still runs behind this filter, so a false
+// negative only costs one full evaluation, never a duplicate row. seen
+// is owned by the caller and must be scoped to one execution.
+func (sp *projSpec) preDedup(en *env, cs *compiledSelect, ps *projScratch, seen map[string]bool) (bool, error) {
+	if err := sp.refreshSite(en, cs, ps); err != nil {
+		return false, err
+	}
+	buf := ps.rawBuf[:0]
+	seq := ps.siteSeq
+	buf = append(buf, byte(seq), byte(seq>>8), byte(seq>>16), byte(seq>>24),
+		byte(seq>>32), byte(seq>>40), byte(seq>>48), byte(seq>>56))
+	fr := en.frames[cs.depth]
+	for i := range sp.parts {
+		p := &sp.parts[i]
+		// Only *active* parts read their columns: a condition-false CASE
+		// collapses to its literal and depends on no row value, so the
+		// blanked attributes stay out of the key — this is what keeps
+		// the raw key a few columns wide per pattern tuple.
+		if p.mode != projCase || ps.condBits&(1<<uint(i)) == 0 {
+			continue
+		}
+		for _, b := range p.resCols {
+			buf = relation.AppendKey(buf, fr.rows[b.src][b.col])
+			buf = append(buf, 0x1f)
+		}
+	}
+	ps.rawBuf = buf
+	if seen[string(buf)] {
+		return true, nil
+	}
+	seen[string(buf)] = true
+	return false, nil
+}
+
 // evalOuts evaluates the output row into dst, replaying the
 // site-invariant parts from the cache when the site row is unchanged
 // since the previous emit.
 func (sp *projSpec) evalOuts(en *env, cs *compiledSelect, ps *projScratch, dst relation.Tuple) error {
-	row := en.frames[sp.site.depth].rows[sp.site.src]
-	if ps.patRow == nil || len(row) == 0 || &ps.patRow[0] != &row[0] {
-		ps.patRow = nil // a mid-refresh error must not leave stale state
-		ps.condBits = 0
-		for i := range sp.parts {
-			p := &sp.parts[i]
-			switch p.mode {
-			case projInv:
-				v, err := cs.outs[i](en)
-				if err != nil {
-					return err
-				}
-				ps.invVals[i] = v
-			case projCase:
-				cv, err := p.cond(en)
-				if err != nil {
-					return err
-				}
-				if cv.Truth() {
-					ps.condBits |= 1 << uint(i)
-				}
-			}
-		}
-		if len(row) > 0 {
-			ps.patRow = row
-		}
+	if err := sp.refreshSite(en, cs, ps); err != nil {
+		return err
 	}
 	for i := range sp.parts {
 		p := &sp.parts[i]

@@ -153,42 +153,50 @@ func TestExplainBatchMode(t *testing.T) {
 	}
 	mustExec(t, db, `INSERT INTO enc VALUES (1, 1), (2, 0)`)
 
-	// RID-slice scan: both bounds and the flag test kernelize, and the
-	// range pruning stays. (`mv <> 1` rather than `mv = 0` — an equality
-	// would be consumed by a probe before the kernels get to it.)
+	// RID-slice scan: the inclusive bounds are exactly implied by the
+	// range prune and their filters elide; only the flag test remains as
+	// a kernel. (`mv <> 1` rather than `mv = 0` — an equality would be
+	// served by the const-eq kernel instead.)
 	plan, err := db.Explain(`SELECT rid FROM data WHERE rid >= ? AND rid <= ? AND mv <> 1`)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(plan, "range scan data via idx_data_rid on rid") ||
-		!strings.Contains(plan, "[batch: 3 kernel filter(s)]") {
-		t.Fatalf("expected a batched range scan:\n%s", plan)
+		!strings.Contains(plan, "[batch: 1 kernel filter(s)]") ||
+		!strings.Contains(plan, "2 filter(s) elided: implied by range") {
+		t.Fatalf("expected a batched range scan with elided bounds:\n%s", plan)
 	}
 
-	// An equality conjunct goes to the probe; the slice bounds still
-	// kernelize on top of the probe's bucket.
+	// A constant-equality conjunct is served by the const-eq kernel —
+	// not by a whole-table hash build — when the level is entered once;
+	// the slice bounds still elide into the range prune.
 	plan, err = db.Explain(`SELECT rid FROM data WHERE rid >= ? AND rid <= ? AND mv = 0`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(plan, "hash join data") || !strings.Contains(plan, "[batch: 2 kernel filter(s)]") {
-		t.Fatalf("expected a batched probe level:\n%s", plan)
+	if strings.Contains(plan, "hash join") ||
+		!strings.Contains(plan, "[batch: 1 kernel filter(s), 1 via const-eq kernel]") ||
+		!strings.Contains(plan, "range scan data via idx_data_rid") {
+		t.Fatalf("expected a const-eq kernel over the pruned range scan:\n%s", plan)
 	}
 
-	// A join whose data side carries kernelizable conjuncts and whose
-	// pattern side does not: per-source modes differ.
+	// A join whose data side carries kernelizable conjuncts: the OR
+	// group spanning both sources is claimed whole by the data level
+	// (its pattern-side guard binds per entry), so the pattern side
+	// keeps no predicate work at all — it is a pure join driver with no
+	// evaluation-mode marker.
 	plan, err = db.Explain(`SELECT d.rid FROM enc c, data d WHERE d.rid >= ? AND d.mv <> 1 AND (c.city_l <> 1 OR d.city = 'A')`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(plan, "[batch: 2 kernel filter(s)]") {
-		t.Fatalf("expected the data side in batch mode:\n%s", plan)
+	if !strings.Contains(plan, "[batch: 1 kernel filter(s) + or-group(2 terms)]") {
+		t.Fatalf("expected the data side in batch mode with the claimed OR group:\n%s", plan)
 	}
-	if !strings.Contains(plan, "scan c (2 rows) [row]") {
-		t.Fatalf("expected the pattern side in row mode:\n%s", plan)
+	if !strings.Contains(plan, "scan c (2 rows)\n") || strings.Contains(plan, "scan c (2 rows) [row]") {
+		t.Fatalf("expected the pattern side as a marker-free pure driver:\n%s", plan)
 	}
 
-	// Kernels off: everything reports row mode.
+	// Kernels off: everything with predicate work reports row mode.
 	DisableBatchKernels = true
 	plan, err = db.Explain(`SELECT rid FROM data WHERE rid >= ? AND rid <= ? AND mv <> 1`)
 	DisableBatchKernels = false
@@ -513,5 +521,196 @@ func TestKernelNaNDifferential(t *testing.T) {
 		if batch != row || row != nested {
 			t.Fatalf("NaN kernel diverges on %q:\nbatch  %q\nrow    %q\nnested %q", q, batch, row, nested)
 		}
+	}
+}
+
+// TestOrKernelDifferential fuzzes OR groups — 2 to 5 alternatives
+// mixing simple predicates, correlated [NOT] EXISTS probe terms,
+// AND-pairs and nested disjunctions over NULL/NaN-bearing columns —
+// and checks the group-kernel path against the per-row closure path
+// and the forced nested loop, mirroring TestKernelClosureDifferential
+// for the shapes the OR-group kernels claim.
+func TestOrKernelDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(149))
+	db := kernelTable(t, rng, 120)
+	// Probe target with an exact-cover (g, v) index, NULLs included, so
+	// both the index-probe and the hash-build kernel paths exercise.
+	mustExec(t, db, `CREATE TABLE ps (g INTEGER, v INTEGER)`)
+	mustExec(t, db, `CREATE INDEX idx_ps_gv ON ps (g, v)`)
+	for i := 0; i < 40; i++ {
+		v := relation.Int(int64(rng.Intn(12)))
+		if rng.Intn(10) == 0 {
+			v = relation.Null()
+		}
+		mustExec(t, db, `INSERT INTO ps VALUES (?, ?)`, relation.Int(int64(rng.Intn(3))), v)
+	}
+	cols := []string{"a", "f", "s", "flag"}
+	leaf := func() string {
+		col := cols[rng.Intn(len(cols))]
+		switch rng.Intn(5) {
+		case 0:
+			ops := []string{"=", "<>", "<", "<=", ">", ">="}
+			if col == "s" {
+				return fmt.Sprintf("s %s '%c'", ops[rng.Intn(len(ops))], rune('a'+rng.Intn(5)))
+			}
+			return fmt.Sprintf("%s %s %d", col, ops[rng.Intn(len(ops))], rng.Intn(10))
+		case 1:
+			neg := ""
+			if rng.Intn(2) == 0 {
+				neg = "NOT "
+			}
+			return fmt.Sprintf("%s IS %sNULL", col, neg)
+		case 2:
+			if col == "s" {
+				return "s IN ('a', 'd')"
+			}
+			return fmt.Sprintf("%s IN (%d, %d)", col, rng.Intn(10), rng.Intn(10))
+		default:
+			lo := rng.Intn(8)
+			return fmt.Sprintf("%s BETWEEN %d AND %d", col, lo, lo+rng.Intn(5))
+		}
+	}
+	probe := func() string {
+		neg := ""
+		if rng.Intn(2) == 0 {
+			neg = "NOT "
+		}
+		// Mix the index-covered two-key probe with a filtered (hash
+		// build) single-key probe; both correlate on a kt column.
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf("%sEXISTS (SELECT 1 FROM ps WHERE ps.g = %d AND ps.v = kt.a)", neg, rng.Intn(3))
+		}
+		return fmt.Sprintf("%sEXISTS (SELECT 1 FROM ps WHERE ps.v = kt.%s AND ps.g < 2)", neg, cols[rng.Intn(2)*3]) // a or flag
+	}
+	term := func() string {
+		switch rng.Intn(5) {
+		case 0:
+			return probe()
+		case 1:
+			return fmt.Sprintf("(%s AND %s)", leaf(), probe())
+		case 2:
+			return fmt.Sprintf("(%s AND (%s OR %s))", leaf(), leaf(), probe())
+		case 3:
+			return fmt.Sprintf("(%s AND %s)", leaf(), leaf())
+		default:
+			return leaf()
+		}
+	}
+	for trial := 0; trial < 120; trial++ {
+		var terms []string
+		for k := 2 + rng.Intn(4); k > 0; k-- {
+			terms = append(terms, term())
+		}
+		var conjs []string
+		conjs = append(conjs, "("+strings.Join(terms, " OR ")+")")
+		if rng.Intn(2) == 0 {
+			conjs = append(conjs, fmt.Sprintf("(%s OR %s)", leaf(), probe()))
+		}
+		if rng.Intn(3) == 0 {
+			conjs = append(conjs, leaf())
+		}
+		q := "SELECT a, f, s, flag FROM kt WHERE " + strings.Join(conjs, " AND ")
+		batch, row, nested := runThreeWays(t, db, q, false)
+		if batch != row || row != nested {
+			t.Fatalf("trial %d: OR-kernel divergence on %q:\nbatch  %q\nrow    %q\nnested %q",
+				trial, q, batch, row, nested)
+		}
+	}
+}
+
+// TestOrKernelPlanClaims pins that the detection-shaped OR group is
+// actually claimed by the group kernel (not silently row-pathed), and
+// that a group with a non-kernelizable alternative falls back whole.
+func TestOrKernelPlanClaims(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	db := kernelTable(t, rng, 80)
+	mustExec(t, db, `CREATE TABLE pat (code INTEGER, val INTEGER)`)
+	mustExec(t, db, `INSERT INTO pat VALUES (1, 3), (0, 5)`)
+
+	plan, err := db.Explain(`SELECT kt.a FROM pat p, kt WHERE (p.code <> 1 OR EXISTS (SELECT 1 FROM pat q WHERE q.val = kt.a))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "or-group(2 terms)") {
+		t.Fatalf("detection-shaped OR group not claimed by the group kernel:\n%s", plan)
+	}
+
+	// A loop-invariant scalar subquery RHS kernelizes (it binds once per
+	// level entry instead of evaluating per row)...
+	plan, err = db.Explain(`SELECT kt.a FROM kt WHERE (kt.flag = 1 OR kt.a = (SELECT MAX(val) FROM pat))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "or-group(2 terms)") {
+		t.Fatalf("invariant-scalar-sub OR group should kernelize:\n%s", plan)
+	}
+	// ...but a cross-column arithmetic alternative cannot: the whole
+	// group must fall back to the per-row path.
+	plan, err = db.Explain(`SELECT kt.a FROM kt WHERE (kt.flag = 1 OR kt.a + kt.flag = 5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "or-group(") || !strings.Contains(plan, "[row]") {
+		t.Fatalf("non-kernelizable OR group did not fall back whole:\n%s", plan)
+	}
+}
+
+// TestOrKernelLazyBindErrors is the review-found regression: the row
+// path short-circuits OR alternatives, so an erroring expression in a
+// later alternative must not surface when every row satisfies an
+// earlier one — group kernels bind alternatives lazily, only when a
+// candidate row actually reaches them.
+func TestOrKernelLazyBindErrors(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE c (z INTEGER)`)
+	mustExec(t, db, `CREATE TABLE tt (a INTEGER)`)
+	mustExec(t, db, `INSERT INTO c VALUES (0)`)
+	mustExec(t, db, `INSERT INTO tt VALUES (1), (1)`)
+
+	// Every row satisfies the first alternative, so 10 / c.z (division
+	// by zero) must never evaluate — on either path.
+	q := `SELECT tt.a FROM c, tt WHERE (tt.a = 1 OR tt.a < 10 / c.z)`
+	batch, row, nested := runThreeWays(t, db, q, false)
+	if batch != row || row != nested {
+		t.Fatalf("lazy-bind divergence:\nbatch  %q\nrow    %q\nnested %q", batch, row, nested)
+	}
+	if batch != "1;1" {
+		t.Fatalf("got %q, want both rows", batch)
+	}
+
+	// When rows do reach the second alternative, both paths must report
+	// the same error.
+	q = `SELECT tt.a FROM c, tt WHERE (tt.a = 2 OR tt.a < 10 / c.z)`
+	if _, err := db.Query(q); err == nil {
+		t.Fatal("batch path must surface the division error when rows reach the alternative")
+	}
+	DisableBatchKernels = true
+	_, err := db.Query(q)
+	DisableBatchKernels = false
+	if err == nil {
+		t.Fatal("row path must surface the division error when rows reach the alternative")
+	}
+}
+
+// TestDistinctPreDedupCorrelated is the review-found regression: the
+// raw pre-dedup set must be scoped to one execution — a correlated
+// subquery re-executing within one statement emits its rows afresh
+// each time, even when the cached site row's pointer is unchanged.
+func TestDistinctPreDedupCorrelated(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE o (id INTEGER, b INTEGER, v TEXT)`)
+	mustExec(t, db, `CREATE TABLE tt (a TEXT, b INTEGER)`)
+	mustExec(t, db, `CREATE TABLE p (x INTEGER)`)
+	mustExec(t, db, `INSERT INTO o VALUES (1, 1, 'v'), (2, 1, 'v')`)
+	mustExec(t, db, `INSERT INTO tt VALUES ('v', 1)`)
+	mustExec(t, db, `INSERT INTO p VALUES (1)`)
+
+	q := `SELECT o.id FROM o WHERE o.v IN (SELECT DISTINCT CASE WHEN p.x = 1 THEN tt.a ELSE '@' END FROM tt, p WHERE tt.b = o.b)`
+	batch, row, nested := runThreeWays(t, db, q, false)
+	if batch != row || row != nested {
+		t.Fatalf("pre-dedup divergence:\nbatch  %q\nrow    %q\nnested %q", batch, row, nested)
+	}
+	if batch != "1;2" {
+		t.Fatalf("got %q, want both outer rows", batch)
 	}
 }

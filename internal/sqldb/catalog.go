@@ -707,14 +707,23 @@ func (idx *Index) ordered(t *Table) []int {
 // are included, and exclusivity is left to the retained filter
 // predicates, which keeps the pruning semantics-free (NaN bounds,
 // mixed numeric kinds and friends all fall out of relation.Compare the
-// same way the filters do).
-func (idx *Index) rangeOf(t *Table, lo, hi relation.Value, hasLo, hasHi bool) []int {
+// same way the filters do). skipNullLo additionally excludes the NULL
+// rows sorting before every value — required when an upper-bound
+// filter was elided with no lower bound present, since the elided
+// filter would have rejected NULL (a non-NULL lo excludes them anyway,
+// NULLs ranking below every bounded value).
+func (idx *Index) rangeOf(t *Table, lo, hi relation.Value, hasLo, hasHi, skipNullLo bool) []int {
 	s := idx.ordered(t)
 	c0 := idx.Cols[0]
 	from, to := 0, len(s)
-	if hasLo {
+	switch {
+	case hasLo:
 		from = sort.Search(len(s), func(i int) bool {
 			return relation.Compare(t.Rows[s[i]][c0], lo) >= 0
+		})
+	case skipNullLo:
+		from = sort.Search(len(s), func(i int) bool {
+			return t.Rows[s[i]][c0].K != relation.KindNull
 		})
 	}
 	if hasHi {

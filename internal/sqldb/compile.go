@@ -65,6 +65,14 @@ type compiler struct {
 	// agg routing: when non-nil, aggregate FuncCalls compile into reads
 	// of env.aggs[aggSink.cs] and register their specs in aggSink.
 	aggSink *aggCollector
+	// decorr memoizes the EXISTS decorrelation analysis per node: the
+	// closure compiler (compileExists) and the batch probe-kernel
+	// extractor (extractProbeKernels) both need it, and the analysis
+	// compiles filters and probe keys — running it once per node keeps
+	// plan compilation linear in the statement size. Scoped to one
+	// compiler, so a shared AST node is never reused across statements
+	// or catalog versions.
+	decorr map[*Exists]*decorrProbe
 }
 
 type scopeInfo struct {

@@ -424,6 +424,23 @@ func (cs *compiledSelect) exec(en *env) ([]relation.Tuple, error) {
 
 	var out []relation.Tuple
 	var sortKeys [][]relation.Value
+	// Output rows allocate from slabs: high-cardinality materializations
+	// (the Qmv macro's distinct projections) otherwise pay one allocator
+	// round trip per row, which the profile shows as pure GC overhead.
+	var slab []relation.Value
+	allocRow := func() relation.Tuple {
+		n := len(cs.outs)
+		if len(slab) < n {
+			size := 512 * n
+			if size < n {
+				size = n
+			}
+			slab = make([]relation.Value, size)
+		}
+		row := relation.Tuple(slab[:n:n])
+		slab = slab[n:]
+		return row
+	}
 
 	// When the planner serves ORDER BY through in-order index iteration
 	// (schedule.orderServed), rows are emitted already sorted: skip key
@@ -458,7 +475,7 @@ func (cs *compiledSelect) exec(en *env) ([]relation.Tuple, error) {
 	}
 
 	emit := func() error {
-		row := make(relation.Tuple, len(cs.outs))
+		row := allocRow()
 		if err := evalOuts(row); err != nil {
 			return err
 		}
@@ -491,7 +508,25 @@ func (cs *compiledSelect) exec(en *env) ([]relation.Tuple, error) {
 		seen := make(map[string]bool)
 		scratchRow := make(relation.Tuple, len(cs.outs))
 		var keyBuf []byte
+		// Raw pre-dedup: when the projection plan proves the output row
+		// is a pure function of (site row, a known set of scan columns),
+		// a repeated raw combination skips output evaluation and the
+		// 2|R|+1-value key hash entirely — the Qmv macro's matches are
+		// overwhelmingly repeats of a few distinct pattern projections.
+		var rawSeen map[string]bool // per-execution: see projSpec.preDedup
+		if projPS != nil && cs.proj.preKeyOK {
+			rawSeen = make(map[string]bool)
+		}
 		emit = func() error {
+			if rawSeen != nil {
+				skip, err := cs.proj.preDedup(en, cs, projPS, rawSeen)
+				if err != nil {
+					return err
+				}
+				if skip {
+					return nil
+				}
+			}
 			if err := evalOuts(scratchRow); err != nil {
 				return err
 			}
@@ -500,7 +535,9 @@ func (cs *compiledSelect) exec(en *env) ([]relation.Tuple, error) {
 				return nil
 			}
 			seen[string(keyBuf)] = true
-			out = append(out, append(relation.Tuple(nil), scratchRow...))
+			row := allocRow()
+			copy(row, scratchRow)
+			out = append(out, row)
 			return nil
 		}
 	}

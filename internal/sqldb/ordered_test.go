@@ -424,3 +424,135 @@ func TestOrderedScanSortedOutput(t *testing.T) {
 		}
 	}
 }
+
+// TestJoinDriverOrderBy pins the multi-table index-served ORDER BY:
+// when the ordered source is also the join order's first pick, the
+// driving level iterates its index in order and the final sort
+// disappears — visible as `order by: served by index (join driver)` —
+// and the emitted sequence matches the forced nested loop exactly
+// (outputs are restricted to the sort keys, so tie groups hold
+// identical rows).
+func TestJoinDriverOrderBy(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE big (k INTEGER, v INTEGER)`)
+	mustExec(t, db, `CREATE TABLE drv (a INTEGER, b INTEGER)`)
+	mustExec(t, db, `CREATE INDEX idx_drv_ab ON drv (a, b)`)
+	for i := 0; i < 90; i++ {
+		mustExec(t, db, `INSERT INTO big VALUES (?, ?)`,
+			relation.Int(int64(rng.Intn(8))), relation.Int(int64(i)))
+	}
+	for i := 0; i < 30; i++ {
+		a := relation.Int(int64(rng.Intn(8)))
+		if rng.Intn(9) == 0 {
+			a = relation.Null()
+		}
+		mustExec(t, db, `INSERT INTO drv VALUES (?, ?)`, a, relation.Int(int64(rng.Intn(4))))
+	}
+
+	for _, q := range []string{
+		`SELECT d.a, d.b FROM drv d, big t WHERE d.a = t.k ORDER BY d.a, d.b`,
+		`SELECT d.a, d.b FROM drv d, big t WHERE d.a = t.k AND t.v <> 3 ORDER BY d.a DESC, d.b DESC`,
+		`SELECT d.a, d.b FROM big t, drv d WHERE d.a = t.k ORDER BY d.a, d.b`,
+	} {
+		plan, err := db.Explain(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(plan, "order by: served by index (join driver)") {
+			t.Fatalf("expected join-driver order service for %q:\n%s", q, plan)
+		}
+		DisablePlanner = true
+		n, err := db.Query(q)
+		DisablePlanner = false
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := mustQuery(t, db, q); flat(p) != flat(n) {
+			t.Fatalf("join-driver ordered sequence diverges on %q:\nplanned %q\nnested  %q", q, flat(p), flat(n))
+		}
+	}
+
+	// The ordered source is NOT the first pick here (big drives nothing:
+	// drv is smaller, so ordering by big's columns cannot be served) —
+	// the plan must fall back to a real sort, still correct.
+	q := `SELECT t.k, t.v FROM drv d, big t WHERE d.a = t.k ORDER BY t.k, t.v`
+	plan, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "join driver") || !strings.Contains(plan, "sort") {
+		t.Fatalf("non-driving ordered source must sort:\n%s", plan)
+	}
+	planned, nested := runBothPaths(t, db, q)
+	if planned != nested {
+		t.Fatalf("sorted fallback diverges on %q", q)
+	}
+}
+
+// TestRangeElisionDifferential targets the elided-filter paths: the
+// inclusive bounds dropped from the filter set must select exactly the
+// rows the closure predicates would, across NULL-bearing columns,
+// upper-bound-only scans (where the scan itself must exclude the NULL
+// rows sorting first), strict/inclusive mixes, BETWEEN, NULL and NaN
+// bounds, and correlated bounds re-evaluated per entry.
+func TestRangeElisionDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE re (k REAL, w INTEGER)`)
+	mustExec(t, db, `CREATE TABLE bnd (lo INTEGER, hi INTEGER)`)
+	mustExec(t, db, `CREATE INDEX idx_re_k ON re (k)`)
+	for i := 0; i < 110; i++ {
+		k := relation.Value(relation.Float(float64(rng.Intn(24)) / 2))
+		switch rng.Intn(12) {
+		case 0:
+			k = relation.Null()
+		case 1:
+			k = relation.Float(math.NaN())
+		}
+		mustExec(t, db, `INSERT INTO re VALUES (?, ?)`, k, relation.Int(int64(i)))
+	}
+	mustExec(t, db, `INSERT INTO bnd VALUES (2, 9), (5, 5), (11, 3)`)
+
+	// The upper-bound-only shape must show the elision and no kernels.
+	plan, err := db.Explain(`SELECT w FROM re WHERE k <= 6`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "1 filter(s) elided: implied by range") {
+		t.Fatalf("expected the inclusive upper bound to elide:\n%s", plan)
+	}
+
+	for _, q := range []string{
+		`SELECT w FROM re WHERE k <= 6`,
+		`SELECT w FROM re WHERE k >= 4`,
+		`SELECT w FROM re WHERE k >= 4 AND k <= 9`,
+		`SELECT w FROM re WHERE k > 4 AND k <= 9`,
+		`SELECT w FROM re WHERE k >= 4 AND k < 9`,
+		`SELECT w FROM re WHERE k BETWEEN 3 AND 8`,
+		`SELECT w FROM re WHERE k BETWEEN 8 AND 3`,
+		`SELECT w FROM re WHERE k <= NULL`,
+		`SELECT w FROM re WHERE k >= 100`,
+		`SELECT b.lo, r.w FROM bnd b, re r WHERE r.k >= b.lo AND r.k <= b.hi`,
+		`SELECT b.lo, r.w FROM bnd b, re r WHERE r.k <= b.hi`,
+	} {
+		batch, row, nested := runThreeWays(t, db, q, false)
+		if batch != row || row != nested {
+			t.Fatalf("elision divergence on %q:\nbatch  %q\nrow    %q\nnested %q", q, batch, row, nested)
+		}
+	}
+
+	// NaN bound through a parameter: Compare places NaN above every
+	// number, and the pruned scan must agree with the closure exactly.
+	q := `SELECT w FROM re WHERE k <= ?`
+	p := canonical(mustQuery(t, db, q, relation.Float(math.NaN())))
+	DisablePlanner = true
+	nres, err := db.Query(q, relation.Float(math.NaN()))
+	DisablePlanner = false
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != canonical(nres) {
+		t.Fatalf("NaN-bound elision diverges: %q vs %q", p, canonical(nres))
+	}
+}

@@ -61,15 +61,16 @@ type planTerm struct {
 	srcs  srcMask // union of part sources
 }
 
-// planPart is one AND factor of an OR alternative. kerns holds the
-// batch-kernel compilations of the part (one per source orientation
-// that qualifies); buildSchedule consumes them for plain conjuncts so
-// the level filters a selection vector instead of dispatching ex per
-// row.
+// planPart is one AND factor of an OR alternative. kp holds the
+// generalized batch-kernel compilations of the part (one per source
+// orientation that qualifies — simple kernels, probe kernels, nested
+// disjunctions); buildSchedule consumes them for plain conjuncts and
+// whole OR groups so the level filters a selection vector instead of
+// dispatching ex per row.
 type planPart struct {
-	ex    compiledExpr
-	srcs  srcMask
-	kerns []kernelCand
+	ex   compiledExpr
+	srcs srcMask
+	kp   []kpredCand
 }
 
 // planConjunct is one AND conjunct of the WHERE clause.
@@ -78,6 +79,11 @@ type planConjunct struct {
 	srcs  srcMask
 	eqs   []equiSide  // equality shapes usable as join/probe keys
 	rngs  []rangeSide // inequality shapes usable as range-scan bounds
+	// rngNeed is the elision contract of a single-predicate range
+	// conjunct: how many adopted inclusive bounds make the retained
+	// filter redundant — 1 for <= / >=, 2 for BETWEEN (both bounds),
+	// 0 when the predicate can never be elided (strict operators).
+	rngNeed int
 }
 
 // equiSide describes sources[src].col = key, with key reading only the
@@ -91,12 +97,15 @@ type equiSide struct {
 // rangeSide describes a single-term inequality bound on a column:
 // sources[src].col >= key (lower true) or <= key (lower false), with
 // key reading only otherSrcs. Bounds are recorded inclusively — range
-// pruning is conservative and the conjunct stays in the filter set, so
-// strict operators (and BETWEEN's two bounds) need no distinction
-// here.
+// pruning is conservative — but strict carries the operator's
+// strictness: a strict bound (<, >) prunes inclusively and keeps its
+// filter, while an inclusive bound adopted by the scan is *exactly*
+// implied by the prune, so buildSchedule elides the redundant filter
+// (the strictness flag exists precisely to tell the two apart).
 type rangeSide struct {
 	src, col  int
 	lower     bool
+	strict    bool
 	otherSrcs srcMask
 	key       compiledExpr
 }
@@ -138,11 +147,12 @@ func (c *compiler) planWhere(where Expr, cs *compiledSelect) {
 					return
 				}
 				part := planPart{ex: ex, srcs: mask}
-				if len(termExprs) == 1 {
-					// Kernels are only ever consumed from plain (single-
-					// alternative) conjuncts, like extractEqui/extractRange
-					// below; extracting for OR parts would be dead work.
-					part.kerns = c.extractKernels(pe, depth)
+				if mask != 0 {
+					// Every part that reads a current-scope source gets its
+					// kernel candidates: plain conjuncts consume simple
+					// kernels, and whole OR groups are consumed when every
+					// source-reading part of every alternative kernelizes.
+					part.kp = c.extractKPred(pe, depth)
 				}
 				pt.parts = append(pt.parts, part)
 				pt.srcs |= mask
@@ -201,10 +211,12 @@ func (c *compiler) extractEqui(e Expr, depth int, pc *planConjunct) {
 // extractRange records the range-bound shapes of a single-term
 // inequality conjunct (<, <=, >, >= and BETWEEN). The bound key must
 // not read the bounded source itself; outer scopes, parameters and
-// constants are fine. The conjunct is never consumed — range pruning
+// constants are fine. Strict bounds are never consumed — range pruning
 // restricts the scan, the retained filter enforces exact semantics.
+// Inclusive bounds set pc.rngNeed, and buildSchedule elides the filter
+// when the index prune adopts enough of them to imply the predicate.
 func (c *compiler) extractRange(e Expr, depth int, pc *planConjunct) {
-	record := func(colSide, keySide Expr, lower bool) {
+	record := func(colSide, keySide Expr, lower, strict bool) {
 		ref, ok := colSide.(*ColumnRef)
 		if !ok {
 			return
@@ -228,43 +240,54 @@ func (c *compiler) extractRange(e Expr, depth int, pc *planConjunct) {
 		if err != nil {
 			return
 		}
-		pc.rngs = append(pc.rngs, rangeSide{src: bd.src, col: bd.col, lower: lower, otherSrcs: keyMask, key: kex})
+		pc.rngs = append(pc.rngs, rangeSide{src: bd.src, col: bd.col, lower: lower, strict: strict, otherSrcs: keyMask, key: kex})
 	}
 	switch x := e.(type) {
 	case *Binary:
+		strict := x.Op == "<" || x.Op == ">"
 		switch x.Op {
 		case "<", "<=":
-			record(x.L, x.R, false) // col <= key: upper bound
-			record(x.R, x.L, true)  // key <= col: lower bound
+			record(x.L, x.R, false, strict) // col <= key: upper bound
+			record(x.R, x.L, true, strict)  // key <= col: lower bound
 		case ">", ">=":
-			record(x.L, x.R, true)
-			record(x.R, x.L, false)
+			record(x.L, x.R, true, strict)
+			record(x.R, x.L, false, strict)
+		default:
+			return
+		}
+		if !strict && len(pc.rngs) > 0 {
+			pc.rngNeed = 1 // one adopted inclusive bound implies the predicate
 		}
 	case *Between:
 		if x.Neg {
 			return // NOT BETWEEN is a disjunction of ranges, not a bound
 		}
-		record(x.X, x.Lo, true)
-		record(x.X, x.Hi, false)
+		record(x.X, x.Lo, true, false)
+		record(x.X, x.Hi, false, false)
+		if len(pc.rngs) == 2 {
+			pc.rngNeed = 2 // both bounds must be adopted to imply BETWEEN
+		}
 	}
 }
 
 // planOrderBy records the index-served ORDER BY candidate on cs: all
-// sort keys are plain columns of the (single, base-table) source, in
-// one uniform direction. Whether an index actually covers the column
-// prefix is decided per schedule (indexes can appear via CREATE INDEX,
-// which recompiles plans) in buildSchedule. Single-source only: with a
-// join, forcing the ordered source to drive the loop could invert the
-// smallest-first join order, which costs far more than the sort saves.
+// sort keys are plain columns of one base-table source, in one uniform
+// direction. Whether an index actually covers the column prefix is
+// decided per schedule (indexes can appear via CREATE INDEX, which
+// recompiles plans) in buildSchedule. For multi-table joins the
+// candidate is served only when that source is already the join
+// order's first pick — the driving level then emits rows grouped by
+// its sort keys, every deeper level fans out inside one key group, and
+// the final sort disappears. The planner never *forces* the ordered
+// source to drive: inverting the smallest-first join order would cost
+// far more than the sort saves.
 func (c *compiler) planOrderBy(sel *Select, cs *compiledSelect) {
 	cs.ordSrc = -1
 	if !cs.planOK || cs.grouped || len(sel.OrderBy) == 0 {
 		return
 	}
-	if len(cs.sources) != 1 || cs.sources[0].table == nil {
-		return
-	}
 	desc := sel.OrderBy[0].Desc
+	src := -1
 	var cols []int
 	for _, o := range sel.OrderBy {
 		if o.Desc != desc {
@@ -275,12 +298,20 @@ func (c *compiler) planOrderBy(sel *Select, cs *compiledSelect) {
 			return
 		}
 		bd, err := c.resolve(ref)
-		if err != nil || bd.depth != cs.depth || bd.src != 0 {
+		if err != nil || bd.depth != cs.depth {
 			return
+		}
+		if src < 0 {
+			src = bd.src
+		} else if bd.src != src {
+			return // keys spanning sources: no single index order serves
 		}
 		cols = append(cols, bd.col)
 	}
-	cs.ordSrc = 0
+	if src < 0 || cs.sources[src].table == nil {
+		return
+	}
+	cs.ordSrc = src
 	cs.ordCols = cols
 	cs.ordDesc = desc
 }
@@ -331,7 +362,21 @@ type schedLevel struct {
 	// and the deeper levels. Kernel-consumed conjuncts never appear in
 	// evals; the kernels evaluate them exactly.
 	kerns []*kernelPred
-	evals []schedEval
+	// groups are the OR-group kernels consumed here: whole conjuncts
+	// (all alternatives) owned by the batch path. Alternatives' parts
+	// that never read this source bind once per entry; the rest run as
+	// per-term selection-vector filters OR-merged into the level's
+	// selection vector. Group-consumed conjuncts appear in no eval at
+	// any level.
+	groups []*orGroupK
+	// constEq counts kernels serving constant-equality conjuncts that a
+	// hash probe would otherwise answer with a whole-table build (the
+	// `MV = 0` shape) — EXPLAIN reports them as `const-eq kernel`.
+	constEq int
+	// elided counts range conjuncts whose retained filter was dropped
+	// because the inclusive index prune implies them exactly.
+	elided int
+	evals  []schedEval
 }
 
 // rangePlan restricts a scan level to an ordered-index range. Either
@@ -343,6 +388,15 @@ type rangePlan struct {
 	idx    *Index
 	col    int // schema position of idx.Cols[0], for EXPLAIN
 	lo, hi compiledExpr
+	// Adoption bookkeeping for filter elision: which conjunct supplied
+	// each bound (-1 none) and whether that bound's operator was strict
+	// (strict bounds prune inclusively and never justify elision).
+	loConj, hiConj     int
+	loStrict, hiStrict bool
+	// skipNullLo: an upper-bound filter was elided with no lower bound
+	// present, so the scan itself must exclude the NULL rows that sort
+	// before every bounded value (the filter would have rejected them).
+	skipNullLo bool
 }
 
 // schedEval processes one conjunct at one level: the alternatives with
@@ -404,16 +458,25 @@ type planState struct {
 	marks     [][]int
 	deadMarks [][]int
 	// Batch-mode scratch, per level: the selection-vector chunk, the
-	// per-entry kernel bindings, and the column vectors fetched once
-	// per level entry.
+	// per-entry kernel bindings, the column vectors fetched once per
+	// level entry, and the OR-group filter scratch.
 	sel   [][]int
 	binds [][]kernBind
 	kcols [][][]relation.Value
+	gsc   []*groupScratch
 }
 
 func isNaN(v relation.Value) bool {
 	return v.K == relation.KindFloat && v.F != v.F
 }
+
+// constEqKernelMaxEntries bounds the const-equality diversion: a
+// constant-equality conjunct (the `MV = 0` shape) is served by an
+// equality kernel over the column cache instead of a whole-table hash
+// build when the level is estimated to be entered at most this many
+// times. Few entries amortize a per-entry column sweep easily, while
+// the hash build pays one full-table key-encoding pass up front.
+const constEqKernelMaxEntries = 64
 
 // buildSchedule assigns every conjunct, OR alternative and equi key to
 // a join level for the chosen source order.
@@ -438,7 +501,62 @@ func buildSchedule(cs *compiledSelect, srcRows [][]relation.Tuple) *schedule {
 	}
 	sch := &schedule{order: order}
 	consumed := make([]bool, len(cs.conjs))
+	// OR-group claiming: a conjunct is owned wholly by a group kernel at
+	// the last level of its source set when every alternative part that
+	// reads that source kernelizes (simple / probe / nested-or). Claimed
+	// conjuncts contribute nothing to pre or any level's evals — their
+	// invariant parts bind per level entry instead. Single-part plain
+	// conjuncts stay on the simple kernel/probe/range paths, which
+	// already vectorize them.
+	claim := make([]int, len(cs.conjs))
+	for i := range claim {
+		claim[i] = -1
+	}
+	if !DisableBatchKernels {
+		for ci, pc := range cs.conjs {
+			if pc.srcs == 0 {
+				continue
+			}
+			last := -1
+			for pos, s := range order {
+				if pc.srcs&(srcMask(1)<<uint(s)) != 0 {
+					last = pos
+				}
+			}
+			s := order[last]
+			if cs.sources[s].table == nil {
+				continue // no column vectors to kernel over
+			}
+			bit := srcMask(1) << uint(s)
+			interesting := len(pc.terms) > 1
+			ok := true
+			for _, t := range pc.terms {
+				for _, p := range t.parts {
+					if p.srcs&bit == 0 {
+						continue
+					}
+					k := kpFor(p.kp, s)
+					if k == nil {
+						ok = false
+						break
+					}
+					if k.simple == nil {
+						interesting = true
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok && interesting {
+				claim[ci] = last
+			}
+		}
+	}
 	for ci, pc := range cs.conjs {
+		if claim[ci] >= 0 {
+			continue
+		}
 		var terms []schedTerm
 		for _, t := range pc.terms {
 			var parts []compiledExpr
@@ -456,12 +574,13 @@ func buildSchedule(cs *compiledSelect, srcRows [][]relation.Tuple) *schedule {
 		}
 	}
 	var bound srcMask
-	for _, s := range order {
+	for pos, s := range order {
 		lv := schedLevel{src: s}
 		bit := srcMask(1) << uint(s)
 		var probe *probePlan
+		var probeConsts int // probe keys reading no current-scope source
 		for ci, pc := range cs.conjs {
-			if consumed[ci] || len(pc.eqs) == 0 {
+			if consumed[ci] || claim[ci] >= 0 || len(pc.eqs) == 0 {
 				continue
 			}
 			for _, eq := range pc.eqs {
@@ -472,6 +591,9 @@ func buildSchedule(cs *compiledSelect, srcRows [][]relation.Tuple) *schedule {
 					probe.keys = append(probe.keys, eq.key)
 					probe.buildCols = append(probe.buildCols, eq.col)
 					probe.conjs = append(probe.conjs, ci)
+					if eq.otherSrcs == 0 {
+						probeConsts++
+					}
 					consumed[ci] = true
 					break
 				}
@@ -507,19 +629,46 @@ func buildSchedule(cs *compiledSelect, srcRows [][]relation.Tuple) *schedule {
 						}
 					}
 				}
+				// Const-equality diversion: when no index answers the probe,
+				// every key is constant for the statement (`MV = 0`), the
+				// conjuncts kernelize, and the level is entered few enough
+				// times, a column-cache equality kernel beats building a
+				// whole-table hash just to bucket on a constant. Top-level
+				// selects only: a subquery (depth > 0) can re-execute once
+				// per outer row on this cached schedule, and the hash the
+				// diversion skips is built once per env while the kernel
+				// would sweep the column on every re-execution.
+				if probe.idx == nil && probe.pfx == nil && !DisableBatchKernels && cs.depth == 0 &&
+					probeConsts == len(probe.keys) && estEntries(srcRows, order[:pos]) <= constEqKernelMaxEntries {
+					divert := true
+					for _, ci := range probe.conjs {
+						if kpSimpleFor(cs.conjs[ci].terms[0].parts[0].kp, s) == nil {
+							divert = false
+							break
+						}
+					}
+					if divert {
+						for _, ci := range probe.conjs {
+							consumed[ci] = false
+						}
+						lv.constEq = len(probe.conjs)
+						probe = nil
+					}
+				}
 			}
 		}
 		lv.probe = probe
 		// Probe-free levels over base tables can still narrow their scan
 		// through an ordered index: a range conjunct whose bounds are
 		// already bound prunes to an index-order subslice, and when the
-		// ORDER BY prefix matches an index the level iterates in index
-		// order so the executor skips the final sort. When both apply
-		// they must agree on the index; order service wins the tie.
+		// ORDER BY prefix matches an index — on the driving level — the
+		// level iterates in index order so the executor skips the final
+		// sort. When both apply they must agree on the index; order
+		// service wins the tie.
 		if probe == nil {
 			if t := cs.sources[s].table; t != nil {
 				var ordIdx *Index
-				if cs.ordSrc == s {
+				if cs.ordSrc == s && pos == 0 {
 					ordIdx = t.findPrefixIndex(cs.ordCols)
 				}
 				lv.rng = buildRangePlan(cs, t, s, bound, ordIdx)
@@ -528,23 +677,54 @@ func buildSchedule(cs *compiledSelect, srcRows [][]relation.Tuple) *schedule {
 					lv.desc = cs.ordDesc
 					sch.orderServed = true
 				}
+				// Filter elision: a conjunct whose inclusive bounds the
+				// range prune adopted in full is exactly implied by the
+				// binary-searched slice — its kernel/filter would re-check
+				// every already-pruned row. Strict bounds never elide.
+				if rp := lv.rng; rp != nil {
+					elide := func(ci int) {
+						if ci < 0 || consumed[ci] {
+							return
+						}
+						pc := cs.conjs[ci]
+						adopted := 0
+						if rp.loConj == ci && !rp.loStrict {
+							adopted++
+						}
+						if rp.hiConj == ci && !rp.hiStrict {
+							adopted++
+						}
+						if pc.rngNeed == 0 || adopted < pc.rngNeed {
+							return
+						}
+						consumed[ci] = true
+						lv.elided++
+						if rp.lo == nil {
+							// The slice's low end is open: NULL rows sort
+							// before every bounded value and the elided
+							// filter would have rejected them.
+							rp.skipNullLo = true
+						}
+					}
+					elide(rp.loConj)
+					elide(rp.hiConj)
+				}
 			}
 		}
 		boundAfter := bound | bit
 		// Batch-kernel consumption: a plain conjunct (one OR alternative)
 		// whose every part is ready exactly here and lowers to a kernel
 		// for this source runs as a vector filter over the cached column
-		// vectors instead of per-row closures. Descending iteration keeps
-		// the row path (the chunked driver emits ascending per chunk);
-		// derived sources have no column vectors.
-		if !DisableBatchKernels && !lv.desc && cs.sources[s].table != nil {
+		// vectors instead of per-row closures. Derived sources have no
+		// column vectors.
+		if !DisableBatchKernels && cs.sources[s].table != nil {
 			for ci, pc := range cs.conjs {
-				if consumed[ci] || len(pc.terms) != 1 {
+				if consumed[ci] || claim[ci] >= 0 || len(pc.terms) != 1 {
 					continue
 				}
 				ready := len(pc.terms[0].parts) > 0
 				for _, p := range pc.terms[0].parts {
-					if p.srcs == 0 || p.srcs&bit == 0 || p.srcs&^boundAfter != 0 || kernFor(p.kerns, s) == nil {
+					if p.srcs == 0 || p.srcs&bit == 0 || p.srcs&^boundAfter != 0 || kpSimpleFor(p.kp, s) == nil {
 						ready = false
 						break
 					}
@@ -553,13 +733,21 @@ func buildSchedule(cs *compiledSelect, srcRows [][]relation.Tuple) *schedule {
 					continue
 				}
 				for _, p := range pc.terms[0].parts {
-					lv.kerns = append(lv.kerns, kernFor(p.kerns, s))
+					lv.kerns = append(lv.kerns, kpSimpleFor(p.kp, s))
 				}
+				consumed[ci] = true
+			}
+			// OR-group consumption: conjuncts claimed for this level.
+			for ci, pc := range cs.conjs {
+				if claim[ci] != pos || consumed[ci] {
+					continue
+				}
+				lv.groups = append(lv.groups, newOrGroupK(pc, ci, s))
 				consumed[ci] = true
 			}
 		}
 		for ci, pc := range cs.conjs {
-			if consumed[ci] || pc.srcs == 0 {
+			if consumed[ci] || claim[ci] >= 0 || pc.srcs == 0 {
 				continue
 			}
 			var terms []schedTerm
@@ -591,26 +779,50 @@ func buildSchedule(cs *compiledSelect, srcRows [][]relation.Tuple) *schedule {
 		sel:       make([][]int, n),
 		binds:     make([][]kernBind, n),
 		kcols:     make([][][]relation.Value, n),
+		gsc:       make([]*groupScratch, n),
 	}
 	for i := range sch.levels {
-		if k := len(sch.levels[i].kerns); k > 0 {
-			sch.state.sel[i] = make([]int, 0, batchChunk)
+		lv := &sch.levels[i]
+		if k := len(lv.kerns); k > 0 {
 			sch.state.binds[i] = make([]kernBind, k)
 			sch.state.kcols[i] = make([][]relation.Value, k)
 		}
+		if len(lv.kerns) > 0 || len(lv.groups) > 0 {
+			sch.state.sel[i] = make([]int, 0, batchChunk)
+		}
+		if len(lv.groups) > 0 {
+			sch.state.gsc[i] = &groupScratch{}
+		}
 	}
 	return sch
+}
+
+// estEntries bounds how many times a level will be entered: the product
+// of the candidate row counts of the levels driving it (ignoring their
+// selectivity, so it over-estimates — the diversion heuristic stays
+// conservative).
+func estEntries(srcRows [][]relation.Tuple, outer []int) int {
+	entries := 1
+	for _, s := range outer {
+		entries *= len(srcRows[s])
+		if entries > constEqKernelMaxEntries {
+			return entries
+		}
+	}
+	return entries
 }
 
 // buildRangePlan collects the usable range bounds for source s given
 // the already-bound source set. Only one column can prune (the first
 // with a covering index, or the ORDER BY index's leading column when
 // the level must also serve ordering); further bounds on it tighten
-// nothing here but remain as filters, like every range conjunct does —
-// pruning is a pure access-path restriction, never a semantic one.
+// nothing here but remain as filters. Pruning itself is a pure
+// access-path restriction; the adoption bookkeeping (loConj/hiConj)
+// lets buildSchedule elide exactly the filters the inclusive prune
+// implies.
 func buildRangePlan(cs *compiledSelect, t *Table, s int, bound srcMask, only *Index) *rangePlan {
 	var rp *rangePlan
-	for _, pc := range cs.conjs {
+	for ci, pc := range cs.conjs {
 		for _, rs := range pc.rngs {
 			if rs.src != s || rs.otherSrcs&^bound != 0 {
 				continue
@@ -627,16 +839,16 @@ func buildRangePlan(cs *compiledSelect, t *Table, s int, bound srcMask, only *In
 				if idx == nil {
 					continue
 				}
-				rp = &rangePlan{idx: idx, col: rs.col}
+				rp = &rangePlan{idx: idx, col: rs.col, loConj: -1, hiConj: -1}
 			} else if rs.col != rp.col {
 				continue
 			}
 			if rs.lower {
 				if rp.lo == nil {
-					rp.lo = rs.key
+					rp.lo, rp.loConj, rp.loStrict = rs.key, ci, rs.strict
 				}
 			} else if rp.hi == nil {
-				rp.hi = rs.key
+				rp.hi, rp.hiConj, rp.hiStrict = rs.key, ci, rs.strict
 			}
 		}
 	}
@@ -731,7 +943,7 @@ func (cs *compiledSelect) planLevel(en *env, sch *schedule, srcRows [][]relation
 	if err != nil {
 		return err
 	}
-	if len(lv.kerns) > 0 {
+	if len(lv.kerns) > 0 || len(lv.groups) > 0 {
 		return cs.planLevelBatch(en, sch, srcRows, pos, lv, rows, bucket, scanAll, yield)
 	}
 	marks := st.marks[pos][:0]
@@ -839,11 +1051,13 @@ func (cs *compiledSelect) evalLevelRow(en *env, st *planState, lv *schedLevel, p
 
 // planLevelBatch is the vectorized level driver: candidate positions
 // are chunked into fixed-size selection vectors, the level's kernels
-// tighten each chunk over the table's cached column vectors, and only
-// the surviving rows run the per-row machinery and the deeper levels.
-// Kernel bindings (the loop-invariant right-hand sides) evaluate once
-// per level entry. Candidate order is preserved end to end, so batch
-// mode composes with range-pruned and order-served scans.
+// tighten each chunk over the table's cached column vectors, OR-group
+// kernels OR-merge their per-alternative filters into the chunk, and
+// only the surviving rows run the per-row machinery and the deeper
+// levels. Kernel and group bindings (the loop-invariant inputs)
+// evaluate once per level entry. Candidate order is preserved end to
+// end — descending order-served scans fill chunks from the tail — so
+// batch mode composes with range-pruned and order-served scans.
 func (cs *compiledSelect) planLevelBatch(en *env, sch *schedule, srcRows [][]relation.Tuple, pos int, lv *schedLevel, rows []relation.Tuple, bucket []int, scanAll bool, yield func([]int) error) error {
 	st := sch.state
 	n := len(rows)
@@ -865,6 +1079,16 @@ func (cs *compiledSelect) planLevelBatch(en *env, sch *schedule, srcRows [][]rel
 		}
 		kcols[i] = t.column(k.col)
 	}
+	var gs *groupScratch
+	if len(lv.groups) > 0 {
+		for _, g := range lv.groups {
+			g.enter() // state reset only; terms bind lazily at filter time
+		}
+		gs = st.gsc[pos]
+		if len(gs.mask) < len(rows) {
+			gs.mask = make([]bool, len(rows))
+		}
+	}
 	marks := st.marks[pos][:0]
 	deadMarks := st.deadMarks[pos][:0]
 	sel := st.sel[pos]
@@ -874,17 +1098,38 @@ func (cs *compiledSelect) planLevelBatch(en *env, sch *schedule, srcRows [][]rel
 			end = n
 		}
 		sel = sel[:0]
-		if scanAll {
+		switch {
+		case lv.desc && scanAll:
+			for i := start; i < end; i++ {
+				sel = append(sel, n-1-i)
+			}
+		case lv.desc:
+			for i := start; i < end; i++ {
+				sel = append(sel, bucket[n-1-i])
+			}
+		case scanAll:
 			for ri := start; ri < end; ri++ {
 				sel = append(sel, ri)
 			}
-		} else {
+		default:
 			sel = append(sel, bucket[start:end]...)
 		}
 		for i, k := range lv.kerns {
 			sel = k.filter(kcols[i], &binds[i], sel)
 			if len(sel) == 0 {
 				break
+			}
+		}
+		for _, g := range lv.groups {
+			if g.pass || len(sel) == 0 {
+				continue
+			}
+			var err error
+			if sel, err = g.filter(en, cs, lv.src, t, gs, rows, sel); err != nil {
+				st.sel[pos] = sel
+				st.marks[pos] = marks
+				st.deadMarks[pos] = deadMarks
+				return err
 			}
 		}
 		for _, ri := range sel {
@@ -1011,7 +1256,7 @@ func (cs *compiledSelect) rangeRows(en *env, lv *schedLevel) ([]int, bool, error
 		}
 		hi, hasHi = v, true
 	}
-	return rp.idx.rangeOf(cs.sources[lv.src].table, lo, hi, hasLo, hasHi), false, nil
+	return rp.idx.rangeOf(cs.sources[lv.src].table, lo, hi, hasLo, hasHi, rp.skipNullLo), false, nil
 }
 
 // buildJoinHash indexes rows by the join-key columns. Rows with a NULL
@@ -1115,10 +1360,46 @@ func (cs *compiledSelect) describePlan() []string {
 		default:
 			line = fmt.Sprintf("scan %s%s", label, size)
 		}
-		if len(lv.kerns) > 0 {
-			line += fmt.Sprintf(" [batch: %d kernel filter(s)]", len(lv.kerns))
-		} else {
+		// Predicate-evaluation mode. The marker describes how this level
+		// evaluates its scheduled predicates: kernels and OR groups render
+		// inside one [batch: ...] bracket, per-row closure evaluation
+		// renders [row], and a level with no predicates at all — a pure
+		// join driver — carries no marker.
+		var batchBits []string
+		if k := len(lv.kerns); k > 0 {
+			bit := fmt.Sprintf("%d kernel filter(s)", k)
+			if lv.constEq > 0 {
+				bit += fmt.Sprintf(", %d via const-eq kernel", lv.constEq)
+			}
+			batchBits = append(batchBits, bit)
+		}
+		if len(lv.groups) > 0 {
+			// Aggregate equal-arity groups: `3 × or-group(2 terms)`.
+			var arities []int
+			counts := map[int]int{}
+			for _, g := range lv.groups {
+				if counts[g.nTerms] == 0 {
+					arities = append(arities, g.nTerms)
+				}
+				counts[g.nTerms]++
+			}
+			sort.Ints(arities)
+			for _, a := range arities {
+				if c := counts[a]; c == 1 {
+					batchBits = append(batchBits, fmt.Sprintf("or-group(%d terms)", a))
+				} else {
+					batchBits = append(batchBits, fmt.Sprintf("%d × or-group(%d terms)", c, a))
+				}
+			}
+		}
+		switch {
+		case len(batchBits) > 0:
+			line += " [batch: " + strings.Join(batchBits, " + ") + "]"
+		case len(lv.evals) > 0:
 			line += " [row]"
+		}
+		if lv.elided > 0 {
+			line += fmt.Sprintf(" — %d filter(s) elided: implied by range", lv.elided)
 		}
 		full, partial := 0, 0
 		for _, ev := range lv.evals {
@@ -1132,6 +1413,14 @@ func (cs *compiledSelect) describePlan() []string {
 			line += fmt.Sprintf(" — %d conjunct(s) decided here, %d partial OR group(s)", full, partial)
 		}
 		out = append(out, line)
+		// Descend into derived sources so EXPLAIN shows the access paths
+		// of the select that materializes them (the detector's Qmv macro
+		// lives behind one).
+		if sub := cs.sources[lv.src].sub; sub != nil {
+			for _, l := range sub.describePlan() {
+				out = append(out, "  "+l)
+			}
+		}
 	}
 	if cs.grouped {
 		out = append(out, "group/aggregate")
@@ -1140,9 +1429,12 @@ func (cs *compiledSelect) describePlan() []string {
 		out = append(out, "distinct")
 	}
 	if len(cs.orderBy) > 0 {
-		if sch.orderServed {
+		switch {
+		case sch.orderServed && len(cs.sources) > 1:
+			out = append(out, "order by: served by index (join driver)")
+		case sch.orderServed:
 			out = append(out, "order by: served by index (no sort)")
-		} else {
+		default:
 			out = append(out, "sort")
 		}
 	}
@@ -1195,6 +1487,8 @@ func (db *DB) Explain(sqlText string) (string, error) {
 			for _, line := range p.filterSel.describePlan() {
 				b.WriteString("    " + line + "\n")
 			}
+		case p.where == nil:
+			b.WriteString("  full table update (no filter)\n")
 		default:
 			b.WriteString("  full scan with row filter\n")
 		}

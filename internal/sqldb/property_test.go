@@ -235,13 +235,19 @@ func TestQuickRoundTripInsertSelect(t *testing.T) {
 // batch kernels, the planner with kernels forced off (per-row
 // closures), and the forced all-pairs nested loop — and all three must
 // produce identical multisets, identical sequences when an ORDER BY
-// pins the order. 160 queries cover joins (equi and cross), OR
-// conjuncts spanning sources, AND-within-OR alternatives, correlated
+// pins the order. 250 queries cover joins (equi and cross), OR
+// conjuncts spanning sources, AND-within-OR alternatives, OR-group
+// kernels (2–5 alternatives, mixed simple predicates / correlated
+// EXISTS probe terms / nested disjunctions — the shapes the group
+// kernels claim, plus non-kernelizable mixes that must fall back),
+// const-equality conjuncts (the `MV = 0` diversion shape), correlated
 // EXISTS / NOT EXISTS, IN-subqueries, IN lists, NULL columns,
 // DISTINCT, grouped aggregates, range predicates (<, <=, >, >=,
-// BETWEEN — range-pruned through the index on w.k, compound
-// equality-prefix + range through the (p, q) index on z) and ORDER BY
-// clauses (index-served on single-table w queries).
+// BETWEEN — range-pruned with inclusive-bound filter elision through
+// the index on w.k, compound equality-prefix + range through the
+// (p, q) index on z) and ORDER BY clauses (index-served on
+// single-table w queries, join-driver-served when a multi-table
+// ORDER BY's source drives the join).
 func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(97))
 	db := NewDB()
@@ -297,7 +303,7 @@ func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 	}
 
 	checked := 0
-	for trial := 0; trial < 160; trial++ {
+	for trial := 0; trial < 250; trial++ {
 		n := 1 + rng.Intn(3)
 		idx := rng.Perm(len(pool))[:n]
 		aliases := make([]string, n)
@@ -317,7 +323,8 @@ func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 				return fmt.Sprintf("%s = %d", intCol(i), rng.Intn(8))
 			case 1:
 				// Range predicates: on w.k these go through the ordered
-				// index as range-pruned scans.
+				// index as range-pruned scans, with inclusive bounds
+				// elided from the filter set.
 				ops := []string{"<", "<=", ">", ">=", "<>"}
 				return fmt.Sprintf("%s %s %d", intCol(i), ops[rng.Intn(len(ops))], rng.Intn(8))
 			case 2:
@@ -342,21 +349,52 @@ func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 				return fmt.Sprintf("%s = %d", intCol(i), rng.Intn(8))
 			}
 		}
+		// probeTerm is the detection-SQL alternative shape: a correlated
+		// [NOT] EXISTS whose key mixes an outer column with the probed
+		// table — the OR-group kernels lower it to a probe kernel.
+		probeTerm := func() string {
+			neg := ""
+			if rng.Intn(2) == 0 {
+				neg = "NOT "
+			}
+			return fmt.Sprintf("%sEXISTS (SELECT 1 FROM u e WHERE e.x = %s)", neg, intCol(rng.Intn(n)))
+		}
 		var conjs []string
 		for k := rng.Intn(4); k > 0; k-- {
-			switch rng.Intn(6) {
+			switch rng.Intn(9) {
 			case 0:
 				conjs = append(conjs, fmt.Sprintf("(%s OR %s)", leaf(), leaf()))
 			case 1:
 				conjs = append(conjs, fmt.Sprintf("(%s OR (%s AND %s))", leaf(), leaf(), leaf()))
 			case 2:
-				neg := ""
-				if rng.Intn(2) == 0 {
-					neg = "NOT "
-				}
-				conjs = append(conjs, fmt.Sprintf("%sEXISTS (SELECT 1 FROM u e WHERE e.x = %s)", neg, intCol(rng.Intn(n))))
+				conjs = append(conjs, probeTerm())
 			case 3:
 				conjs = append(conjs, fmt.Sprintf("%s IN (SELECT k FROM w)", intCol(rng.Intn(n))))
+			case 4:
+				// Detection-shaped OR group: guard OR probe — claimed whole
+				// by the probed source's level when the guard binds there.
+				conjs = append(conjs, fmt.Sprintf("(%s OR %s)", leaf(), probeTerm()))
+			case 5:
+				// Wide OR group, 3–5 alternatives mixing simple leaves,
+				// probes, AND-pairs and nested disjunctions.
+				terms := []string{leaf()}
+				for w := 2 + rng.Intn(3); w > 0; w-- {
+					switch rng.Intn(4) {
+					case 0:
+						terms = append(terms, probeTerm())
+					case 1:
+						terms = append(terms, fmt.Sprintf("(%s AND %s)", leaf(), leaf()))
+					case 2:
+						terms = append(terms, fmt.Sprintf("(%s AND (%s OR %s))", leaf(), leaf(), probeTerm()))
+					default:
+						terms = append(terms, leaf())
+					}
+				}
+				conjs = append(conjs, "("+strings.Join(terms, " OR ")+")")
+			case 6:
+				// Constant-equality conjunct: the `MV = 0` shape the
+				// const-eq kernel serves instead of a hash-probe build.
+				conjs = append(conjs, fmt.Sprintf("%s = %d", intCol(rng.Intn(n)), rng.Intn(4)))
 			default:
 				conjs = append(conjs, leaf())
 			}
@@ -367,7 +405,7 @@ func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 		}
 		var q string
 		ordered := false
-		switch rng.Intn(5) {
+		switch rng.Intn(6) {
 		case 0:
 			q = fmt.Sprintf("SELECT COUNT(*) FROM %s%s", strings.Join(from, ", "), where)
 		case 1:
@@ -402,6 +440,30 @@ func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 			}
 			q = fmt.Sprintf("SELECT %s FROM %s%s ORDER BY %s",
 				strings.Join(outs, ", "), strings.Join(from, ", "), where, strings.Join(orderKeys, ", "))
+		case 4:
+			// Multi-table ORDER BY over one source's columns, outputs
+			// restricted to exactly the order keys: every row of a tie
+			// group is identical, so sequence comparison stays exact even
+			// though the join fans each driving row out — this is the
+			// join-driver index-served ORDER BY shape (served when the
+			// ordered source happens to drive the join, sorted when not;
+			// both must match the nested loop byte-for-byte).
+			ordered = true
+			oi := rng.Intn(n)
+			var outs []string
+			for _, c := range pool[idx[oi]].intCols {
+				outs = append(outs, aliases[oi]+"."+c)
+			}
+			dir := ""
+			if rng.Intn(2) == 0 {
+				dir = " DESC"
+			}
+			orderKeys := make([]string, len(outs))
+			for i, o := range outs {
+				orderKeys[i] = o + dir
+			}
+			q = fmt.Sprintf("SELECT %s FROM %s%s ORDER BY %s",
+				strings.Join(outs, ", "), strings.Join(from, ", "), where, strings.Join(orderKeys, ", "))
 		default:
 			var outs []string
 			for i := 0; i < n; i++ {
@@ -417,8 +479,8 @@ func TestPropertyPlannerNestedLoopEquivalence(t *testing.T) {
 		}
 		checked++
 	}
-	if checked < 100 {
-		t.Fatalf("only %d queries checked, want >= 100", checked)
+	if checked < 240 {
+		t.Fatalf("only %d queries checked, want >= 240", checked)
 	}
 }
 

@@ -227,12 +227,88 @@ var DisableIndexProbes = false
 // what the optimization buys; production code must leave it false.
 var DisableDecorrelation = false
 
-// tryDecorrelate returns a hash-probe closure for x, or nil when the
-// subquery shape does not qualify.
-func (c *compiler) tryDecorrelate(x *Exists) (compiledExpr, error) {
+// decorrProbe is the analyzed form of a decorrelatable EXISTS: the
+// inner table, the key columns and the matching outer key expressions,
+// the inner-only build filters, and — when no filters apply and a
+// secondary index covers the key columns exactly — the persistent
+// index answering the probe. It is the single source of truth for the
+// decorrelated semantics, shared by the per-row closure (compileExists)
+// and the batch probe kernel (kprobe): both resolve the same env hash
+// build (keyed by x) or the same index, and encode keys identically.
+type decorrProbe struct {
+	x       *Exists
+	neg     bool
+	t       *Table
+	keyCols []int
+	outer   []Expr // outer key expressions, aligned with keyCols
+	filters []compiledExpr
+	pk      *probeKey
+	idx     *Index // exact-cover index (filters empty), or nil
+	perm    []int  // index column order → outer key position
+}
+
+// ensureHash returns the env's build-side key set for the probe,
+// building it on first use (and after table mutations). Shared by the
+// hash-probe closure and the probe kernel so the two can never drift.
+func (d *decorrProbe) ensureHash(en *env) (*hashBuild, error) {
+	b := en.hash[d.x]
+	if b != nil && b.version == d.t.version {
+		return b, nil
+	}
+	set := make(map[string]bool, len(d.t.Rows))
+	key := make([]relation.Value, len(d.keyCols))
+	en.frames = append(en.frames, frame{rows: make([]relation.Tuple, 1)})
+	fr := &en.frames[len(en.frames)-1]
+build:
+	for _, row := range d.t.Rows {
+		fr.rows[0] = row
+		for _, f := range d.filters {
+			v, err := f(en)
+			if err != nil {
+				en.frames = en.frames[:len(en.frames)-1]
+				return nil, err
+			}
+			if !v.Truth() {
+				continue build
+			}
+		}
+		for i, col := range d.keyCols {
+			if row[col].IsNull() {
+				continue build // NULL keys can never match an equality
+			}
+			key[i] = row[col]
+		}
+		set[relation.KeyOf(key)] = true
+	}
+	en.frames = en.frames[:len(en.frames)-1]
+	b = &hashBuild{version: d.t.version, set: set}
+	en.hash[d.x] = b
+	return b, nil
+}
+
+// analyzeDecorrelate performs the shape analysis of tryDecorrelate and
+// returns the shared probe description, or nil when the subquery does
+// not qualify. Compile errors in qualifying shapes propagate. Results
+// are memoized per compiler (closure and kernel extraction both ask).
+func (c *compiler) analyzeDecorrelate(x *Exists) (*decorrProbe, error) {
 	if DisableDecorrelation {
 		return nil, nil
 	}
+	if d, ok := c.decorr[x]; ok {
+		return d, nil
+	}
+	d, err := c.analyzeDecorrelateUncached(x)
+	if err != nil {
+		return nil, err
+	}
+	if c.decorr == nil {
+		c.decorr = make(map[*Exists]*decorrProbe)
+	}
+	c.decorr[x] = d
+	return d, nil
+}
+
+func (c *compiler) analyzeDecorrelateUncached(x *Exists) (*decorrProbe, error) {
 	sub := x.Sub
 	if len(sub.From) != 1 || sub.From[0].Sub != nil ||
 		len(sub.GroupBy) > 0 || sub.Having != nil || sub.Limit != nil ||
@@ -299,82 +375,67 @@ func (c *compiler) tryDecorrelate(x *Exists) (compiledExpr, error) {
 		return nil, nil
 	}
 
-	keyCols := make([]int, len(probes))
-	outerASTs := make([]Expr, len(probes))
+	d := &decorrProbe{x: x, neg: x.Neg, t: t}
+	d.keyCols = make([]int, len(probes))
+	d.outer = make([]Expr, len(probes))
 	for i, p := range probes {
-		keyCols[i] = p.col
-		outerASTs[i] = p.outer
+		d.keyCols[i] = p.col
+		d.outer[i] = p.outer
 	}
-	pk, err := ic.buildProbeKey(x, outerASTs, innerDepth)
-	if err != nil {
+	if d.pk, err = ic.buildProbeKey(x, d.outer, innerDepth); err != nil {
 		return nil, err
 	}
-	neg := x.Neg
-
+	d.filters = filters
 	// With no build-time filters, a secondary index on exactly the key
 	// columns replaces the per-statement hash build: the index persists
 	// across statements and only rebuilds after table mutations. The
 	// probe key must follow the index's column order.
 	if len(filters) == 0 && !DisableIndexProbes {
-		if idx, perm := probeIndex(t, keyCols); idx != nil {
-			return func(en *env) (relation.Value, error) {
-				// Index.lookup double-checks the lazy rebuild under the
-				// index's own lock, so concurrent queries racing to the
-				// first probe after a mutation are safe. The key scratch
-				// is per env: closures are shared across goroutines.
-				m := idx.lookup(t)
-				ps := pk.scratch(en)
-				ok, err := pk.eval(en, ps)
-				if err != nil {
-					return relation.Null(), err
-				}
-				if !ok {
-					return relation.Bool(neg), nil // NULL key never matches
-				}
-				keyBuf := ps.keyBuf[:0]
-				for _, pi := range perm {
-					keyBuf = relation.AppendKey(keyBuf, ps.vals[pi])
-					keyBuf = append(keyBuf, 0x1f)
-				}
-				ps.keyBuf = keyBuf
-				return relation.Bool((len(m[string(keyBuf)]) > 0) != neg), nil
-			}, nil
-		}
+		d.idx, d.perm = probeIndex(t, d.keyCols)
+	}
+	return d, nil
+}
+
+// tryDecorrelate returns a hash-probe closure for x, or nil when the
+// subquery shape does not qualify.
+func (c *compiler) tryDecorrelate(x *Exists) (compiledExpr, error) {
+	d, err := c.analyzeDecorrelate(x)
+	if err != nil || d == nil {
+		return nil, err
+	}
+	pk, neg := d.pk, d.neg
+
+	if d.idx != nil {
+		idx, perm, t := d.idx, d.perm, d.t
+		return func(en *env) (relation.Value, error) {
+			// Index.lookup double-checks the lazy rebuild under the
+			// index's own lock, so concurrent queries racing to the
+			// first probe after a mutation are safe. The key scratch
+			// is per env: closures are shared across goroutines.
+			m := idx.lookup(t)
+			ps := pk.scratch(en)
+			ok, err := pk.eval(en, ps)
+			if err != nil {
+				return relation.Null(), err
+			}
+			if !ok {
+				return relation.Bool(neg), nil // NULL key never matches
+			}
+			keyBuf := ps.keyBuf[:0]
+			for _, pi := range perm {
+				keyBuf = relation.AppendKey(keyBuf, ps.vals[pi])
+				keyBuf = append(keyBuf, 0x1f)
+			}
+			ps.keyBuf = keyBuf
+			return relation.Bool((len(m[string(keyBuf)]) > 0) != neg), nil
+		}, nil
 	}
 
 	return func(en *env) (relation.Value, error) {
-		b := en.hash[x]
-		if b == nil || b.version != t.version {
-			set := make(map[string]bool, len(t.Rows))
-			key := make([]relation.Value, len(keyCols))
-			en.frames = append(en.frames, frame{rows: make([]relation.Tuple, 1)})
-			fr := &en.frames[len(en.frames)-1]
-		build:
-			for _, row := range t.Rows {
-				fr.rows[0] = row
-				for _, f := range filters {
-					v, err := f(en)
-					if err != nil {
-						en.frames = en.frames[:len(en.frames)-1]
-						return relation.Null(), err
-					}
-					if !v.Truth() {
-						continue build
-					}
-				}
-				for i, col := range keyCols {
-					if row[col].IsNull() {
-						continue build // NULL keys can never match an equality
-					}
-					key[i] = row[col]
-				}
-				set[relation.KeyOf(key)] = true
-			}
-			en.frames = en.frames[:len(en.frames)-1]
-			b = &hashBuild{version: t.version, set: set}
-			en.hash[x] = b
+		b, err := d.ensureHash(en)
+		if err != nil {
+			return relation.Null(), err
 		}
-
 		ps := pk.scratch(en)
 		ok, err := pk.eval(en, ps)
 		if err != nil {
