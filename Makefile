@@ -5,7 +5,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build test race vet bench-short bench-json benchmeasure benchsmoke benchbaseline explain ci
+.PHONY: build test race vet faultmatrix bench-short bench-json benchmeasure benchsmoke benchbaseline explain ci
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,13 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# The crash-recovery matrix: every WAL/snapshot/recovery unit test,
+# the crash-at-every-I/O-point and error-kind fault matrices, and the
+# detect-level crash+resume differential. -count=1 forces the faults
+# to actually fire (no cached results).
+faultmatrix:
+	$(GO) test -count=1 -run 'TestWAL|TestFaultMatrix|TestResume|TestDetectThreeWayDifferential|TestDurableDSN|TestDSNOption' ./internal/sqldb/ ./internal/detect/ ./internal/sqldriver/
 
 # Quick perf signal: the two acceptance benchmarks plus the planner
 # ablation, a few iterations each.

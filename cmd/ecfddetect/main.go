@@ -14,6 +14,7 @@
 package main
 
 import (
+	"database/sql"
 	"flag"
 	"fmt"
 	"io"
@@ -32,9 +33,17 @@ func main() {
 	out := flag.String("o", "-", "violation output CSV ('-' = stdout)")
 	quiet := flag.Bool("quiet", false, "suppress the violation listing, print summary only")
 	parallel := flag.Int("parallel", 0, "batch detection workers (0 = serial, -1 = GOMAXPROCS)")
+	walDir := flag.String("wal", "", "write-ahead-log directory: persist the session and recover it on restart")
+	fsync := flag.String("fsync", "", "WAL fsync policy: always (default), batched, off")
+	checkpoint := flag.Int64("checkpoint", 4<<20, "WAL bytes between checkpoint snapshots (0 = never; needs -wal)")
+	resume := flag.Bool("resume", false, "resume a persisted session from -wal instead of installing and loading -data")
 	flag.Parse()
-	if *specPath == "" || *dataPath == "" {
-		fmt.Fprintln(os.Stderr, "ecfddetect: -spec and -data are required")
+	if *specPath == "" || (*dataPath == "" && !*resume) {
+		fmt.Fprintln(os.Stderr, "ecfddetect: -spec and -data are required (-data optional with -resume)")
+		os.Exit(2)
+	}
+	if *resume && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "ecfddetect: -resume needs -wal")
 		os.Exit(2)
 	}
 
@@ -56,34 +65,67 @@ func main() {
 		}
 	}
 
-	f, err := os.Open(*dataPath)
-	if err != nil {
-		fail(err)
-	}
-	inst, err := readCSV(f, schema)
-	f.Close()
-	if err != nil {
-		fail(err)
+	var inst *ecfd.Relation
+	if *dataPath != "" {
+		f, err := os.Open(*dataPath)
+		if err != nil {
+			fail(err)
+		}
+		inst, err = readCSV(f, schema)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
 	}
 
-	db, err := ecfd.OpenMemory("ecfddetect")
-	if err != nil {
-		fail(err)
+	var db *sql.DB
+	if *walDir != "" {
+		var dsn string
+		db, dsn, err = ecfd.OpenDurable("ecfddetect", *walDir, *fsync, *checkpoint)
+		if err != nil {
+			fail(err)
+		}
+		defer ecfd.CloseMemory(dsn)
+	} else {
+		db, err = ecfd.OpenMemory("ecfddetect")
+		if err != nil {
+			fail(err)
+		}
+		defer ecfd.CloseMemory("ecfddetect")
 	}
 	defer db.Close()
-	defer ecfd.CloseMemory("ecfddetect")
 
 	d, err := ecfd.NewDetector(db, schema, spec.Constraints)
 	if err != nil {
 		fail(err)
 	}
-	if err := d.Install(); err != nil {
-		fail(err)
+	if *walDir != "" {
+		// Each update batch becomes one WAL commit unit: a crash
+		// recovers to a batch boundary, never a half-applied update.
+		d.SetAtomicUpdates(true)
 	}
-	if _, err := d.LoadData(inst); err != nil {
-		fail(err)
+	if *resume {
+		if err := d.Resume(); err != nil {
+			fail(err)
+		}
+		if inst != nil {
+			if _, err := d.LoadData(inst); err != nil {
+				fail(err)
+			}
+		}
+	} else {
+		if err := d.Install(); err != nil {
+			fail(err)
+		}
+		if _, err := d.LoadData(inst); err != nil {
+			fail(err)
+		}
 	}
 
+	nRows := 0
+	if inst != nil {
+		nRows = inst.Len()
+	}
 	var st ecfd.BatchStats
 	mode := "batch"
 	if *parallel != 0 {
@@ -96,7 +138,7 @@ func main() {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "%s: %d rows, %d violations (SV %d, MV %d) in %v\n",
-		mode, inst.Len(), st.Total, st.SV, st.MV, st.Elapsed.Round(1e6))
+		mode, nRows, st.Total, st.SV, st.MV, st.Elapsed.Round(1e6))
 
 	if *insertPath != "" {
 		f, err := os.Open(*insertPath)

@@ -231,7 +231,36 @@ func OpenMemory(name string) (*sql.DB, error) {
 }
 
 // CloseMemory drops the named embedded database and frees its memory.
+// A durable database (OpenDurable) is closed first, syncing any
+// batched WAL tail.
 func CloseMemory(name string) { sqldriver.Unregister(name) }
+
+// OpenDurable opens a named embedded database backed by a write-ahead
+// log in walDir, recovering any state a previous process persisted
+// there. fsync is "always" (default), "batched" or "off";
+// checkpointBytes > 0 snapshots and rotates the WAL when it exceeds
+// that size. The returned DSN names the engine for CloseMemory and for
+// reopening the same instance. See internal/sqldb's durability
+// documentation for the recovery guarantees each policy buys.
+func OpenDurable(name, walDir, fsync string, checkpointBytes int64) (*sql.DB, string, error) {
+	dsn := name + "?wal=" + walDir
+	if fsync != "" {
+		dsn += "&fsync=" + fsync
+	}
+	if checkpointBytes > 0 {
+		dsn += fmt.Sprintf("&checkpoint=%d", checkpointBytes)
+	}
+	// Open eagerly: recovery errors (corrupt WAL, bad options) surface
+	// here rather than on the first query.
+	if _, err := sqldriver.OpenEngine(dsn); err != nil {
+		return nil, "", err
+	}
+	db, err := OpenMemory(dsn)
+	if err != nil {
+		return nil, "", err
+	}
+	return db, dsn, nil
+}
 
 // Engine returns the raw embedded engine behind a named memory
 // database — useful for bulk-loading relations without SQL round trips.

@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"ecfd/internal/core"
 	"ecfd/internal/detect"
@@ -105,7 +107,7 @@ var Runners = map[string]func(Options) (*Figure, error){
 	"5a": Fig5a, "5b": Fig5b, "5c": Fig5c,
 	"6a": Fig6a, "6b": Fig6b, "6c": Fig6c,
 	"7a": Fig7a, "7b": Fig7b,
-	"par": FigPar,
+	"par": FigPar, "wal": FigWAL,
 }
 
 // FigureIDs lists the runnable figures in paper order.
@@ -525,6 +527,69 @@ func FigPar(opt Options) (*Figure, error) {
 		}
 		f.Points = append(f.Points, Point{X: fmt.Sprint(w), Series: map[string]float64{
 			"parallel": secs, "batch": bst.Elapsed.Seconds(), "speedup": oneWorker / secs}})
+	}
+	return f, nil
+}
+
+// FigWAL — the ingest cost of durability: LoadData + BatchDetect on
+// the Fig. 5(a) workload with the engine volatile ("off") and durable
+// under each WAL fsync policy. "load" is dominated by per-batch commit
+// units (fsync=always pays one fsync per 500-row insert); "batch" runs
+// the Fig. 4 queries, whose SV/MV updates also log, so detection under
+// a WAL measures the DML logging overhead on real work.
+func FigWAL(opt Options) (*Figure, error) {
+	f := &Figure{ID: "wal", Title: "Durable ingest: WAL fsync policies (Fig. 5(a) workload)",
+		XLabel: "config", YLabel: "seconds", Names: []string{"load", "batch"}}
+	rows := opt.scale(20_000)
+	cfg := gen.Config{Rows: rows, Noise: 5, Seed: opt.Seed}
+	data := gen.Dataset(cfg)
+
+	configs := []struct{ name, dsnOpts string }{
+		{"volatile", ""},
+		{"fsync=off", "?wal=%s&fsync=off"},
+		{"fsync=batched", "?wal=%s&fsync=batched&fsync_every=64"},
+		{"fsync=always", "?wal=%s&fsync=always"},
+	}
+	for _, c := range configs {
+		point, err := func() (Point, error) {
+			dsn := fmt.Sprintf("bench_wal_%d", dsnSeq.Add(1))
+			if c.dsnOpts != "" {
+				dir, err := os.MkdirTemp("", "ecfdwal")
+				if err != nil {
+					return Point{}, err
+				}
+				defer os.RemoveAll(dir)
+				dsn += fmt.Sprintf(c.dsnOpts, dir)
+			}
+			db, err := sql.Open(sqldriver.DriverName, dsn)
+			if err != nil {
+				return Point{}, err
+			}
+			defer sqldriver.Unregister(dsn)
+			defer db.Close()
+			d, err := detect.New(db, gen.Schema(), gen.Constraints())
+			if err != nil {
+				return Point{}, err
+			}
+			if err := d.Install(); err != nil {
+				return Point{}, err
+			}
+			loadStart := time.Now()
+			if _, err := d.LoadData(data); err != nil {
+				return Point{}, err
+			}
+			loadSecs := time.Since(loadStart).Seconds()
+			st, err := opt.detect(d)
+			if err != nil {
+				return Point{}, err
+			}
+			return Point{X: c.name, Series: map[string]float64{
+				"load": loadSecs, "batch": st.Elapsed.Seconds()}}, nil
+		}()
+		if err != nil {
+			return nil, fmt.Errorf("wal config %s: %w", c.name, err)
+		}
+		f.Points = append(f.Points, point)
 	}
 	return f, nil
 }

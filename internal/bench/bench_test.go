@@ -17,7 +17,7 @@ func TestRunUnknownFigure(t *testing.T) {
 
 func TestFigureIDs(t *testing.T) {
 	ids := FigureIDs()
-	want := []string{"5a", "5b", "5c", "6a", "6b", "6c", "7a", "7b", "par"}
+	want := []string{"5a", "5b", "5c", "6a", "6b", "6c", "7a", "7b", "par", "wal"}
 	if strings.Join(ids, ",") != strings.Join(want, ",") {
 		t.Errorf("FigureIDs = %v", ids)
 	}
@@ -118,6 +118,23 @@ func TestPrint(t *testing.T) {
 	for _, frag := range []string{"Fig. x", "X", "a", "0.500"} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("Print output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestFigWALShape checks the durable-ingest figure: one point per
+// durability configuration, each with positive load and detect times.
+func TestFigWALShape(t *testing.T) {
+	f, err := Run("wal", tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != 4 {
+		t.Fatalf("Fig wal has %d points, want 4", len(f.Points))
+	}
+	for _, p := range f.Points {
+		if p.Series["load"] <= 0 || p.Series["batch"] <= 0 {
+			t.Errorf("point %s: non-positive time", p.X)
 		}
 	}
 }

@@ -63,6 +63,7 @@ type Detector struct {
 	delTable    string
 
 	nextRID int64
+	atomic  bool // wrap LoadData/ApplyUpdates in one transaction
 
 	// pre-generated statements (fixed count, independent of |Σ|)
 	stmts statements
@@ -352,12 +353,21 @@ func (d *Detector) LoadData(inst *relation.Relation) ([]int64, error) {
 	if inst.Schema.Name != d.schema.Name || inst.Schema.Width() != d.schema.Width() {
 		return nil, fmt.Errorf("detect: instance schema %s does not match %s", inst.Schema, d.schema)
 	}
-	return d.bulkInsert(d.dataTable, inst)
+	var rids []int64
+	err := d.runAtomic(func(ex execer) error {
+		var err error
+		rids, err = d.bulkInsert(ex, d.dataTable, inst)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rids, nil
 }
 
 const insertBatch = 500
 
-func (d *Detector) bulkInsert(table string, inst *relation.Relation) ([]int64, error) {
+func (d *Detector) bulkInsert(ex execer, table string, inst *relation.Relation) ([]int64, error) {
 	// Parameterized prepared inserts: the full-batch statement text is
 	// constant, so after the first batch the engine's plan cache serves
 	// the compiled insert and no data value is ever lexed. One prepared
@@ -379,7 +389,7 @@ func (d *Detector) bulkInsert(table string, inst *relation.Relation) ([]int64, e
 	rows := inst.Rows
 	nFull := len(rows) / insertBatch
 	if nFull > 0 {
-		stmt, err := d.db.Prepare(fmt.Sprintf("INSERT INTO %s VALUES %s",
+		stmt, err := ex.Prepare(fmt.Sprintf("INSERT INTO %s VALUES %s",
 			table, placeholderRows(insertBatch, width)))
 		if err != nil {
 			return nil, fmt.Errorf("detect: load data: %w", err)
@@ -402,7 +412,7 @@ func (d *Detector) bulkInsert(table string, inst *relation.Relation) ([]int64, e
 			appendRow(row)
 		}
 		q := fmt.Sprintf("INSERT INTO %s VALUES %s", table, placeholderRows(len(tail), width))
-		if _, err := d.db.Exec(q, args...); err != nil {
+		if _, err := ex.Exec(q, args...); err != nil {
 			return nil, fmt.Errorf("detect: load data: %w", err)
 		}
 	}

@@ -23,13 +23,19 @@ import (
 //   - d_batch applies the same changes raw (no maintenance) and
 //     recomputes with BatchDetect after each step;
 //   - d_par applies the same raw changes and recomputes with
-//     ParallelDetect(8).
+//     ParallelDetect(8);
+//   - d_dur runs the incremental path on a durable engine over a
+//     fault-injected filesystem: every step arms a crash at a random
+//     upcoming I/O point, and when it fires the "process" restarts —
+//     reopen, Resume, redo the update if its commit unit did not make
+//     it to the log — and must still land byte-identical.
 //
-// All three assign identical RID sequences (same insert batches in the
+// All legs assign identical RID sequences (same insert batches in the
 // same order), so Violations() must render to the same bytes — not
 // just the same multiset. The whole differential runs with batch
 // kernels on and forced off, pinning every kernel path end to end.
 func TestDetectThreeWayDifferential(t *testing.T) {
+	recoveries := 0
 	run := func(t *testing.T) {
 		rng := rand.New(rand.NewSource(157))
 		for trial := 0; trial < 6; trial++ {
@@ -38,6 +44,37 @@ func TestDetectThreeWayDifferential(t *testing.T) {
 			dBatch := newDetector(t, sigma, inst)
 			dPar := newDetector(t, sigma, inst)
 			if _, err := dInc.BatchDetect(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The durable leg: atomic updates on a MemFS-backed WAL,
+			// fsync'd every commit so an acknowledged update is never
+			// lost, with a small checkpoint threshold so crashes also
+			// land mid-rotation.
+			fs := sqldb.NewMemFS(int64(9000 + trial))
+			walOpts := sqldb.WALOptions{Dir: "/wal", FS: fs, Fsync: sqldb.FsyncAlways, CheckpointBytes: 8 << 10}
+			dsn := fmt.Sprintf("detect_durable_%d", dsnSeq.Add(1))
+			eng, err := sqldb.Open(walOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sqldriver.RegisterDB(dsn, eng)
+			dbDur, err := sql.Open(sqldriver.DriverName, dsn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dDur, err := New(dbDur, inst.Schema, sigma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dDur.SetAtomicUpdates(true)
+			if err := dDur.Install(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dDur.LoadData(inst); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dDur.BatchDetect(); err != nil {
 				t.Fatal(err)
 			}
 
@@ -80,9 +117,49 @@ func TestDetectThreeWayDifferential(t *testing.T) {
 					t.Fatalf("trial %d step %d parallel: %v", trial, step, err)
 				}
 
+				// Durable leg: crash at a random point inside (or just
+				// after) the update's I/O, then recover and reconcile.
+				savedRID := dDur.nextRID
+				fs.Arm(sqldb.FaultCrash, 1+rng.Intn(5))
+				if _, _, err := dDur.ApplyUpdates(batch, doomed); err == nil {
+					fs.Disarm()
+				} else {
+					recoveries++
+					fs.Crash()
+					dbDur.Close()
+					if eng, err = sqldb.Open(walOpts); err != nil {
+						t.Fatalf("trial %d step %d: recovery open: %v", trial, step, err)
+					}
+					sqldriver.RegisterDB(dsn, eng)
+					if dbDur, err = sql.Open(sqldriver.DriverName, dsn); err != nil {
+						t.Fatal(err)
+					}
+					if dDur, err = New(dbDur, inst.Schema, sigma); err != nil {
+						t.Fatal(err)
+					}
+					dDur.SetAtomicUpdates(true)
+					if err := dDur.Resume(); err != nil {
+						t.Fatalf("trial %d step %d: resume: %v", trial, step, err)
+					}
+					// Resume restores the allocator from MAX(RID), which
+					// under-counts when deletions removed the maximal
+					// rows; pin it to the dead process's value — the
+					// legs must assign identical RID sequences for the
+					// byte-differential to be meaningful.
+					dDur.nextRID = savedRID
+					if durStepApplied(t, dbDur, dDur, batch, doomed, savedRID) {
+						if batch != nil {
+							dDur.nextRID = savedRID + int64(batch.Len())
+						}
+					} else if _, _, err := dDur.ApplyUpdates(batch, doomed); err != nil {
+						t.Fatalf("trial %d step %d: redo after recovery: %v", trial, step, err)
+					}
+				}
+
 				vInc := violationCSV(t, dInc)
 				vBatch := violationCSV(t, dBatch)
 				vPar := violationCSV(t, dPar)
+				vDur := violationCSV(t, dDur)
 				if !bytes.Equal(vInc, vBatch) {
 					t.Fatalf("trial %d step %d: incremental vs batch violation sets differ\nsigma: %s\ninc:\n%s\nbatch:\n%s",
 						trial, step, sigmaString(sigma), vInc, vBatch)
@@ -91,7 +168,13 @@ func TestDetectThreeWayDifferential(t *testing.T) {
 					t.Fatalf("trial %d step %d: batch vs parallel(8) violation sets differ\nbatch:\n%s\npar:\n%s",
 						trial, step, vBatch, vPar)
 				}
+				if !bytes.Equal(vInc, vDur) {
+					t.Fatalf("trial %d step %d: incremental vs durable violation sets differ\nsigma: %s\ninc:\n%s\ndur:\n%s",
+						trial, step, sigmaString(sigma), vInc, vDur)
+				}
 			}
+			dbDur.Close()
+			sqldriver.Unregister(dsn)
 		}
 	}
 	t.Run("kernels=on", run)
@@ -100,6 +183,36 @@ func TestDetectThreeWayDifferential(t *testing.T) {
 		defer func() { sqldb.DisableBatchKernels = false }()
 		run(t)
 	})
+	if recoveries == 0 {
+		t.Error("no crash ever fired: the durable leg exercised no recovery")
+	}
+	t.Logf("durable leg: %d crash recoveries across both kernel modes", recoveries)
+}
+
+// durStepApplied reports whether the interrupted atomic update's
+// commit unit reached the log before the crash. ApplyUpdates leaves
+// this step's batch in the ins staging table until the next step
+// truncates it, so a surviving batch (its RIDs continue savedRID) or
+// a vanished doomed row means the unit committed; a step with neither
+// inserts nor deletes is a semantic no-op either way.
+func durStepApplied(t *testing.T, db *sql.DB, d *Detector, batch *relation.Relation, doomed []int64, savedRID int64) bool {
+	t.Helper()
+	switch {
+	case batch != nil && batch.Len() > 0:
+		var m sql.NullInt64
+		if err := db.QueryRow("SELECT MAX(" + ColRID + ") FROM " + d.insTable).Scan(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m.Valid && m.Int64 == savedRID+int64(batch.Len())
+	case len(doomed) > 0:
+		var n int64
+		q := fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s = %d", d.dataTable, ColRID, doomed[0])
+		if err := db.QueryRow(q).Scan(&n); err != nil {
+			t.Fatal(err)
+		}
+		return n == 0
+	}
+	return false
 }
 
 // TestBatchDetectStatementsFullyBatched is the EXPLAIN acceptance for
@@ -135,6 +248,12 @@ func TestBatchDetectStatementsFullyBatched(t *testing.T) {
 		"qmvInsert":  d.stmts.qmvInsert,
 		"mvUpdate":   d.stmts.mvUpdate,
 		"truncAux":   "TRUNCATE TABLE " + d.auxTable,
+		// The parallel statement set rides the same kernels: since
+		// mvRIDsSlice was flattened from EXISTS-over-conjunction to a
+		// semi-join, none of the three may fall back to a [row] scan.
+		"qsvRIDsSlice":    d.stmts.qsvRIDsSlice,
+		"qmvGroupsCIDRng": d.stmts.qmvGroupsCIDRng,
+		"mvRIDsSlice":     d.stmts.mvRIDsSlice,
 	}
 	for name, q := range stmts {
 		plan, err := eng.Explain(q)
@@ -151,6 +270,15 @@ func TestBatchDetectStatementsFullyBatched(t *testing.T) {
 		plan, _ := eng.Explain(stmts[name])
 		if !strings.Contains(plan, "or-group(") {
 			t.Fatalf("%s carries no OR-group kernels:\n%s", name, plan)
+		}
+	}
+	// The Qmv groupings must share the macro's DISTINCT key spine: the
+	// 10-column group key (CID + 9 blanked-LHS columns) is a prefix of
+	// the 19-column dedup key, so it is never encoded twice.
+	for _, name := range []string{"qmvInsert", "qmvGroupsCIDRng"} {
+		plan, _ := eng.Explain(stmts[name])
+		if !strings.Contains(plan, "[spine: 10-col keys shared with distinct source]") {
+			t.Fatalf("%s grouping does not share the distinct key spine:\n%s", name, plan)
 		}
 	}
 }

@@ -55,7 +55,7 @@ func (d *Detector) InsertRaw(batch *relation.Relation) ([]int64, error) {
 	if batch.Schema.Name != d.schema.Name || batch.Schema.Width() != d.schema.Width() {
 		return nil, fmt.Errorf("detect: batch schema %s does not match %s", batch.Schema, d.schema)
 	}
-	return d.bulkInsert(d.dataTable, batch)
+	return d.bulkInsert(d.db, d.dataTable, batch)
 }
 
 // DeleteRaw removes tuples by RID without maintaining flags or Aux.
@@ -85,37 +85,42 @@ func (d *Detector) ApplyUpdates(insBatch *relation.Relation, delRids []int64) ([
 	start := time.Now()
 	applied := int64(len(delRids))
 	var rids []int64
-	firstRID := d.nextRID + 1
-
-	if _, err := d.db.Exec("TRUNCATE TABLE " + d.insTable); err != nil {
-		return nil, IncStats{}, err
-	}
-	if insBatch != nil && insBatch.Len() > 0 {
-		if insBatch.Schema.Name != d.schema.Name || insBatch.Schema.Width() != d.schema.Width() {
-			return nil, IncStats{}, fmt.Errorf("detect: batch schema %s does not match %s", insBatch.Schema, d.schema)
+	err := d.runAtomic(func(ex execer) error {
+		firstRID := d.nextRID + 1
+		if _, err := ex.Exec("TRUNCATE TABLE " + d.insTable); err != nil {
+			return err
 		}
-		var err error
-		if rids, err = d.bulkInsert(d.insTable, insBatch); err != nil {
-			return nil, IncStats{}, err
+		if insBatch != nil && insBatch.Len() > 0 {
+			if insBatch.Schema.Name != d.schema.Name || insBatch.Schema.Width() != d.schema.Width() {
+				return fmt.Errorf("detect: batch schema %s does not match %s", insBatch.Schema, d.schema)
+			}
+			var err error
+			if rids, err = d.bulkInsert(ex, d.insTable, insBatch); err != nil {
+				return err
+			}
+			applied += int64(insBatch.Len())
 		}
-		applied += int64(insBatch.Len())
-	}
-	if err := d.loadDelRids(delRids); err != nil {
-		return nil, IncStats{}, err
-	}
+		if err := d.loadDelRids(ex, delRids); err != nil {
+			return err
+		}
 
-	// The §V-B maintenance sequence runs as one pipelined script (see
-	// statements.incScript): a single prepared round trip, with the two
-	// RID-threshold parameters bound positionally (mvSetNew, mvSetOld).
-	if _, err := d.db.Exec(d.stmts.incScript, firstRID, firstRID); err != nil {
-		return nil, IncStats{}, fmt.Errorf("detect: combined update: %w", err)
+		// The §V-B maintenance sequence runs as one pipelined script (see
+		// statements.incScript): a single prepared round trip, with the two
+		// RID-threshold parameters bound positionally (mvSetNew, mvSetOld).
+		if _, err := ex.Exec(d.stmts.incScript, firstRID, firstRID); err != nil {
+			return fmt.Errorf("detect: combined update: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, IncStats{}, err
 	}
 	return rids, IncStats{Applied: applied, Elapsed: time.Since(start)}, nil
 }
 
 // loadDelRids fills the ΔD⁻ staging table.
-func (d *Detector) loadDelRids(rids []int64) error {
-	if _, err := d.db.Exec("TRUNCATE TABLE " + d.delTable); err != nil {
+func (d *Detector) loadDelRids(ex execer, rids []int64) error {
+	if _, err := ex.Exec("TRUNCATE TABLE " + d.delTable); err != nil {
 		return err
 	}
 	var b strings.Builder
@@ -124,7 +129,7 @@ func (d *Detector) loadDelRids(rids []int64) error {
 		if n == 0 {
 			return nil
 		}
-		if _, err := d.db.Exec(b.String()); err != nil {
+		if _, err := ex.Exec(b.String()); err != nil {
 			return err
 		}
 		b.Reset()

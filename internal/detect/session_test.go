@@ -1,0 +1,109 @@
+package detect
+
+import (
+	"database/sql"
+	"fmt"
+	"testing"
+
+	"ecfd/internal/gen"
+	"ecfd/internal/sqldb"
+	"ecfd/internal/sqldriver"
+)
+
+// openDurableDetector builds a detector over a MemFS-backed durable
+// engine registered under a fresh DSN, returning everything a restart
+// needs to reopen the same "disk".
+func openDurableDetector(t *testing.T, fs *sqldb.MemFS) (*Detector, *sql.DB, string) {
+	t.Helper()
+	dsn := fmt.Sprintf("detect_session_%d", dsnSeq.Add(1))
+	eng, err := sqldb.Open(sqldb.WALOptions{Dir: "/wal", FS: fs, Fsync: sqldb.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqldriver.RegisterDB(dsn, eng)
+	db, err := sql.Open(sqldriver.DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(db, gen.Schema(), gen.Constraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, db, dsn
+}
+
+// TestResumeContinuesSession pins the restart contract: a second
+// process reopens the WAL, Resumes instead of Installing, continues
+// the RID sequence where the first process stopped, and sees the same
+// violation flags without any re-detection.
+func TestResumeContinuesSession(t *testing.T) {
+	fs := sqldb.NewMemFS(41)
+	d1, db1, dsn1 := openDurableDetector(t, fs)
+	if err := d1.Install(); err != nil {
+		t.Fatal(err)
+	}
+	inst := gen.Dataset(gen.Config{Rows: 60, Noise: 10, Seed: 7})
+	if _, err := d1.LoadData(inst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d1.BatchDetect(); err != nil {
+		t.Fatal(err)
+	}
+	wantVio := violationCSV(t, d1)
+	wantRID := d1.nextRID
+	db1.Close()
+	sqldriver.Unregister(dsn1)
+
+	// "Restart": same MemFS, fresh engine, Resume.
+	d2, db2, dsn2 := openDurableDetector(t, fs)
+	defer db2.Close()
+	defer sqldriver.Unregister(dsn2)
+	if err := d2.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if d2.nextRID != wantRID {
+		t.Fatalf("resumed RID allocator = %d, want %d", d2.nextRID, wantRID)
+	}
+	if got := violationCSV(t, d2); string(got) != string(wantVio) {
+		t.Fatalf("resumed violations differ:\nwant:\n%s\ngot:\n%s", wantVio, got)
+	}
+
+	// The resumed session keeps detecting: an incremental update must
+	// assign the next RIDs in sequence.
+	batch := gen.Dataset(gen.Config{Rows: 3, Noise: 50, Seed: 8})
+	rids, _, err := d2.InsertTuples(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 3 || rids[0] != wantRID+1 {
+		t.Fatalf("resumed insert assigned RIDs %v, want to continue from %d", rids, wantRID+1)
+	}
+}
+
+// TestResumeErrors pins the two refusal paths: resuming a database
+// Install never ran on, and resuming with a different constraint set
+// than the persisted encoding.
+func TestResumeErrors(t *testing.T) {
+	fs := sqldb.NewMemFS(42)
+	d, db, dsn := openDurableDetector(t, fs)
+	defer db.Close()
+	defer sqldriver.Unregister(dsn)
+	if err := d.Resume(); err == nil {
+		t.Fatal("Resume on an empty database must fail")
+	}
+	if err := d.Install(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Resume(); err != nil {
+		t.Fatalf("Resume after Install: %v", err)
+	}
+
+	// Same tables, smaller Σ: the enc row count cannot match.
+	dOther, err := New(db, gen.Schema(), gen.Constraints()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dOther.Resume(); err == nil {
+		t.Fatal("Resume with a mismatched constraint set must fail")
+	}
+}

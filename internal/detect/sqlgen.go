@@ -236,9 +236,16 @@ func (d *Detector) genQmvGroupsCIDRange() string {
 // slice (params: lo, hi) — the read-only form of the MV update, with
 // the same per-CID guard.
 func (d *Detector) genMVRIDsSlice() string {
+	// Flat semi-join form: the data slice joins enc directly instead of
+	// sitting under an outer EXISTS, so the scan of the slice is a plain
+	// conjunctive filter the engine's batch kernels handle — the EXISTS
+	// wrapper forced the last row-at-a-time data scan in the parallel
+	// statement set. DISTINCT collapses tuples matching several
+	// patterns; the parallel driver sorts and dedups the merged slices
+	// anyway, so the result contract is unchanged.
 	cidGuard := fmt.Sprintf("EXISTS (SELECT 1 FROM %s g WHERE g.CID = c.CID)", d.auxTable)
-	return fmt.Sprintf("SELECT t.%s FROM %s t WHERE t.%s >= ? AND t.%s <= ? AND EXISTS (SELECT 1 FROM %s c WHERE %s AND %s)",
-		ColRID, d.dataTable, ColRID, ColRID, d.encTable, cidGuard, d.auxProbe(d.auxTable))
+	return fmt.Sprintf("SELECT DISTINCT t.%s FROM %s t, %s c WHERE t.%s >= ? AND t.%s <= ? AND %s AND %s",
+		ColRID, d.dataTable, d.encTable, ColRID, ColRID, cidGuard, d.auxProbe(d.auxTable))
 }
 
 // auxProbe renders "t matches some (cid, p) in table for c's CID": the

@@ -32,6 +32,18 @@ type DB struct {
 	// would not do).
 	stmtMu    sync.Mutex
 	stmtCache *lruCache
+	// wal, when non-nil, is the durability layer: every mutation
+	// appends a commit unit before it touches the catalog (see wal.go).
+	// Databases from NewDB stay purely in-memory; Open attaches a WAL.
+	wal *walState
+	// roErr, once set, freezes the database read-only: the WAL could
+	// not record a mutation (write or fsync failure), so rather than
+	// let memory and log diverge, every later DML/DDL returns
+	// ErrReadOnly wrapping this cause while queries keep serving.
+	// Written and read under mu.
+	roErr error
+	// recov records what recovery did at Open time.
+	recov RecoveryStats
 }
 
 // NewDB returns an empty database.
@@ -227,6 +239,9 @@ func lowerName(s string) string { return strings.ToLower(s) }
 func (db *DB) CreateTable(name string, cols []ColumnDef, ifNotExists bool) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.writable(); err != nil {
+		return err
+	}
 	key := lowerName(name)
 	if _, ok := db.tables[key]; ok {
 		if ifNotExists {
@@ -242,6 +257,9 @@ func (db *DB) CreateTable(name string, cols []ColumnDef, ifNotExists bool) error
 	if err != nil {
 		return fmt.Errorf("sql: %w", err)
 	}
+	if err := db.logCreateTable(schema); err != nil {
+		return err
+	}
 	db.tables[key] = &Table{Name: name, Schema: schema}
 	db.bumpDDL()
 	return nil
@@ -251,12 +269,18 @@ func (db *DB) CreateTable(name string, cols []ColumnDef, ifNotExists bool) error
 func (db *DB) DropTable(name string, ifExists bool) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.writable(); err != nil {
+		return err
+	}
 	key := lowerName(name)
 	if _, ok := db.tables[key]; !ok {
 		if ifExists {
 			return nil
 		}
 		return fmt.Errorf("sql: no table %s", name)
+	}
+	if err := db.logDropTable(name); err != nil {
+		return err
 	}
 	delete(db.tables, key)
 	db.bumpDDL()
@@ -301,14 +325,27 @@ func (db *DB) TableLen(name string) (int, error) {
 func (db *DB) LoadRelation(r *relation.Relation) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.writable(); err != nil {
+		return err
+	}
+	if db.activeTx != nil {
+		// Wholesale replacement has no per-row undo delta, so it cannot
+		// participate in rollback (or be logged consistently with one).
+		return fmt.Errorf("sql: LoadRelation inside a transaction is not supported")
+	}
 	key := lowerName(r.Schema.Name)
 	t, ok := db.tables[key]
 	if !ok {
+		if err := db.logLoadRelation(r); err != nil {
+			return err
+		}
 		t = &Table{Name: r.Schema.Name, Schema: r.Schema}
 		db.tables[key] = t
 		db.bumpDDL()
 	} else if t.Schema.Width() != r.Schema.Width() {
 		return fmt.Errorf("sql: LoadRelation: width mismatch for %s", r.Schema.Name)
+	} else if err := db.logLoadRelation(r); err != nil {
+		return err
 	}
 	t.Rows = make([]relation.Tuple, len(r.Rows))
 	for i, row := range r.Rows {
@@ -339,6 +376,9 @@ func (db *DB) Snapshot(name string) (*relation.Relation, error) {
 func (db *DB) CreateIndex(name, table string, cols []string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.writable(); err != nil {
+		return err
+	}
 	t, err := db.table(table)
 	if err != nil {
 		return err
@@ -355,6 +395,9 @@ func (db *DB) CreateIndex(name, table string, cols []string) error {
 		if existing.Name == name {
 			return fmt.Errorf("sql: index %s already exists on %s", name, table)
 		}
+	}
+	if err := db.logCreateIndex(name, table, cols); err != nil {
+		return err
 	}
 	t.indexes = append(t.indexes, idx)
 	db.bumpDDL()

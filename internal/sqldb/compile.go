@@ -36,6 +36,15 @@ type env struct {
 	// semiScan, one per select (a select cannot contain itself, so reuse
 	// across its sequential invocations within one statement is safe).
 	scratch map[*compiledSelect][]relation.Tuple
+	// spineWant/spine are the group-key spine handshake: a grouped
+	// select whose GROUP BY is the first k output columns of its single
+	// derived DISTINCT source sets spineWant[sub]=k before running it;
+	// the sub's inline dedup then records, per emitted row, the k-column
+	// prefix of the dedup key it hashed anyway into spine[sub], and
+	// execGrouped reuses those bytes as group keys instead of
+	// re-evaluating and re-encoding the columns.
+	spineWant map[*compiledSelect]int
+	spine     map[*compiledSelect][]string
 }
 
 // scratchFor returns the env's frame row slot for cs.

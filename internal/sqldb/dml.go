@@ -98,6 +98,9 @@ func (db *DB) compileInsert(ins *Insert) (*insertPlan, error) {
 }
 
 func (db *DB) runInsert(p *insertPlan, params []relation.Value) (int64, error) {
+	if err := db.writable(); err != nil {
+		return 0, err
+	}
 	t := p.t
 	build := func(vals []relation.Value) (relation.Tuple, error) {
 		if len(vals) != len(p.pos) {
@@ -147,6 +150,9 @@ func (db *DB) runInsert(p *insertPlan, params []relation.Value) (int64, error) {
 		}
 	}
 
+	if err := db.logInsert(t.Name, newRows); err != nil {
+		return 0, err
+	}
 	db.backupForTx(t)
 	t.Rows = append(t.Rows, newRows...)
 	t.rowsAppended(len(newRows))
@@ -348,6 +354,9 @@ func (p *updatePlan) useSemiJoin() bool {
 }
 
 func (db *DB) runUpdate(p *updatePlan, params []relation.Value) (int64, error) {
+	if err := db.writable(); err != nil {
+		return 0, err
+	}
 	t := p.t
 	// Two phases: evaluate against the unmodified table, then apply, so
 	// the statement sees a consistent snapshot.
@@ -453,7 +462,6 @@ func (db *DB) runUpdate(p *updatePlan, params []relation.Value) (int64, error) {
 	if len(changes) == 0 {
 		return 0, nil
 	}
-	db.backupForTx(t)
 	// Incremental index maintenance brackets the assignment: stale
 	// entries are removed while the rows still hold their old values,
 	// new entries inserted after. Both calls are per-index no-ops when
@@ -461,13 +469,19 @@ func (db *DB) runUpdate(p *updatePlan, params []relation.Value) (int64, error) {
 	// flag update never touches a RID index. changes is ascending in ri
 	// on both the semi-join and the filter path.
 	pos := make([]int, len(changes))
+	vals := make([][]relation.Value, len(changes))
 	for i, ch := range changes {
 		pos[i] = ch.ri
+		vals[i] = ch.vals
 	}
 	setCols := make([]int, len(p.setters))
 	for i, s := range p.setters {
 		setCols[i] = s.col
 	}
+	if err := db.logUpdate(t.Name, pos, setCols, vals); err != nil {
+		return 0, err
+	}
+	db.backupForTx(t)
 	t.updateBegin(pos, setCols)
 	for _, ch := range changes {
 		for i, s := range p.setters {
@@ -515,6 +529,9 @@ func (db *DB) compileDelete(del *Delete) (*deletePlan, error) {
 }
 
 func (db *DB) runDelete(p *deletePlan, params []relation.Value) (int64, error) {
+	if err := db.writable(); err != nil {
+		return 0, err
+	}
 	t := p.t
 	en := newEnv(db, params)
 	en.frames = append(en.frames, frame{rows: make([]relation.Tuple, 1)})
@@ -539,6 +556,9 @@ func (db *DB) runDelete(p *deletePlan, params []relation.Value) (int64, error) {
 	}
 	if len(dropped) == 0 {
 		return 0, nil
+	}
+	if err := db.logDelete(t.Name, dropped); err != nil {
+		return 0, err
 	}
 	db.backupForTx(t)
 	t.Rows = keep

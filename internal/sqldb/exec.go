@@ -67,8 +67,14 @@ func (db *DB) execStmtLocked(stmt Statement, params []relation.Value) (int64, er
 		db.mu.Lock()
 		return 0, err
 	case *TruncateTable:
+		if err := db.writable(); err != nil {
+			return 0, err
+		}
 		t, err := db.table(s.Name)
 		if err != nil {
+			return 0, err
+		}
+		if err := db.logTruncate(t.Name); err != nil {
 			return 0, err
 		}
 		db.backupForTx(t)
@@ -128,6 +134,17 @@ type compiledSelect struct {
 	// pattern site) replay from a per-site-row cache instead of
 	// re-evaluating per emitted row. Built for ungrouped selects only.
 	proj *projSpec
+	// Group-key spine sharing: when spineSub is non-nil, this grouped
+	// select's GROUP BY is exactly the first spineCols output columns
+	// (in order) of its single derived DISTINCT source, it has no WHERE
+	// of its own, and the source dedupes inline — so the group key of
+	// every input row is a byte prefix of the dedup key the source
+	// already encoded. exec asks the source to record those prefixes
+	// (env.spineWant/spine) and execGrouped groups on them directly.
+	// The Qmv grouping re-hashes a 10-column subset of the macro's
+	// 19-column DISTINCT key; this elides that second encoding pass.
+	spineSub  *compiledSelect
+	spineCols int
 }
 
 // errFound is the sentinel execExists uses to abort the join loop at
@@ -270,6 +287,34 @@ func (c *compiler) compileSubSelect(sel *Select) (*compiledSelect, error) {
 		}
 		cs.groupBy = append(cs.groupBy, ge)
 	}
+	// Detect the spine-sharing shape (see the compiledSelect fields):
+	// GROUP BY over a lone derived DISTINCT source, keyed by that
+	// source's leading output columns in order, with no outer WHERE.
+	// The source must emit its dedup set unsliced (no ORDER BY, LIMIT
+	// or OFFSET) so recorded key prefixes stay row-aligned.
+	if len(sel.GroupBy) > 0 && sel.Where == nil && len(cs.sources) == 1 {
+		if sub := cs.sources[0].sub; sub != nil && sub.distinct && !sub.grouped &&
+			len(sub.orderBy) == 0 && sub.limit == nil && sub.offset == nil &&
+			len(sel.GroupBy) <= len(sub.cols) {
+			eligible := true
+			for i, g := range sel.GroupBy {
+				ref, ok := g.(*ColumnRef)
+				if !ok {
+					eligible = false
+					break
+				}
+				b, err := inner.resolve(ref)
+				if err != nil || b != (binding{depth: cs.depth, src: 0, col: i}) {
+					eligible = false
+					break
+				}
+			}
+			if eligible {
+				cs.spineSub = sub
+				cs.spineCols = len(sel.GroupBy)
+			}
+		}
+	}
 
 	// Output expressions. astOuts keeps the AST per output slot (nil
 	// for star-expanded columns) so the batch-aware projection can
@@ -404,14 +449,34 @@ func (cs *compiledSelect) exec(en *env) ([]relation.Tuple, error) {
 		return nil, fmt.Errorf("sql: internal: frame depth %d, want %d", len(en.frames), cs.depth)
 	}
 
-	// Materialize sources.
+	// Materialize sources. When this select shares its group-key spine
+	// with a derived DISTINCT source, ask the source (via env.spineWant)
+	// to record the key prefixes while it dedupes, and collect them for
+	// execGrouped. A length mismatch (defensive; the shape should
+	// guarantee alignment) silently falls back to re-encoding.
 	srcRows := make([][]relation.Tuple, len(cs.sources))
+	var spine []string
 	for i, src := range cs.sources {
 		if src.table != nil {
 			srcRows[i] = src.table.Rows
 			continue
 		}
+		wantSpine := cs.spineSub != nil && src.sub == cs.spineSub && !DisablePlanner
+		if wantSpine {
+			if en.spineWant == nil {
+				en.spineWant = make(map[*compiledSelect]int)
+			}
+			en.spineWant[src.sub] = cs.spineCols
+		}
 		rows, err := src.sub.exec(en)
+		if wantSpine {
+			delete(en.spineWant, src.sub)
+			spine = en.spine[src.sub]
+			delete(en.spine, src.sub)
+			if len(spine) != len(rows) {
+				spine = nil
+			}
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -504,6 +569,14 @@ func (cs *compiledSelect) exec(en *env) ([]relation.Tuple, error) {
 	// match but only |Aux|-many distinct ones, so this skips almost all
 	// of the row allocation.
 	dedupInline := cs.distinct && len(cs.orderBy) == 0 && !cs.grouped
+	// spineCols > 0 when a grouped caller asked this select to record
+	// the leading-column prefix of each emitted row's dedup key (one
+	// recorded string per output row, in emission order).
+	spineCols := 0
+	var spineKeys []string
+	if dedupInline && en.spineWant != nil {
+		spineCols = en.spineWant[cs]
+	}
 	if dedupInline {
 		seen := make(map[string]bool)
 		scratchRow := make(relation.Tuple, len(cs.outs))
@@ -530,11 +603,31 @@ func (cs *compiledSelect) exec(en *env) ([]relation.Tuple, error) {
 			if err := evalOuts(scratchRow); err != nil {
 				return err
 			}
-			keyBuf = relation.AppendKeyOf(keyBuf[:0], scratchRow)
-			if seen[string(keyBuf)] {
-				return nil
+			if spineCols > 0 {
+				// Same bytes AppendKeyOf would produce, built value by
+				// value so the offset after the spineCols-th separator
+				// is known: that prefix IS the caller's group key.
+				keyBuf = keyBuf[:0]
+				cut := 0
+				for i, v := range scratchRow {
+					keyBuf = relation.AppendKey(keyBuf, v)
+					keyBuf = append(keyBuf, 0x1f)
+					if i+1 == spineCols {
+						cut = len(keyBuf)
+					}
+				}
+				if seen[string(keyBuf)] {
+					return nil
+				}
+				seen[string(keyBuf)] = true
+				spineKeys = append(spineKeys, string(keyBuf[:cut]))
+			} else {
+				keyBuf = relation.AppendKeyOf(keyBuf[:0], scratchRow)
+				if seen[string(keyBuf)] {
+					return nil
+				}
+				seen[string(keyBuf)] = true
 			}
-			seen[string(keyBuf)] = true
 			row := allocRow()
 			copy(row, scratchRow)
 			out = append(out, row)
@@ -543,13 +636,19 @@ func (cs *compiledSelect) exec(en *env) ([]relation.Tuple, error) {
 	}
 
 	if cs.grouped {
-		if err := cs.execGrouped(en, srcRows, emit); err != nil {
+		if err := cs.execGrouped(en, srcRows, spine, emit); err != nil {
 			return nil, err
 		}
 	} else {
 		if err := cs.scan(en, srcRows, emit); err != nil {
 			return nil, err
 		}
+	}
+	if spineCols > 0 {
+		if en.spine == nil {
+			en.spine = make(map[*compiledSelect][]string)
+		}
+		en.spine[cs] = spineKeys
 	}
 
 	// DISTINCT before ORDER BY.
@@ -650,8 +749,12 @@ func (cs *compiledSelect) joinLoop(en *env, src [][]relation.Tuple, i int, yield
 
 // execGrouped evaluates GROUP BY / aggregate semantics: one output row
 // per group passing HAVING, non-aggregate expressions evaluated on a
-// representative row of the group.
-func (cs *compiledSelect) execGrouped(en *env, src [][]relation.Tuple, emit func() error) error {
+// representative row of the group. spine, when non-nil, holds one
+// precomputed group key per row of the single source (the prefix of
+// the derived DISTINCT source's dedup key — see spineSub): grouping
+// then consumes those keys directly instead of re-evaluating and
+// re-encoding the GROUP BY columns per row.
+func (cs *compiledSelect) execGrouped(en *env, src [][]relation.Tuple, spine []string, emit func() error) error {
 	type group struct {
 		rep  []relation.Tuple
 		accs []*aggAcc
@@ -660,33 +763,54 @@ func (cs *compiledSelect) execGrouped(en *env, src [][]relation.Tuple, emit func
 	var order []string
 
 	fr := &en.frames[cs.depth]
-	var keyBuf []byte
-	err := cs.scan(en, src, func() error {
-		keyBuf = keyBuf[:0]
-		for _, ge := range cs.groupBy {
-			v, err := ge(en)
-			if err != nil {
-				return err
+	if spine != nil && len(cs.sources) == 1 && cs.where == nil {
+		// The spine shape has one source and no WHERE, so the scan is
+		// a plain in-order iteration; drive it directly with the
+		// recorded keys (spine[ri] aligns with src[0][ri]).
+		for ri, row := range src[0] {
+			fr.rows[0] = row
+			key := spine[ri]
+			g := groups[key]
+			if g == nil {
+				g = &group{rep: append([]relation.Tuple(nil), fr.rows...), accs: newAccs(cs.aggs)}
+				groups[key] = g
+				order = append(order, key)
 			}
-			keyBuf = relation.AppendKey(keyBuf, v)
-			keyBuf = append(keyBuf, 0x1f)
-		}
-		g := groups[string(keyBuf)]
-		if g == nil {
-			key := string(keyBuf)
-			g = &group{rep: append([]relation.Tuple(nil), fr.rows...), accs: newAccs(cs.aggs)}
-			groups[key] = g
-			order = append(order, key)
-		}
-		for i, spec := range cs.aggs {
-			if err := g.accs[i].add(en, spec); err != nil {
-				return err
+			for i, spec := range cs.aggs {
+				if err := g.accs[i].add(en, spec); err != nil {
+					return err
+				}
 			}
 		}
-		return nil
-	})
-	if err != nil {
-		return err
+	} else {
+		var keyBuf []byte
+		err := cs.scan(en, src, func() error {
+			keyBuf = keyBuf[:0]
+			for _, ge := range cs.groupBy {
+				v, err := ge(en)
+				if err != nil {
+					return err
+				}
+				keyBuf = relation.AppendKey(keyBuf, v)
+				keyBuf = append(keyBuf, 0x1f)
+			}
+			g := groups[string(keyBuf)]
+			if g == nil {
+				key := string(keyBuf)
+				g = &group{rep: append([]relation.Tuple(nil), fr.rows...), accs: newAccs(cs.aggs)}
+				groups[key] = g
+				order = append(order, key)
+			}
+			for i, spec := range cs.aggs {
+				if err := g.accs[i].add(en, spec); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
 	}
 
 	// A global aggregate over an empty input still yields one row.

@@ -1,0 +1,328 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory WALFS with fault injection, built for the
+// crash-recovery test matrix. Every mutating filesystem call counts as
+// one I/O operation; a fault can be armed to fire at the N-th
+// operation from now:
+//
+//   - FaultCrash: the operation and every later one fail as if the
+//     process died mid-call. Crash() then finalizes the "power loss":
+//     each file keeps its synced prefix plus a random prefix of the
+//     unsynced tail — which is exactly how a torn WAL record comes to
+//     exist — and the filesystem is usable again, as after a restart.
+//   - FaultShortWrite: one Write persists only a prefix and errors.
+//   - FaultWriteErr: one Write fails without persisting anything.
+//   - FaultSyncErr: one Sync (or SyncDir) fails.
+//
+// Data written but never synced survives non-crash faults — the
+// process didn't die, the page cache is intact. Only Crash discards
+// unsynced bytes.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	ops     int
+	armAt   int // ops value at which the fault fires; 0 = disarmed
+	kind    FaultKind
+	crashed bool
+	rng     *rand.Rand
+}
+
+// FaultKind selects which failure an armed MemFS injects.
+type FaultKind int
+
+const (
+	FaultNone FaultKind = iota
+	FaultCrash
+	FaultShortWrite
+	FaultWriteErr
+	FaultSyncErr
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultShortWrite:
+		return "short-write"
+	case FaultWriteErr:
+		return "write-error"
+	case FaultSyncErr:
+		return "sync-error"
+	default:
+		return "none"
+	}
+}
+
+type memFile struct {
+	data   []byte
+	synced int // bytes guaranteed to survive a crash
+}
+
+// NewMemFS returns an empty in-memory filesystem. The seed drives the
+// partial-survival decisions at Crash, so a fault matrix is
+// reproducible.
+func NewMemFS(seed int64) *MemFS {
+	return &MemFS{files: make(map[string]*memFile), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Arm schedules kind to fire at the n-th mutating operation from now
+// (n >= 1). One-shot faults (short write, write error, sync error)
+// disarm after firing; a crash keeps failing every operation until
+// Crash() is called.
+func (fs *MemFS) Arm(kind FaultKind, n int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.kind = kind
+	fs.armAt = fs.ops + n
+}
+
+// Disarm cancels any pending fault.
+func (fs *MemFS) Disarm() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.armAt, fs.kind = 0, FaultNone
+}
+
+// Ops returns the number of mutating operations performed so far.
+func (fs *MemFS) Ops() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ops
+}
+
+// Crash finalizes an injected (or implicit) process death: every file
+// keeps its synced prefix plus a random prefix of its unsynced tail,
+// and the filesystem becomes usable again, as after a restart.
+func (fs *MemFS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, f := range fs.files {
+		if len(f.data) > f.synced {
+			keep := f.synced + fs.rng.Intn(len(f.data)-f.synced+1)
+			f.data = f.data[:keep]
+		}
+		f.synced = len(f.data)
+	}
+	fs.crashed = false
+	fs.armAt, fs.kind = 0, FaultNone
+}
+
+// ErrCrashed is returned by every MemFS operation after an injected
+// crash fired, until Crash() restarts the filesystem.
+var ErrCrashed = fmt.Errorf("memfs: process crashed")
+
+var (
+	errShortWrite = fmt.Errorf("memfs: injected short write")
+	errWriteFail  = fmt.Errorf("memfs: injected write error")
+	errSyncFail   = fmt.Errorf("memfs: injected sync error")
+)
+
+// opClass tells step which kinds of fault this operation can exhibit:
+// a write can be short or fail, a sync can fail, and anything can be
+// interrupted by a crash.
+type opClass int
+
+const (
+	opOther opClass = iota
+	opWrite
+	opSync
+)
+
+// step advances the operation counter and reports which fault, if any,
+// fires on this operation. A crash fires on any operation once due; a
+// one-shot fault waits, still armed, until the first operation of its
+// class at or after the armed point. Callers hold fs.mu.
+func (fs *MemFS) step(class opClass) FaultKind {
+	if fs.crashed {
+		return FaultCrash
+	}
+	fs.ops++
+	if fs.armAt == 0 || fs.ops < fs.armAt {
+		return FaultNone
+	}
+	k := fs.kind
+	switch {
+	case k == FaultCrash:
+		fs.crashed = true
+		return k
+	case (k == FaultShortWrite || k == FaultWriteErr) && class == opWrite,
+		k == FaultSyncErr && class == opSync:
+		fs.armAt, fs.kind = 0, FaultNone // one-shot
+		return k
+	}
+	return FaultNone
+}
+
+func (fs *MemFS) MkdirAll(string) error { return nil }
+
+func (fs *MemFS) ReadDir(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for path := range fs.files {
+		if strings.HasPrefix(path, prefix) && !strings.Contains(path[len(prefix):], "/") {
+			names = append(names, path[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (fs *MemFS) ReadFile(path string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	f, ok := fs.files[filepath.Clean(path)]
+	if !ok {
+		return nil, fmt.Errorf("memfs: %s: no such file", path)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+func (fs *MemFS) Create(path string) (WALFile, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if k := fs.step(opOther); k == FaultCrash {
+		return nil, ErrCrashed
+	}
+	path = filepath.Clean(path)
+	fs.files[path] = &memFile{}
+	return &memHandle{fs: fs, path: path}, nil
+}
+
+func (fs *MemFS) OpenAppend(path string) (WALFile, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if k := fs.step(opOther); k == FaultCrash {
+		return nil, ErrCrashed
+	}
+	path = filepath.Clean(path)
+	if _, ok := fs.files[path]; !ok {
+		fs.files[path] = &memFile{}
+	}
+	return &memHandle{fs: fs, path: path}, nil
+}
+
+func (fs *MemFS) Rename(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if k := fs.step(opOther); k == FaultCrash {
+		return ErrCrashed
+	}
+	oldPath, newPath = filepath.Clean(oldPath), filepath.Clean(newPath)
+	f, ok := fs.files[oldPath]
+	if !ok {
+		return fmt.Errorf("memfs: %s: no such file", oldPath)
+	}
+	delete(fs.files, oldPath)
+	fs.files[newPath] = f
+	return nil
+}
+
+func (fs *MemFS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if k := fs.step(opOther); k == FaultCrash {
+		return ErrCrashed
+	}
+	path = filepath.Clean(path)
+	if _, ok := fs.files[path]; !ok {
+		return fmt.Errorf("memfs: %s: no such file", path)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+func (fs *MemFS) Truncate(path string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if k := fs.step(opOther); k == FaultCrash {
+		return ErrCrashed
+	}
+	f, ok := fs.files[filepath.Clean(path)]
+	if !ok {
+		return fmt.Errorf("memfs: %s: no such file", path)
+	}
+	if int(size) < len(f.data) {
+		f.data = f.data[:size]
+		if f.synced > len(f.data) {
+			f.synced = len(f.data)
+		}
+	}
+	return nil
+}
+
+func (fs *MemFS) SyncDir(string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	switch fs.step(opSync) {
+	case FaultCrash:
+		return ErrCrashed
+	case FaultSyncErr:
+		return errSyncFail
+	}
+	return nil
+}
+
+type memHandle struct {
+	fs   *MemFS
+	path string
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, ok := h.fs.files[h.path]
+	if !ok {
+		return 0, fmt.Errorf("memfs: %s: file removed under open handle", h.path)
+	}
+	switch h.fs.step(opWrite) {
+	case FaultCrash:
+		// Mid-call death: like a real kernel crash, an arbitrary prefix
+		// of this write may have reached the page cache.
+		f.data = append(f.data, p[:h.fs.rng.Intn(len(p)+1)]...)
+		return 0, ErrCrashed
+	case FaultShortWrite:
+		n := len(p) / 2
+		f.data = append(f.data, p[:n]...)
+		return n, errShortWrite
+	case FaultWriteErr:
+		return 0, errWriteFail
+	}
+	f.data = append(f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, ok := h.fs.files[h.path]
+	if !ok {
+		return fmt.Errorf("memfs: %s: file removed under open handle", h.path)
+	}
+	switch h.fs.step(opSync) {
+	case FaultCrash:
+		return ErrCrashed
+	case FaultSyncErr:
+		return errSyncFail
+	}
+	f.synced = len(f.data)
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }

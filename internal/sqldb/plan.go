@@ -1423,7 +1423,11 @@ func (cs *compiledSelect) describePlan() []string {
 		}
 	}
 	if cs.grouped {
-		out = append(out, "group/aggregate")
+		if cs.spineSub != nil {
+			out = append(out, fmt.Sprintf("group/aggregate [spine: %d-col keys shared with distinct source]", cs.spineCols))
+		} else {
+			out = append(out, "group/aggregate")
+		}
 	}
 	if cs.distinct {
 		out = append(out, "distinct")

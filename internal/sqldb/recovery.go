@@ -1,0 +1,490 @@
+package sqldb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+
+	"ecfd/internal/relation"
+)
+
+// WALOptions configures a durable database.
+type WALOptions struct {
+	// Dir is the directory holding WAL and snapshot files.
+	Dir string
+	// FS overrides the filesystem; nil means the OS filesystem. The
+	// fault-injection tests pass a MemFS here.
+	FS WALFS
+	// Fsync selects the flush policy (always / batched / off).
+	Fsync FsyncPolicy
+	// FsyncEvery is the batched policy's interval in commit units;
+	// 0 means the default (32).
+	FsyncEvery int
+	// CheckpointBytes triggers a snapshot + WAL rotation when the WAL
+	// grows past this size; 0 disables automatic checkpoints
+	// (Checkpoint() remains available).
+	CheckpointBytes int64
+}
+
+// RecoveryStats describes what Open had to do; tests and operators
+// read it to confirm a recovery path actually ran.
+type RecoveryStats struct {
+	// Gen is the WAL generation now receiving appends.
+	Gen uint64
+	// SnapshotGen is the snapshot generation the catalog was loaded
+	// from; 0 when recovery started from an empty catalog.
+	SnapshotGen uint64
+	// FellBack reports that the newest snapshot was missing or damaged
+	// and an older generation was used instead.
+	FellBack bool
+	// UnitsReplayed counts the WAL commit units applied on top of the
+	// snapshot.
+	UnitsReplayed int
+	// TornTail reports that a torn final record was truncated away.
+	TornTail bool
+}
+
+// RecoveryStats returns the stats recorded by Open.
+func (db *DB) RecoveryStats() RecoveryStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.recov
+}
+
+// Open opens (or creates) a durable database backed by opts.Dir:
+// it loads the newest intact snapshot, replays the WAL tail on top,
+// and leaves the WAL open for appends. Recovery tolerates exactly the
+// damage a crash can cause and nothing more:
+//
+//   - a torn final record (the append interrupted by the crash) is
+//     truncated away and recovery continues;
+//   - a corrupt record with more data after it cannot be explained by
+//     a crash — that is silent corruption, and Open fails loudly with
+//     the file and offset rather than guess;
+//   - a missing or damaged snapshot falls back to the previous
+//     generation, whose snapshot plus both WAL files reproduce the
+//     same state.
+func Open(opts WALOptions) (*DB, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("sql: Open: WAL directory required")
+	}
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	if err := fs.MkdirAll(opts.Dir); err != nil {
+		return nil, fmt.Errorf("sql: Open: mkdir %s: %v", opts.Dir, err)
+	}
+	every := opts.FsyncEvery
+	if every <= 0 {
+		every = defaultFsyncEvery
+	}
+	db := NewDB()
+	w := &walState{
+		fs:        fs,
+		dir:       opts.Dir,
+		policy:    opts.Fsync,
+		every:     every,
+		ckpt:      opts.CheckpointBytes,
+		replaying: true,
+	}
+	db.wal = w
+
+	names, err := fs.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("sql: Open: read %s: %v", opts.Dir, err)
+	}
+	var snapGens, walGens []uint64
+	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") {
+			_ = fs.Remove(w.dir + "/" + name) // abandoned mid-checkpoint
+			continue
+		}
+		gen, kind, ok := parseGenName(name)
+		if !ok {
+			continue
+		}
+		if kind == fileSnap {
+			snapGens = append(snapGens, gen)
+		} else {
+			walGens = append(walGens, gen)
+		}
+	}
+	sort.Slice(snapGens, func(i, j int) bool { return snapGens[i] < snapGens[j] })
+	sort.Slice(walGens, func(i, j int) bool { return walGens[i] < walGens[j] })
+
+	// Load the newest snapshot that decodes; anything newer that does
+	// not is a fallback.
+	var chosen uint64
+	loaded := false
+	for i := len(snapGens) - 1; i >= 0; i-- {
+		g := snapGens[i]
+		data, err := fs.ReadFile(w.snapPath(g))
+		if err == nil {
+			var tables map[string]*Table
+			if tables, err = decodeSnapshot(data, g); err == nil {
+				db.tables = tables
+				chosen, loaded = g, true
+				db.recov.SnapshotGen = g
+				if i != len(snapGens)-1 {
+					db.recov.FellBack = true
+				}
+				break
+			}
+		}
+		db.recov.FellBack = true
+	}
+	if !loaded && len(snapGens) > 0 {
+		// Every snapshot is damaged; recovery from scratch needs the
+		// full WAL history, which pruning only guarantees while a
+		// snapshot covers it.
+		if len(walGens) == 0 || walGens[0] != 1 {
+			return nil, fmt.Errorf("sql: Open: no intact snapshot in %s and WAL history is incomplete", opts.Dir)
+		}
+	}
+
+	// Replay WAL generations >= the snapshot's, oldest first. A gap —
+	// a missing generation with a later one present — cannot be
+	// produced by a crash and fails loudly.
+	replayFrom := chosen
+	if replayFrom == 0 {
+		replayFrom = 1
+	}
+	var replay []uint64
+	for _, g := range walGens {
+		if g >= replayFrom {
+			replay = append(replay, g)
+		}
+	}
+	if len(replay) > 0 {
+		if chosen > 0 && replay[0] != chosen && replay[len(replay)-1] > chosen {
+			return nil, fmt.Errorf("sql: Open: WAL generation %d missing in %s (have %d..%d)",
+				chosen, opts.Dir, replay[0], replay[len(replay)-1])
+		}
+		for i := 1; i < len(replay); i++ {
+			if replay[i] != replay[i-1]+1 {
+				return nil, fmt.Errorf("sql: Open: WAL generation %d missing in %s", replay[i-1]+1, opts.Dir)
+			}
+		}
+	}
+	currentGen := replayFrom
+	if len(replay) > 0 {
+		currentGen = replay[len(replay)-1]
+	}
+	var currentSize int64 = -1
+	for _, g := range replay {
+		size, err := db.replayWALFile(g)
+		if err != nil {
+			return nil, err
+		}
+		if g == currentGen {
+			currentSize = size
+		}
+	}
+
+	// Leave the current generation's WAL open for appends, creating it
+	// (with its header) when absent or fully torn.
+	if currentSize < int64(len(walFileMagic)) {
+		f, err := w.newWALFile(currentGen)
+		if err != nil {
+			return nil, fmt.Errorf("sql: Open: %v", err)
+		}
+		w.f = f
+		currentSize = int64(len(walFileMagic))
+	} else {
+		f, err := fs.OpenAppend(w.walPath(currentGen))
+		if err != nil {
+			return nil, fmt.Errorf("sql: Open: wal gen %d: %v", currentGen, err)
+		}
+		w.f = f
+	}
+	w.gen = currentGen
+	w.size = currentSize
+	w.replaying = false
+	db.recov.Gen = currentGen
+	db.bumpDDL()
+	return db, nil
+}
+
+// Close flushes and detaches the WAL. The in-memory catalog stays
+// queryable, but mutations are refused from here on.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	w := db.wal
+	if w == nil || w.f == nil {
+		return nil
+	}
+	var err error
+	if db.roErr == nil && w.unsynced > 0 {
+		err = w.f.Sync()
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	if db.roErr == nil {
+		db.roErr = fmt.Errorf("database closed")
+	}
+	return err
+}
+
+// replayWALFile applies one WAL file's units on top of the current
+// catalog and returns the file's valid size — the offset past the last
+// intact unit, with any torn tail already truncated off on disk.
+// A missing file is not an error (a crash between snapshot rename and
+// WAL creation leaves exactly that); the caller then starts the file
+// fresh.
+func (db *DB) replayWALFile(gen uint64) (int64, error) {
+	w := db.wal
+	path := w.walPath(gen)
+	data, err := w.fs.ReadFile(path)
+	if err != nil {
+		return -1, nil
+	}
+	if len(data) < len(walFileMagic) {
+		// The header write itself tore; there are no units to lose.
+		db.recov.TornTail = true
+		if err := w.fs.Truncate(path, 0); err != nil {
+			return 0, fmt.Errorf("sql: Open: truncate torn %s: %v", path, err)
+		}
+		return 0, nil
+	}
+	if string(data[:len(walFileMagic)]) != walFileMagic {
+		return 0, fmt.Errorf("sql: wal %s: bad magic", path)
+	}
+	off := len(walFileMagic)
+	for off < len(data) {
+		rest := len(data) - off
+		if rest < walFrameSize {
+			return db.truncateTorn(path, off)
+		}
+		ln := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if ln > maxWALRecord {
+			if rest-walFrameSize < ln {
+				return db.truncateTorn(path, off)
+			}
+			return 0, fmt.Errorf("sql: wal %s: corrupt record at offset %d: implausible length %d", path, off, ln)
+		}
+		if rest-walFrameSize < ln {
+			return db.truncateTorn(path, off)
+		}
+		payload := data[off+walFrameSize : off+walFrameSize+ln]
+		if crc32.ChecksumIEEE(payload) != sum {
+			if off+walFrameSize+ln == len(data) {
+				// The final record: a torn tail, not corruption.
+				return db.truncateTorn(path, off)
+			}
+			return 0, fmt.Errorf("sql: wal %s: corrupt record at offset %d: CRC mismatch with %d bytes following", path, off, len(data)-off-walFrameSize-ln)
+		}
+		if err := db.applyWALUnit(payload); err != nil {
+			return 0, fmt.Errorf("sql: wal %s: record at offset %d: %v", path, off, err)
+		}
+		db.recov.UnitsReplayed++
+		off += walFrameSize + ln
+	}
+	return int64(off), nil
+}
+
+// truncateTorn drops a torn tail at offset off and reports the valid
+// size.
+func (db *DB) truncateTorn(path string, off int) (int64, error) {
+	db.recov.TornTail = true
+	if err := db.wal.fs.Truncate(path, int64(off)); err != nil {
+		return 0, fmt.Errorf("sql: Open: truncate torn %s at %d: %v", path, off, err)
+	}
+	return int64(off), nil
+}
+
+// applyWALUnit re-applies one commit unit's operations to the catalog.
+// Replay runs before the DB is shared, and the same incremental
+// maintenance hooks the live DML uses keep any structures consistent
+// (they are no-ops while nothing is built).
+func (db *DB) applyWALUnit(payload []byte) error {
+	d := &walDecoder{b: payload}
+	for d.more() {
+		if err := db.applyWALOp(d); err != nil {
+			return err
+		}
+	}
+	return d.err
+}
+
+func (db *DB) applyWALOp(d *walDecoder) error {
+	code := d.byte()
+	switch code {
+	case opInsert:
+		t, err := db.table(d.str())
+		if err != nil {
+			return err
+		}
+		n := d.uint()
+		if d.err != nil || n > uint64(len(d.b)) {
+			return fmt.Errorf("implausible insert count %d", n)
+		}
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			row := d.tuple()
+			if d.err == nil {
+				t.Rows = append(t.Rows, row)
+			}
+		}
+		if d.err == nil {
+			t.rowsAppended(int(n))
+		}
+	case opDelete:
+		t, err := db.table(d.str())
+		if err != nil {
+			return err
+		}
+		n := d.uint()
+		if d.err != nil || n > uint64(len(t.Rows)) {
+			return fmt.Errorf("delete of %d rows from %d-row table", n, len(t.Rows))
+		}
+		pos := make([]int, n)
+		for i := range pos {
+			p := int(d.uint())
+			if d.err == nil && (p >= len(t.Rows) || (i > 0 && p <= pos[i-1])) {
+				return fmt.Errorf("delete position %d out of order or range", p)
+			}
+			pos[i] = p
+		}
+		if d.err != nil {
+			return d.err
+		}
+		keep := t.Rows[:0:0]
+		di := 0
+		for ri, row := range t.Rows {
+			if di < len(pos) && pos[di] == ri {
+				di++
+				continue
+			}
+			keep = append(keep, row)
+		}
+		t.Rows = keep
+		t.rowsDeleted(pos)
+	case opUpdate:
+		t, err := db.table(d.str())
+		if err != nil {
+			return err
+		}
+		nc := d.uint()
+		if d.err != nil || nc > uint64(t.Schema.Width()) {
+			return fmt.Errorf("update of %d columns in %d-column table", nc, t.Schema.Width())
+		}
+		cols := make([]int, nc)
+		for i := range cols {
+			c := int(d.uint())
+			if d.err == nil && c >= t.Schema.Width() {
+				return fmt.Errorf("update column %d out of range", c)
+			}
+			cols[i] = c
+		}
+		np := d.uint()
+		if d.err != nil || np > uint64(len(t.Rows)) {
+			return fmt.Errorf("update of %d rows in %d-row table", np, len(t.Rows))
+		}
+		pos := make([]int, np)
+		vals := make([][]relation.Value, np)
+		for i := range pos {
+			p := int(d.uint())
+			if d.err == nil && p >= len(t.Rows) {
+				return fmt.Errorf("update position %d out of range", p)
+			}
+			pos[i] = p
+			vals[i] = make([]relation.Value, nc)
+			for j := range vals[i] {
+				vals[i][j] = d.value()
+			}
+		}
+		if d.err != nil {
+			return d.err
+		}
+		t.updateBegin(pos, cols)
+		for i, p := range pos {
+			for j, c := range cols {
+				t.Rows[p][c] = vals[i][j]
+			}
+		}
+		t.updateEnd(pos, cols)
+	case opTruncate:
+		t, err := db.table(d.str())
+		if err != nil {
+			return err
+		}
+		t.Rows = t.Rows[:0]
+		t.truncated()
+	case opCreateTable:
+		s := d.schema()
+		if d.err != nil {
+			return d.err
+		}
+		key := lowerName(s.Name)
+		if _, ok := db.tables[key]; ok {
+			return fmt.Errorf("create of existing table %s", s.Name)
+		}
+		db.tables[key] = &Table{Name: s.Name, Schema: s}
+	case opDropTable:
+		name := d.str()
+		if d.err != nil {
+			return d.err
+		}
+		key := lowerName(name)
+		if _, ok := db.tables[key]; !ok {
+			return fmt.Errorf("drop of missing table %s", name)
+		}
+		delete(db.tables, key)
+	case opCreateIndex:
+		name := d.str()
+		t, err := db.table(d.str())
+		if err != nil {
+			return err
+		}
+		nc := d.uint()
+		if d.err != nil || nc > uint64(t.Schema.Width()) {
+			return fmt.Errorf("implausible index width %d", nc)
+		}
+		idx := &Index{Name: name, mDirty: true, sDirty: true}
+		for i := uint64(0); i < nc; i++ {
+			c := d.str()
+			j := t.Schema.Index(c)
+			if d.err == nil && j < 0 {
+				return fmt.Errorf("index %s on missing column %s", name, c)
+			}
+			idx.Cols = append(idx.Cols, j)
+		}
+		if d.err != nil {
+			return d.err
+		}
+		t.indexes = append(t.indexes, idx)
+	case opLoadRelation:
+		s := d.schema()
+		if d.err != nil {
+			return d.err
+		}
+		n := d.uint()
+		if d.err != nil || n > uint64(len(d.b)) {
+			return fmt.Errorf("implausible load count %d", n)
+		}
+		rows := make([]relation.Tuple, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			rows = append(rows, d.tuple())
+		}
+		if d.err != nil {
+			return d.err
+		}
+		key := lowerName(s.Name)
+		t, ok := db.tables[key]
+		if !ok {
+			t = &Table{Name: s.Name, Schema: s}
+			db.tables[key] = t
+		}
+		t.Rows = rows
+		t.mutated()
+	default:
+		return fmt.Errorf("unknown operation code %d", code)
+	}
+	return d.err
+}

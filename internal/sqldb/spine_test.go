@@ -1,0 +1,99 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ecfd/internal/relation"
+)
+
+// spineDB builds a table with enough duplication that the DISTINCT
+// sub-select dedupes heavily and the grouped outer sees repeats.
+func spineDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE ev (cat TEXT, sub TEXT, val INTEGER, tag TEXT)`)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 400; i++ {
+		mustExec(t, db, `INSERT INTO ev VALUES (?, ?, ?, ?)`,
+			relation.Text(fmt.Sprintf("c%d", rng.Intn(5))),
+			relation.Text(fmt.Sprintf("s%d", rng.Intn(4))),
+			relation.Int(int64(rng.Intn(3))),
+			relation.Text(fmt.Sprintf("t%d", rng.Intn(2))))
+	}
+	return db
+}
+
+// The Qmv shape: GROUP BY over the leading columns of a lone derived
+// DISTINCT source. The group keys must come from the source's dedup
+// key spine (visible in EXPLAIN), and the results must match the
+// forced nested-loop reference byte for byte.
+func TestGroupBySpineSharedWithDistinctSource(t *testing.T) {
+	db := spineDB(t)
+	q := `SELECT cat, sub, COUNT(*) FROM (SELECT DISTINCT cat, sub, val, tag FROM ev) m GROUP BY cat, sub HAVING COUNT(*) > 1`
+
+	plan, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "[spine: 2-col keys shared with distinct source]") {
+		t.Fatalf("grouped select does not share the distinct key spine:\n%s", plan)
+	}
+
+	planned, nested := runBothPaths(t, db, q)
+	if planned != nested {
+		t.Fatalf("spine grouping diverges from nested loop:\nplanned: %s\nnested:  %s", planned, nested)
+	}
+}
+
+// Shapes that must NOT take the spine: GROUP BY out of source order,
+// GROUP BY a non-prefix column set, an outer WHERE, and a
+// non-DISTINCT source. All must still answer identically to the
+// nested-loop reference.
+func TestGroupBySpineIneligibleShapes(t *testing.T) {
+	db := spineDB(t)
+	cases := []string{
+		// reordered: (sub, cat) is not the source's column order
+		`SELECT sub, cat, COUNT(*) FROM (SELECT DISTINCT cat, sub, val FROM ev) m GROUP BY sub, cat`,
+		// gap: skips the source's second column
+		`SELECT cat, val, COUNT(*) FROM (SELECT DISTINCT cat, sub, val FROM ev) m GROUP BY cat, val`,
+		// outer WHERE filters rows after the distinct
+		`SELECT cat, COUNT(*) FROM (SELECT DISTINCT cat, sub FROM ev) m WHERE cat <> 'c0' GROUP BY cat`,
+		// source is not DISTINCT
+		`SELECT cat, COUNT(*) FROM (SELECT cat, sub FROM ev) m GROUP BY cat`,
+		// expression key
+		`SELECT COUNT(*) FROM (SELECT DISTINCT cat, sub FROM ev) m GROUP BY cat || sub`,
+	}
+	for _, q := range cases {
+		plan, err := db.Explain(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if strings.Contains(plan, "[spine:") {
+			t.Errorf("ineligible shape took the spine:\n%s\n%s", q, plan)
+		}
+		planned, nested := runBothPaths(t, db, q)
+		if planned != nested {
+			t.Errorf("results diverge for %s:\nplanned: %s\nnested:  %s", q, planned, nested)
+		}
+	}
+}
+
+// The spine must survive parameters and repeated prepared execution
+// (per-env state, shared plan), and NULLs must group identically.
+func TestGroupBySpineWithNullsAndReexecution(t *testing.T) {
+	db := spineDB(t)
+	mustExec(t, db, `INSERT INTO ev VALUES (NULL, 's0', 1, 't0'), (NULL, 's0', 2, 't1'), (NULL, NULL, 1, 't0')`)
+	q := `SELECT cat, sub, COUNT(*) FROM (SELECT DISTINCT cat, sub, val FROM ev) m GROUP BY cat, sub`
+	want, nested := runBothPaths(t, db, q)
+	if want != nested {
+		t.Fatalf("NULL grouping diverges:\nplanned: %s\nnested:  %s", want, nested)
+	}
+	for i := 0; i < 3; i++ {
+		if got := canonical(mustQuery(t, db, q)); got != want {
+			t.Fatalf("re-execution %d diverges: %s vs %s", i, got, want)
+		}
+	}
+}

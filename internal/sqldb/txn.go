@@ -15,6 +15,13 @@ import (
 // snapshots — there is no cross-statement MVCC). This matches the
 // paper's batch/incremental detection scripts, whose writes are
 // sequential; the concurrency the detector needs is on the read side.
+//
+// Under a WAL, the transaction is also the durability unit: its
+// operations buffer in memory and Commit appends them as one framed
+// record, so a crash can only ever lose or keep the transaction as a
+// whole (see wal.go). A Commit whose append fails restores the
+// backups — the caller's view and the recovered view agree that the
+// transaction did not happen.
 type Tx struct {
 	db      *DB
 	backups map[string][]relation.Tuple
@@ -30,6 +37,9 @@ func (db *DB) Begin() (*Tx, error) {
 	}
 	tx := &Tx{db: db, backups: make(map[string][]relation.Tuple)}
 	db.activeTx = tx
+	if db.wal != nil {
+		db.wal.pend = db.wal.pend[:0]
+	}
 	return tx, nil
 }
 
@@ -51,7 +61,10 @@ func (db *DB) backupForTx(t *Table) {
 	tx.backups[key] = rows
 }
 
-// Commit makes the transaction's changes permanent.
+// Commit makes the transaction's changes permanent. Under a WAL the
+// buffered operations are appended as one commit unit first; if that
+// append fails, the in-memory changes are rolled back and the typed
+// read-only error returned — memory never runs ahead of the log.
 func (tx *Tx) Commit() error {
 	tx.db.mu.Lock()
 	defer tx.db.mu.Unlock()
@@ -60,6 +73,17 @@ func (tx *Tx) Commit() error {
 	}
 	tx.done = true
 	tx.db.activeTx = nil
+	if w := tx.db.wal; w != nil && len(w.pend) > 0 {
+		var unit []byte
+		for _, p := range w.pend {
+			unit = append(unit, p.op...)
+		}
+		w.pend = nil
+		if err := tx.db.walCommit(unit, true); err != nil {
+			tx.restoreLocked()
+			return err
+		}
+	}
 	return nil
 }
 
@@ -72,6 +96,30 @@ func (tx *Tx) Rollback() error {
 	}
 	tx.done = true
 	tx.db.activeTx = nil
+	tx.restoreLocked()
+	if w := tx.db.wal; w != nil && len(w.pend) > 0 {
+		// DDL is not rolled back by the engine (the restore above skips
+		// catalog changes), so the log keeps exactly the DDL operations
+		// and drops the undone DML.
+		var unit []byte
+		for _, p := range w.pend {
+			if p.ddl {
+				unit = append(unit, p.op...)
+			}
+		}
+		w.pend = nil
+		if len(unit) > 0 {
+			if err := tx.db.walCommit(unit, true); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// restoreLocked puts back the row snapshots taken by backupForTx.
+// Callers hold db.mu (write).
+func (tx *Tx) restoreLocked() {
 	for name, rows := range tx.backups {
 		t, ok := tx.db.tables[name]
 		if !ok {
@@ -80,5 +128,4 @@ func (tx *Tx) Rollback() error {
 		t.Rows = rows
 		t.mutated()
 	}
-	return nil
 }

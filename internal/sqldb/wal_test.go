@@ -1,0 +1,401 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"ecfd/internal/relation"
+)
+
+// fingerprint reduces the whole catalog — schemas, rows in storage
+// order, index definitions — to one comparable string.
+func fingerprint(db *DB) string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	keys := make([]string, 0, len(db.tables))
+	for k := range db.tables {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		t := db.tables[k]
+		fmt.Fprintf(&b, "table %s (", t.Name)
+		for _, a := range t.Schema.Attrs {
+			fmt.Fprintf(&b, "%s:%s:%d,", a.Name, a.Kind, len(a.Domain))
+		}
+		b.WriteString(")\n")
+		for _, row := range t.Rows {
+			b.WriteString(row.Key())
+			b.WriteByte('\n')
+		}
+		for _, idx := range t.indexes {
+			fmt.Fprintf(&b, "index %s %v\n", idx.Name, idx.Cols)
+		}
+	}
+	return b.String()
+}
+
+func memOpen(t *testing.T, fs *MemFS, opts WALOptions) *DB {
+	t.Helper()
+	opts.Dir = "/wal"
+	opts.FS = fs
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}
+
+func walExec(t *testing.T, db *DB, stmts ...string) {
+	t.Helper()
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatalf("exec %q: %v", s, err)
+		}
+	}
+}
+
+func seedSmall(t *testing.T, db *DB) {
+	t.Helper()
+	walExec(t, db,
+		"CREATE TABLE t (a INT, b TEXT, c FLOAT)",
+		"CREATE INDEX it_a ON t (a)",
+		"INSERT INTO t VALUES (1, 'one', 1.5), (2, 'two', 2.5), (3, 'three', 3.5)",
+		"UPDATE t SET b = 'TWO' WHERE a = 2",
+		"DELETE FROM t WHERE a = 3",
+	)
+}
+
+func TestWALRoundTripMemFS(t *testing.T) {
+	fs := NewMemFS(1)
+	db := memOpen(t, fs, WALOptions{Fsync: FsyncAlways})
+	seedSmall(t, db)
+
+	// A transaction's mutations commit as one unit.
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	walExec(t, db, "INSERT INTO t VALUES (10, 'ten', 10.5)", "UPDATE t SET c = 0.0 WHERE a = 1")
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	// A rolled-back transaction leaves no trace.
+	tx, err = db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	walExec(t, db, "DELETE FROM t WHERE a >= 0")
+	if err := tx.Rollback(); err != nil {
+		t.Fatalf("rollback: %v", err)
+	}
+
+	want := fingerprint(db)
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	db2 := memOpen(t, fs, WALOptions{Fsync: FsyncAlways})
+	if got := fingerprint(db2); got != want {
+		t.Fatalf("recovered state differs:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	// The recovered DB stays fully usable: queries, DML, indexes.
+	res, err := db2.Query("SELECT b FROM t WHERE a = 2")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].S != "TWO" {
+		t.Fatalf("query after recovery: %v %v", res, err)
+	}
+	walExec(t, db2, "INSERT INTO t VALUES (4, 'four', 4.5)")
+}
+
+func TestWALRoundTripOSFS(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(WALOptions{Dir: dir, Fsync: FsyncBatched, FsyncEvery: 2})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	seedSmall(t, db)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	walExec(t, db, "INSERT INTO t VALUES (7, 'seven', 7.0)")
+	want := fingerprint(db)
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	db2, err := Open(WALOptions{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got := fingerprint(db2); got != want {
+		t.Fatalf("recovered state differs:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	if st := db2.RecoveryStats(); st.SnapshotGen == 0 {
+		t.Fatalf("expected recovery from a snapshot, got %+v", st)
+	}
+}
+
+func TestWALLoadRelationSurvives(t *testing.T) {
+	fs := NewMemFS(2)
+	db := memOpen(t, fs, WALOptions{Fsync: FsyncAlways})
+	schema, err := relation.NewSchema("r",
+		relation.Attribute{Name: "X", Kind: relation.KindInt},
+		relation.Attribute{Name: "Y", Kind: relation.KindText},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New(schema)
+	for i := 0; i < 5; i++ {
+		r.Rows = append(r.Rows, relation.Tuple{relation.Int(int64(i)), relation.Text(fmt.Sprint("v", i))})
+	}
+	if err := db.LoadRelation(r); err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(db)
+	db2 := memOpen(t, fs, WALOptions{})
+	if got := fingerprint(db2); got != want {
+		t.Fatalf("LoadRelation not recovered:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// walFileBytes returns the raw contents of the current WAL generation.
+func walFileBytes(t *testing.T, fs *MemFS, db *DB) (string, []byte) {
+	t.Helper()
+	path := db.wal.walPath(db.wal.gen)
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return path, data
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	fs := NewMemFS(3)
+	db := memOpen(t, fs, WALOptions{Fsync: FsyncAlways})
+	seedSmall(t, db)
+	want := fingerprint(db)
+	path, _ := walFileBytes(t, fs, db)
+
+	// Simulate a crash mid-append: a partial frame lands at the tail.
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := memOpen(t, fs, WALOptions{Fsync: FsyncAlways})
+	if got := fingerprint(db2); got != want {
+		t.Fatalf("torn tail not tolerated:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	if st := db2.RecoveryStats(); !st.TornTail {
+		t.Fatalf("expected TornTail in stats, got %+v", st)
+	}
+	// The truncated log accepts new appends and another recovery agrees.
+	walExec(t, db2, "INSERT INTO t VALUES (9, 'nine', 9.0)")
+	want2 := fingerprint(db2)
+	db3 := memOpen(t, fs, WALOptions{})
+	if got := fingerprint(db3); got != want2 {
+		t.Fatalf("post-torn appends lost:\nwant:\n%s\ngot:\n%s", want2, got)
+	}
+}
+
+func TestWALCorruptMidLogFailsLoudly(t *testing.T) {
+	fs := NewMemFS(4)
+	db := memOpen(t, fs, WALOptions{Fsync: FsyncAlways})
+	seedSmall(t, db)
+	path, data := walFileBytes(t, fs, db)
+
+	// Flip one payload byte of the first record — damage with records
+	// after it is silent corruption, not a torn tail.
+	fs.mu.Lock()
+	fs.files[path].data[len(walFileMagic)+walFrameSize] ^= 0xff
+	fs.mu.Unlock()
+	_ = data
+
+	_, err := Open(WALOptions{Dir: "/wal", FS: fs})
+	if err == nil {
+		t.Fatal("expected recovery to fail on mid-log corruption")
+	}
+	if !strings.Contains(err.Error(), "corrupt record at offset") {
+		t.Fatalf("error should name the offset, got: %v", err)
+	}
+}
+
+func TestWALSnapshotFallback(t *testing.T) {
+	fs := NewMemFS(5)
+	db := memOpen(t, fs, WALOptions{Fsync: FsyncAlways})
+	seedSmall(t, db)
+	if err := db.Checkpoint(); err != nil { // gen 2
+		t.Fatal(err)
+	}
+	walExec(t, db, "INSERT INTO t VALUES (20, 'twenty', 20.0)")
+	if err := db.Checkpoint(); err != nil { // gen 3
+		t.Fatal(err)
+	}
+	walExec(t, db, "INSERT INTO t VALUES (21, 'final', 21.0)")
+	want := fingerprint(db)
+
+	// Damage the newest snapshot; recovery must fall back to gen 2 and
+	// replay wal 2 + wal 3 to the identical state.
+	snapPath := db.wal.snapPath(3)
+	fs.mu.Lock()
+	f := fs.files[snapPath]
+	f.data[len(f.data)/2] ^= 0xff
+	fs.mu.Unlock()
+
+	db2 := memOpen(t, fs, WALOptions{})
+	if got := fingerprint(db2); got != want {
+		t.Fatalf("fallback recovery differs:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	st := db2.RecoveryStats()
+	if !st.FellBack || st.SnapshotGen != 2 {
+		t.Fatalf("expected fallback to snapshot gen 2, got %+v", st)
+	}
+
+	// Remove the newest snapshot entirely: same story.
+	if err := fs.Remove(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	db3 := memOpen(t, fs, WALOptions{})
+	if got := fingerprint(db3); got != want {
+		t.Fatalf("missing-snapshot recovery differs")
+	}
+}
+
+func TestWALCheckpointThresholdAndPruning(t *testing.T) {
+	fs := NewMemFS(6)
+	db := memOpen(t, fs, WALOptions{Fsync: FsyncAlways, CheckpointBytes: 512})
+	walExec(t, db, "CREATE TABLE t (a INT, b TEXT)")
+	for i := 0; i < 40; i++ {
+		walExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, 'row-%d-padding-padding')", i, i))
+	}
+	if db.wal.gen < 3 {
+		t.Fatalf("expected threshold checkpoints to rotate generations, still at gen %d", db.wal.gen)
+	}
+	// Only the current and previous generations survive pruning.
+	names, err := fs.ReadDir("/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		gen, _, ok := parseGenName(name)
+		if ok && gen < db.wal.gen-1 {
+			t.Fatalf("generation %d not pruned (have %v)", gen, names)
+		}
+	}
+	want := fingerprint(db)
+	db2 := memOpen(t, fs, WALOptions{})
+	if got := fingerprint(db2); got != want {
+		t.Fatalf("post-checkpoint recovery differs:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+func TestWALReadOnlyDegradation(t *testing.T) {
+	for _, kind := range []FaultKind{FaultShortWrite, FaultWriteErr, FaultSyncErr} {
+		t.Run(kind.String(), func(t *testing.T) {
+			fs := NewMemFS(7)
+			db := memOpen(t, fs, WALOptions{Fsync: FsyncAlways})
+			seedSmall(t, db)
+			want := fingerprint(db)
+
+			fs.Arm(kind, 1)
+			_, err := db.Exec("INSERT INTO t VALUES (99, 'doomed', 0.0)")
+			if !errors.Is(err, ErrReadOnly) {
+				t.Fatalf("%s: want ErrReadOnly, got %v", kind, err)
+			}
+			// The failed mutation must not have touched memory.
+			if got := fingerprint(db); got != want {
+				t.Fatalf("%s: failed append mutated state", kind)
+			}
+			// Queries keep serving; further DML stays typed-refused.
+			if _, err := db.Query("SELECT a FROM t WHERE a = 1"); err != nil {
+				t.Fatalf("%s: query on read-only db: %v", kind, err)
+			}
+			if _, err := db.Exec("DELETE FROM t WHERE a = 1"); !errors.Is(err, ErrReadOnly) {
+				t.Fatalf("%s: second DML: want ErrReadOnly, got %v", kind, err)
+			}
+			if ro, cause := db.ReadOnly(); !ro || cause == nil {
+				t.Fatalf("%s: ReadOnly() = %v, %v", kind, ro, cause)
+			}
+
+			// The process did not die, so a reopen sees everything up to
+			// the failure (a short write's torn frame is truncated away).
+			db2 := memOpen(t, fs, WALOptions{})
+			if got := fingerprint(db2); got != want {
+				t.Fatalf("%s: reopen after degradation differs:\nwant:\n%s\ngot:\n%s", kind, want, got)
+			}
+			walExec(t, db2, "INSERT INTO t VALUES (100, 'alive', 1.0)")
+		})
+	}
+}
+
+func TestWALTxCommitFailureRollsBack(t *testing.T) {
+	fs := NewMemFS(8)
+	db := memOpen(t, fs, WALOptions{Fsync: FsyncAlways})
+	seedSmall(t, db)
+	want := fingerprint(db)
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	walExec(t, db, "INSERT INTO t VALUES (50, 'fifty', 50.0)", "DELETE FROM t WHERE a = 1")
+	fs.Arm(FaultWriteErr, 1)
+	if err := tx.Commit(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("commit under write failure: want ErrReadOnly, got %v", err)
+	}
+	if got := fingerprint(db); got != want {
+		t.Fatalf("failed commit left changes applied:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+func TestWALRollbackKeepsDDL(t *testing.T) {
+	fs := NewMemFS(9)
+	db := memOpen(t, fs, WALOptions{Fsync: FsyncAlways})
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	walExec(t, db,
+		"CREATE TABLE fresh (x INT)",
+		"INSERT INTO fresh VALUES (1), (2)",
+	)
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// Engine semantics: DDL survives rollback, the rows do not.
+	want := fingerprint(db)
+	if n, err := db.TableLen("fresh"); err != nil || n != 0 {
+		t.Fatalf("fresh after rollback: n=%d err=%v", n, err)
+	}
+	db2 := memOpen(t, fs, WALOptions{})
+	if got := fingerprint(db2); got != want {
+		t.Fatalf("rollback-surviving DDL not recovered:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+func TestWALShortWriteDiscardsPartialUnit(t *testing.T) {
+	// A short write leaves a half-written frame; the engine truncates
+	// it away immediately (the DML errored, so it must not reappear),
+	// leaving a clean log for the next recovery.
+	fs := NewMemFS(10)
+	db := memOpen(t, fs, WALOptions{Fsync: FsyncAlways})
+	seedSmall(t, db)
+	want := fingerprint(db)
+	fs.Arm(FaultShortWrite, 1)
+	if _, err := db.Exec("INSERT INTO t VALUES (77, 'torn', 0.0)"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("want ErrReadOnly, got %v", err)
+	}
+	db2 := memOpen(t, fs, WALOptions{})
+	if got := fingerprint(db2); got != want {
+		t.Fatalf("short-write recovery differs:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	if st := db2.RecoveryStats(); st.TornTail {
+		t.Fatalf("partial unit should have been discarded at failure time, got %+v", st)
+	}
+}

@@ -1,0 +1,91 @@
+package sqldb
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// WALFS is the filesystem seam under the durability layer. The engine
+// only ever performs this narrow set of operations — append-only
+// writes, whole-file reads, atomic rename, truncate — so the interface
+// stays small enough to implement faithfully in memory (MemFS), where
+// the fault-injection tests simulate short writes, fsync errors and
+// process crashes at every I/O boundary. Production uses the OS
+// filesystem via OSFS.
+type WALFS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadDir lists the file names (not paths) inside dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile returns the full contents of path.
+	ReadFile(path string) ([]byte, error)
+	// Create opens path for writing, truncating any existing contents.
+	Create(path string) (WALFile, error)
+	// OpenAppend opens path for appending, creating it if absent.
+	OpenAppend(path string) (WALFile, error)
+	// Rename atomically replaces newPath with oldPath.
+	Rename(oldPath, newPath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// Truncate cuts path to size bytes (used to drop a torn WAL tail).
+	Truncate(path string, size int64) error
+	// SyncDir flushes directory metadata (created/renamed entries).
+	SyncDir(dir string) error
+}
+
+// WALFile is an open, append-positioned file handle.
+type WALFile interface {
+	io.Writer
+	// Sync flushes written bytes to stable storage.
+	Sync() error
+	Close() error
+}
+
+// OSFS is the production WALFS over the operating system's filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OSFS) Create(path string) (WALFile, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (OSFS) OpenAppend(path string) (WALFile, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (OSFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+func (OSFS) Remove(path string) error             { return os.Remove(path) }
+
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -24,6 +24,8 @@ import (
 	"database/sql/driver"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 	"sync"
 
 	"ecfd/internal/relation"
@@ -53,28 +55,117 @@ func RegisterDB(dsn string, db *sqldb.DB) {
 }
 
 // Unregister drops the engine behind a DSN so its memory can be
-// reclaimed; a later Open of the same DSN starts fresh.
+// reclaimed; a later Open of the same DSN starts fresh. A durable
+// engine is closed first, syncing any batched WAL tail to disk.
 func Unregister(dsn string) {
 	mu.Lock()
 	defer mu.Unlock()
+	if db, ok := engines[dsn]; ok && db.Durable() {
+		db.Close()
+	}
 	delete(engines, dsn)
 }
 
-// Engine returns the engine behind a DSN, creating it on first use.
-func Engine(dsn string) *sqldb.DB {
+// OpenEngine returns the engine behind a DSN, creating it on first
+// use. The DSN is "name" for a volatile in-memory engine, or
+// "name?opt=v&opt=v" to configure durability:
+//
+//	wal=DIR          write-ahead-log directory; presence makes the
+//	                 engine durable (recovered from DIR on first open)
+//	fsync=POLICY     always | batched | off (default always)
+//	fsync_every=N    batched policy: sync every N commit units
+//	checkpoint=N     snapshot + rotate the WAL when it exceeds N bytes
+//
+// Engines are shared by full DSN string: two opens of the same DSN see
+// one engine, and the options are read only on the open that creates
+// it.
+func OpenEngine(dsn string) (*sqldb.DB, error) {
 	mu.Lock()
 	defer mu.Unlock()
-	db, ok := engines[dsn]
-	if !ok {
+	if db, ok := engines[dsn]; ok {
+		return db, nil
+	}
+	opts, err := parseDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	var db *sqldb.DB
+	if opts.Dir == "" {
 		db = sqldb.NewDB()
-		engines[dsn] = db
+	} else if db, err = sqldb.Open(opts); err != nil {
+		return nil, fmt.Errorf("sqldriver: open %q: %w", dsn, err)
+	}
+	engines[dsn] = db
+	return db, nil
+}
+
+// Engine returns the engine behind a DSN, creating it on first use.
+// It is the legacy option-free entry point: a DSN with durability
+// options that fail to apply (bad option syntax, unreadable WAL
+// directory) panics here — use OpenEngine or database/sql Open to
+// handle the error.
+func Engine(dsn string) *sqldb.DB {
+	db, err := OpenEngine(dsn)
+	if err != nil {
+		panic(err)
 	}
 	return db
 }
 
+// parseDSN splits "name?opt=v&..." into WAL options. A DSN without
+// options (or without wal=) selects a volatile engine.
+func parseDSN(dsn string) (sqldb.WALOptions, error) {
+	var opts sqldb.WALOptions
+	q := strings.IndexByte(dsn, '?')
+	if q < 0 {
+		return opts, nil
+	}
+	for _, kv := range strings.Split(dsn[q+1:], "&") {
+		if kv == "" {
+			continue
+		}
+		k, v, _ := strings.Cut(kv, "=")
+		switch k {
+		case "wal":
+			opts.Dir = v
+		case "fsync":
+			p, err := sqldb.ParseFsyncPolicy(v)
+			if err != nil {
+				return opts, fmt.Errorf("sqldriver: dsn %q: %w", dsn, err)
+			}
+			opts.Fsync = p
+		case "fsync_every":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return opts, fmt.Errorf("sqldriver: dsn %q: fsync_every=%q is not a positive integer", dsn, v)
+			}
+			opts.FsyncEvery = n
+		case "checkpoint":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				return opts, fmt.Errorf("sqldriver: dsn %q: checkpoint=%q is not a byte count", dsn, v)
+			}
+			opts.CheckpointBytes = n
+		default:
+			return opts, fmt.Errorf("sqldriver: dsn %q: unknown option %q", dsn, k)
+		}
+	}
+	if opts.Dir == "" && q >= 0 && strings.Contains(dsn[q+1:], "=") {
+		// Options without wal= would be silently meaningless.
+		if dsn[q+1:] != "" {
+			return opts, fmt.Errorf("sqldriver: dsn %q sets durability options without wal=", dsn)
+		}
+	}
+	return opts, nil
+}
+
 // Open implements driver.Driver.
 func (*Driver) Open(dsn string) (driver.Conn, error) {
-	return &conn{db: Engine(dsn)}, nil
+	db, err := OpenEngine(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{db: db}, nil
 }
 
 type conn struct {

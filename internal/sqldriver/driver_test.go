@@ -280,3 +280,51 @@ func TestValueConversions(t *testing.T) {
 		t.Error("text conversion")
 	}
 }
+
+// TestDurableDSNRoundTrip drives the wal= DSN grammar end to end: a
+// durable engine persists through Unregister (which closes it) and a
+// reopen of the same DSN recovers the data from the WAL directory.
+func TestDurableDSNRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dsn := "t_durable?wal=" + dir + "&fsync=batched&fsync_every=2&checkpoint=4096"
+	db := open(t, dsn)
+	if _, err := db.Exec(`CREATE TABLE kv (k TEXT, v INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO kv VALUES ('a', 1), ('b', 2)`); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	Unregister(dsn)
+
+	db2 := open(t, dsn)
+	defer Unregister(dsn)
+	var n int64
+	if err := db2.QueryRow(`SELECT COUNT(*) FROM kv`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("recovered %d rows, want 2", n)
+	}
+	if !Engine(dsn).Durable() {
+		t.Error("engine behind a wal= DSN must report durable")
+	}
+}
+
+// TestDSNOptionErrors pins the option grammar's failure modes: they
+// must surface from OpenEngine (and database/sql's first use), not
+// silently select a volatile engine.
+func TestDSNOptionErrors(t *testing.T) {
+	for _, dsn := range []string{
+		"bad?fsync=always",         // durability options without wal=
+		"bad?wal=/w&fsync=umm",     // unknown policy
+		"bad?wal=/w&fsync_every=0", // not a positive integer
+		"bad?wal=/w&checkpoint=-1", // negative byte count
+		"bad?wal=/w&nope=1",        // unknown option
+	} {
+		if _, err := OpenEngine(dsn); err == nil {
+			t.Errorf("OpenEngine(%q) succeeded, want option error", dsn)
+			Unregister(dsn)
+		}
+	}
+}
