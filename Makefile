@@ -5,7 +5,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build test race vet faultmatrix bench-short bench-json benchmeasure benchsmoke benchbaseline explain ci
+.PHONY: build test race vet faultmatrix mvccstress bench-short bench-json benchmeasure benchsmoke benchbaseline explain ci
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,12 @@ vet:
 faultmatrix:
 	$(GO) test -count=1 -run 'TestWAL|TestFaultMatrix|TestResume|TestDetectThreeWayDifferential|TestDurableDSN|TestDSNOption' ./internal/sqldb/ ./internal/detect/ ./internal/sqldriver/
 
+# MVCC stress: snapshot stability under racing DML/DDL, epoch GC
+# accounting, and the concurrency suite — all under the race detector,
+# -count=1 so the interleavings actually rerun.
+mvccstress:
+	$(GO) test -race -count=1 -run 'TestSnapshotStability|TestSnapshotStable|TestEpochGC|TestConcurrent' ./internal/sqldb/
+
 # Quick perf signal: the two acceptance benchmarks plus the planner
 # ablation, a few iterations each.
 bench-short:
@@ -49,19 +55,20 @@ benchmeasure:
 	$(GO) test -run '^$$' -bench 'BenchmarkBatchDetect10k$$' -benchtime $(BENCH_TIME) . | tee bench_current.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkFig5a$$' -benchtime $(BENCH_TIME) . | tee -a bench_current.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkConcurrentDetect$$' -benchtime $(BENCH_TIME) . | tee -a bench_current.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkMixedRead$$' -benchtime $(BENCH_TIME) . | tee -a bench_current.txt
 
 # Bench smoke: run every benchmark exactly once (no measurement) so
 # bench-only code paths cannot silently rot, then measure the tracked
 # acceptance benchmarks, record them to bench_current.json, and fail on
-# a >25% regression against the committed BENCH_pr5.json. CI runs this.
+# a >25% regression against the committed BENCH_pr8.json. CI runs this.
 benchsmoke: benchmeasure
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 	$(GO) run ./cmd/benchguard -write bench_current.json < bench_current.txt
-	$(GO) run ./cmd/benchguard -check BENCH_pr5.json < bench_current.txt
+	$(GO) run ./cmd/benchguard -check BENCH_pr8.json < bench_current.txt
 
 # Refresh the committed perf baseline after an intentional change.
 benchbaseline: benchmeasure
-	$(GO) run ./cmd/benchguard -write BENCH_pr5.json < bench_current.txt
+	$(GO) run ./cmd/benchguard -write BENCH_pr8.json < bench_current.txt
 
 # Query plans of the detector's fixed statement set.
 explain:

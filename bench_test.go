@@ -14,6 +14,7 @@ import (
 	"ecfd/internal/bench"
 	"ecfd/internal/detect"
 	"ecfd/internal/gen"
+	"ecfd/internal/relation"
 	"ecfd/internal/sqldb"
 )
 
@@ -128,6 +129,69 @@ func BenchmarkConcurrentDetect(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFigMixed — reader p50/p99 with and without a streaming
+// writer (figure "mixed"), the MVCC snapshot-isolation workload.
+func BenchmarkFigMixed(b *testing.B) { benchFigure(b, "mixed") }
+
+// BenchmarkMixedRead measures the MVCC read path under write churn:
+// each op commits one bulk UPDATE (forking a fresh epoch and its
+// copy-on-write structures) and then runs 1000 point SELECTs against
+// the new epoch. The interleave is deterministic — no racing
+// goroutines — so the number is stable enough for the benchguard
+// baseline on a single-core host; the scheduler-dependent concurrent
+// version lives in `ecfdbench -fig mixed`.
+func BenchmarkMixedRead(b *testing.B) {
+	const rows = 20_000
+	db := sqldb.NewDB()
+	mustExec := func(q string) {
+		b.Helper()
+		if _, err := db.Exec(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mustExec("CREATE TABLE d (id INTEGER, grp INTEGER, val TEXT)")
+	mustExec("CREATE INDEX idx_d_id ON d (id)")
+	for i := 0; i < rows; i += 500 {
+		q := "INSERT INTO d VALUES "
+		for j := i; j < i+500; j++ {
+			if j > i {
+				q += ", "
+			}
+			q += fmt.Sprintf("(%d, %d, 'v%d')", j, j%10, j%7)
+		}
+		mustExec(q)
+	}
+	point, err := db.Prepare("SELECT val FROM d WHERE id = ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	upd, err := db.Prepare("UPDATE d SET val = 'w' WHERE id >= ? AND id < ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	cycle := func(i int) {
+		lo := (i * 1_000) % rows
+		if _, err := upd.Exec(relation.Int(int64(lo)), relation.Int(int64(lo+1_000))); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 1_000; j++ {
+			if _, err := point.Query(relation.Int(int64(rng.Intn(rows)))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Untimed warmup settles the lazily built epoch structures and the
+	// GC pacing before measurement.
+	for i := 0; i < 5; i++ {
+		cycle(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle(i + 5)
 	}
 }
 

@@ -79,19 +79,19 @@ func main() {
 	}
 
 	var db *sql.DB
+	dsn := "ecfddetect"
 	if *walDir != "" {
-		var dsn string
 		db, dsn, err = ecfd.OpenDurable("ecfddetect", *walDir, *fsync, *checkpoint)
 		if err != nil {
 			fail(err)
 		}
 		defer ecfd.CloseMemory(dsn)
 	} else {
-		db, err = ecfd.OpenMemory("ecfddetect")
+		db, err = ecfd.OpenMemory(dsn)
 		if err != nil {
 			fail(err)
 		}
-		defer ecfd.CloseMemory("ecfddetect")
+		defer ecfd.CloseMemory(dsn)
 	}
 	defer db.Close()
 
@@ -108,6 +108,12 @@ func main() {
 		if err := d.Resume(); err != nil {
 			fail(err)
 		}
+		st := ecfd.StatsOf(dsn)
+		r := st.Recovery
+		fmt.Fprintf(os.Stderr,
+			"resume: wal gen %d (snapshot gen %d, units replayed %d, torn tail %v, fell back %v); epoch %d, %d live / %d retired epochs, %d retired bytes\n",
+			r.Gen, r.SnapshotGen, r.UnitsReplayed, r.TornTail, r.FellBack,
+			st.EpochSeq, st.LiveEpochs, st.RetiredEpochs, st.RetiredBytes)
 		if inst != nil {
 			if _, err := d.LoadData(inst); err != nil {
 				fail(err)

@@ -266,6 +266,19 @@ func OpenDurable(name, walDir, fsync string, checkpointBytes int64) (*sql.DB, st
 // database — useful for bulk-loading relations without SQL round trips.
 func Engine(name string) *sqldb.DB { return sqldriver.Engine(name) }
 
+// EngineStats is the embedded engine's operational counter surface
+// (sqldb.DB.Stats): the MVCC epoch sequence, how many epochs are live,
+// how much superseded state pinned readers are holding, and what WAL
+// recovery did when the engine opened.
+type EngineStats = sqldb.Stats
+
+// EngineRecoveryStats describes what WAL recovery did at open time
+// (generation used, snapshot fallback, units replayed, torn tail).
+type EngineRecoveryStats = sqldb.RecoveryStats
+
+// StatsOf returns the named engine's current operational stats.
+func StatsOf(name string) EngineStats { return sqldriver.Engine(name).Stats() }
+
 // DiscoverOptions tunes constraint discovery; zero values select
 // sensible defaults.
 type DiscoverOptions = discover.Options

@@ -14,12 +14,15 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"ecfd/internal/core"
 	"ecfd/internal/detect"
 	"ecfd/internal/gen"
+	"ecfd/internal/relation"
+	"ecfd/internal/sqldb"
 	"ecfd/internal/sqldriver"
 )
 
@@ -107,7 +110,7 @@ var Runners = map[string]func(Options) (*Figure, error){
 	"5a": Fig5a, "5b": Fig5b, "5c": Fig5c,
 	"6a": Fig6a, "6b": Fig6b, "6c": Fig6c,
 	"7a": Fig7a, "7b": Fig7b,
-	"par": FigPar, "wal": FigWAL,
+	"par": FigPar, "wal": FigWAL, "mixed": FigMixed,
 }
 
 // FigureIDs lists the runnable figures in paper order.
@@ -591,6 +594,198 @@ func FigWAL(opt Options) (*Figure, error) {
 		}
 		f.Points = append(f.Points, point)
 	}
+
+	// Concurrent ingest under fsync=always: every single-row autocommit
+	// INSERT is one WAL commit unit that must be durable before it
+	// acknowledges, but concurrent writers join a group commit — the
+	// leader's one fsync covers every unit appended while it slept, so
+	// the same total row count lands faster as writers are added.
+	total := opt.scale(1_500)
+	for _, w := range []int{1, 2, 4} {
+		secs, err := concurrentIngest(total, w)
+		if err != nil {
+			return nil, fmt.Errorf("wal ingest w=%d: %w", w, err)
+		}
+		f.Points = append(f.Points, Point{X: fmt.Sprintf("always w=%d", w),
+			Series: map[string]float64{"ingest": secs}})
+	}
+	f.Names = append(f.Names, "ingest")
+	return f, nil
+}
+
+// concurrentIngest inserts `total` rows through `writers` concurrent
+// single-row autocommit statements into a fsync=always database and
+// reports the wall-clock seconds. The detector's RID allocator is
+// serial, so this drives the engine directly.
+func concurrentIngest(total, writers int) (float64, error) {
+	dir, err := os.MkdirTemp("", "ecfdingest")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	db, err := sqldb.Open(sqldb.WALOptions{Dir: dir, Fsync: sqldb.FsyncAlways})
+	if err != nil {
+		return 0, err
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE ing (id INTEGER, val TEXT)"); err != nil {
+		return 0, err
+	}
+	ins, err := db.Prepare("INSERT INTO ing VALUES (?, 'x')")
+	if err != nil {
+		return 0, err
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	start := time.Now()
+	for wi := 0; wi < writers; wi++ {
+		lo := wi * total / writers
+		hi := (wi + 1) * total / writers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for id := lo; id < hi; id++ {
+				if _, err := ins.Exec(relation.Int(int64(id))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	close(errs)
+	for err := range errs {
+		return 0, err
+	}
+	return secs, nil
+}
+
+// FigMixed — reader latency under a streaming writer. A fixed pool of
+// point-query readers runs twice over the same indexed table: first
+// against a quiescent database (the read-only baseline), then with one
+// writer streaming bulk UPDATEs. Readers pin epochs with an atomic
+// load and hold no lock, so the p99 under writes should stay within
+// small factors of the baseline (the acceptance bound is 2×); the
+// writer's throughput is reported alongside. All latencies are
+// milliseconds, throughput is rows/second.
+func FigMixed(opt Options) (*Figure, error) {
+	const (
+		readers   = 4
+		window    = 300 * time.Millisecond
+		writeSpan = 1_000 // rows per streaming UPDATE statement
+	)
+	f := &Figure{ID: "mixed", Title: "Reader latency under a streaming writer (MVCC epochs)",
+		XLabel: "workload", YLabel: "read latency ms / writer rows/s",
+		Names: []string{"p50", "p99", "writer_rows_s"}}
+	rows := opt.scale(50_000)
+
+	db := sqldb.NewDB()
+	if _, err := db.Exec("CREATE TABLE d (id INTEGER, grp INTEGER, val TEXT)"); err != nil {
+		return nil, err
+	}
+	if _, err := db.Exec("CREATE INDEX idx_d_id ON d (id)"); err != nil {
+		return nil, err
+	}
+	for i := 0; i < rows; i += 500 {
+		q := "INSERT INTO d VALUES "
+		for j := i; j < i+500 && j < rows; j++ {
+			if j > i {
+				q += ", "
+			}
+			q += fmt.Sprintf("(%d, %d, 'v%d')", j, j%10, j%7)
+		}
+		if _, err := db.Exec(q); err != nil {
+			return nil, err
+		}
+	}
+	point, err := db.Prepare("SELECT val FROM d WHERE id = ?")
+	if err != nil {
+		return nil, err
+	}
+	upd, err := db.Prepare("UPDATE d SET val = 'w' WHERE id >= ? AND id < ?")
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(withWriter bool, x string) (Point, error) {
+		stop := make(chan struct{})
+		var wrote atomic.Int64
+		var wwg sync.WaitGroup
+		if withWriter {
+			wwg.Add(1)
+			go func() {
+				defer wwg.Done()
+				for lo := 0; ; lo = (lo + writeSpan) % rows {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					n, err := upd.Exec(relation.Int(int64(lo)), relation.Int(int64(lo+writeSpan)))
+					if err != nil {
+						return
+					}
+					wrote.Add(n)
+				}
+			}()
+		}
+		lats := make([][]time.Duration, readers)
+		errs := make(chan error, readers)
+		var rwg sync.WaitGroup
+		start := time.Now()
+		for g := 0; g < readers; g++ {
+			rwg.Add(1)
+			go func(g int) {
+				defer rwg.Done()
+				rng := rand.New(rand.NewSource(opt.Seed + int64(g)))
+				for time.Since(start) < window {
+					id := relation.Int(int64(rng.Intn(rows)))
+					t0 := time.Now()
+					if _, err := point.Query(id); err != nil {
+						errs <- err
+						return
+					}
+					lats[g] = append(lats[g], time.Since(t0))
+				}
+			}(g)
+		}
+		rwg.Wait()
+		elapsed := time.Since(start)
+		close(stop)
+		wwg.Wait()
+		close(errs)
+		for err := range errs {
+			return Point{}, err
+		}
+		var all []time.Duration
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		pct := func(p float64) float64 {
+			if len(all) == 0 {
+				return 0
+			}
+			i := int(p * float64(len(all)-1))
+			return float64(all[i]) / float64(time.Millisecond)
+		}
+		series := map[string]float64{"p50": pct(0.50), "p99": pct(0.99)}
+		if withWriter {
+			series["writer_rows_s"] = float64(wrote.Load()) / elapsed.Seconds()
+		}
+		return Point{X: x, Series: series}, nil
+	}
+
+	ro, err := run(false, "read-only")
+	if err != nil {
+		return nil, err
+	}
+	mixed, err := run(true, "mixed")
+	if err != nil {
+		return nil, err
+	}
+	f.Points = append(f.Points, ro, mixed)
 	return f, nil
 }
 

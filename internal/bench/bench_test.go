@@ -17,7 +17,7 @@ func TestRunUnknownFigure(t *testing.T) {
 
 func TestFigureIDs(t *testing.T) {
 	ids := FigureIDs()
-	want := []string{"5a", "5b", "5c", "6a", "6b", "6c", "7a", "7b", "par", "wal"}
+	want := []string{"5a", "5b", "5c", "6a", "6b", "6c", "7a", "7b", "mixed", "par", "wal"}
 	if strings.Join(ids, ",") != strings.Join(want, ",") {
 		t.Errorf("FigureIDs = %v", ids)
 	}
@@ -123,18 +123,50 @@ func TestPrint(t *testing.T) {
 }
 
 // TestFigWALShape checks the durable-ingest figure: one point per
-// durability configuration, each with positive load and detect times.
+// durability configuration (positive load and detect times), then one
+// concurrent-ingest point per writer count (positive wall time) under
+// fsync=always group commit.
 func TestFigWALShape(t *testing.T) {
 	f, err := Run("wal", tinyOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(f.Points) != 4 {
-		t.Fatalf("Fig wal has %d points, want 4", len(f.Points))
+	if len(f.Points) != 7 {
+		t.Fatalf("Fig wal has %d points, want 4 configs + 3 ingest", len(f.Points))
 	}
-	for _, p := range f.Points {
+	for _, p := range f.Points[:4] {
 		if p.Series["load"] <= 0 || p.Series["batch"] <= 0 {
 			t.Errorf("point %s: non-positive time", p.X)
 		}
+	}
+	for _, p := range f.Points[4:] {
+		if p.Series["ingest"] <= 0 {
+			t.Errorf("point %s: non-positive ingest time", p.X)
+		}
+	}
+}
+
+// TestFigMixedShape checks the reader-latency figure: a read-only
+// baseline point and a mixed point, positive latencies, and a writer
+// that actually wrote.
+func TestFigMixedShape(t *testing.T) {
+	f, err := Run("mixed", tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != 2 {
+		t.Fatalf("Fig mixed has %d points, want 2", len(f.Points))
+	}
+	ro, mixed := f.Points[0], f.Points[1]
+	if ro.X != "read-only" || mixed.X != "mixed" {
+		t.Fatalf("unexpected point order: %s, %s", ro.X, mixed.X)
+	}
+	for _, p := range f.Points {
+		if p.Series["p50"] <= 0 || p.Series["p99"] < p.Series["p50"] {
+			t.Errorf("point %s: implausible latencies %+v", p.X, p.Series)
+		}
+	}
+	if mixed.Series["writer_rows_s"] <= 0 {
+		t.Error("mixed point: writer made no progress")
 	}
 }

@@ -432,9 +432,25 @@ func (d *Detector) Counts() (sv, mv, total int64, err error) {
 	return svN.Int64, mvN.Int64, tot, nil
 }
 
+// Queryer is the minimal read surface the violation readers need;
+// *sql.DB and *sql.Tx both satisfy it. Passing a read-only
+// transaction (sql.TxOptions{ReadOnly: true}) pins one MVCC snapshot
+// for the whole read, so the result is coherent even while
+// LoadData/ApplyUpdates commit concurrently.
+type Queryer interface {
+	Query(query string, args ...any) (*sql.Rows, error)
+}
+
 // Violations returns the current violation set as (RID, SV, MV) plus
-// the data columns, ordered by RID.
+// the data columns, ordered by RID. It reads the published snapshot;
+// use ViolationsVia with a read-only transaction to pin one snapshot
+// across several reads.
 func (d *Detector) Violations() (*relation.Relation, error) {
+	return d.ViolationsVia(d.db)
+}
+
+// ViolationsVia is Violations reading through q.
+func (d *Detector) ViolationsVia(q Queryer) (*relation.Relation, error) {
 	cols := []string{ColRID}
 	attrs := []relation.Attribute{{Name: ColRID, Kind: relation.KindInt}}
 	for _, a := range d.schema.Attrs {
@@ -449,9 +465,9 @@ func (d *Detector) Violations() (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	q := fmt.Sprintf("SELECT %s FROM %s WHERE %s = 1 OR %s = 1 ORDER BY %s",
+	query := fmt.Sprintf("SELECT %s FROM %s WHERE %s = 1 OR %s = 1 ORDER BY %s",
 		strings.Join(cols, ", "), d.dataTable, ColSV, ColMV, ColRID)
-	rows, err := d.db.Query(q)
+	rows, err := q.Query(query)
 	if err != nil {
 		return nil, err
 	}

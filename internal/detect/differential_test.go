@@ -2,6 +2,7 @@ package detect
 
 import (
 	"bytes"
+	"context"
 	"database/sql"
 	"fmt"
 	"math/rand"
@@ -97,9 +98,37 @@ func TestDetectThreeWayDifferential(t *testing.T) {
 					batch = randomRows(rng, inst.Schema, 1+rng.Intn(12))
 				}
 
-				if _, _, err := dInc.ApplyUpdates(batch, doomed); err != nil {
+				// Fifth leg — MVCC snapshot stability: a reader that pinned
+				// its snapshot (read-only transaction) before the update
+				// must render the pre-update violation set byte for byte,
+				// however its reads interleave with the concurrent
+				// ApplyUpdates running on another goroutine.
+				preTx, err := dInc.db.BeginTx(context.Background(), &sql.TxOptions{ReadOnly: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				before := violationCSVVia(t, dInc, preTx)
+				incDone := make(chan error, 1)
+				go func() {
+					_, _, err := dInc.ApplyUpdates(batch, doomed)
+					incDone <- err
+				}()
+				for probe := 0; probe < 3; probe++ {
+					if during := violationCSVVia(t, dInc, preTx); !bytes.Equal(before, during) {
+						t.Fatalf("trial %d step %d probe %d: pinned snapshot drifted under concurrent ApplyUpdates\nbefore:\n%s\nduring:\n%s",
+							trial, step, probe, before, during)
+					}
+				}
+				if err := <-incDone; err != nil {
 					t.Fatalf("trial %d step %d incremental: %v", trial, step, err)
 				}
+				// The pin outlives the commit; the frozen view must still
+				// be intact after the writer won.
+				if after := violationCSVVia(t, dInc, preTx); !bytes.Equal(before, after) {
+					t.Fatalf("trial %d step %d: pinned snapshot drifted after ApplyUpdates committed\nbefore:\n%s\nafter:\n%s",
+						trial, step, before, after)
+				}
+				preTx.Rollback()
 				for _, d := range []*Detector{dBatch, dPar} {
 					if err := d.DeleteRaw(doomed); err != nil {
 						t.Fatal(err)

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"database/sql"
 	"fmt"
 	"runtime"
@@ -199,9 +200,23 @@ func (d *Detector) ridBounds() (lo, hi, n int64, err error) {
 	return loN.Int64, hiN.Int64, n, nil
 }
 
-// queryRIDs runs a two-parameter RID-slice query and collects the ids.
+// readTx opens a read-only transaction: the engine pins one MVCC
+// epoch for it, so every query inside observes a single snapshot and
+// holds no lock. Each parallel task runs in its own readTx — the task
+// is internally consistent even if a writer commits mid-scan.
+func (d *Detector) readTx() (*sql.Tx, error) {
+	return d.db.BeginTx(context.Background(), &sql.TxOptions{ReadOnly: true})
+}
+
+// queryRIDs runs a two-parameter RID-slice query inside its own
+// read-only snapshot and collects the ids.
 func (d *Detector) queryRIDs(q string, lo, hi int64) ([]int64, error) {
-	rows, err := d.db.Query(q, lo, hi)
+	tx, err := d.readTx()
+	if err != nil {
+		return nil, err
+	}
+	defer tx.Rollback()
+	rows, err := tx.Query(q, lo, hi)
 	if err != nil {
 		return nil, err
 	}
@@ -239,11 +254,16 @@ func cidRanges(n, workers int) [][2]int64 {
 	return out
 }
 
-// queryGroups computes the violating Qmv group keys of a CID range.
-// Each returned row is insert-ready: the CID followed by the blanked
-// pattern columns.
+// queryGroups computes the violating Qmv group keys of a CID range
+// inside its own read-only snapshot. Each returned row is
+// insert-ready: the CID followed by the blanked pattern columns.
 func (d *Detector) queryGroups(loCID, hiCID int64) ([][]any, error) {
-	rows, err := d.db.Query(d.stmts.qmvGroupsCIDRng, loCID, hiCID)
+	tx, err := d.readTx()
+	if err != nil {
+		return nil, err
+	}
+	defer tx.Rollback()
+	rows, err := tx.Query(d.stmts.qmvGroupsCIDRng, loCID, hiCID)
 	if err != nil {
 		return nil, err
 	}

@@ -44,7 +44,14 @@ func newBenchDetector(t testing.TB, rows int, seed int64) (*Detector, func()) {
 // comparison across runs.
 func violationCSV(t *testing.T, d *Detector) []byte {
 	t.Helper()
-	vio, err := d.Violations()
+	return violationCSVVia(t, d, d.db)
+}
+
+// violationCSVVia renders the violation set as seen through q —
+// typically a read-only transaction pinning one snapshot.
+func violationCSVVia(t *testing.T, d *Detector, q Queryer) []byte {
+	t.Helper()
+	vio, err := d.ViolationsVia(q)
 	if err != nil {
 		t.Fatal(err)
 	}

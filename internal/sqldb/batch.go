@@ -773,9 +773,12 @@ type predInst struct {
 
 // probeInst is the bound state of one probe kernel.
 type probeInst struct {
-	k       *kprobe
-	m       map[string][]int
-	set     map[string]bool
+	k *kprobe
+	// Index-probe state: the epoch's index structure and the row fence
+	// cutting shared buckets to this epoch's row count.
+	d     *indexData
+	fence int
+	set   map[string]bool
 	vals    []relation.Value   // constant part values this entry
 	con     []bool             // part i is constant this entry
 	condT   []bool             // pkCase condition held this entry
@@ -908,7 +911,7 @@ func (p *predInst) bind(en *env, t *Table) error {
 			return nil
 		}
 		p.state = pNormal
-		p.colv = t.column(k.simple.col)
+		p.colv = en.column(t, k.simple.col)
 	case k.probe != nil:
 		return p.probe.bind(en, t, &p.state)
 	default: // nested OR
@@ -933,7 +936,7 @@ func (p *predInst) bind(en *env, t *Table) error {
 func (pb *probeInst) bind(en *env, t *Table, state *uint8) error {
 	k := pb.k
 	if k.d.idx != nil {
-		pb.m = k.d.idx.lookup(k.d.t)
+		pb.d, pb.fence = en.td(k.d.t).lookupEq(k.d.t, k.d.idx)
 	} else {
 		hb, err := k.d.ensureHash(en)
 		if err != nil {
@@ -957,7 +960,7 @@ func (pb *probeInst) bind(en *env, t *Table, state *uint8) error {
 				constNull = true
 			}
 		case pkCol:
-			pb.colvs[i] = t.column(part.col)
+			pb.colvs[i] = en.column(t, part.col)
 		case pkCase:
 			cv, err := part.cond(en)
 			if err != nil {
@@ -970,7 +973,7 @@ func (pb *probeInst) bind(en *env, t *Table, state *uint8) error {
 					constNull = true
 				}
 			} else if part.resKind == resCol || part.resKind == resTextCoalesce {
-				pb.colvs[i] = t.column(part.col)
+				pb.colvs[i] = en.column(t, part.col)
 			}
 		}
 	}
@@ -1016,12 +1019,14 @@ func (pb *probeInst) bind(en *env, t *Table, state *uint8) error {
 	// and compares per row instead of hashing per row.
 	if d := k.d; d.idx != nil && len(pb.tail) == 1 && len(pb.pfxVals) == n-1 && n >= 2 &&
 		k.parts[pb.tail[0]].kind == pkCol {
-		pos := d.idx.eqPrefixRange(d.t, pb.pfxVals, relation.Value{}, relation.Value{}, false, false)
+		td := en.td(d.t)
+		pos := td.eqPrefixRange(d.t, d.idx, pb.pfxVals, relation.Value{}, relation.Value{}, false, false)
 		if len(pos) <= probeScanSetMax {
 			valCol := d.idx.Cols[n-1]
+			inner := td.rows
 			pb.scanVals = pb.scanVals[:0]
 			for _, p := range pos {
-				pb.scanVals = append(pb.scanVals, d.t.Rows[p][valCol])
+				pb.scanVals = append(pb.scanVals, inner[p][valCol])
 			}
 			pb.scanCol = pb.tail[0]
 			pb.scanOn = true
@@ -1115,8 +1120,10 @@ rowLoop:
 		}
 		pb.keyBuf = key
 		var hit bool
-		if pb.m != nil {
-			hit = len(pb.m[string(key)]) > 0
+		if pb.d != nil {
+			// Per-probe locking inside probe(): no structure lock is held
+			// across the surrounding closure evaluations.
+			hit = len(pb.d.probe(string(key), pb.fence)) > 0
 		} else {
 			hit = pb.set[string(key)]
 		}

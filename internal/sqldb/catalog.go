@@ -5,36 +5,49 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ecfd/internal/relation"
 )
 
-// DB is an in-memory SQL database: a catalog of tables guarded by a
-// reader/writer lock. SELECT statements hold the read lock for their
-// whole execution, so any number of queries run concurrently; DDL, DML
-// and transaction control take the write lock and therefore see (and
-// leave) the catalog quiescent. Statement-level isolation follows
-// directly: a query observes the table row slices that were current
-// when it acquired the lock, and no mutation can interleave with it.
+// DB is an in-memory SQL database organised as a chain of immutable
+// epochs (multi-version concurrency control with copy-on-write tables).
+//
+// Readers never lock: a query pins the current epoch with an atomic
+// load and runs its whole plan — scans, index probes, column-cache
+// kernels — against that frozen epoch. Writers serialize on db.mu,
+// build the next epoch off to the side (sharing every table, row
+// array and index structure the statement did not touch) and publish
+// it with a single pointer swap. A reader therefore observes exactly
+// the catalog and row state of its pinned epoch for its whole
+// execution, and a bulk writer streaming updates never stalls it.
+//
+// Statement-level isolation follows directly, as it did under the old
+// reader/writer lock — but without the old failure mode where one
+// multi-millisecond exclusive section blocked every concurrent SELECT.
 type DB struct {
-	mu       sync.RWMutex
-	tables   map[string]*Table
+	// mu serializes writers (DML, DDL, transaction control, WAL
+	// checkpointing). Readers never take it.
+	mu sync.Mutex
+	// cur is the published epoch: the snapshot new readers pin. Swapped
+	// by publish() under db.mu; loaded by readers without any lock.
+	cur atomic.Pointer[epoch]
+	// curW is the writer's head epoch. It equals cur.Load() except in
+	// the window where a group-committing statement has built its epoch
+	// but the WAL fsync that makes it durable has not completed yet —
+	// readers must not observe state the log might still lose.
+	// Guarded by db.mu.
+	curW     *epoch
 	activeTx *Tx
-	// ddlVersion counts catalog changes (CREATE/DROP TABLE, CREATE
-	// INDEX, LoadRelation). Compiled plans record the version they were
-	// built against and recompile on mismatch. Starts at 1 so a zero
-	// version always means "never compiled". Written under mu (write);
-	// read under mu (read or write).
-	ddlVersion uint64
 	// stmtCache maps statement text → *Prepared. It has its own mutex
-	// so concurrent readers can hit the cache without contending on the
-	// catalog lock (an LRU get mutates recency order, so a plain RLock
-	// would not do).
+	// so concurrent readers can hit the cache without touching the
+	// writer lock (an LRU get mutates recency order).
 	stmtMu    sync.Mutex
 	stmtCache *lruCache
 	// wal, when non-nil, is the durability layer: every mutation
-	// appends a commit unit before it touches the catalog (see wal.go).
-	// Databases from NewDB stay purely in-memory; Open attaches a WAL.
+	// appends a commit unit before the epoch it describes can publish
+	// (see wal.go). Databases from NewDB stay purely in-memory; Open
+	// attaches a WAL.
 	wal *walState
 	// roErr, once set, freezes the database read-only: the WAL could
 	// not record a mutation (write or fsync failure), so rather than
@@ -44,196 +57,320 @@ type DB struct {
 	roErr error
 	// recov records what recovery did at Open time.
 	recov RecoveryStats
+
+	// epochMu guards the retired-epoch registry: superseded epochs
+	// still pinned by in-flight readers, with their approximate byte
+	// footprint. An epoch leaves the registry (and becomes garbage in
+	// the ordinary Go sense) when its last reader unpins it.
+	epochMu      sync.Mutex
+	retired      map[*epoch]int64
+	retiredBytes int64
 }
 
-// NewDB returns an empty database.
-func NewDB() *DB { return &DB{tables: make(map[string]*Table), ddlVersion: 1} }
+// epoch is one immutable version of the whole database: the table
+// catalog plus, per table, the row store and cache structures current
+// when the epoch was published. Nothing in an epoch is ever mutated
+// after publication — writers fork a new epoch instead — except the
+// lazily *extended* index/column structures, which grow monotonically
+// under their own locks and are fenced by each reader's row count
+// (see tableData).
+type epoch struct {
+	// seq increases by one per epoch; publish() uses it to never move
+	// the published pointer backwards.
+	seq uint64
+	// ddlVersion counts catalog changes (CREATE/DROP TABLE, CREATE
+	// INDEX, LoadRelation of a new table). Compiled plans record the
+	// version they were built against and recompile on mismatch.
+	// Starts at 1 so a zero version always means "never compiled".
+	ddlVersion uint64
+	// tables maps lower-cased name → handle. Shared wholesale between
+	// epochs; DDL clones it.
+	tables map[string]*Table
+	// tds maps table handle → that table's data in this epoch.
+	tds map[*Table]*tableData
+	// pins counts readers currently executing against this epoch.
+	pins atomic.Int64
+}
 
-// bumpDDL invalidates compiled plans after a catalog change. Callers
-// hold db.mu.
-func (db *DB) bumpDDL() { db.ddlVersion++ }
+// table looks a table up in this epoch's catalog.
+func (ep *epoch) table(name string) (*Table, error) {
+	t, ok := ep.tables[lowerName(name)]
+	if !ok {
+		return nil, fmt.Errorf("sql: no table %s", name)
+	}
+	return t, nil
+}
 
-// Table is one base table: schema, row store and secondary indexes.
-// Mutations notify the indexes with exactly what changed (appended,
-// deleted or updated row positions), so built indexes are maintained
-// incrementally; only wholesale replacement (LoadRelation, transaction
-// rollback) falls back to mark-dirty-and-rebuild.
+// bytes approximates the epoch's heap footprint for the GC registry:
+// one Tuple header plus Width values per row, 24 bytes per slot. Row
+// arrays shared with other epochs are deliberately double-counted —
+// the registry answers "how much could this pinned epoch be holding
+// live", not an exact accounting.
+func (ep *epoch) bytes() int64 {
+	var b int64
+	for t, td := range ep.tds {
+		b += int64(len(td.rows)) * int64(t.Schema.Width()+1) * 24
+	}
+	return b
+}
+
+// Table is a stable handle for one base table: the name, the schema,
+// and the maintenance counters the regression tests read. Everything
+// versioned — rows, indexes' built structures, the columnar cache —
+// lives in the per-epoch tableData, so the handle itself never
+// changes and compiled plans can bind it across epochs.
 type Table struct {
-	Name    string
-	Schema  *relation.Schema
-	Rows    []relation.Tuple
-	indexes []*Index
-	version uint64 // bumped on every mutation; used by cached hash builds
-	// cols is the columnar scan cache behind the batch kernels: one
-	// lazily built value vector per column, maintained incrementally by
-	// the same DML notifications that maintain the indexes.
-	cols colStore
+	Name   string
+	Schema *relation.Schema
+	// colRebuilds counts full (non-incremental) column-vector builds
+	// across all epochs of this table.
+	colRebuilds atomic.Int64
 }
 
-// colStore caches column vectors of a table: vecs[ci][ri] ==
-// t.Rows[ri][ci] for every built column. Batch kernels scan these flat
-// vectors instead of chasing one Tuple pointer per row. A vector is
-// built on first use (double-checked under mu, since scans run under
-// the catalog *read* lock) and from then on maintained by the DML
-// hooks, which run under the catalog write lock: appends extend,
-// deletes compact, updates rewrite exactly the changed positions.
-// Wholesale row replacement (LoadRelation, rollback) drops the cache.
-type colStore struct {
-	mu   sync.RWMutex
-	vecs [][]relation.Value
-	// rebuilds counts full (non-incremental) vector builds; the
-	// maintenance regression tests read it.
-	rebuilds int
-}
-
-// column returns the cached value vector for schema position ci,
-// building it on first use. The returned slice is shared — callers
-// must not mutate it and must hold the catalog read lock while using
-// it.
-func (t *Table) column(ci int) []relation.Value {
-	t.cols.mu.RLock()
-	if ci < len(t.cols.vecs) {
-		if v := t.cols.vecs[ci]; v != nil {
-			t.cols.mu.RUnlock()
-			return v
-		}
-	}
-	t.cols.mu.RUnlock()
-
-	t.cols.mu.Lock()
-	defer t.cols.mu.Unlock()
-	if t.cols.vecs == nil {
-		t.cols.vecs = make([][]relation.Value, t.Schema.Width())
-	}
-	if v := t.cols.vecs[ci]; v != nil {
-		return v
-	}
-	v := make([]relation.Value, len(t.Rows))
-	for ri, row := range t.Rows {
-		v[ri] = row[ci]
-	}
-	t.cols.vecs[ci] = v
-	t.cols.rebuilds++
-	return v
-}
-
-// colsDrop invalidates every built column vector (wholesale row
-// replacement). Callers hold the catalog write lock.
-func (t *Table) colsDrop() {
-	t.cols.mu.Lock()
-	for i := range t.cols.vecs {
-		t.cols.vecs[i] = nil
-	}
-	t.cols.mu.Unlock()
-}
-
-// colsAppended extends built vectors with the k freshly appended rows.
-func (t *Table) colsAppended(k int) {
-	t.cols.mu.Lock()
-	oldLen := len(t.Rows) - k
-	for ci, v := range t.cols.vecs {
-		if v == nil {
-			continue
-		}
-		for ri := oldLen; ri < len(t.Rows); ri++ {
-			v = append(v, t.Rows[ri][ci])
-		}
-		t.cols.vecs[ci] = v
-	}
-	t.cols.mu.Unlock()
-}
-
-// colsDeleted compacts built vectors after the rows at positions dels
-// (ascending, pre-delete positions) were removed. Order is preserved,
-// so this is one filtering pass per built column.
-func (t *Table) colsDeleted(dels []int) {
-	t.cols.mu.Lock()
-	for ci, v := range t.cols.vecs {
-		if v == nil {
-			continue
-		}
-		keep := v[:0]
-		di := 0
-		for ri := range v {
-			if di < len(dels) && dels[di] == ri {
-				di++
-				continue
-			}
-			keep = append(keep, v[ri])
-		}
-		t.cols.vecs[ci] = keep
-	}
-	t.cols.mu.Unlock()
-}
-
-// colsUpdated rewrites the changed cells of built vectors after an
-// UPDATE assigned cols at row positions pos. Vectors of unassigned
-// columns are untouched.
-func (t *Table) colsUpdated(pos, cols []int) {
-	t.cols.mu.Lock()
-	for _, ci := range cols {
-		if ci >= len(t.cols.vecs) {
-			continue
-		}
-		v := t.cols.vecs[ci]
-		if v == nil {
-			continue
-		}
-		for _, ri := range pos {
-			v[ri] = t.Rows[ri][ci]
-		}
-	}
-	t.cols.mu.Unlock()
-}
-
-// colsTruncated empties built vectors in place.
-func (t *Table) colsTruncated() {
-	t.cols.mu.Lock()
-	for ci, v := range t.cols.vecs {
-		if v == nil {
-			continue
-		}
-		t.cols.vecs[ci] = v[:0]
-	}
-	t.cols.mu.Unlock()
-}
-
-// Index is an ordered secondary index over a column list. It keeps two
-// structures, each built lazily on first use and maintained
-// incrementally afterwards:
-//
-//   - m, a hash map from encoded key to ascending row positions —
-//     answers equality probes in O(1);
-//   - sorted, the row positions ordered by the index-column values
-//     (ties by position) — answers range scans (<, <=, >, >=, BETWEEN,
-//     RID-slice conjuncts) with a binary search returning a contiguous
-//     subslice, and serves ORDER BY via in-order iteration when the
-//     sort key is a prefix of Cols.
-//
-// Mutations (under the catalog write lock) maintain whichever
-// structures have been built: INSERT merges the appended positions,
-// DELETE filters and remaps surviving positions, UPDATE removes and
-// re-inserts only the changed rows of indexes whose columns were
-// actually set, TRUNCATE empties in place. A structure that has never
-// been probed stays nil/dirty and costs mutations nothing. The lazy
-// rebuild (double-checked under the index's own mutex, since probes
-// run under the catalog *read* lock) remains as the cold-start path
-// and after wholesale row replacement.
+// Index is a stable handle for one secondary index: its column list
+// in declared order, plus the rebuild counter. The built structures
+// live in per-epoch indexData.
 type Index struct {
 	Name string
 	Cols []int // column positions, in declared order
+	// rebuilds counts full (non-incremental) builds of either index
+	// structure across all epochs.
+	rebuilds atomic.Int64
+}
 
+// tableData is one epoch's view of a table: the frozen row array plus
+// the lazily built index and column structures valid for it. The row
+// array is immutable (appends by a *newer* epoch may fill its spare
+// capacity beyond len, which readers of this epoch never touch).
+//
+// Index/column structures are shared between epochs whenever the
+// epoch transition preserves them (an append extends, a non-indexed
+// UPDATE doesn't disturb an index, ...). Sharing is sound because the
+// structures are *fenced*: every access passes the reader's row count
+// f = len(td.rows), and the structure answers for rows [0, f) only,
+// extending itself under its own lock if it has not covered f yet.
+// All epochs sharing a structure agree on the cell values it indexes
+// over their common prefix, so extensions commute.
+type tableData struct {
+	rows []relation.Tuple
+	// version distinguishes row states for per-env hash-build caching.
+	version uint64
+	cols    *colData
+	indexes []indexSlot
+}
+
+type indexSlot struct {
+	idx  *Index
+	data *indexData
+}
+
+// indexData holds one epoch-lineage's built structures for an index:
+//
+//   - m, a hash map from encoded key to ascending row positions,
+//     covering rows [0, mCover) — answers equality probes in O(1);
+//   - sorted, row positions ordered by the index-column values (ties
+//     by position). sorted[:f] is a valid in-order view of rows
+//     [0, f) for every fence f with sBase <= f <= len(sorted); a
+//     non-monotone extension has to rebuild the array and raises
+//     sBase to its own fence, sending older pinned readers to a
+//     transient sort.
+//
+// Both grow monotonically under mu; they are never shrunk or
+// reordered in place, so a header snapshotted under RLock stays
+// readable after release (growth only appends, and bucket arrays are
+// replaced wholesale when forked).
+type indexData struct {
 	mu     sync.RWMutex
 	m      map[string][]int
+	mCover int
 	sorted []int
-	mDirty bool
-	sDirty bool
-	// rebuilds counts full (non-incremental) builds of either
-	// structure; the DML maintenance regression tests read it.
-	rebuilds int
+	sBase  int
+}
+
+// colData is one epoch-lineage's columnar scan cache:
+// vecs[ci][ri] == rows[ri][ci] for every built column, covering rows
+// [0, len(vec)). Batch kernels scan these flat vectors instead of
+// chasing one Tuple pointer per row. nil vec ⇔ never built; a vector
+// is extended lazily to each reader's fence under mu.
+type colData struct {
+	mu   sync.RWMutex
+	vecs [][]relation.Value
 }
 
 func lowerName(s string) string { return strings.ToLower(s) }
+
+// NewDB returns an empty database at epoch 1.
+func NewDB() *DB {
+	db := &DB{retired: make(map[*epoch]int64)}
+	ep := &epoch{
+		seq:        1,
+		ddlVersion: 1,
+		tables:     make(map[string]*Table),
+		tds:        make(map[*Table]*tableData),
+	}
+	db.cur.Store(ep)
+	db.curW = ep
+	return db
+}
+
+// --- epoch pinning, publication and retirement ---
+
+// pin returns the current published epoch with its pin count
+// incremented. The increment-then-revalidate loop makes the count
+// exact with respect to retire(): if the published pointer moved
+// between the load and the increment, the pin is released and the
+// loop retries on the new epoch.
+func (db *DB) pin() *epoch {
+	for {
+		ep := db.cur.Load()
+		ep.pins.Add(1)
+		if db.cur.Load() == ep {
+			return ep
+		}
+		db.unpin(ep)
+	}
+}
+
+// unpin releases a pinned epoch; the last unpin of a superseded epoch
+// removes it from the retired registry.
+func (db *DB) unpin(ep *epoch) {
+	if ep.pins.Add(-1) == 0 && db.cur.Load() != ep {
+		db.epochMu.Lock()
+		if b, ok := db.retired[ep]; ok {
+			db.retiredBytes -= b
+			delete(db.retired, ep)
+		}
+		db.epochMu.Unlock()
+	}
+}
+
+// publish makes ne the epoch new readers pin. The CAS loop only moves
+// the pointer forward (seq-monotone): group commit may resolve epochs
+// out of order with respect to a racing checkpoint absorb, and an
+// older epoch must never overwrite a newer one. Callers hold db.mu.
+func (db *DB) publish(ne *epoch) {
+	for {
+		old := db.cur.Load()
+		if old.seq >= ne.seq {
+			return
+		}
+		if db.cur.CompareAndSwap(old, ne) {
+			db.retire(old)
+			return
+		}
+	}
+}
+
+// retire registers a superseded epoch still pinned by readers. The
+// post-registration pins re-check closes the race with a reader whose
+// final unpin ran before the epoch entered the registry.
+func (db *DB) retire(old *epoch) {
+	if old.pins.Load() == 0 {
+		return
+	}
+	db.epochMu.Lock()
+	b := old.bytes()
+	db.retired[old] = b
+	db.retiredBytes += b
+	if old.pins.Load() == 0 {
+		db.retiredBytes -= b
+		delete(db.retired, old)
+	}
+	db.epochMu.Unlock()
+}
+
+// forkEpochW clones the writer head into a new epoch: next sequence
+// number, shared catalog, shallow-copied table-data map. Callers hold
+// db.mu and install the fork with installEpoch after editing it.
+func (db *DB) forkEpochW() *epoch {
+	old := db.curW
+	ne := &epoch{
+		seq:        old.seq + 1,
+		ddlVersion: old.ddlVersion,
+		tables:     old.tables,
+		tds:        make(map[*Table]*tableData, len(old.tds)+1),
+	}
+	for t, td := range old.tds {
+		ne.tds[t] = td
+	}
+	return ne
+}
+
+// installTD forks the writer head with one table's data replaced.
+func (db *DB) installTD(t *Table, ntd *tableData) {
+	ne := db.forkEpochW()
+	ne.tds[t] = ntd
+	db.installEpoch(ne)
+}
+
+// installEpoch advances the writer head and publishes it — unless the
+// statement's WAL commit unit joined a group commit whose fsync is
+// still pending, in which case publication is deferred to the group
+// leader (readers must not observe state the log might lose).
+// Callers hold db.mu.
+func (db *DB) installEpoch(ne *epoch) {
+	db.curW = ne
+	if db.wal != nil && db.wal.curPending != nil {
+		return
+	}
+	db.publish(ne)
+}
+
+// Snap is a pinned read snapshot: every query routed through it
+// observes one epoch, regardless of concurrent commits. Close
+// releases the pin (idempotent, single goroutine).
+type Snap struct {
+	db *DB
+	ep *epoch
+}
+
+// PinSnapshot pins the current epoch until Close.
+func (db *DB) PinSnapshot() *Snap {
+	return &Snap{db: db, ep: db.pin()}
+}
+
+// Close releases the snapshot's epoch pin.
+func (s *Snap) Close() {
+	if s.ep != nil {
+		s.db.unpin(s.ep)
+		s.ep = nil
+	}
+}
+
+// Stats is the operational counters surface: where the epoch chain
+// is, how much superseded state pinned readers are holding live, and
+// what recovery did at Open time.
+type Stats struct {
+	// EpochSeq is the published epoch's sequence number.
+	EpochSeq uint64
+	// LiveEpochs counts the published epoch plus retired epochs still
+	// pinned by readers.
+	LiveEpochs int
+	// RetiredEpochs counts superseded epochs kept alive by pins.
+	RetiredEpochs int
+	// RetiredBytes approximates the heap those retired epochs hold.
+	RetiredBytes int64
+	// Recovery reports what WAL recovery did when the database opened.
+	Recovery RecoveryStats
+}
+
+// Stats returns current epoch/GC counters and the recovery report.
+func (db *DB) Stats() Stats {
+	ep := db.cur.Load()
+	db.epochMu.Lock()
+	r := len(db.retired)
+	b := db.retiredBytes
+	db.epochMu.Unlock()
+	return Stats{
+		EpochSeq:      ep.seq,
+		LiveEpochs:    1 + r,
+		RetiredEpochs: r,
+		RetiredBytes:  b,
+		Recovery:      db.recov,
+	}
+}
+
+// --- DDL ---
 
 // CreateTable registers a new table.
 func (db *DB) CreateTable(name string, cols []ColumnDef, ifNotExists bool) error {
@@ -243,7 +380,7 @@ func (db *DB) CreateTable(name string, cols []ColumnDef, ifNotExists bool) error
 		return err
 	}
 	key := lowerName(name)
-	if _, ok := db.tables[key]; ok {
+	if _, ok := db.curW.tables[key]; ok {
 		if ifNotExists {
 			return nil
 		}
@@ -260,8 +397,13 @@ func (db *DB) CreateTable(name string, cols []ColumnDef, ifNotExists bool) error
 	if err := db.logCreateTable(schema); err != nil {
 		return err
 	}
-	db.tables[key] = &Table{Name: name, Schema: schema}
-	db.bumpDDL()
+	t := &Table{Name: name, Schema: schema}
+	ne := db.forkEpochW()
+	ne.tables = cloneTables(ne.tables)
+	ne.tables[key] = t
+	ne.tds[t] = newTableData(nil)
+	ne.ddlVersion++
+	db.installEpoch(ne)
 	return nil
 }
 
@@ -273,7 +415,8 @@ func (db *DB) DropTable(name string, ifExists bool) error {
 		return err
 	}
 	key := lowerName(name)
-	if _, ok := db.tables[key]; !ok {
+	t, ok := db.curW.tables[key]
+	if !ok {
 		if ifExists {
 			return nil
 		}
@@ -282,41 +425,53 @@ func (db *DB) DropTable(name string, ifExists bool) error {
 	if err := db.logDropTable(name); err != nil {
 		return err
 	}
-	delete(db.tables, key)
-	db.bumpDDL()
+	ne := db.forkEpochW()
+	ne.tables = cloneTables(ne.tables)
+	delete(ne.tables, key)
+	delete(ne.tds, t)
+	ne.ddlVersion++
+	db.installEpoch(ne)
 	return nil
 }
 
-// table looks a table up; callers hold db.mu (read or write).
-func (db *DB) table(name string) (*Table, error) {
-	t, ok := db.tables[lowerName(name)]
-	if !ok {
-		return nil, fmt.Errorf("sql: no table %s", name)
+func cloneTables(m map[string]*Table) map[string]*Table {
+	out := make(map[string]*Table, len(m)+1)
+	for k, v := range m {
+		out[k] = v
 	}
-	return t, nil
+	return out
 }
 
-// TableNames returns the catalog's table names, sorted.
+func newTableData(rows []relation.Tuple) *tableData {
+	return &tableData{rows: rows, cols: &colData{}}
+}
+
+// table looks a table up in the writer head; callers hold db.mu.
+// Reader paths resolve through their pinned epoch instead.
+func (db *DB) table(name string) (*Table, error) {
+	return db.curW.table(name)
+}
+
+// TableNames returns the catalog's table names, sorted. Lock-free:
+// it reads the published epoch's immutable catalog.
 func (db *DB) TableNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.tables))
-	for _, t := range db.tables {
+	ep := db.cur.Load()
+	out := make([]string, 0, len(ep.tables))
+	for _, t := range ep.tables {
 		out = append(out, t.Name)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// TableLen returns the row count of a table.
+// TableLen returns the row count of a table in the published epoch.
 func (db *DB) TableLen(name string) (int, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, err := db.table(name)
+	ep := db.cur.Load()
+	t, err := ep.table(name)
 	if err != nil {
 		return 0, err
 	}
-	return len(t.Rows), nil
+	return len(ep.tds[t].rows), nil
 }
 
 // LoadRelation bulk-creates (or replaces the contents of) a table from
@@ -334,39 +489,46 @@ func (db *DB) LoadRelation(r *relation.Relation) error {
 		return fmt.Errorf("sql: LoadRelation inside a transaction is not supported")
 	}
 	key := lowerName(r.Schema.Name)
-	t, ok := db.tables[key]
+	rows := make([]relation.Tuple, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = row.Clone()
+	}
+	t, ok := db.curW.tables[key]
 	if !ok {
 		if err := db.logLoadRelation(r); err != nil {
 			return err
 		}
 		t = &Table{Name: r.Schema.Name, Schema: r.Schema}
-		db.tables[key] = t
-		db.bumpDDL()
-	} else if t.Schema.Width() != r.Schema.Width() {
+		ne := db.forkEpochW()
+		ne.tables = cloneTables(ne.tables)
+		ne.tables[key] = t
+		ne.tds[t] = newTableData(rows)
+		ne.ddlVersion++
+		db.installEpoch(ne)
+		return nil
+	}
+	if t.Schema.Width() != r.Schema.Width() {
 		return fmt.Errorf("sql: LoadRelation: width mismatch for %s", r.Schema.Name)
-	} else if err := db.logLoadRelation(r); err != nil {
+	}
+	if err := db.logLoadRelation(r); err != nil {
 		return err
 	}
-	t.Rows = make([]relation.Tuple, len(r.Rows))
-	for i, row := range r.Rows {
-		t.Rows[i] = row.Clone()
-	}
-	t.mutated()
+	db.applyWholesale(t, rows)
 	return nil
 }
 
-// Snapshot copies a table back out as a relation. It holds the read
-// lock only: concurrent queries proceed, mutations wait.
+// Snapshot copies a table back out as a relation, from the published
+// epoch — lock-free, concurrent writers proceed.
 func (db *DB) Snapshot(name string) (*relation.Relation, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, err := db.table(name)
+	ep := db.cur.Load()
+	t, err := ep.table(name)
 	if err != nil {
 		return nil, err
 	}
+	rows := ep.tds[t].rows
 	out := relation.New(t.Schema)
-	out.Rows = make([]relation.Tuple, len(t.Rows))
-	for i, row := range t.Rows {
+	out.Rows = make([]relation.Tuple, len(rows))
+	for i, row := range rows {
 		out.Rows[i] = row.Clone()
 	}
 	return out, nil
@@ -383,7 +545,7 @@ func (db *DB) CreateIndex(name, table string, cols []string) error {
 	if err != nil {
 		return err
 	}
-	idx := &Index{Name: name, mDirty: true, sDirty: true}
+	idx := &Index{Name: name}
 	for _, c := range cols {
 		j := t.Schema.Index(c)
 		if j < 0 {
@@ -391,220 +553,160 @@ func (db *DB) CreateIndex(name, table string, cols []string) error {
 		}
 		idx.Cols = append(idx.Cols, j)
 	}
-	for _, existing := range t.indexes {
-		if existing.Name == name {
+	td := db.curW.tds[t]
+	for _, sl := range td.indexes {
+		if sl.idx.Name == name {
 			return fmt.Errorf("sql: index %s already exists on %s", name, table)
 		}
 	}
 	if err := db.logCreateIndex(name, table, cols); err != nil {
 		return err
 	}
-	t.indexes = append(t.indexes, idx)
-	db.bumpDDL()
+	nidx := make([]indexSlot, len(td.indexes)+1)
+	copy(nidx, td.indexes)
+	nidx[len(td.indexes)] = indexSlot{idx: idx, data: &indexData{}}
+	ntd := &tableData{rows: td.rows, version: td.version, cols: td.cols, indexes: nidx}
+	ne := db.forkEpochW()
+	ne.tds[t] = ntd
+	ne.ddlVersion++
+	db.installEpoch(ne)
 	return nil
 }
 
-// mutated invalidates every index wholesale. It is the fallback for
-// row replacement where no per-row delta exists (LoadRelation,
-// transaction rollback); DML uses the incremental notifications below.
-func (t *Table) mutated() {
-	t.version++
-	for _, idx := range t.indexes {
-		idx.mu.Lock()
-		idx.mDirty = true
-		idx.sDirty = true
-		idx.mu.Unlock()
+// --- copy-on-write epoch transitions (DML) ---
+//
+// Each transition forks the writer head with one table's data
+// replaced, sharing every structure the statement provably did not
+// disturb. What the old in-place maintenance hooks (rowsAppended,
+// updateBegin/End, rowsDeleted, truncated) did under the write lock
+// is now the delta applied while building the fork; readers of older
+// epochs keep their frozen view.
+
+// applyAppend installs rows appended to t. The new row array may
+// extend the old one's spare capacity in place: cells beyond the old
+// length are invisible to older epochs, and every non-append
+// transition produces a fresh or capacity-clipped array, so no other
+// lineage can ever write those cells. Index and column structures are
+// shared wholesale — appends are exactly what their lazy fenced
+// extension absorbs.
+func (db *DB) applyAppend(t *Table, newRows []relation.Tuple) {
+	td := db.curW.tds[t]
+	ntd := &tableData{
+		rows:    append(td.rows, newRows...),
+		version: td.version + 1,
+		cols:    td.cols,
+		indexes: td.indexes,
 	}
-	t.colsDrop()
+	db.installTD(t, ntd)
 }
 
-// rowsAppended maintains the indexes after k rows were appended to
-// t.Rows. Appended positions are the largest, so built hash buckets
-// stay ascending by plain append and the sorted order merges (usually
-// degenerating to an append for monotone key columns like RID).
-// Callers hold the catalog write lock.
-func (t *Table) rowsAppended(k int) {
-	t.version++
-	t.colsAppended(k)
-	oldLen := len(t.Rows) - k
-	for _, idx := range t.indexes {
-		idx.mu.Lock()
-		if idx.m != nil && !idx.mDirty {
-			key := make([]relation.Value, len(idx.Cols))
-			for ri := oldLen; ri < len(t.Rows); ri++ {
-				for i, c := range idx.Cols {
-					key[i] = t.Rows[ri][c]
-				}
-				k := relation.KeyOf(key)
-				idx.m[k] = append(idx.m[k], ri)
-			}
+// applyUpdate installs an UPDATE of setCols at row positions pos
+// (ascending); vals[i] holds pos[i]'s new values aligned to setCols.
+// Changed tuples are cloned and patched — the old epoch's tuples are
+// never written. Indexes reading none of the assigned columns share
+// their structures (this keeps the detector's SV/MV flag writes from
+// ever disturbing the RID index); overlapping indexes fork with the
+// changed positions re-keyed. The column cache forks: assigned built
+// vectors are cloned and patched, unassigned built vectors are shared
+// capacity-clipped so each lineage extends its own copy.
+func (db *DB) applyUpdate(t *Table, pos []int, setCols []int, vals [][]relation.Value) {
+	td := db.curW.tds[t]
+	nrows := make([]relation.Tuple, len(td.rows))
+	copy(nrows, td.rows)
+	for i, ri := range pos {
+		nr := td.rows[ri].Clone()
+		for j, c := range setCols {
+			nr[c] = vals[i][j]
 		}
-		if idx.sorted != nil && !idx.sDirty {
-			add := make([]int, k)
-			for i := range add {
-				add[i] = oldLen + i
-			}
-			sort.Slice(add, func(a, b int) bool { return idx.lessPos(t, add[a], add[b]) })
-			idx.sorted = idx.mergeSorted(t, idx.sorted, add)
-		}
-		idx.mu.Unlock()
+		nrows[ri] = nr
 	}
+	ntd := &tableData{
+		rows:    nrows,
+		version: td.version + 1,
+		cols:    td.cols.forkUpdated(pos, setCols, vals),
+	}
+	if len(td.indexes) > 0 {
+		ntd.indexes = make([]indexSlot, len(td.indexes))
+		for i, sl := range td.indexes {
+			if overlaps(sl.idx.Cols, setCols) {
+				ntd.indexes[i] = indexSlot{idx: sl.idx, data: sl.data.forkUpdated(sl.idx, td.rows, nrows, pos)}
+			} else {
+				ntd.indexes[i] = sl
+			}
+		}
+	}
+	db.installTD(t, ntd)
 }
 
-// rowsDeleted maintains the indexes after the rows at positions dels
-// (ascending, referring to the pre-delete t.Rows) were removed and the
-// remaining rows compacted in order. Surviving positions shift down by
-// the number of deleted positions below them; neither keys nor
-// relative order change, so both structures are filtered and remapped
-// in one pass — no key encoding, no re-sort, no rehash. Callers hold
-// the catalog write lock.
-func (t *Table) rowsDeleted(dels []int) {
-	t.version++
-	if len(dels) == 0 {
-		return
-	}
-	t.colsDeleted(dels)
-	remap := func(ri int) int { return ri - sort.SearchInts(dels, ri) }
-	deleted := func(ri int) bool {
-		i := sort.SearchInts(dels, ri)
-		return i < len(dels) && dels[i] == ri
-	}
-	for _, idx := range t.indexes {
-		idx.mu.Lock()
-		if idx.m != nil && !idx.mDirty {
-			for k, bucket := range idx.m {
-				keep := bucket[:0]
-				for _, ri := range bucket {
-					if !deleted(ri) {
-						keep = append(keep, remap(ri))
-					}
-				}
-				if len(keep) == 0 {
-					delete(idx.m, k)
-				} else {
-					idx.m[k] = keep
-				}
-			}
-		}
-		if idx.sorted != nil && !idx.sDirty {
-			keep := idx.sorted[:0]
-			for _, ri := range idx.sorted {
-				if !deleted(ri) {
-					keep = append(keep, remap(ri))
-				}
-			}
-			idx.sorted = keep
-		}
-		idx.mu.Unlock()
-	}
-}
-
-// updateBegin removes the stale entries of rows about to change. pos
-// is ascending; cols are the schema positions being assigned. Indexes
-// reading none of the assigned columns are untouched — this is what
-// keeps the detector's SV/MV flag writes from ever invalidating the
-// RID index. Must run while t.Rows still holds the old values;
-// updateEnd re-inserts after the assignment. Callers hold the catalog
-// write lock.
-func (t *Table) updateBegin(pos, cols []int) {
-	for _, idx := range t.indexes {
-		if !idx.overlaps(cols) {
+// applyDelete installs a DELETE of the rows at positions dels
+// (ascending, pre-delete positions). Surviving positions shift down
+// by the number of deleted positions below them; neither keys nor
+// relative order change, so every built structure forks by one
+// filter-and-remap pass.
+func (db *DB) applyDelete(t *Table, dels []int) {
+	td := db.curW.tds[t]
+	nrows := make([]relation.Tuple, 0, len(td.rows)-len(dels))
+	di := 0
+	for ri, row := range td.rows {
+		if di < len(dels) && dels[di] == ri {
+			di++
 			continue
 		}
-		idx.mu.Lock()
-		if idx.m != nil && !idx.mDirty {
-			key := make([]relation.Value, len(idx.Cols))
-			for _, ri := range pos {
-				for i, c := range idx.Cols {
-					key[i] = t.Rows[ri][c]
-				}
-				k := relation.KeyOf(key)
-				bucket := idx.m[k]
-				at := sort.SearchInts(bucket, ri)
-				if at < len(bucket) && bucket[at] == ri {
-					bucket = append(bucket[:at], bucket[at+1:]...)
-					if len(bucket) == 0 {
-						delete(idx.m, k)
-					} else {
-						idx.m[k] = bucket
-					}
-				}
-			}
-		}
-		if idx.sorted != nil && !idx.sDirty {
-			doomed := make(map[int]bool, len(pos))
-			for _, ri := range pos {
-				doomed[ri] = true
-			}
-			keep := idx.sorted[:0]
-			for _, ri := range idx.sorted {
-				if !doomed[ri] {
-					keep = append(keep, ri)
-				}
-			}
-			idx.sorted = keep
-		}
-		idx.mu.Unlock()
+		nrows = append(nrows, row)
 	}
+	ntd := &tableData{
+		rows:    nrows,
+		version: td.version + 1,
+		cols:    td.cols.forkDeleted(dels),
+	}
+	if len(td.indexes) > 0 {
+		ntd.indexes = make([]indexSlot, len(td.indexes))
+		for i, sl := range td.indexes {
+			ntd.indexes[i] = indexSlot{idx: sl.idx, data: sl.data.forkDeleted(dels)}
+		}
+	}
+	db.installTD(t, ntd)
 }
 
-// updateEnd re-inserts the rows removed by updateBegin with their new
-// values. Callers hold the catalog write lock.
-func (t *Table) updateEnd(pos, cols []int) {
-	t.version++
-	t.colsUpdated(pos, cols)
-	for _, idx := range t.indexes {
-		if !idx.overlaps(cols) {
-			continue
-		}
-		idx.mu.Lock()
-		if idx.m != nil && !idx.mDirty {
-			key := make([]relation.Value, len(idx.Cols))
-			for _, ri := range pos {
-				for i, c := range idx.Cols {
-					key[i] = t.Rows[ri][c]
-				}
-				k := relation.KeyOf(key)
-				bucket := idx.m[k]
-				at := sort.SearchInts(bucket, ri)
-				bucket = append(bucket, 0)
-				copy(bucket[at+1:], bucket[at:])
-				bucket[at] = ri
-				idx.m[k] = bucket
-			}
-		}
-		if idx.sorted != nil && !idx.sDirty {
-			add := append([]int(nil), pos...)
-			sort.Slice(add, func(a, b int) bool { return idx.lessPos(t, add[a], add[b]) })
-			idx.sorted = idx.mergeSorted(t, idx.sorted, add)
-		}
-		idx.mu.Unlock()
+// applyTruncate installs an empty row store. Built structures fork to
+// built-empty with fresh allocations (an in-place [:0] would alias
+// backing arrays across lineages); never-built structures stay lazy
+// so an unprobed index keeps costing nothing.
+func (db *DB) applyTruncate(t *Table) {
+	td := db.curW.tds[t]
+	ntd := &tableData{
+		version: td.version + 1,
+		cols:    td.cols.forkTruncated(),
 	}
+	if len(td.indexes) > 0 {
+		ntd.indexes = make([]indexSlot, len(td.indexes))
+		for i, sl := range td.indexes {
+			ntd.indexes[i] = indexSlot{idx: sl.idx, data: sl.data.forkTruncated()}
+		}
+	}
+	db.installTD(t, ntd)
 }
 
-// truncated resets built structures to empty in place (the post-
-// truncate index contents, whatever they held); never-built structures
-// stay lazy so an unprobed index keeps costing nothing. Callers hold
-// the catalog write lock.
-func (t *Table) truncated() {
-	t.version++
-	t.colsTruncated()
-	for _, idx := range t.indexes {
-		idx.mu.Lock()
-		if idx.m != nil && !idx.mDirty {
-			idx.m = make(map[string][]int)
+// applyWholesale installs a full row replacement (LoadRelation over
+// an existing table, transaction rollback). No per-row delta exists,
+// so every structure forks to never-built and the next probe pays a
+// full rebuild — the epoch version of mark-dirty-and-rebuild.
+func (db *DB) applyWholesale(t *Table, rows []relation.Tuple) {
+	td := db.curW.tds[t]
+	ntd := &tableData{rows: rows, version: td.version + 1, cols: &colData{}}
+	if len(td.indexes) > 0 {
+		ntd.indexes = make([]indexSlot, len(td.indexes))
+		for i, sl := range td.indexes {
+			ntd.indexes[i] = indexSlot{idx: sl.idx, data: &indexData{}}
 		}
-		if idx.sorted != nil && !idx.sDirty {
-			idx.sorted = idx.sorted[:0]
-		}
-		idx.mu.Unlock()
 	}
+	db.installTD(t, ntd)
 }
 
-// overlaps reports whether the index reads any of the given columns.
-func (idx *Index) overlaps(cols []int) bool {
+// overlaps reports whether an index column list reads any of cols.
+func overlaps(idxCols, cols []int) bool {
 	for _, c := range cols {
-		for _, ic := range idx.Cols {
+		for _, ic := range idxCols {
 			if c == ic {
 				return true
 			}
@@ -613,134 +715,308 @@ func (idx *Index) overlaps(cols []int) bool {
 	return false
 }
 
-// lessPos orders two row positions by the index-column values, ties by
-// position — the sort order of Index.sorted. Callers hold at least the
-// catalog read lock so t.Rows is stable.
-func (idx *Index) lessPos(t *Table, a, b int) bool {
-	ra, rb := t.Rows[a], t.Rows[b]
-	for _, c := range idx.Cols {
-		if cmp := relation.Compare(ra[c], rb[c]); cmp != 0 {
-			return cmp < 0
+// --- column cache: fenced access and forks ---
+
+// column returns the cached value vector for schema position ci,
+// valid for this epoch's rows — built or extended to the fence on
+// first use. The returned slice is immutable to the caller.
+func (td *tableData) column(t *Table, ci int) []relation.Value {
+	d := td.cols
+	f := len(td.rows)
+	d.mu.RLock()
+	if ci < len(d.vecs) {
+		if v := d.vecs[ci]; v != nil && len(v) >= f {
+			d.mu.RUnlock()
+			return v[:f]
 		}
 	}
-	return a < b
+	d.mu.RUnlock()
+	return d.extend(t, td.rows, ci, f)
 }
 
-// mergeSorted merges two position lists already in lessPos order. The
-// common case — appends with a monotone key column like RID — reduces
-// to a plain append.
-func (idx *Index) mergeSorted(t *Table, have, add []int) []int {
-	if len(add) == 0 {
-		return have
+// extend builds (or grows) column ci's vector to cover fence f using
+// this epoch's rows. Epochs sharing a colData agree on all cell
+// values over their common prefix, so whichever lineage extends
+// first, the result serves both.
+func (d *colData) extend(t *Table, rows []relation.Tuple, ci, f int) []relation.Value {
+	d.mu.Lock()
+	if d.vecs == nil {
+		d.vecs = make([][]relation.Value, t.Schema.Width())
 	}
-	if len(have) == 0 || idx.lessPos(t, have[len(have)-1], add[0]) {
-		return append(have, add...)
+	v := d.vecs[ci]
+	if v != nil && len(v) >= f {
+		d.mu.Unlock()
+		return v[:f]
 	}
-	out := make([]int, 0, len(have)+len(add))
-	i, j := 0, 0
-	for i < len(have) && j < len(add) {
-		if idx.lessPos(t, add[j], have[i]) {
-			out = append(out, add[j])
-			j++
-		} else {
-			out = append(out, have[i])
-			i++
-		}
+	built := v == nil
+	if built {
+		v = make([]relation.Value, 0, f)
 	}
-	out = append(out, have[i:]...)
-	return append(out, add[j:]...)
+	for ri := len(v); ri < f; ri++ {
+		v = append(v, rows[ri][ci])
+	}
+	d.vecs[ci] = v
+	d.mu.Unlock()
+	if built {
+		t.colRebuilds.Add(1)
+	}
+	return v[:f]
 }
 
-// findIndex returns an index whose column set is exactly cols (in any
-// order), or nil. Callers probe through Index.lookup, which rebuilds
-// lazily under the index's own lock.
-func (t *Table) findIndex(cols []int) *Index {
-	want := append([]int(nil), cols...)
-	sort.Ints(want)
-	for _, idx := range t.indexes {
-		have := append([]int(nil), idx.Cols...)
-		sort.Ints(have)
-		if len(have) != len(want) {
+// forkUpdated forks the cache for an UPDATE: built vectors of
+// assigned columns are cloned and patched; built vectors of other
+// columns are shared capacity-clipped (each lineage's later appends
+// then reallocate instead of racing on spare cells); never-built
+// vectors stay never-built.
+func (d *colData) forkUpdated(pos []int, setCols []int, vals [][]relation.Value) *colData {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	nd := &colData{}
+	if d.vecs == nil {
+		return nd
+	}
+	nd.vecs = make([][]relation.Value, len(d.vecs))
+	for ci, v := range d.vecs {
+		if v == nil {
 			continue
 		}
-		same := true
-		for i := range have {
-			if have[i] != want[i] {
-				same = false
+		j := -1
+		for k, c := range setCols {
+			if c == ci {
+				j = k
 				break
 			}
 		}
-		if same {
-			return idx
+		if j < 0 {
+			nd.vecs[ci] = v[:len(v):len(v)]
+			continue
+		}
+		nv := make([]relation.Value, len(v))
+		copy(nv, v)
+		for i, ri := range pos {
+			if ri < len(nv) {
+				nv[ri] = vals[i][j]
+			}
+		}
+		nd.vecs[ci] = nv
+	}
+	return nd
+}
+
+// forkDeleted forks the cache for a DELETE: each built vector is
+// filtered in one pass; its new length is exactly the compacted cover
+// of the positions it described.
+func (d *colData) forkDeleted(dels []int) *colData {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	nd := &colData{}
+	if d.vecs == nil {
+		return nd
+	}
+	nd.vecs = make([][]relation.Value, len(d.vecs))
+	for ci, v := range d.vecs {
+		if v == nil {
+			continue
+		}
+		keep := make([]relation.Value, 0, len(v))
+		di := 0
+		for ri := range v {
+			if di < len(dels) && dels[di] == ri {
+				di++
+				continue
+			}
+			keep = append(keep, v[ri])
+		}
+		nd.vecs[ci] = keep
+	}
+	return nd
+}
+
+// forkTruncated forks the cache for TRUNCATE: built vectors become
+// built-empty with fresh backing, never-built stay never-built.
+func (d *colData) forkTruncated() *colData {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	nd := &colData{}
+	if d.vecs == nil {
+		return nd
+	}
+	nd.vecs = make([][]relation.Value, len(d.vecs))
+	for ci, v := range d.vecs {
+		if v != nil {
+			nd.vecs[ci] = make([]relation.Value, 0)
+		}
+	}
+	return nd
+}
+
+// --- index structures: fenced access and forks ---
+
+// indexData returns idx's structures in this epoch, or nil if the
+// index does not exist here.
+func (td *tableData) indexData(idx *Index) *indexData {
+	for _, sl := range td.indexes {
+		if sl.idx == idx {
+			return sl.data
 		}
 	}
 	return nil
 }
 
-// lookup returns the equality map behind the index, rebuilding it
-// first on cold start (or after wholesale row replacement). Safe under
-// concurrent readers: the fast path takes the index read lock only,
-// the rebuild is double-checked under the write lock — many concurrent
-// queries may race to the first probe, exactly one rebuilds, the rest
-// wait and reuse its map. Callers hold at least the catalog read lock,
-// so t.Rows cannot change underneath the build.
-func (idx *Index) lookup(t *Table) map[string][]int {
-	idx.mu.RLock()
-	if !idx.mDirty && idx.m != nil {
-		m := idx.m
-		idx.mu.RUnlock()
-		return m
+// lookupEq ensures the equality map covers this epoch's rows and
+// returns the structure plus the fence to probe at. Callers probe
+// with d.probe(key, fence) — per probe, never holding the structure
+// lock across expression evaluation.
+func (td *tableData) lookupEq(t *Table, idx *Index) (*indexData, int) {
+	d := td.indexData(idx)
+	f := len(td.rows)
+	d.mu.RLock()
+	ok := d.m != nil && d.mCover >= f
+	d.mu.RUnlock()
+	if !ok {
+		d.extendEq(idx, td.rows, f)
 	}
-	idx.mu.RUnlock()
+	return d, f
+}
 
-	idx.mu.Lock()
-	defer idx.mu.Unlock()
-	if !idx.mDirty && idx.m != nil {
-		return idx.m
+// extendEq builds (or grows) the equality map to cover fence f.
+func (d *indexData) extendEq(idx *Index, rows []relation.Tuple, f int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.m == nil {
+		m := make(map[string][]int, f)
+		key := make([]relation.Value, len(idx.Cols))
+		for ri := 0; ri < f; ri++ {
+			row := rows[ri]
+			for i, c := range idx.Cols {
+				key[i] = row[c]
+			}
+			k := relation.KeyOf(key)
+			m[k] = append(m[k], ri)
+		}
+		d.m = m
+		d.mCover = f
+		idx.rebuilds.Add(1)
+		return
 	}
-	m := make(map[string][]int, len(t.Rows))
+	if d.mCover >= f {
+		return
+	}
 	key := make([]relation.Value, len(idx.Cols))
-	for ri, row := range t.Rows {
+	for ri := d.mCover; ri < f; ri++ {
+		row := rows[ri]
 		for i, c := range idx.Cols {
 			key[i] = row[c]
 		}
 		k := relation.KeyOf(key)
-		m[k] = append(m[k], ri)
+		d.m[k] = append(d.m[k], ri)
 	}
-	idx.m = m
-	idx.mDirty = false
-	idx.rebuilds++
-	return m
+	d.mCover = f
 }
 
-// ordered returns the row positions in index order (column values
-// ascending, ties by position), rebuilding on cold start with the same
-// double-checked discipline as lookup. The returned slice is shared —
-// callers must not mutate it and must hold the catalog read lock while
-// using it.
-func (idx *Index) ordered(t *Table) []int {
-	idx.mu.RLock()
-	if !idx.sDirty && idx.sorted != nil {
-		s := idx.sorted
-		idx.mu.RUnlock()
-		return s
+// probe returns the ascending row positions matching an encoded key,
+// cut to the caller's fence. The bucket header is snapshotted under
+// RLock and used after release: bucket growth only appends positions
+// >= every older fence at the end, and forks replace bucket arrays
+// wholesale, so the snapshotted cells are stable.
+func (d *indexData) probe(key string, fence int) []int {
+	d.mu.RLock()
+	b := d.m[key]
+	d.mu.RUnlock()
+	if n := len(b); n == 0 || b[n-1] < fence {
+		return b
 	}
-	idx.mu.RUnlock()
+	return b[:sort.SearchInts(b, fence)]
+}
 
-	idx.mu.Lock()
-	defer idx.mu.Unlock()
-	if !idx.sDirty && idx.sorted != nil {
-		return idx.sorted
+// orderedOf returns this epoch's row positions in index order (column
+// values ascending, ties by position). The returned slice is
+// immutable to the caller.
+func (td *tableData) orderedOf(t *Table, idx *Index) []int {
+	d := td.indexData(idx)
+	f := len(td.rows)
+	d.mu.RLock()
+	s, base := d.sorted, d.sBase
+	d.mu.RUnlock()
+	if s != nil && base <= f && len(s) >= f {
+		return s[:f]
 	}
-	s := make([]int, len(t.Rows))
-	for i := range s {
-		s[i] = i
+	return d.extendOrdered(idx, td.rows, f)
+}
+
+// extendOrdered builds or grows the in-order positions to fence f.
+//
+// The append fast path keeps every intermediate fence valid: when the
+// appended rows are already in key order position by position, the
+// positions are appended verbatim, so sorted[:g] stays a permutation
+// of [0, g) for every g up to the new length — this is the detector's
+// monotone-RID append. A non-monotone batch forces a merge into a
+// fresh array that is only coherent at its own fence, so sBase rises
+// and an older pinned reader falls back to a transient sort.
+func (d *indexData) extendOrdered(idx *Index, rows []relation.Tuple, f int) []int {
+	d.mu.Lock()
+	s := d.sorted
+	if s != nil && d.sBase <= f && len(s) >= f {
+		d.mu.Unlock()
+		return s[:f]
 	}
-	sort.Slice(s, func(a, b int) bool { return idx.lessPos(t, s[a], s[b]) })
-	idx.sorted = s
-	idx.sDirty = false
-	idx.rebuilds++
-	return s
+	if s == nil {
+		ns := make([]int, f)
+		for i := range ns {
+			ns[i] = i
+		}
+		sort.Slice(ns, func(a, b int) bool { return lessPosIn(idx.Cols, rows, ns[a], ns[b]) })
+		d.sorted, d.sBase = ns, f
+		d.mu.Unlock()
+		idx.rebuilds.Add(1)
+		return ns
+	}
+	if f < d.sBase {
+		d.mu.Unlock()
+		// This reader pinned its epoch before a non-monotone merge
+		// rebased the shared structure past its fence: sort a private
+		// view, uncached (rare — a racing writer reordered keys).
+		ns := make([]int, f)
+		for i := range ns {
+			ns[i] = i
+		}
+		sort.Slice(ns, func(a, b int) bool { return lessPosIn(idx.Cols, rows, ns[a], ns[b]) })
+		return ns
+	}
+	L := len(s)
+	mono := true
+	for ri := L; ri < f; ri++ {
+		var prev int
+		switch {
+		case ri > L:
+			prev = ri - 1
+		case L > 0:
+			prev = s[L-1]
+		default:
+			continue
+		}
+		if lessPosIn(idx.Cols, rows, ri, prev) {
+			mono = false
+			break
+		}
+	}
+	if mono {
+		for ri := L; ri < f; ri++ {
+			s = append(s, ri)
+		}
+		d.sorted = s
+		d.mu.Unlock()
+		return s[:f]
+	}
+	add := make([]int, f-L)
+	for i := range add {
+		add[i] = L + i
+	}
+	sort.Slice(add, func(a, b int) bool { return lessPosIn(idx.Cols, rows, add[a], add[b]) })
+	out := mergeSortedIn(idx.Cols, rows, s[:L:L], add)
+	d.sorted, d.sBase = out, f
+	d.mu.Unlock()
+	return out
 }
 
 // rangeOf returns the positions whose first index column lies between
@@ -755,23 +1031,24 @@ func (idx *Index) ordered(t *Table) []int {
 // filter was elided with no lower bound present, since the elided
 // filter would have rejected NULL (a non-NULL lo excludes them anyway,
 // NULLs ranking below every bounded value).
-func (idx *Index) rangeOf(t *Table, lo, hi relation.Value, hasLo, hasHi, skipNullLo bool) []int {
-	s := idx.ordered(t)
+func (td *tableData) rangeOf(t *Table, idx *Index, lo, hi relation.Value, hasLo, hasHi, skipNullLo bool) []int {
+	s := td.orderedOf(t, idx)
+	rows := td.rows
 	c0 := idx.Cols[0]
 	from, to := 0, len(s)
 	switch {
 	case hasLo:
 		from = sort.Search(len(s), func(i int) bool {
-			return relation.Compare(t.Rows[s[i]][c0], lo) >= 0
+			return relation.Compare(rows[s[i]][c0], lo) >= 0
 		})
 	case skipNullLo:
 		from = sort.Search(len(s), func(i int) bool {
-			return t.Rows[s[i]][c0].K != relation.KindNull
+			return rows[s[i]][c0].K != relation.KindNull
 		})
 	}
 	if hasHi {
 		to = sort.Search(len(s), func(i int) bool {
-			return relation.Compare(t.Rows[s[i]][c0], hi) > 0
+			return relation.Compare(rows[s[i]][c0], hi) > 0
 		})
 	}
 	if to < from {
@@ -789,12 +1066,13 @@ func (idx *Index) rangeOf(t *Table, lo, hi relation.Value, hasLo, hasHi, skipNul
 // Compare(a, b) == 0 ⇔ Equal(a, b), and NULL/NaN *rows* sort outside
 // the equal region. The range bound stays conservative-inclusive like
 // rangeOf — exclusivity is the retained filter's job.
-func (idx *Index) eqPrefixRange(t *Table, vals []relation.Value, lo, hi relation.Value, hasLo, hasHi bool) []int {
-	s := idx.ordered(t)
+func (td *tableData) eqPrefixRange(t *Table, idx *Index, vals []relation.Value, lo, hi relation.Value, hasLo, hasHi bool) []int {
+	s := td.orderedOf(t, idx)
+	rows := td.rows
 	k := len(vals)
 	// cmpPrefix ranks a row against the equality prefix.
 	cmpPrefix := func(ri int) int {
-		row := t.Rows[ri]
+		row := rows[ri]
 		for j := 0; j < k; j++ {
 			if c := relation.Compare(row[idx.Cols[j]], vals[j]); c != 0 {
 				return c
@@ -811,19 +1089,223 @@ func (idx *Index) eqPrefixRange(t *Table, vals []relation.Value, lo, hi relation
 		if c != 0 {
 			return c > 0
 		}
-		return !hasLo || relation.Compare(t.Rows[s[i]][next], lo) >= 0
+		return !hasLo || relation.Compare(rows[s[i]][next], lo) >= 0
 	})
 	to := sort.Search(len(s), func(i int) bool {
 		c := cmpPrefix(s[i])
 		if c != 0 {
 			return c > 0
 		}
-		return hasHi && relation.Compare(t.Rows[s[i]][next], hi) > 0
+		return hasHi && relation.Compare(rows[s[i]][next], hi) > 0
 	})
 	if to < from {
 		to = from
 	}
 	return s[from:to]
+}
+
+// forkUpdated forks the structures for an UPDATE that assigned this
+// index's columns at positions pos: buckets and order entries for the
+// covered changed positions are re-keyed against the new rows. Bucket
+// arrays touched by the re-keying are always freshly allocated — the
+// old lineage keeps reading its snapshotted headers.
+func (d *indexData) forkUpdated(idx *Index, oldRows, newRows []relation.Tuple, pos []int) *indexData {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	nd := &indexData{}
+	if d.m != nil {
+		nm := make(map[string][]int, len(d.m))
+		for k, b := range d.m {
+			nm[k] = b[:len(b):len(b)]
+		}
+		key := make([]relation.Value, len(idx.Cols))
+		for _, ri := range pos {
+			if ri >= d.mCover {
+				continue
+			}
+			for i, c := range idx.Cols {
+				key[i] = oldRows[ri][c]
+			}
+			bucketRemove(nm, relation.KeyOf(key), ri)
+			for i, c := range idx.Cols {
+				key[i] = newRows[ri][c]
+			}
+			bucketInsert(nm, relation.KeyOf(key), ri)
+		}
+		nd.m, nd.mCover = nm, d.mCover
+	}
+	if d.sorted != nil {
+		cover := len(d.sorted)
+		doomed := make(map[int]bool, len(pos))
+		var add []int
+		for _, ri := range pos {
+			if ri < cover {
+				doomed[ri] = true
+				add = append(add, ri)
+			}
+		}
+		keep := make([]int, 0, cover)
+		for _, ri := range d.sorted {
+			if !doomed[ri] {
+				keep = append(keep, ri)
+			}
+		}
+		sort.Slice(add, func(a, b int) bool { return lessPosIn(idx.Cols, newRows, add[a], add[b]) })
+		nd.sorted = mergeSortedIn(idx.Cols, newRows, keep, add)
+		nd.sBase = len(nd.sorted)
+	}
+	return nd
+}
+
+// forkDeleted forks the structures for a DELETE: surviving positions
+// are filtered and remapped in one pass per structure — no key
+// encoding, no re-sort, no rehash.
+func (d *indexData) forkDeleted(dels []int) *indexData {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	nd := &indexData{}
+	remap := func(ri int) int { return ri - sort.SearchInts(dels, ri) }
+	deleted := func(ri int) bool {
+		i := sort.SearchInts(dels, ri)
+		return i < len(dels) && dels[i] == ri
+	}
+	if d.m != nil {
+		nm := make(map[string][]int, len(d.m))
+		for k, b := range d.m {
+			var keep []int
+			for _, ri := range b {
+				if !deleted(ri) {
+					keep = append(keep, remap(ri))
+				}
+			}
+			if len(keep) > 0 {
+				nm[k] = keep
+			}
+		}
+		nd.m = nm
+		nd.mCover = d.mCover - sort.SearchInts(dels, d.mCover)
+	}
+	if d.sorted != nil {
+		keep := make([]int, 0, len(d.sorted))
+		for _, ri := range d.sorted {
+			if !deleted(ri) {
+				keep = append(keep, remap(ri))
+			}
+		}
+		nd.sorted, nd.sBase = keep, len(keep)
+	}
+	return nd
+}
+
+// forkTruncated forks the structures for TRUNCATE: built becomes
+// built-empty with fresh allocations, never-built stays never-built.
+func (d *indexData) forkTruncated() *indexData {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	nd := &indexData{}
+	if d.m != nil {
+		nd.m = make(map[string][]int)
+	}
+	if d.sorted != nil {
+		nd.sorted = make([]int, 0)
+	}
+	return nd
+}
+
+// bucketRemove deletes one position from a bucket, replacing the
+// bucket array (never editing it in place — the source lineage may
+// still be reading it).
+func bucketRemove(m map[string][]int, k string, ri int) {
+	b := m[k]
+	at := sort.SearchInts(b, ri)
+	if at >= len(b) || b[at] != ri {
+		return
+	}
+	if len(b) == 1 {
+		delete(m, k)
+		return
+	}
+	nb := make([]int, 0, len(b)-1)
+	nb = append(nb, b[:at]...)
+	nb = append(nb, b[at+1:]...)
+	m[k] = nb
+}
+
+// bucketInsert adds one position to a bucket in ascending order,
+// replacing the bucket array.
+func bucketInsert(m map[string][]int, k string, ri int) {
+	b := m[k]
+	at := sort.SearchInts(b, ri)
+	nb := make([]int, 0, len(b)+1)
+	nb = append(nb, b[:at]...)
+	nb = append(nb, ri)
+	nb = append(nb, b[at:]...)
+	m[k] = nb
+}
+
+// lessPosIn orders two row positions by the index-column values, ties
+// by position — the sort order of indexData.sorted, evaluated against
+// an explicit row array (each epoch passes its own).
+func lessPosIn(cols []int, rows []relation.Tuple, a, b int) bool {
+	ra, rb := rows[a], rows[b]
+	for _, c := range cols {
+		if cmp := relation.Compare(ra[c], rb[c]); cmp != 0 {
+			return cmp < 0
+		}
+	}
+	return a < b
+}
+
+// mergeSortedIn merges two position lists already in lessPosIn order
+// into a fresh-or-have-backed result. have must be private to the
+// caller (fork code passes freshly built arrays).
+func mergeSortedIn(cols []int, rows []relation.Tuple, have, add []int) []int {
+	if len(add) == 0 {
+		return have
+	}
+	if len(have) == 0 || lessPosIn(cols, rows, have[len(have)-1], add[0]) {
+		return append(have, add...)
+	}
+	out := make([]int, 0, len(have)+len(add))
+	i, j := 0, 0
+	for i < len(have) && j < len(add) {
+		if lessPosIn(cols, rows, add[j], have[i]) {
+			out = append(out, add[j])
+			j++
+		} else {
+			out = append(out, have[i])
+			i++
+		}
+	}
+	out = append(out, have[i:]...)
+	return append(out, add[j:]...)
+}
+
+// --- access-path finders (per-epoch: indexes are catalog state) ---
+
+// findIndex returns an index whose column set is exactly cols (in any
+// order), or nil. Callers probe through lookupEq.
+func (td *tableData) findIndex(cols []int) *Index {
+	want := append([]int(nil), cols...)
+	sort.Ints(want)
+	for _, sl := range td.indexes {
+		have := append([]int(nil), sl.idx.Cols...)
+		sort.Ints(have)
+		if len(have) != len(want) {
+			continue
+		}
+		same := true
+		for i := range have {
+			if have[i] != want[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return sl.idx
+		}
+	}
+	return nil
 }
 
 // findEqPrefixIndex returns an index whose leading columns are exactly
@@ -833,13 +1315,14 @@ func (idx *Index) eqPrefixRange(t *Table, vals []relation.Value, lo, hi relation
 // equality by binary search — and a range bound on Cols[len(cols)] can
 // tighten the same search, the "equality prefix + range on the next
 // column" compound access path.
-func (t *Table) findEqPrefixIndex(cols []int) (*Index, []int) {
+func (td *tableData) findEqPrefixIndex(cols []int) (*Index, []int) {
 	k := len(cols)
 	if k == 0 {
 		return nil, nil
 	}
 outer:
-	for _, idx := range t.indexes {
+	for _, sl := range td.indexes {
+		idx := sl.idx
 		if len(idx.Cols) <= k {
 			continue // exact covers are findIndex territory
 		}
@@ -865,8 +1348,9 @@ outer:
 // findPrefixIndex returns an index whose column list starts with
 // exactly cols (in order), or nil. Unlike findIndex, order matters:
 // in-order iteration only serves ORDER BY for a prefix match.
-func (t *Table) findPrefixIndex(cols []int) *Index {
-	for _, idx := range t.indexes {
+func (td *tableData) findPrefixIndex(cols []int) *Index {
+	for _, sl := range td.indexes {
+		idx := sl.idx
 		if len(idx.Cols) < len(cols) {
 			continue
 		}
@@ -886,6 +1370,6 @@ func (t *Table) findPrefixIndex(cols []int) *Index {
 
 // findRangeIndex returns an index whose first column is col, or nil —
 // the shape a single-column range conjunct can prune through.
-func (t *Table) findRangeIndex(col int) *Index {
-	return t.findPrefixIndex([]int{col})
+func (td *tableData) findRangeIndex(col int) *Index {
+	return td.findPrefixIndex([]int{col})
 }

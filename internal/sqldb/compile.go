@@ -17,7 +17,12 @@ import (
 // shared by all goroutines running the same prepared statement
 // concurrently under the catalog read lock.
 type env struct {
-	db     *DB
+	db *DB
+	// ep is the epoch this execution reads: the pinned snapshot for
+	// lock-free queries, or the writer's in-progress epoch (db.curW)
+	// for DML statements running under db.mu. All table data — rows,
+	// column caches, index structures — is reached through it.
+	ep     *epoch
 	params []relation.Value
 	frames []frame
 	aggs   map[*compiledSelect][]relation.Value
@@ -47,6 +52,18 @@ type env struct {
 	spine     map[*compiledSelect][]string
 }
 
+// td returns the epoch's data for a table handle.
+func (en *env) td(t *Table) *tableData { return en.ep.tds[t] }
+
+// rows returns the epoch's row slice for a table handle.
+func (en *env) rows(t *Table) []relation.Tuple { return en.ep.tds[t].rows }
+
+// column returns the epoch's column vector for (t, ci), fenced to the
+// epoch's row count (building or extending the shared cache if needed).
+func (en *env) column(t *Table, ci int) []relation.Value {
+	return en.ep.tds[t].column(t, ci)
+}
+
 // scratchFor returns the env's frame row slot for cs.
 func (en *env) scratchFor(cs *compiledSelect) []relation.Tuple {
 	if s, ok := en.scratch[cs]; ok {
@@ -69,7 +86,12 @@ type compiledExpr func(*env) (relation.Value, error)
 // compiler carries the static scope stack during compilation. scope i
 // corresponds to env.frames[i] at run time.
 type compiler struct {
-	db     *DB
+	db *DB
+	// ep is the epoch compilation resolves names against. Plans are
+	// cached per ddlVersion, and any epoch with the same ddlVersion has
+	// the same tables/schemas/indexes, so a plan compiled against one
+	// epoch is valid for every other epoch of that version.
+	ep     *epoch
 	scopes []*scopeInfo
 	// agg routing: when non-nil, aggregate FuncCalls compile into reads
 	// of env.aggs[aggSink.cs] and register their specs in aggSink.
@@ -255,7 +277,7 @@ func (c *compiler) walkBindings(e Expr, report func(binding)) error {
 // walkSelectBindings reports the bindings of a subquery's expressions
 // that escape into c's scopes.
 func (c *compiler) walkSelectBindings(sel *Select, report func(binding)) error {
-	sub := &compiler{db: c.db, scopes: c.scopes}
+	sub := &compiler{db: c.db, ep: c.ep, scopes: c.scopes}
 	scope, err := sub.scopeFor(sel)
 	if err != nil {
 		return err
@@ -314,7 +336,7 @@ func (c *compiler) scopeFor(sel *Select) (*scopeInfo, error) {
 			scope.sources = append(scope.sources, sourceInfo{name: tr.Name(), cols: cols})
 			continue
 		}
-		t, err := c.db.table(tr.Table)
+		t, err := c.ep.table(tr.Table)
 		if err != nil {
 			return nil, err
 		}
@@ -325,7 +347,7 @@ func (c *compiler) scopeFor(sel *Select) (*scopeInfo, error) {
 
 // outputColumns computes the column names a select produces.
 func outputColumns(c *compiler, sel *Select) ([]string, error) {
-	inner := &compiler{db: c.db, scopes: c.scopes}
+	inner := &compiler{db: c.db, ep: c.ep, scopes: c.scopes}
 	scope, err := inner.scopeFor(sel)
 	if err != nil {
 		return nil, err

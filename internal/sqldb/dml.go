@@ -11,10 +11,13 @@ import (
 // DML statements compile into reusable plans (the prepared-statement
 // and plan-cache layers hold them across executions) and run in a
 // separate phase, mirroring the compile/exec split of SELECT. All DML
-// executes under the catalog *write* lock (db.mu), so a mutation never
-// runs concurrently with anything — the two-phase evaluate/apply split
-// below is about a statement seeing its own target consistently, not
-// about other readers.
+// executes under db.mu against the writer's in-progress epoch
+// (db.curW): it evaluates against the epoch's frozen row slices, then
+// applies through a copy-on-write transition (applyAppend /
+// applyUpdate / applyDelete) that forks a new epoch off to the side.
+// Concurrent readers keep scanning their pinned epochs untouched; the
+// two-phase evaluate/apply split below is about the statement seeing
+// its own target consistently.
 
 // coerce converts v to the column kind, erring on lossy mismatches.
 func coerce(v relation.Value, k relation.Kind, col string) (relation.Value, error) {
@@ -55,8 +58,8 @@ type insertPlan struct {
 	rows  [][]compiledExpr
 }
 
-func (db *DB) compileInsert(ins *Insert) (*insertPlan, error) {
-	t, err := db.table(ins.Table)
+func (db *DB) compileInsert(ins *Insert, ep *epoch) (*insertPlan, error) {
+	t, err := ep.table(ins.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -78,13 +81,13 @@ func (db *DB) compileInsert(ins *Insert) (*insertPlan, error) {
 	}
 
 	if ins.Query != nil {
-		c := &compiler{db: db}
+		c := &compiler{db: db, ep: ep}
 		if p.query, err = c.compileSubSelect(ins.Query); err != nil {
 			return nil, err
 		}
 		return p, nil
 	}
-	c := &compiler{db: db}
+	c := &compiler{db: db, ep: ep}
 	p.rows = make([][]compiledExpr, len(ins.Rows))
 	for ri, exprRow := range ins.Rows {
 		p.rows[ri] = make([]compiledExpr, len(exprRow))
@@ -118,7 +121,7 @@ func (db *DB) runInsert(p *insertPlan, params []relation.Value) (int64, error) {
 	}
 
 	var newRows []relation.Tuple
-	en := newEnv(db, params)
+	en := newEnv(db, db.curW, params)
 	if p.query != nil {
 		rows, err := p.query.exec(en)
 		if err != nil {
@@ -154,13 +157,12 @@ func (db *DB) runInsert(p *insertPlan, params []relation.Value) (int64, error) {
 		return 0, err
 	}
 	db.backupForTx(t)
-	t.Rows = append(t.Rows, newRows...)
-	t.rowsAppended(len(newRows))
+	db.applyAppend(t, newRows)
 	return int64(len(newRows)), nil
 }
 
 func (db *DB) execInsert(ins *Insert, params []relation.Value) (int64, error) {
-	p, err := db.compileInsert(ins)
+	p, err := db.compileInsert(ins, db.curW)
 	if err != nil {
 		return 0, err
 	}
@@ -207,8 +209,8 @@ var (
 	forceSemiJoinUpdate   = false
 )
 
-func (db *DB) compileUpdate(up *Update) (*updatePlan, error) {
-	t, err := db.table(up.Table)
+func (db *DB) compileUpdate(up *Update, ep *epoch) (*updatePlan, error) {
+	t, err := ep.table(up.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +218,7 @@ func (db *DB) compileUpdate(up *Update) (*updatePlan, error) {
 	if name == "" {
 		name = up.Table
 	}
-	c := &compiler{db: db, scopes: []*scopeInfo{
+	c := &compiler{db: db, ep: ep, scopes: []*scopeInfo{
 		{sources: []sourceInfo{{name: name, cols: t.Schema.Names()}}},
 	}}
 
@@ -244,14 +246,14 @@ func (db *DB) compileUpdate(up *Update) (*updatePlan, error) {
 			}
 		}
 	}
-	p.semi = db.trySemiJoinUpdate(up, name)
+	p.semi = db.trySemiJoinUpdate(up, name, ep)
 	if up.Where != nil {
 		synth := &Select{
 			Exprs: []SelectExpr{{Expr: &Literal{Val: relation.Int(1)}}},
 			From:  []TableRef{{Table: up.Table, Alias: up.Alias}},
 			Where: up.Where,
 		}
-		fc := &compiler{db: db}
+		fc := &compiler{db: db, ep: ep}
 		if cs, err := fc.compileSubSelect(synth); err == nil && cs.planOK && !cs.grouped {
 			p.filterSel = cs
 		}
@@ -262,7 +264,7 @@ func (db *DB) compileUpdate(up *Update) (*updatePlan, error) {
 // trySemiJoinUpdate builds the joint semi-join select for an UPDATE
 // whose WHERE contains a plain EXISTS over base tables. Returns nil
 // when the shape does not qualify; the row-filter path then applies.
-func (db *DB) trySemiJoinUpdate(up *Update, name string) *compiledSelect {
+func (db *DB) trySemiJoinUpdate(up *Update, name string, ep *epoch) *compiledSelect {
 	if up.Where == nil {
 		return nil
 	}
@@ -307,7 +309,7 @@ func (db *DB) trySemiJoinUpdate(up *Update, name string) *compiledSelect {
 		From:  append([]TableRef{{Table: up.Table, Alias: up.Alias}}, sub.From...),
 		Where: where,
 	}
-	c := &compiler{db: db}
+	c := &compiler{db: db, ep: ep}
 	cs, err := c.compileSubSelect(synth)
 	if err != nil || !cs.planOK {
 		// Merging scopes can introduce ambiguities the nested form did
@@ -335,22 +337,24 @@ func semiJoinable(sub *Select) bool {
 }
 
 // useSemiJoin reports whether the update would take the semi-join
-// path given current table sizes: worth it when a subquery source is
-// meaningfully smaller than the target, so the join is driven from
+// path given the epoch's table sizes: worth it when a subquery source
+// is meaningfully smaller than the target, so the join is driven from
 // that side instead of probing the EXISTS once per target row. Shared
-// by runUpdate and EXPLAIN so the reported access path is the one
-// that actually executes. Callers hold db.mu (read suffices).
-func (p *updatePlan) useSemiJoin() bool {
+// by runUpdate (against db.curW) and EXPLAIN (against a pinned
+// snapshot) so the reported access path is the one that actually
+// executes.
+func (p *updatePlan) useSemiJoin(ep *epoch) bool {
 	if p.semi == nil || DisablePlanner || disableSemiJoinUpdate {
 		return false
 	}
-	minSub := len(p.t.Rows) + 1
+	target := len(ep.tds[p.t].rows)
+	minSub := target + 1
 	for _, src := range p.semi.sources[1:] {
-		if n := len(src.table.Rows); n < minSub {
+		if n := len(ep.tds[src.table].rows); n < minSub {
 			minSub = n
 		}
 	}
-	return forceSemiJoinUpdate || minSub*4 <= len(p.t.Rows)
+	return forceSemiJoinUpdate || minSub*4 <= target
 }
 
 func (db *DB) runUpdate(p *updatePlan, params []relation.Value) (int64, error) {
@@ -358,9 +362,11 @@ func (db *DB) runUpdate(p *updatePlan, params []relation.Value) (int64, error) {
 		return 0, err
 	}
 	t := p.t
-	// Two phases: evaluate against the unmodified table, then apply, so
-	// the statement sees a consistent snapshot.
-	en := newEnv(db, params)
+	// Two phases: evaluate against the unmodified epoch, then apply a
+	// copy-on-write transition, so the statement sees a consistent
+	// snapshot of its own target.
+	tRows := db.curW.tds[t].rows
+	en := newEnv(db, db.curW, params)
 	en.frames = append(en.frames, frame{rows: make([]relation.Tuple, 1)})
 	fr := &en.frames[0]
 	type change struct {
@@ -405,7 +411,7 @@ func (db *DB) runUpdate(p *updatePlan, params []relation.Value) (int64, error) {
 		return nil
 	}
 
-	useSemi := p.useSemiJoin()
+	useSemi := p.useSemiJoin(db.curW)
 
 	// Planned row selection: semi-join (the target joins the EXISTS
 	// sources, driven from the small side) or the single-source batched
@@ -421,7 +427,7 @@ func (db *DB) runUpdate(p *updatePlan, params []relation.Value) (int64, error) {
 		sel = p.filterSel
 	}
 	if sel != nil {
-		sen := newEnv(db, params)
+		sen := newEnv(db, db.curW, params)
 		matched := make(map[int]bool)
 		err := sel.semiScan(sen, func(idx []int) error {
 			matched[idx[0]] = true
@@ -436,13 +442,13 @@ func (db *DB) runUpdate(p *updatePlan, params []relation.Value) (int64, error) {
 		}
 		sort.Ints(ris)
 		for _, ri := range ris {
-			fr.rows[0] = t.Rows[ri]
+			fr.rows[0] = tRows[ri]
 			if err := evalRow(ri); err != nil {
 				return 0, err
 			}
 		}
 	} else {
-		for ri, row := range t.Rows {
+		for ri, row := range tRows {
 			fr.rows[0] = row
 			if p.where != nil {
 				v, err := p.where(en)
@@ -462,12 +468,12 @@ func (db *DB) runUpdate(p *updatePlan, params []relation.Value) (int64, error) {
 	if len(changes) == 0 {
 		return 0, nil
 	}
-	// Incremental index maintenance brackets the assignment: stale
-	// entries are removed while the rows still hold their old values,
-	// new entries inserted after. Both calls are per-index no-ops when
-	// the assigned columns are disjoint from the index's columns, so a
-	// flag update never touches a RID index. changes is ascending in ri
-	// on both the semi-join and the filter path.
+	// applyUpdate forks the next epoch copy-on-write: changed tuples are
+	// cloned and patched, shared structures (column vectors, indexes)
+	// fork only where the assigned columns overlap — so a flag update
+	// never touches a RID index, mirroring the old incremental
+	// maintenance. changes is ascending in ri on both the semi-join and
+	// the filter path.
 	pos := make([]int, len(changes))
 	vals := make([][]relation.Value, len(changes))
 	for i, ch := range changes {
@@ -482,18 +488,12 @@ func (db *DB) runUpdate(p *updatePlan, params []relation.Value) (int64, error) {
 		return 0, err
 	}
 	db.backupForTx(t)
-	t.updateBegin(pos, setCols)
-	for _, ch := range changes {
-		for i, s := range p.setters {
-			t.Rows[ch.ri][s.col] = ch.vals[i]
-		}
-	}
-	t.updateEnd(pos, setCols)
+	db.applyUpdate(t, pos, setCols, vals)
 	return int64(len(changes)), nil
 }
 
 func (db *DB) execUpdate(up *Update, params []relation.Value) (int64, error) {
-	p, err := db.compileUpdate(up)
+	p, err := db.compileUpdate(up, db.curW)
 	if err != nil {
 		return 0, err
 	}
@@ -507,8 +507,8 @@ type deletePlan struct {
 	where compiledExpr
 }
 
-func (db *DB) compileDelete(del *Delete) (*deletePlan, error) {
-	t, err := db.table(del.Table)
+func (db *DB) compileDelete(del *Delete, ep *epoch) (*deletePlan, error) {
+	t, err := ep.table(del.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -516,7 +516,7 @@ func (db *DB) compileDelete(del *Delete) (*deletePlan, error) {
 	if name == "" {
 		name = del.Table
 	}
-	c := &compiler{db: db, scopes: []*scopeInfo{
+	c := &compiler{db: db, ep: ep, scopes: []*scopeInfo{
 		{sources: []sourceInfo{{name: name, cols: t.Schema.Names()}}},
 	}}
 	p := &deletePlan{t: t}
@@ -533,12 +533,11 @@ func (db *DB) runDelete(p *deletePlan, params []relation.Value) (int64, error) {
 		return 0, err
 	}
 	t := p.t
-	en := newEnv(db, params)
+	en := newEnv(db, db.curW, params)
 	en.frames = append(en.frames, frame{rows: make([]relation.Tuple, 1)})
 	fr := &en.frames[0]
-	keep := t.Rows[:0:0]
 	var dropped []int
-	for ri, row := range t.Rows {
+	for ri, row := range db.curW.tds[t].rows {
 		drop := true
 		if p.where != nil {
 			fr.rows[0] = row
@@ -550,8 +549,6 @@ func (db *DB) runDelete(p *deletePlan, params []relation.Value) (int64, error) {
 		}
 		if drop {
 			dropped = append(dropped, ri)
-		} else {
-			keep = append(keep, row)
 		}
 	}
 	if len(dropped) == 0 {
@@ -561,16 +558,16 @@ func (db *DB) runDelete(p *deletePlan, params []relation.Value) (int64, error) {
 		return 0, err
 	}
 	db.backupForTx(t)
-	t.Rows = keep
-	// dropped is ascending by construction; built indexes filter and
-	// remap instead of rebuilding (a one-row DELETE costs one pass of
-	// integer rewrites, no key encoding or re-sort).
-	t.rowsDeleted(dropped)
+	// dropped is ascending by construction; applyDelete compacts the
+	// rows copy-on-write and filters/remaps built indexes instead of
+	// rebuilding (a one-row DELETE costs one pass of integer rewrites,
+	// no key encoding or re-sort).
+	db.applyDelete(t, dropped)
 	return int64(len(dropped)), nil
 }
 
 func (db *DB) execDelete(del *Delete, params []relation.Value) (int64, error) {
-	p, err := db.compileDelete(del)
+	p, err := db.compileDelete(del, db.curW)
 	if err != nil {
 		return 0, err
 	}

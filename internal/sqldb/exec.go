@@ -34,19 +34,29 @@ func (db *DB) Exec(sqlText string, params ...relation.Value) (int64, error) {
 	return p.Exec(params...)
 }
 
-// QueryStmt runs a parsed SELECT. Like Prepared.Query it holds only
-// the catalog read lock, so queries execute concurrently.
+// QueryStmt runs a parsed SELECT. Like Prepared.Query it pins the
+// current epoch and takes no lock, so queries execute concurrently
+// with each other and with writers.
 func (db *DB) QueryStmt(sel *Select, params ...relation.Value) (*Result, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.execSelect(sel, params)
+	ep := db.pin()
+	defer db.unpin(ep)
+	return db.execSelect(sel, params, ep)
 }
 
-// ExecStmt runs one parsed statement.
+// ExecStmt runs one parsed statement. If the statement's WAL unit
+// joined a group commit, the statement waits for the group fsync
+// (outside db.mu) before acknowledging.
 func (db *DB) ExecStmt(stmt Statement, params ...relation.Value) (int64, error) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.execStmtLocked(stmt, params)
+	n, err := db.execStmtLocked(stmt, params)
+	p := db.takePending()
+	db.mu.Unlock()
+	if p != nil {
+		if werr := db.awaitDurable(p); werr != nil && err == nil {
+			return 0, werr
+		}
+	}
+	return n, err
 }
 
 func (db *DB) execStmtLocked(stmt Statement, params []relation.Value) (int64, error) {
@@ -78,9 +88,8 @@ func (db *DB) execStmtLocked(stmt Statement, params []relation.Value) (int64, er
 			return 0, err
 		}
 		db.backupForTx(t)
-		n := int64(len(t.Rows))
-		t.Rows = t.Rows[:0]
-		t.truncated()
+		n := int64(len(db.curW.tds[t].rows))
+		db.applyTruncate(t)
 		return n, nil
 	case *Insert:
 		return db.execInsert(s, params)
@@ -89,7 +98,7 @@ func (db *DB) execStmtLocked(stmt Statement, params []relation.Value) (int64, er
 	case *Delete:
 		return db.execDelete(s, params)
 	case *Select:
-		res, err := db.execSelect(s, params)
+		res, err := db.execSelect(s, params, db.curW)
 		if err != nil {
 			return 0, err
 		}
@@ -170,7 +179,7 @@ func (cs *compiledSelect) execExists(en *env) (bool, error) {
 	}
 	srcRows := make([][]relation.Tuple, len(cs.sources))
 	for i, src := range cs.sources {
-		srcRows[i] = src.table.Rows
+		srcRows[i] = en.rows(src.table)
 	}
 	en.frames = append(en.frames, frame{rows: en.scratchFor(cs)})
 	var err error
@@ -199,14 +208,16 @@ type compiledSource struct {
 	width int
 }
 
-// execSelect compiles and runs a select at the top level.
-func (db *DB) execSelect(sel *Select, params []relation.Value) (*Result, error) {
-	c := &compiler{db: db}
+// execSelect compiles and runs a select at the top level against one
+// epoch (a reader's pinned snapshot, or the writer head for selects
+// inside mutating scripts).
+func (db *DB) execSelect(sel *Select, params []relation.Value, ep *epoch) (*Result, error) {
+	c := &compiler{db: db, ep: ep}
 	cs, err := c.compileSubSelect(sel)
 	if err != nil {
 		return nil, err
 	}
-	en := newEnv(db, params)
+	en := newEnv(db, ep, params)
 	rows, err := cs.exec(en)
 	if err != nil {
 		return nil, err
@@ -214,9 +225,10 @@ func (db *DB) execSelect(sel *Select, params []relation.Value) (*Result, error) 
 	return &Result{Cols: cs.cols, Rows: rows}, nil
 }
 
-func newEnv(db *DB, params []relation.Value) *env {
+func newEnv(db *DB, ep *epoch, params []relation.Value) *env {
 	return &env{
 		db:     db,
+		ep:     ep,
 		params: params,
 		aggs:   make(map[*compiledSelect][]relation.Value),
 		hash:   make(map[*Exists]*hashBuild),
@@ -233,6 +245,7 @@ func (c *compiler) compileSubSelect(sel *Select) (*compiledSelect, error) {
 	}
 	inner := &compiler{
 		db:     c.db,
+		ep:     c.ep,
 		scopes: append(append([]*scopeInfo{}, c.scopes...), scope),
 	}
 	cs := &compiledSelect{depth: len(c.scopes)}
@@ -247,7 +260,7 @@ func (c *compiler) compileSubSelect(sel *Select) (*compiledSelect, error) {
 			}
 			src = compiledSource{sub: sub, width: len(sub.cols)}
 		} else {
-			t, err := c.db.table(tr.Table)
+			t, err := c.ep.table(tr.Table)
 			if err != nil {
 				return nil, err
 			}
@@ -458,7 +471,7 @@ func (cs *compiledSelect) exec(en *env) ([]relation.Tuple, error) {
 	var spine []string
 	for i, src := range cs.sources {
 		if src.table != nil {
-			srcRows[i] = src.table.Rows
+			srcRows[i] = en.rows(src.table)
 			continue
 		}
 		wantSpine := cs.spineSub != nil && src.sub == cs.spineSub && !DisablePlanner

@@ -1,0 +1,266 @@
+package sqldb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ecfd/internal/relation"
+)
+
+// The MVCC suite pins the epoch-snapshot guarantees: a pinned snapshot
+// observes exactly one epoch across many statements while writers
+// publish freely underneath it, and epochs retired while pinned are
+// released (bytes and all) as soon as the last pin drops. Run with
+// -race (see the mvccstress make target).
+
+// snapFingerprint runs a multi-statement read against one snapshot and
+// folds the results into a comparable summary. Any drift between calls
+// against the same Snap means the reader escaped its epoch.
+type snapFingerprint struct {
+	count    int64
+	groupSum int64
+	probed   int
+}
+
+func takeFingerprint(t *testing.T, total, per, probe *Prepared, s *Snap) snapFingerprint {
+	t.Helper()
+	var fp snapFingerprint
+	res, err := total.QueryAt(s)
+	if err != nil {
+		t.Fatalf("count: %v", err)
+	}
+	fp.count = res.Rows[0][0].I
+	res, err = per.QueryAt(s)
+	if err != nil {
+		t.Fatalf("group: %v", err)
+	}
+	for _, row := range res.Rows {
+		fp.groupSum += row[1].I
+	}
+	res, err = probe.QueryAt(s)
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	fp.probed = len(res.Rows)
+	return fp
+}
+
+// TestSnapshotStabilityUnderDML races a streaming writer against
+// readers that each pin one snapshot and repeatedly re-run a
+// multi-statement scan: every re-run must reproduce the first run
+// byte-for-byte in summary, because the snapshot's epoch is immutable.
+// Unpinned queries issued in the same loop are free to see newer
+// epochs — only monotonicity of the row count is asserted there.
+func TestSnapshotStabilityUnderDML(t *testing.T) {
+	db := concTestDB(t, 1_000)
+	total, err := db.Prepare("SELECT COUNT(*) FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := db.Prepare("SELECT grp, COUNT(*) FROM d GROUP BY grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := db.Prepare("SELECT id FROM d t WHERE EXISTS (SELECT 1 FROM p s WHERE s.grp = t.grp AND s.tag = t.val)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+
+	// Streaming writer: inserts, updates, deletes — each commit
+	// publishes a fresh epoch under the pinned readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 120; i++ {
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO d VALUES (%d, %d, 'v%d')", 50_000+i, i%10, i%7)); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := db.Exec("UPDATE d SET val = 'w' WHERE id = ?", relation.Int(int64(50_000+i))); err != nil {
+				errs <- err
+				return
+			}
+			if i%3 == 0 {
+				if _, err := db.Exec("DELETE FROM d WHERE id = ?", relation.Int(int64(50_000+i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+
+	// Pinned readers: each pins its own snapshot at a random point in
+	// the write stream and re-reads it while the stream continues.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := db.PinSnapshot()
+			defer s.Close()
+			first := takeFingerprint(t, total, per, probe, s)
+			if first.count != first.groupSum {
+				errs <- fmt.Errorf("snapshot internally inconsistent: COUNT(*) %d != sum of group counts %d", first.count, first.groupSum)
+				return
+			}
+			for i := 0; i < 40; i++ {
+				if fp := takeFingerprint(t, total, per, probe, s); fp != first {
+					errs <- fmt.Errorf("snapshot drifted on re-read %d: %+v != %+v", i, fp, first)
+					return
+				}
+				// Unpinned reads ride the live epoch chain; they may
+				// differ from the snapshot but never from themselves
+				// within a statement.
+				live, err := total.Query()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if live.Rows[0][0].I < first.count-120 {
+					errs <- fmt.Errorf("live count %d fell below any reachable epoch", live.Rows[0][0].I)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSnapshotStableAcrossDDL pins a snapshot, then drops an index and
+// creates tables after the pin: the snapshot's queries must recompile
+// against its own (older) catalog version and keep answering.
+func TestSnapshotStableAcrossDDL(t *testing.T) {
+	db := concTestDB(t, 500)
+	probe, err := db.Prepare("SELECT COUNT(*) FROM d t WHERE EXISTS (SELECT 1 FROM p s WHERE s.grp = t.grp AND s.tag = t.val)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.PinSnapshot()
+	defer s.Close()
+	before, err := probe.QueryAt(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE after_pin (x INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO p VALUES (99, 'zz')"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := probe.QueryAt(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Rows[0][0].I != before.Rows[0][0].I {
+		t.Fatalf("snapshot saw post-pin DML/DDL: %d != %d", after.Rows[0][0].I, before.Rows[0][0].I)
+	}
+	// The snapshot predates after_pin, so it must not resolve there.
+	at, err := db.Prepare("SELECT COUNT(*) FROM after_pin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := at.QueryAt(s); err == nil {
+		t.Fatal("snapshot resolved a table created after the pin")
+	}
+	if res, err := at.Query(); err != nil || res.Rows[0][0].I != 0 {
+		t.Fatalf("live query should see after_pin: %v", err)
+	}
+}
+
+// TestEpochGC checks the retirement accounting end to end: a pinned
+// snapshot keeps its superseded epoch (and its bytes) in the retired
+// registry; dropping the last pin frees it; epochs that were never
+// pinned when superseded never enter the registry at all.
+func TestEpochGC(t *testing.T) {
+	db := concTestDB(t, 500)
+
+	// Quiescent baseline: one live epoch, nothing retired.
+	st := db.Stats()
+	if st.LiveEpochs != 1 || st.RetiredEpochs != 0 || st.RetiredBytes != 0 {
+		t.Fatalf("quiescent stats: %+v", st)
+	}
+	baseSeq := st.EpochSeq
+
+	s := db.PinSnapshot()
+	// Publish a run of epochs on top of the pin. Only the pinned epoch
+	// survives retirement — the intermediates have no pins and are
+	// dropped the moment they are superseded.
+	for i := 0; i < 8; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO d VALUES (%d, 0, 'g')", 90_000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = db.Stats()
+	if st.EpochSeq < baseSeq+8 {
+		t.Fatalf("epoch seq did not advance: %+v (base %d)", st, baseSeq)
+	}
+	if st.RetiredEpochs != 1 {
+		t.Fatalf("want exactly the pinned epoch retired, got %+v", st)
+	}
+	if st.RetiredBytes <= 0 {
+		t.Fatalf("retired epoch reports no bytes: %+v", st)
+	}
+	if st.LiveEpochs != 2 {
+		t.Fatalf("want published + pinned live, got %+v", st)
+	}
+
+	// The pinned epoch still answers from its own data.
+	p, err := db.Prepare("SELECT COUNT(*) FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.QueryAt(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 500 {
+		t.Fatalf("pinned epoch count %d, want 500", res.Rows[0][0].I)
+	}
+
+	// Last unpin frees the retired epoch and its byte accounting.
+	s.Close()
+	s.Close() // idempotent
+	st = db.Stats()
+	if st.RetiredEpochs != 0 || st.RetiredBytes != 0 || st.LiveEpochs != 1 {
+		t.Fatalf("retired epoch survived unpin: %+v", st)
+	}
+
+	// A churn of pin/unpin racing a writer must end with an empty
+	// registry once every reader is done.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				sn := db.PinSnapshot()
+				if _, err := p.QueryAt(sn); err != nil {
+					t.Error(err)
+				}
+				sn.Close()
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO d VALUES (%d, 1, 'h')", 95_000+i)); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	st = db.Stats()
+	if st.RetiredEpochs != 0 || st.RetiredBytes != 0 || st.LiveEpochs != 1 {
+		t.Fatalf("epoch GC leaked after churn: %+v", st)
+	}
+}

@@ -15,46 +15,63 @@ import (
 // index-served ORDER BY, incremental index maintenance under DML, and
 // the EXPLAIN access-path surface.
 
-// testIndex digs the named index out of a table for white-box checks.
-func testIndex(t *testing.T, db *DB, table, name string) *Index {
+// testEpochIndex digs the named index and its published-epoch state
+// out for white-box checks.
+func testEpochIndex(t *testing.T, db *DB, table, name string) (*Index, *indexData, []relation.Tuple) {
 	t.Helper()
-	tbl, ok := db.tables[lowerName(table)]
+	ep := db.cur.Load()
+	tbl, ok := ep.tables[lowerName(table)]
 	if !ok {
 		t.Fatalf("no table %s", table)
 	}
-	for _, idx := range tbl.indexes {
-		if idx.Name == name {
-			return idx
+	td := ep.tds[tbl]
+	for _, sl := range td.indexes {
+		if sl.idx.Name == name {
+			return sl.idx, sl.data, td.rows
 		}
 	}
 	t.Fatalf("no index %s on %s", name, table)
-	return nil
+	return nil, nil, nil
+}
+
+// testIndex digs the named index handle out for white-box checks.
+func testIndex(t *testing.T, db *DB, table, name string) *Index {
+	t.Helper()
+	idx, _, _ := testEpochIndex(t, db, table, name)
+	return idx
 }
 
 // verifyIndexConsistent rebuilds both index structures from scratch
-// and compares them with the incrementally maintained ones. Built
-// structures must match exactly; dirty/unbuilt ones are skipped (they
-// have nothing to be consistent with yet).
+// and compares them with the incrementally maintained ones in the
+// published epoch. Built structures must match exactly up to their
+// cover; unbuilt ones are skipped (they have nothing to be consistent
+// with yet).
 func verifyIndexConsistent(t *testing.T, db *DB, table, name string) {
 	t.Helper()
-	tbl := db.tables[lowerName(table)]
-	idx := testIndex(t, db, table, name)
+	idx, d, rows := testEpochIndex(t, db, table, name)
+	d.mu.RLock()
+	m, mCover := d.m, d.mCover
+	sorted, sBase := d.sorted, d.sBase
+	d.mu.RUnlock()
 
-	if idx.m != nil && !idx.mDirty {
-		want := make(map[string][]int, len(tbl.Rows))
+	if m != nil {
+		if mCover > len(rows) {
+			t.Fatalf("index %s map covers %d rows of %d", name, mCover, len(rows))
+		}
+		want := make(map[string][]int, mCover)
 		key := make([]relation.Value, len(idx.Cols))
-		for ri, row := range tbl.Rows {
+		for ri := 0; ri < mCover; ri++ {
 			for i, c := range idx.Cols {
-				key[i] = row[c]
+				key[i] = rows[ri][c]
 			}
 			k := relation.KeyOf(key)
 			want[k] = append(want[k], ri)
 		}
-		if len(want) != len(idx.m) {
-			t.Fatalf("index %s map: %d keys, want %d", name, len(idx.m), len(want))
+		if len(want) != len(m) {
+			t.Fatalf("index %s map: %d keys, want %d", name, len(m), len(want))
 		}
 		for k, bucket := range want {
-			got := idx.m[k]
+			got := m[k]
 			if len(got) != len(bucket) {
 				t.Fatalf("index %s key %q: bucket %v, want %v", name, k, got, bucket)
 			}
@@ -65,18 +82,21 @@ func verifyIndexConsistent(t *testing.T, db *DB, table, name string) {
 			}
 		}
 	}
-	if idx.sorted != nil && !idx.sDirty {
-		if len(idx.sorted) != len(tbl.Rows) {
-			t.Fatalf("index %s sorted: %d positions for %d rows", name, len(idx.sorted), len(tbl.Rows))
+	if sorted != nil {
+		if sBase > len(rows) || len(sorted) > len(rows) {
+			t.Fatalf("index %s sorted: %d positions (base %d) for %d rows", name, len(sorted), sBase, len(rows))
 		}
-		seen := make([]bool, len(tbl.Rows))
-		for i, ri := range idx.sorted {
-			if ri < 0 || ri >= len(tbl.Rows) || seen[ri] {
+		// sorted[:g] must be an in-order permutation of [0, g) for every
+		// fence g >= sBase; checking the longest one covers them all.
+		n := len(sorted)
+		seen := make([]bool, n)
+		for i, ri := range sorted {
+			if ri < 0 || ri >= n || seen[ri] {
 				t.Fatalf("index %s sorted: bad or duplicate position %d", name, ri)
 			}
 			seen[ri] = true
-			if i > 0 && !idx.lessPos(tbl, idx.sorted[i-1], ri) {
-				t.Fatalf("index %s sorted: out of order at %d (%d, %d)", name, i, idx.sorted[i-1], ri)
+			if i > 0 && !lessPosIn(idx.Cols, rows, sorted[i-1], ri) {
+				t.Fatalf("index %s sorted: out of order at %d (%d, %d)", name, i, sorted[i-1], ri)
 			}
 		}
 	}
@@ -102,7 +122,7 @@ func TestDeleteNoFullRebuild(t *testing.T) {
 
 	ridIdx := testIndex(t, db, "d", "idx_d_rid")
 	vIdx := testIndex(t, db, "d", "idx_d_v")
-	ridBuilds, vBuilds := ridIdx.rebuilds, vIdx.rebuilds
+	ridBuilds, vBuilds := ridIdx.rebuilds.Load(), vIdx.rebuilds.Load()
 	if ridBuilds == 0 || vBuilds == 0 {
 		t.Fatalf("indexes not built before the delete (rid %d, v %d)", ridBuilds, vBuilds)
 	}
@@ -123,9 +143,9 @@ func TestDeleteNoFullRebuild(t *testing.T) {
 	verifyIndexConsistent(t, db, "d", "idx_d_rid")
 	verifyIndexConsistent(t, db, "d", "idx_d_v")
 
-	if ridIdx.rebuilds != ridBuilds || vIdx.rebuilds != vBuilds {
+	if ridIdx.rebuilds.Load() != ridBuilds || vIdx.rebuilds.Load() != vBuilds {
 		t.Fatalf("DELETE/UPDATE forced a full index rebuild (rid %d→%d, v %d→%d)",
-			ridBuilds, ridIdx.rebuilds, vBuilds, vIdx.rebuilds)
+			ridBuilds, ridIdx.rebuilds.Load(), vBuilds, vIdx.rebuilds.Load())
 	}
 }
 
@@ -382,7 +402,7 @@ func TestTruncateKeepsBuiltIndexes(t *testing.T) {
 	mustQuery(t, db, `SELECT k FROM tr WHERE k = 2`)
 	mustQuery(t, db, `SELECT k FROM tr ORDER BY k`)
 	idx := testIndex(t, db, "tr", "idx_tr_k")
-	builds := idx.rebuilds
+	builds := idx.rebuilds.Load()
 
 	mustExec(t, db, `TRUNCATE TABLE tr`)
 	mustExec(t, db, `INSERT INTO tr VALUES (9), (7), (8)`)
@@ -393,8 +413,8 @@ func TestTruncateKeepsBuiltIndexes(t *testing.T) {
 		t.Fatalf("post-truncate eq probe: %q", got)
 	}
 	verifyIndexConsistent(t, db, "tr", "idx_tr_k")
-	if idx.rebuilds != builds {
-		t.Fatalf("TRUNCATE forced a rebuild (%d → %d)", builds, idx.rebuilds)
+	if idx.rebuilds.Load() != builds {
+		t.Fatalf("TRUNCATE forced a rebuild (%d → %d)", builds, idx.rebuilds.Load())
 	}
 }
 

@@ -479,8 +479,10 @@ func isNaN(v relation.Value) bool {
 const constEqKernelMaxEntries = 64
 
 // buildSchedule assigns every conjunct, OR alternative and equi key to
-// a join level for the chosen source order.
-func buildSchedule(cs *compiledSelect, srcRows [][]relation.Tuple) *schedule {
+// a join level for the chosen source order. ep supplies the index
+// inventory (index handles are shared by every epoch of the plan's
+// ddlVersion, so the schedule stays valid for the whole statement).
+func buildSchedule(cs *compiledSelect, srcRows [][]relation.Tuple, ep *epoch) *schedule {
 	n := len(cs.sources)
 	order := make([]int, n)
 	for i := range order {
@@ -602,13 +604,13 @@ func buildSchedule(cs *compiledSelect, srcRows [][]relation.Tuple) *schedule {
 		if probe != nil {
 			probe.vals = make([]relation.Value, len(probe.keys))
 			if t := cs.sources[s].table; t != nil {
-				probe.idx, probe.perm = probeIndex(t, probe.buildCols)
+				probe.idx, probe.perm = probeIndex(ep.tds[t], probe.buildCols)
 				if probe.idx == nil {
 					// No exact-cover index: a compound index whose leading
 					// columns are the probe columns still beats the hash
 					// build — binary-searched equality, optionally tightened
 					// by a range bound on the next index column.
-					if pfx, perm := t.findEqPrefixIndex(probe.buildCols); pfx != nil {
+					if pfx, perm := ep.tds[t].findEqPrefixIndex(probe.buildCols); pfx != nil {
 						probe.pfx, probe.pfxPerm = pfx, perm
 						probe.pfxVals = make([]relation.Value, len(perm))
 						k := len(probe.buildCols)
@@ -669,9 +671,9 @@ func buildSchedule(cs *compiledSelect, srcRows [][]relation.Tuple) *schedule {
 			if t := cs.sources[s].table; t != nil {
 				var ordIdx *Index
 				if cs.ordSrc == s && pos == 0 {
-					ordIdx = t.findPrefixIndex(cs.ordCols)
+					ordIdx = ep.tds[t].findPrefixIndex(cs.ordCols)
 				}
-				lv.rng = buildRangePlan(cs, t, s, bound, ordIdx)
+				lv.rng = buildRangePlan(cs, ep.tds[t], s, bound, ordIdx)
 				if ordIdx != nil {
 					lv.ord = ordIdx
 					lv.desc = cs.ordDesc
@@ -820,7 +822,7 @@ func estEntries(srcRows [][]relation.Tuple, outer []int) int {
 // access-path restriction; the adoption bookkeeping (loConj/hiConj)
 // lets buildSchedule elide exactly the filters the inclusive prune
 // implies.
-func buildRangePlan(cs *compiledSelect, t *Table, s int, bound srcMask, only *Index) *rangePlan {
+func buildRangePlan(cs *compiledSelect, td *tableData, s int, bound srcMask, only *Index) *rangePlan {
 	var rp *rangePlan
 	for ci, pc := range cs.conjs {
 		for _, rs := range pc.rngs {
@@ -834,7 +836,7 @@ func buildRangePlan(cs *compiledSelect, t *Table, s int, bound srcMask, only *In
 						idx = only
 					}
 				} else {
-					idx = t.findRangeIndex(rs.col)
+					idx = td.findRangeIndex(rs.col)
 				}
 				if idx == nil {
 					continue
@@ -865,7 +867,7 @@ func (en *env) scheduleFor(cs *compiledSelect, srcRows [][]relation.Tuple) *sche
 	}
 	sch := en.schedules[cs]
 	if sch == nil {
-		sch = buildSchedule(cs, srcRows)
+		sch = buildSchedule(cs, srcRows, en.ep)
 		en.schedules[cs] = sch
 	} else {
 		for i := range sch.levels {
@@ -1077,7 +1079,7 @@ func (cs *compiledSelect) planLevelBatch(en *env, sch *schedule, srcRows [][]rel
 		if binds[i].empty {
 			return nil // NULL bound: the predicate holds for no row
 		}
-		kcols[i] = t.column(k.col)
+		kcols[i] = en.column(t, k.col)
 	}
 	var gs *groupScratch
 	if len(lv.groups) > 0 {
@@ -1158,7 +1160,8 @@ func (cs *compiledSelect) probeRows(en *env, lv *schedLevel, rows []relation.Tup
 			return cs.rangeRows(en, lv)
 		}
 		if lv.ord != nil {
-			return lv.ord.ordered(cs.sources[lv.src].table), false, nil
+			t := cs.sources[lv.src].table
+			return en.td(t).orderedOf(t, lv.ord), false, nil
 		}
 		return nil, true, nil
 	}
@@ -1173,14 +1176,15 @@ func (cs *compiledSelect) probeRows(en *env, lv *schedLevel, rows []relation.Tup
 		p.vals[i] = v
 	}
 	if p.idx != nil {
-		m := p.idx.lookup(cs.sources[lv.src].table)
+		t := cs.sources[lv.src].table
+		id, fence := en.td(t).lookupEq(t, p.idx)
 		key := p.keyBuf[:0]
 		for _, pi := range p.perm {
 			key = relation.AppendKey(key, p.vals[pi])
 			key = append(key, 0x1f)
 		}
 		p.keyBuf = key
-		return m[string(key)], false, nil
+		return id.probe(string(key), fence), false, nil
 	}
 	if p.pfx != nil {
 		// Compound-prefix probe: binary-searched equality on the index's
@@ -1212,7 +1216,8 @@ func (cs *compiledSelect) probeRows(en *env, lv *schedLevel, rows []relation.Tup
 			}
 			hi, hasHi = v, true
 		}
-		return p.pfx.eqPrefixRange(cs.sources[lv.src].table, p.pfxVals, lo, hi, hasLo, hasHi), false, nil
+		t := cs.sources[lv.src].table
+		return en.td(t).eqPrefixRange(t, p.pfx, p.pfxVals, lo, hi, hasLo, hasHi), false, nil
 	}
 	if p.hash == nil {
 		p.hash = buildJoinHash(rows, p.buildCols)
@@ -1256,7 +1261,8 @@ func (cs *compiledSelect) rangeRows(en *env, lv *schedLevel) ([]int, bool, error
 		}
 		hi, hasHi = v, true
 	}
-	return rp.idx.rangeOf(cs.sources[lv.src].table, lo, hi, hasLo, hasHi, rp.skipNullLo), false, nil
+	t := cs.sources[lv.src].table
+	return en.td(t).rangeOf(t, rp.idx, lo, hi, hasLo, hasHi, rp.skipNullLo), false, nil
 }
 
 // buildJoinHash indexes rows by the join-key columns. Rows with a NULL
@@ -1296,7 +1302,7 @@ func (cs *compiledSelect) semiScan(en *env, yield func(idx []int) error) error {
 		if src.table == nil {
 			return fmt.Errorf("sql: internal: semiScan with derived source")
 		}
-		srcRows[i] = src.table.Rows
+		srcRows[i] = en.rows(src.table)
 	}
 	en.frames = append(en.frames, frame{rows: en.scratchFor(cs)})
 	sch := en.scheduleFor(cs, srcRows)
@@ -1308,8 +1314,9 @@ func (cs *compiledSelect) semiScan(en *env, yield func(idx []int) error) error {
 // --- EXPLAIN ---
 
 // describePlan renders the join strategy of a compiled select, one
-// line per level, for EXPLAIN output and the plan tests.
-func (cs *compiledSelect) describePlan() []string {
+// line per level, for EXPLAIN output and the plan tests. ep supplies
+// the row counts and index inventory the schedule is sized against.
+func (cs *compiledSelect) describePlan(ep *epoch) []string {
 	var out []string
 	if !cs.planOK {
 		return []string{"nested loop (WHERE not analyzable; legacy path)"}
@@ -1317,10 +1324,10 @@ func (cs *compiledSelect) describePlan() []string {
 	srcRows := make([][]relation.Tuple, len(cs.sources))
 	for i, src := range cs.sources {
 		if src.table != nil {
-			srcRows[i] = src.table.Rows
+			srcRows[i] = ep.tds[src.table].rows
 		}
 	}
-	sch := buildSchedule(cs, srcRows)
+	sch := buildSchedule(cs, srcRows, ep)
 	if len(sch.pre) > 0 {
 		out = append(out, fmt.Sprintf("pre-loop: %d constant conjunct group(s)", len(sch.pre)))
 	}
@@ -1332,7 +1339,7 @@ func (cs *compiledSelect) describePlan() []string {
 		}
 		size := ""
 		if t := cs.sources[lv.src].table; t != nil {
-			size = fmt.Sprintf(" (%d rows)", len(t.Rows))
+			size = fmt.Sprintf(" (%d rows)", len(ep.tds[t].rows))
 		} else {
 			size = " (derived)"
 		}
@@ -1417,7 +1424,7 @@ func (cs *compiledSelect) describePlan() []string {
 		// of the select that materializes them (the detector's Qmv macro
 		// lives behind one).
 		if sub := cs.sources[lv.src].sub; sub != nil {
-			for _, l := range sub.describePlan() {
+			for _, l := range sub.describePlan(ep) {
 				out = append(out, "  "+l)
 			}
 		}
@@ -1457,38 +1464,40 @@ func (db *DB) Explain(sqlText string) (string, error) {
 	if len(stmts) != 1 {
 		return "", fmt.Errorf("sql: EXPLAIN wants exactly one statement, got %d", len(stmts))
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	// Explain is a reader: it pins the current epoch (no lock) and
+	// compiles/describes against that frozen state.
+	ep := db.pin()
+	defer db.unpin(ep)
 	var b strings.Builder
 	switch s := stmts[0].(type) {
 	case *Select:
-		c := &compiler{db: db}
+		c := &compiler{db: db, ep: ep}
 		cs, err := c.compileSubSelect(s)
 		if err != nil {
 			return "", err
 		}
 		b.WriteString("SELECT\n")
-		for _, line := range cs.describePlan() {
+		for _, line := range cs.describePlan(ep) {
 			b.WriteString("  " + line + "\n")
 		}
 	case *Update:
-		p, err := db.compileUpdate(s)
+		p, err := db.compileUpdate(s, ep)
 		if err != nil {
 			return "", err
 		}
 		b.WriteString("UPDATE " + p.t.Name + "\n")
 		// Mirror runUpdate's runtime choice exactly (useSemiJoin reads
-		// the same live table sizes), so the reported access path is the
-		// one that would execute right now.
+		// the same table sizes), so the reported access path is the one
+		// that would execute right now.
 		switch {
-		case p.useSemiJoin():
+		case p.useSemiJoin(ep):
 			b.WriteString("  semi-join row selection:\n")
-			for _, line := range p.semi.describePlan() {
+			for _, line := range p.semi.describePlan(ep) {
 				b.WriteString("    " + line + "\n")
 			}
 		case p.filterSel != nil && !DisablePlanner:
 			b.WriteString("  planned row selection:\n")
-			for _, line := range p.filterSel.describePlan() {
+			for _, line := range p.filterSel.describePlan(ep) {
 				b.WriteString("    " + line + "\n")
 			}
 		case p.where == nil:
@@ -1500,13 +1509,13 @@ func (db *DB) Explain(sqlText string) (string, error) {
 		b.WriteString("DELETE: full scan with row filter\n")
 	case *Insert:
 		if s.Query != nil {
-			c := &compiler{db: db}
+			c := &compiler{db: db, ep: ep}
 			cs, err := c.compileSubSelect(s.Query)
 			if err != nil {
 				return "", err
 			}
 			b.WriteString("INSERT from SELECT\n")
-			for _, line := range cs.describePlan() {
+			for _, line := range cs.describePlan(ep) {
 				b.WriteString("  " + line + "\n")
 			}
 		} else {

@@ -173,16 +173,30 @@ func (p *Prepared) Exec(params ...relation.Value) (int64, error) {
 	return total, nil
 }
 
-// Query runs a single prepared SELECT. It holds only the catalog read
-// lock, so any number of queries execute concurrently; DDL and DML wait
-// for them (and vice versa).
+// Query runs a single prepared SELECT. It pins the current epoch with
+// an atomic load and holds NO lock for the whole execution, so any
+// number of queries run concurrently with each other and with writers
+// (which publish new epochs this query never observes).
 func (p *Prepared) Query(params ...relation.Value) (*Result, error) {
+	ep := p.db.pin()
+	defer p.db.unpin(ep)
+	return p.queryEpoch(ep, params)
+}
+
+// QueryAt runs a single prepared SELECT against an explicitly pinned
+// snapshot, so a sequence of statements can observe one frozen epoch.
+func (p *Prepared) QueryAt(s *Snap, params ...relation.Value) (*Result, error) {
+	if s == nil || s.ep == nil {
+		return nil, fmt.Errorf("sql: QueryAt on a closed snapshot")
+	}
+	return p.queryEpoch(s.ep, params)
+}
+
+func (p *Prepared) queryEpoch(ep *epoch, params []relation.Value) (*Result, error) {
 	if len(p.stmts) != 1 {
 		return nil, fmt.Errorf("sql: Query requires exactly one statement, got %d", len(p.stmts))
 	}
-	p.db.mu.RLock()
-	defer p.db.mu.RUnlock()
-	plan, err := p.db.planFor(p, 0)
+	plan, err := p.db.planFor(p, 0, ep)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +204,7 @@ func (p *Prepared) Query(params ...relation.Value) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("sql: Query requires a SELECT statement")
 	}
-	en := newEnv(p.db, params)
+	en := newEnv(p.db, ep, params)
 	rows, err := cs.exec(en)
 	if err != nil {
 		return nil, err
@@ -200,7 +214,21 @@ func (p *Prepared) Query(params ...relation.Value) (*Result, error) {
 
 func (db *DB) execPreparedStmt(p *Prepared, i int, params []relation.Value) (int64, error) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	n, err := db.execPreparedLocked(p, i, params)
+	// If this statement's WAL unit joined a group commit, wait for the
+	// group fsync (and the epoch publish) outside db.mu, so concurrent
+	// writers share one Sync.
+	wp := db.takePending()
+	db.mu.Unlock()
+	if wp != nil {
+		if werr := db.awaitDurable(wp); werr != nil && err == nil {
+			return 0, werr
+		}
+	}
+	return n, err
+}
+
+func (db *DB) execPreparedLocked(p *Prepared, i int, params []relation.Value) (int64, error) {
 	switch p.stmts[i].(type) {
 	case *CreateTable, *CreateIndex, *DropTable, *TruncateTable:
 		// DDL executes directly; it also bumps ddlVersion, so any plan
@@ -208,13 +236,13 @@ func (db *DB) execPreparedStmt(p *Prepared, i int, params []relation.Value) (int
 		// script) recompiles against the new catalog.
 		return db.execStmtLocked(p.stmts[i], params)
 	}
-	plan, err := db.planFor(p, i)
+	plan, err := db.planFor(p, i, db.curW)
 	if err != nil {
 		return 0, err
 	}
 	switch pl := plan.(type) {
 	case *compiledSelect:
-		en := newEnv(db, params)
+		en := newEnv(db, db.curW, params)
 		rows, err := pl.exec(en)
 		if err != nil {
 			return 0, err
@@ -232,44 +260,45 @@ func (db *DB) execPreparedStmt(p *Prepared, i int, params []relation.Value) (int
 }
 
 // planFor returns statement i's plan, compiling (or recompiling after
-// DDL) as needed. Compile errors are cached per catalog version: the
-// same error returns until DDL changes the catalog. Callers hold db.mu
-// (read suffices — compilation only reads the catalog); p.mu serializes
-// concurrent compilations of the same slot.
-func (db *DB) planFor(p *Prepared, i int) (execPlan, error) {
+// DDL) as needed against ep. Plans are cached per ddlVersion: every
+// epoch of the same version has identical tables/schemas/indexes, so a
+// cached plan is valid for any of them. Compile errors are cached the
+// same way. Callers need no catalog lock — ep is immutable; p.mu
+// serializes concurrent compilations of the same slot.
+func (db *DB) planFor(p *Prepared, i int, ep *epoch) (execPlan, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.vers[i] == db.ddlVersion {
+	if p.vers[i] == ep.ddlVersion {
 		return p.plans[i], p.errs[i]
 	}
 	var plan execPlan
 	var err error
 	switch s := p.stmts[i].(type) {
 	case *Select:
-		c := &compiler{db: db}
+		c := &compiler{db: db, ep: ep}
 		var cs *compiledSelect
 		if cs, err = c.compileSubSelect(s); err == nil {
 			plan = cs
 		}
 	case *Insert:
 		var ip *insertPlan
-		if ip, err = db.compileInsert(s); err == nil {
+		if ip, err = db.compileInsert(s, ep); err == nil {
 			plan = ip
 		}
 	case *Update:
 		var up *updatePlan
-		if up, err = db.compileUpdate(s); err == nil {
+		if up, err = db.compileUpdate(s, ep); err == nil {
 			plan = up
 		}
 	case *Delete:
 		var dp *deletePlan
-		if dp, err = db.compileDelete(s); err == nil {
+		if dp, err = db.compileDelete(s, ep); err == nil {
 			plan = dp
 		}
 	default:
 		err = fmt.Errorf("sql: cannot prepare %T", s)
 	}
-	p.plans[i], p.errs[i], p.vers[i] = plan, err, db.ddlVersion
+	p.plans[i], p.errs[i], p.vers[i] = plan, err, ep.ddlVersion
 	return plan, err
 }
 

@@ -46,11 +46,55 @@ type RecoveryStats struct {
 	TornTail bool
 }
 
-// RecoveryStats returns the stats recorded by Open.
+// RecoveryStats returns the stats recorded by Open. No lock: the
+// stats are written once during Open, before the DB is shared.
 func (db *DB) RecoveryStats() RecoveryStats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	return db.recov
+}
+
+// restoreTable is the mutable shape recovery builds a table in before
+// the state freezes into epoch 1: plain rows and index definitions,
+// no derived structures (those rebuild lazily on first use). Replay
+// runs single-threaded before the DB is shared, so in-place mutation
+// here is safe — the copy-on-write discipline starts at the epoch
+// boundary, not before it.
+type restoreTable struct {
+	t       *Table
+	rows    []relation.Tuple
+	indexes []*Index
+}
+
+// restoreState is the whole catalog mid-recovery, keyed by lowered
+// table name.
+type restoreState struct {
+	tables map[string]*restoreTable
+}
+
+func newRestoreState() *restoreState {
+	return &restoreState{tables: make(map[string]*restoreTable)}
+}
+
+func (rs *restoreState) table(name string) (*restoreTable, error) {
+	rt, ok := rs.tables[lowerName(name)]
+	if !ok {
+		return nil, fmt.Errorf("no table %s", name)
+	}
+	return rt, nil
+}
+
+// finishRestore freezes the replayed state into the DB's epoch 1.
+// The epoch NewDB created is still private, so it is populated in
+// place; every derived structure starts empty and builds on demand.
+func (db *DB) finishRestore(rs *restoreState) {
+	ep := db.curW
+	for key, rt := range rs.tables {
+		ep.tables[key] = rt.t
+		slots := make([]indexSlot, len(rt.indexes))
+		for i, idx := range rt.indexes {
+			slots[i] = indexSlot{idx: idx, data: &indexData{}}
+		}
+		ep.tds[rt.t] = &tableData{rows: rt.rows, cols: &colData{}, indexes: slots}
+	}
 }
 
 // Open opens (or creates) a durable database backed by opts.Dir:
@@ -117,15 +161,16 @@ func Open(opts WALOptions) (*DB, error) {
 
 	// Load the newest snapshot that decodes; anything newer that does
 	// not is a fallback.
+	rs := newRestoreState()
 	var chosen uint64
 	loaded := false
 	for i := len(snapGens) - 1; i >= 0; i-- {
 		g := snapGens[i]
 		data, err := fs.ReadFile(w.snapPath(g))
 		if err == nil {
-			var tables map[string]*Table
+			var tables map[string]*restoreTable
 			if tables, err = decodeSnapshot(data, g); err == nil {
-				db.tables = tables
+				rs.tables = tables
 				chosen, loaded = g, true
 				db.recov.SnapshotGen = g
 				if i != len(snapGens)-1 {
@@ -175,7 +220,7 @@ func Open(opts WALOptions) (*DB, error) {
 	}
 	var currentSize int64 = -1
 	for _, g := range replay {
-		size, err := db.replayWALFile(g)
+		size, err := db.replayWALFile(rs, g)
 		if err != nil {
 			return nil, err
 		}
@@ -183,6 +228,7 @@ func Open(opts WALOptions) (*DB, error) {
 			currentSize = size
 		}
 	}
+	db.finishRestore(rs)
 
 	// Leave the current generation's WAL open for appends, creating it
 	// (with its header) when absent or fully torn.
@@ -202,9 +248,12 @@ func Open(opts WALOptions) (*DB, error) {
 	}
 	w.gen = currentGen
 	w.size = currentSize
+	// Everything on disk up to the valid size is durable by definition;
+	// the group-commit ledger must start there or the first follower
+	// would wait for bytes no sync will ever cover.
+	w.gc.syncedTo = currentSize
 	w.replaying = false
 	db.recov.Gen = currentGen
-	db.bumpDDL()
 	return db, nil
 }
 
@@ -218,7 +267,12 @@ func (db *DB) Close() error {
 		return nil
 	}
 	var err error
-	if db.roErr == nil && w.unsynced > 0 {
+	if db.roErr == nil {
+		// Commits parked in the group-commit window must reach disk (or
+		// fail loudly) before the file goes away.
+		err = db.absorbPendings()
+	}
+	if err == nil && db.roErr == nil && w.unsynced > 0 {
 		err = w.f.Sync()
 	}
 	if cerr := w.f.Close(); err == nil {
@@ -237,7 +291,7 @@ func (db *DB) Close() error {
 // A missing file is not an error (a crash between snapshot rename and
 // WAL creation leaves exactly that); the caller then starts the file
 // fresh.
-func (db *DB) replayWALFile(gen uint64) (int64, error) {
+func (db *DB) replayWALFile(rs *restoreState, gen uint64) (int64, error) {
 	w := db.wal
 	path := w.walPath(gen)
 	data, err := w.fs.ReadFile(path)
@@ -280,7 +334,7 @@ func (db *DB) replayWALFile(gen uint64) (int64, error) {
 			}
 			return 0, fmt.Errorf("sql: wal %s: corrupt record at offset %d: CRC mismatch with %d bytes following", path, off, len(data)-off-walFrameSize-ln)
 		}
-		if err := db.applyWALUnit(payload); err != nil {
+		if err := applyWALUnit(rs, payload); err != nil {
 			return 0, fmt.Errorf("sql: wal %s: record at offset %d: %v", path, off, err)
 		}
 		db.recov.UnitsReplayed++
@@ -299,25 +353,24 @@ func (db *DB) truncateTorn(path string, off int) (int64, error) {
 	return int64(off), nil
 }
 
-// applyWALUnit re-applies one commit unit's operations to the catalog.
-// Replay runs before the DB is shared, and the same incremental
-// maintenance hooks the live DML uses keep any structures consistent
-// (they are no-ops while nothing is built).
-func (db *DB) applyWALUnit(payload []byte) error {
+// applyWALUnit re-applies one commit unit's operations to the restore
+// state. Replay mutates rows in place — every tuple here was freshly
+// decoded, so nothing is shared yet.
+func applyWALUnit(rs *restoreState, payload []byte) error {
 	d := &walDecoder{b: payload}
 	for d.more() {
-		if err := db.applyWALOp(d); err != nil {
+		if err := applyWALOp(rs, d); err != nil {
 			return err
 		}
 	}
 	return d.err
 }
 
-func (db *DB) applyWALOp(d *walDecoder) error {
+func applyWALOp(rs *restoreState, d *walDecoder) error {
 	code := d.byte()
 	switch code {
 	case opInsert:
-		t, err := db.table(d.str())
+		rt, err := rs.table(d.str())
 		if err != nil {
 			return err
 		}
@@ -328,25 +381,22 @@ func (db *DB) applyWALOp(d *walDecoder) error {
 		for i := uint64(0); i < n && d.err == nil; i++ {
 			row := d.tuple()
 			if d.err == nil {
-				t.Rows = append(t.Rows, row)
+				rt.rows = append(rt.rows, row)
 			}
 		}
-		if d.err == nil {
-			t.rowsAppended(int(n))
-		}
 	case opDelete:
-		t, err := db.table(d.str())
+		rt, err := rs.table(d.str())
 		if err != nil {
 			return err
 		}
 		n := d.uint()
-		if d.err != nil || n > uint64(len(t.Rows)) {
-			return fmt.Errorf("delete of %d rows from %d-row table", n, len(t.Rows))
+		if d.err != nil || n > uint64(len(rt.rows)) {
+			return fmt.Errorf("delete of %d rows from %d-row table", n, len(rt.rows))
 		}
 		pos := make([]int, n)
 		for i := range pos {
 			p := int(d.uint())
-			if d.err == nil && (p >= len(t.Rows) || (i > 0 && p <= pos[i-1])) {
+			if d.err == nil && (p >= len(rt.rows) || (i > 0 && p <= pos[i-1])) {
 				return fmt.Errorf("delete position %d out of order or range", p)
 			}
 			pos[i] = p
@@ -354,22 +404,22 @@ func (db *DB) applyWALOp(d *walDecoder) error {
 		if d.err != nil {
 			return d.err
 		}
-		keep := t.Rows[:0:0]
+		keep := rt.rows[:0:0]
 		di := 0
-		for ri, row := range t.Rows {
+		for ri, row := range rt.rows {
 			if di < len(pos) && pos[di] == ri {
 				di++
 				continue
 			}
 			keep = append(keep, row)
 		}
-		t.Rows = keep
-		t.rowsDeleted(pos)
+		rt.rows = keep
 	case opUpdate:
-		t, err := db.table(d.str())
+		rt, err := rs.table(d.str())
 		if err != nil {
 			return err
 		}
+		t := rt.t
 		nc := d.uint()
 		if d.err != nil || nc > uint64(t.Schema.Width()) {
 			return fmt.Errorf("update of %d columns in %d-column table", nc, t.Schema.Width())
@@ -383,14 +433,14 @@ func (db *DB) applyWALOp(d *walDecoder) error {
 			cols[i] = c
 		}
 		np := d.uint()
-		if d.err != nil || np > uint64(len(t.Rows)) {
-			return fmt.Errorf("update of %d rows in %d-row table", np, len(t.Rows))
+		if d.err != nil || np > uint64(len(rt.rows)) {
+			return fmt.Errorf("update of %d rows in %d-row table", np, len(rt.rows))
 		}
 		pos := make([]int, np)
 		vals := make([][]relation.Value, np)
 		for i := range pos {
 			p := int(d.uint())
-			if d.err == nil && p >= len(t.Rows) {
+			if d.err == nil && p >= len(rt.rows) {
 				return fmt.Errorf("update position %d out of range", p)
 			}
 			pos[i] = p
@@ -402,51 +452,49 @@ func (db *DB) applyWALOp(d *walDecoder) error {
 		if d.err != nil {
 			return d.err
 		}
-		t.updateBegin(pos, cols)
 		for i, p := range pos {
 			for j, c := range cols {
-				t.Rows[p][c] = vals[i][j]
+				rt.rows[p][c] = vals[i][j]
 			}
 		}
-		t.updateEnd(pos, cols)
 	case opTruncate:
-		t, err := db.table(d.str())
+		rt, err := rs.table(d.str())
 		if err != nil {
 			return err
 		}
-		t.Rows = t.Rows[:0]
-		t.truncated()
+		rt.rows = rt.rows[:0]
 	case opCreateTable:
 		s := d.schema()
 		if d.err != nil {
 			return d.err
 		}
 		key := lowerName(s.Name)
-		if _, ok := db.tables[key]; ok {
+		if _, ok := rs.tables[key]; ok {
 			return fmt.Errorf("create of existing table %s", s.Name)
 		}
-		db.tables[key] = &Table{Name: s.Name, Schema: s}
+		rs.tables[key] = &restoreTable{t: &Table{Name: s.Name, Schema: s}}
 	case opDropTable:
 		name := d.str()
 		if d.err != nil {
 			return d.err
 		}
 		key := lowerName(name)
-		if _, ok := db.tables[key]; !ok {
+		if _, ok := rs.tables[key]; !ok {
 			return fmt.Errorf("drop of missing table %s", name)
 		}
-		delete(db.tables, key)
+		delete(rs.tables, key)
 	case opCreateIndex:
 		name := d.str()
-		t, err := db.table(d.str())
+		rt, err := rs.table(d.str())
 		if err != nil {
 			return err
 		}
+		t := rt.t
 		nc := d.uint()
 		if d.err != nil || nc > uint64(t.Schema.Width()) {
 			return fmt.Errorf("implausible index width %d", nc)
 		}
-		idx := &Index{Name: name, mDirty: true, sDirty: true}
+		idx := &Index{Name: name}
 		for i := uint64(0); i < nc; i++ {
 			c := d.str()
 			j := t.Schema.Index(c)
@@ -458,7 +506,7 @@ func (db *DB) applyWALOp(d *walDecoder) error {
 		if d.err != nil {
 			return d.err
 		}
-		t.indexes = append(t.indexes, idx)
+		rt.indexes = append(rt.indexes, idx)
 	case opLoadRelation:
 		s := d.schema()
 		if d.err != nil {
@@ -476,13 +524,12 @@ func (db *DB) applyWALOp(d *walDecoder) error {
 			return d.err
 		}
 		key := lowerName(s.Name)
-		t, ok := db.tables[key]
+		rt, ok := rs.tables[key]
 		if !ok {
-			t = &Table{Name: s.Name, Schema: s}
-			db.tables[key] = t
+			rt = &restoreTable{t: &Table{Name: s.Name, Schema: s}}
+			rs.tables[key] = rt
 		}
-		t.Rows = rows
-		t.mutated()
+		rt.rows = rows
 	default:
 		return fmt.Errorf("unknown operation code %d", code)
 	}

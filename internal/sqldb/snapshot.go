@@ -64,9 +64,18 @@ func (db *DB) Checkpoint() error {
 // rotation abandoned must not keep receiving appends.
 func (db *DB) checkpointLocked() error {
 	w := db.wal
+	// Commits still parked in the group-commit window must hit disk
+	// before their WAL file is superseded: the snapshot about to be
+	// written includes their effects (they are in curW), so losing
+	// their log bytes to rotation would be fine for THIS generation —
+	// but a fallback to the previous generation replays the old WAL,
+	// which must therefore be complete.
+	if err := db.absorbPendings(); err != nil {
+		return err
+	}
 	newGen := w.gen + 1
 
-	payload := encodeSnapshot(db, newGen)
+	payload := encodeSnapshot(db.curW, newGen)
 	tmp := w.snapPath(newGen) + ".tmp"
 	f, err := w.fs.Create(tmp)
 	if err != nil {
@@ -103,6 +112,9 @@ func (db *DB) checkpointLocked() error {
 	w.gen = newGen
 	w.size = int64(len(walFileMagic))
 	w.unsynced = 0
+	// Fresh file: its synced header is all that exists, so the group
+	// commit ledger restarts there.
+	w.gc.syncedTo = w.size
 
 	w.pruneGenerations(newGen)
 	return nil
@@ -187,10 +199,12 @@ func parseGenName(name string) (gen uint64, kind string, ok bool) {
 	return 0, "", false
 }
 
-// encodeSnapshot serializes the catalog. Callers hold db.mu.
-func encodeSnapshot(db *DB, gen uint64) []byte {
-	keys := make([]string, 0, len(db.tables))
-	for k := range db.tables {
+// encodeSnapshot serializes one epoch's catalog. The epoch is
+// immutable, so this needs no lock beyond the caller's db.mu (held to
+// keep the writer head still while the generation rotates).
+func encodeSnapshot(ep *epoch, gen uint64) []byte {
+	keys := make([]string, 0, len(ep.tables))
+	for k := range ep.tables {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
@@ -199,17 +213,18 @@ func encodeSnapshot(db *DB, gen uint64) []byte {
 	b = appendUint(b, gen)
 	b = appendUint(b, uint64(len(keys)))
 	for _, k := range keys {
-		t := db.tables[k]
+		t := ep.tables[k]
+		td := ep.tds[t]
 		b = appendSchema(b, t.Schema)
-		b = appendUint(b, uint64(len(t.Rows)))
-		for _, row := range t.Rows {
+		b = appendUint(b, uint64(len(td.rows)))
+		for _, row := range td.rows {
 			b = appendTuple(b, row)
 		}
-		b = appendUint(b, uint64(len(t.indexes)))
-		for _, idx := range t.indexes {
-			b = appendStr(b, idx.Name)
-			b = appendUint(b, uint64(len(idx.Cols)))
-			for _, c := range idx.Cols {
+		b = appendUint(b, uint64(len(td.indexes)))
+		for _, sl := range td.indexes {
+			b = appendStr(b, sl.idx.Name)
+			b = appendUint(b, uint64(len(sl.idx.Cols)))
+			for _, c := range sl.idx.Cols {
 				b = appendUint(b, uint64(c))
 			}
 		}
@@ -217,8 +232,9 @@ func encodeSnapshot(db *DB, gen uint64) []byte {
 	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
 }
 
-// decodeSnapshot validates and rebuilds a snapshot file's catalog.
-func decodeSnapshot(data []byte, wantGen uint64) (map[string]*Table, error) {
+// decodeSnapshot validates and rebuilds a snapshot file's catalog
+// into recovery's mutable restore shape.
+func decodeSnapshot(data []byte, wantGen uint64) (map[string]*restoreTable, error) {
 	if len(data) < len(snapFileMagic)+4 {
 		return nil, fmt.Errorf("truncated snapshot (%d bytes)", len(data))
 	}
@@ -237,21 +253,21 @@ func decodeSnapshot(data []byte, wantGen uint64) (map[string]*Table, error) {
 	if d.err != nil || nTables > uint64(len(body)) {
 		return nil, fmt.Errorf("implausible table count %d", nTables)
 	}
-	tables := make(map[string]*Table, nTables)
+	tables := make(map[string]*restoreTable, nTables)
 	for i := uint64(0); i < nTables && d.err == nil; i++ {
 		s := d.schema()
 		if s == nil {
 			break
 		}
-		t := &Table{Name: s.Name, Schema: s}
+		rt := &restoreTable{t: &Table{Name: s.Name, Schema: s}}
 		nRows := d.uint()
 		if d.err != nil || nRows > uint64(len(body)) {
 			d.fail("implausible row count %d", nRows)
 			break
 		}
-		t.Rows = make([]relation.Tuple, 0, nRows)
+		rt.rows = make([]relation.Tuple, 0, nRows)
 		for r := uint64(0); r < nRows && d.err == nil; r++ {
-			t.Rows = append(t.Rows, d.tuple())
+			rt.rows = append(rt.rows, d.tuple())
 		}
 		nIdx := d.uint()
 		if d.err != nil || nIdx > uint64(len(body)) {
@@ -259,7 +275,7 @@ func decodeSnapshot(data []byte, wantGen uint64) (map[string]*Table, error) {
 			break
 		}
 		for j := uint64(0); j < nIdx && d.err == nil; j++ {
-			idx := &Index{Name: d.str(), mDirty: true, sDirty: true}
+			idx := &Index{Name: d.str()}
 			nc := d.uint()
 			if d.err != nil || nc > uint64(s.Width()) {
 				d.fail("implausible index width %d", nc)
@@ -268,9 +284,9 @@ func decodeSnapshot(data []byte, wantGen uint64) (map[string]*Table, error) {
 			for c := uint64(0); c < nc; c++ {
 				idx.Cols = append(idx.Cols, int(d.uint()))
 			}
-			t.indexes = append(t.indexes, idx)
+			rt.indexes = append(rt.indexes, idx)
 		}
-		tables[lowerName(t.Name)] = t
+		tables[lowerName(rt.t.Name)] = rt
 	}
 	if d.err != nil {
 		return nil, fmt.Errorf("snapshot decode: %v", d.err)

@@ -213,9 +213,9 @@ func (c *compiler) compileExists(x *Exists) (compiledExpr, error) {
 
 // subqueryMutable reports whether caching the subquery result for the
 // duration of one statement would be unsound. Tables cannot change
-// mid-statement in this engine (queries hold the catalog read lock for
-// their whole execution; mutations need the write lock), so results
-// are always cacheable.
+// mid-statement in this engine (queries run against a pinned immutable
+// epoch; mutations publish new epochs that in-flight statements never
+// observe), so results are always cacheable.
 func subqueryMutable(*Select) bool { return false }
 
 // DisableIndexProbes turns persistent-index probing off, falling back
@@ -251,16 +251,17 @@ type decorrProbe struct {
 // building it on first use (and after table mutations). Shared by the
 // hash-probe closure and the probe kernel so the two can never drift.
 func (d *decorrProbe) ensureHash(en *env) (*hashBuild, error) {
+	td := en.td(d.t)
 	b := en.hash[d.x]
-	if b != nil && b.version == d.t.version {
+	if b != nil && b.version == td.version {
 		return b, nil
 	}
-	set := make(map[string]bool, len(d.t.Rows))
+	set := make(map[string]bool, len(td.rows))
 	key := make([]relation.Value, len(d.keyCols))
 	en.frames = append(en.frames, frame{rows: make([]relation.Tuple, 1)})
 	fr := &en.frames[len(en.frames)-1]
 build:
-	for _, row := range d.t.Rows {
+	for _, row := range td.rows {
 		fr.rows[0] = row
 		for _, f := range d.filters {
 			v, err := f(en)
@@ -281,7 +282,7 @@ build:
 		set[relation.KeyOf(key)] = true
 	}
 	en.frames = en.frames[:len(en.frames)-1]
-	b = &hashBuild{version: d.t.version, set: set}
+	b = &hashBuild{version: td.version, set: set}
 	en.hash[d.x] = b
 	return b, nil
 }
@@ -315,14 +316,14 @@ func (c *compiler) analyzeDecorrelateUncached(x *Exists) (*decorrProbe, error) {
 		sub.Offset != nil || selectHasAggregate(sub) {
 		return nil, nil
 	}
-	t, err := c.db.table(sub.From[0].Table)
+	t, err := c.ep.table(sub.From[0].Table)
 	if err != nil {
 		return nil, nil // unknown table: let the naive path report it
 	}
 
 	innerScope := &scopeInfo{sources: []sourceInfo{{name: sub.From[0].Name(), cols: t.Schema.Names()}}}
 	innerDepth := len(c.scopes)
-	ic := &compiler{db: c.db, scopes: append(append([]*scopeInfo{}, c.scopes...), innerScope)}
+	ic := &compiler{db: c.db, ep: c.ep, scopes: append(append([]*scopeInfo{}, c.scopes...), innerScope)}
 
 	var conjuncts []Expr
 	splitConjuncts(sub.Where, &conjuncts)
@@ -391,7 +392,7 @@ func (c *compiler) analyzeDecorrelateUncached(x *Exists) (*decorrProbe, error) {
 	// across statements and only rebuilds after table mutations. The
 	// probe key must follow the index's column order.
 	if len(filters) == 0 && !DisableIndexProbes {
-		d.idx, d.perm = probeIndex(t, d.keyCols)
+		d.idx, d.perm = probeIndex(c.ep.tds[t], d.keyCols)
 	}
 	return d, nil
 }
@@ -408,11 +409,12 @@ func (c *compiler) tryDecorrelate(x *Exists) (compiledExpr, error) {
 	if d.idx != nil {
 		idx, perm, t := d.idx, d.perm, d.t
 		return func(en *env) (relation.Value, error) {
-			// Index.lookup double-checks the lazy rebuild under the
-			// index's own lock, so concurrent queries racing to the
-			// first probe after a mutation are safe. The key scratch
-			// is per env: closures are shared across goroutines.
-			m := idx.lookup(t)
+			// lookupEq resolves the epoch's index structure (building or
+			// extending the shared map under its own lock) and the row
+			// fence; probe() then takes a short per-probe read lock — no
+			// structure lock is ever held across key evaluation. The key
+			// scratch is per env: closures are shared across goroutines.
+			id, fence := en.td(t).lookupEq(t, idx)
 			ps := pk.scratch(en)
 			ok, err := pk.eval(en, ps)
 			if err != nil {
@@ -427,7 +429,7 @@ func (c *compiler) tryDecorrelate(x *Exists) (compiledExpr, error) {
 				keyBuf = append(keyBuf, 0x1f)
 			}
 			ps.keyBuf = keyBuf
-			return relation.Bool((len(m[string(keyBuf)]) > 0) != neg), nil
+			return relation.Bool((len(id.probe(string(keyBuf), fence)) > 0) != neg), nil
 		}, nil
 	}
 
@@ -457,8 +459,8 @@ func (c *compiler) tryDecorrelate(x *Exists) (compiledExpr, error) {
 // probeIndex finds a secondary index covering exactly the probe
 // columns and computes the permutation mapping probe positions to the
 // index's column order.
-func probeIndex(t *Table, keyCols []int) (*Index, []int) {
-	idx := t.findIndex(keyCols)
+func probeIndex(td *tableData, keyCols []int) (*Index, []int) {
+	idx := td.findIndex(keyCols)
 	if idx == nil {
 		return nil, nil
 	}

@@ -7,14 +7,15 @@ import (
 )
 
 // Tx is a coarse-grained transaction: the first mutation of each table
-// inside the transaction snapshots its rows, and Rollback restores
-// them. One transaction may be active at a time; Begin/Commit/Rollback
-// and every mutation inside the transaction take the catalog write
-// lock, so transactions serialize with each other and with the
-// concurrent readers (which only ever observe statement-level
-// snapshots — there is no cross-statement MVCC). This matches the
-// paper's batch/incremental detection scripts, whose writes are
-// sequential; the concurrency the detector needs is on the read side.
+// inside the transaction captures its epoch row slice (an O(1) header
+// copy — epochs are immutable, so the slice IS the before-image), and
+// Rollback restores it wholesale. One transaction may be active at a
+// time; Begin/Commit/Rollback and every mutation inside the
+// transaction take db.mu, so transactions serialize with each other
+// while concurrent readers keep scanning their pinned epochs. This
+// matches the paper's batch/incremental detection scripts, whose
+// writes are sequential; the concurrency the detector needs is on the
+// read side.
 //
 // Under a WAL, the transaction is also the durability unit: its
 // operations buffer in memory and Commit appends them as one framed
@@ -43,8 +44,12 @@ func (db *DB) Begin() (*Tx, error) {
 	return tx, nil
 }
 
-// backupForTx snapshots a table the first time it is mutated inside the
-// active transaction. Callers hold db.mu.
+// backupForTx captures a table's row slice the first time it is
+// mutated inside the active transaction. Copy-on-write makes this
+// O(1): tuples already in an epoch are never mutated in place, so the
+// slice header alone is a faithful before-image (the restore path
+// cap-clips it so later in-place appends cannot leak through).
+// Callers hold db.mu.
 func (db *DB) backupForTx(t *Table) {
 	tx := db.activeTx
 	if tx == nil {
@@ -54,11 +59,8 @@ func (db *DB) backupForTx(t *Table) {
 	if _, done := tx.backups[key]; done {
 		return
 	}
-	rows := make([]relation.Tuple, len(t.Rows))
-	for i, r := range t.Rows {
-		rows[i] = r.Clone()
-	}
-	tx.backups[key] = rows
+	rows := db.curW.tds[t].rows
+	tx.backups[key] = rows[:len(rows):len(rows)]
 }
 
 // Commit makes the transaction's changes permanent. Under a WAL the
@@ -79,7 +81,10 @@ func (tx *Tx) Commit() error {
 			unit = append(unit, p.op...)
 		}
 		w.pend = nil
-		if err := tx.db.walCommit(unit, true); err != nil {
+		// A transaction commit syncs inline (group=false): its unit can
+		// span DDL and bulk DML, and the caller expects durability on
+		// return without a follower wait.
+		if err := tx.db.walCommit(unit, true, false); err != nil {
 			tx.restoreLocked()
 			return err
 		}
@@ -109,7 +114,7 @@ func (tx *Tx) Rollback() error {
 		}
 		w.pend = nil
 		if len(unit) > 0 {
-			if err := tx.db.walCommit(unit, true); err != nil {
+			if err := tx.db.walCommit(unit, true, false); err != nil {
 				return err
 			}
 		}
@@ -117,15 +122,15 @@ func (tx *Tx) Rollback() error {
 	return nil
 }
 
-// restoreLocked puts back the row snapshots taken by backupForTx.
-// Callers hold db.mu (write).
+// restoreLocked puts back the row slices captured by backupForTx via a
+// wholesale epoch transition (fresh structures; the next probe
+// rebuilds). Callers hold db.mu.
 func (tx *Tx) restoreLocked() {
 	for name, rows := range tx.backups {
-		t, ok := tx.db.tables[name]
+		t, ok := tx.db.curW.tables[name]
 		if !ok {
 			continue // table dropped inside the tx; restoring rows is moot
 		}
-		t.Rows = rows
-		t.mutated()
+		tx.db.applyWholesale(t, rows)
 	}
 }

@@ -11,29 +11,30 @@ import (
 )
 
 // fingerprint reduces the whole catalog — schemas, rows in storage
-// order, index definitions — to one comparable string.
+// order, index definitions — to one comparable string. It reads the
+// published epoch, so no lock is needed.
 func fingerprint(db *DB) string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	keys := make([]string, 0, len(db.tables))
-	for k := range db.tables {
+	ep := db.cur.Load()
+	keys := make([]string, 0, len(ep.tables))
+	for k := range ep.tables {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	var b strings.Builder
 	for _, k := range keys {
-		t := db.tables[k]
+		t := ep.tables[k]
+		td := ep.tds[t]
 		fmt.Fprintf(&b, "table %s (", t.Name)
 		for _, a := range t.Schema.Attrs {
 			fmt.Fprintf(&b, "%s:%s:%d,", a.Name, a.Kind, len(a.Domain))
 		}
 		b.WriteString(")\n")
-		for _, row := range t.Rows {
+		for _, row := range td.rows {
 			b.WriteString(row.Key())
 			b.WriteByte('\n')
 		}
-		for _, idx := range t.indexes {
-			fmt.Fprintf(&b, "index %s %v\n", idx.Name, idx.Cols)
+		for _, sl := range td.indexes {
+			fmt.Fprintf(&b, "index %s %v\n", sl.idx.Name, sl.idx.Cols)
 		}
 	}
 	return b.String()

@@ -13,13 +13,21 @@
 //
 // The driver is safe for concurrent use: database/sql hands each
 // goroutine its own connection, every connection is a thin handle on
-// the shared engine, and the engine's reader/writer lock lets all
-// their SELECTs run in parallel while DML/DDL serialize. The parallel
-// detector (internal/detect.ParallelDetect) fans its violation
-// queries through exactly this path.
+// the shared engine, and the engine's MVCC epochs let every SELECT run
+// lock-free against the published snapshot while DML/DDL serialize on
+// the writer side. The parallel detector
+// (internal/detect.ParallelDetect) fans its violation queries through
+// exactly this path.
+//
+// A transaction opened with ReadOnly (sql.TxOptions{ReadOnly: true})
+// pins one epoch for its whole lifetime: every query inside it
+// observes exactly that snapshot, no matter how many writers commit
+// meanwhile, and Commit/Rollback release the pin. Exec inside a
+// read-only transaction is refused.
 package sqldriver
 
 import (
+	"context"
 	"database/sql"
 	"database/sql/driver"
 	"fmt"
@@ -169,8 +177,9 @@ func (*Driver) Open(dsn string) (driver.Conn, error) {
 }
 
 type conn struct {
-	db *sqldb.DB
-	tx *sqldb.Tx
+	db   *sqldb.DB
+	tx   *sqldb.Tx
+	snap *sqldb.Snap // non-nil inside a ReadOnly transaction
 }
 
 func (c *conn) Prepare(query string) (driver.Stmt, error) {
@@ -196,14 +205,36 @@ func (c *conn) Begin() (driver.Tx, error) {
 	return &txWrap{conn: c}, nil
 }
 
+// BeginTx implements driver.ConnBeginTx. A ReadOnly transaction never
+// touches the engine's write path: it pins the published epoch, all
+// its queries run against that frozen snapshot, and Commit/Rollback
+// just release the pin. Writers proceed concurrently.
+func (c *conn) BeginTx(ctx context.Context, opts driver.TxOptions) (driver.Tx, error) {
+	if opts.ReadOnly {
+		c.snap = c.db.PinSnapshot()
+		return &txWrap{conn: c}, nil
+	}
+	return c.Begin()
+}
+
 type txWrap struct{ conn *conn }
 
 func (t *txWrap) Commit() error {
+	if s := t.conn.snap; s != nil {
+		t.conn.snap = nil
+		s.Close()
+		return nil
+	}
 	defer func() { t.conn.tx = nil }()
 	return t.conn.tx.Commit()
 }
 
 func (t *txWrap) Rollback() error {
+	if s := t.conn.snap; s != nil {
+		t.conn.snap = nil
+		s.Close()
+		return nil
+	}
 	defer func() { t.conn.tx = nil }()
 	return t.conn.tx.Rollback()
 }
@@ -217,6 +248,9 @@ func (p *prepared) Close() error  { return nil }
 func (p *prepared) NumInput() int { return p.p.NumParams() }
 
 func (p *prepared) Exec(args []driver.Value) (driver.Result, error) {
+	if p.conn.snap != nil {
+		return nil, fmt.Errorf("sqldriver: Exec inside a read-only transaction")
+	}
 	params, err := toValues(args)
 	if err != nil {
 		return nil, err
@@ -233,7 +267,12 @@ func (p *prepared) Query(args []driver.Value) (driver.Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.p.Query(params...)
+	var res *sqldb.Result
+	if s := p.conn.snap; s != nil {
+		res, err = p.p.QueryAt(s, params...)
+	} else {
+		res, err = p.p.Query(params...)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("sqldriver: %w", err)
 	}
