@@ -56,19 +56,20 @@ benchmeasure:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig5a$$' -benchtime $(BENCH_TIME) . | tee -a bench_current.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkConcurrentDetect$$' -benchtime $(BENCH_TIME) . | tee -a bench_current.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkMixedRead$$' -benchtime $(BENCH_TIME) . | tee -a bench_current.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedDetect10k$$' -benchtime $(BENCH_TIME) . | tee -a bench_current.txt
 
 # Bench smoke: run every benchmark exactly once (no measurement) so
 # bench-only code paths cannot silently rot, then measure the tracked
 # acceptance benchmarks, record them to bench_current.json, and fail on
-# a >25% regression against the committed BENCH_pr8.json. CI runs this.
+# a >25% regression against the committed BENCH_pr9.json. CI runs this.
 benchsmoke: benchmeasure
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 	$(GO) run ./cmd/benchguard -write bench_current.json < bench_current.txt
-	$(GO) run ./cmd/benchguard -check BENCH_pr8.json < bench_current.txt
+	$(GO) run ./cmd/benchguard -check BENCH_pr9.json < bench_current.txt
 
 # Refresh the committed perf baseline after an intentional change.
 benchbaseline: benchmeasure
-	$(GO) run ./cmd/benchguard -write BENCH_pr8.json < bench_current.txt
+	$(GO) run ./cmd/benchguard -write BENCH_pr9.json < bench_current.txt
 
 # Query plans of the detector's fixed statement set.
 explain:

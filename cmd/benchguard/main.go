@@ -33,6 +33,7 @@ var tracked = []string{
 	"BenchmarkConcurrentDetect/workers=2",
 	"BenchmarkConcurrentDetect/workers=4",
 	"BenchmarkConcurrentDetect/workers=8",
+	"BenchmarkShardedDetect10k",
 	"BenchmarkMixedRead",
 }
 

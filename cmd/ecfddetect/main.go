@@ -4,6 +4,7 @@
 //
 //	ecfddetect -spec sigma.ecfd -data data.csv                # batch
 //	ecfddetect -spec sigma.ecfd -data data.csv -parallel 8    # fan out
+//	ecfddetect -spec sigma.ecfd -data data.csv -shards 4      # shard-per-core
 //	ecfddetect -spec sigma.ecfd -data data.csv -insert dplus.csv
 //	ecfddetect -spec sigma.ecfd -data data.csv -delete 5,9,23
 //
@@ -33,6 +34,7 @@ func main() {
 	out := flag.String("o", "-", "violation output CSV ('-' = stdout)")
 	quiet := flag.Bool("quiet", false, "suppress the violation listing, print summary only")
 	parallel := flag.Int("parallel", 0, "batch detection workers (0 = serial, -1 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "partition data across N shard stores (volatile only; excludes -parallel/-wal/-resume)")
 	walDir := flag.String("wal", "", "write-ahead-log directory: persist the session and recover it on restart")
 	fsync := flag.String("fsync", "", "WAL fsync policy: always (default), batched, off")
 	checkpoint := flag.Int64("checkpoint", 4<<20, "WAL bytes between checkpoint snapshots (0 = never; needs -wal)")
@@ -44,6 +46,10 @@ func main() {
 	}
 	if *resume && *walDir == "" {
 		fmt.Fprintln(os.Stderr, "ecfddetect: -resume needs -wal")
+		os.Exit(2)
+	}
+	if *shards > 0 && (*parallel != 0 || *walDir != "" || *resume) {
+		fmt.Fprintln(os.Stderr, "ecfddetect: -shards runs volatile scatter-gather and excludes -parallel, -wal and -resume")
 		os.Exit(2)
 	}
 
@@ -95,36 +101,59 @@ func main() {
 	}
 	defer db.Close()
 
-	d, err := ecfd.NewDetector(db, schema, spec.Constraints)
-	if err != nil {
-		fail(err)
-	}
-	if *walDir != "" {
-		// Each update batch becomes one WAL commit unit: a crash
-		// recovers to a batch boundary, never a half-applied update.
-		d.SetAtomicUpdates(true)
-	}
-	if *resume {
-		if err := d.Resume(); err != nil {
+	// run abstracts over the single-store and sharded detectors; the
+	// flows below only need the shared detection/maintenance surface.
+	var run runner
+	if *shards > 0 {
+		s, err := ecfd.NewShardedDetector(db, schema, spec.Constraints, ecfd.ShardOptions{Shards: *shards})
+		if err != nil {
 			fail(err)
 		}
-		st := ecfd.StatsOf(dsn)
-		r := st.Recovery
-		fmt.Fprintf(os.Stderr,
-			"resume: wal gen %d (snapshot gen %d, units replayed %d, torn tail %v, fell back %v); epoch %d, %d live / %d retired epochs, %d retired bytes\n",
-			r.Gen, r.SnapshotGen, r.UnitsReplayed, r.TornTail, r.FellBack,
-			st.EpochSeq, st.LiveEpochs, st.RetiredEpochs, st.RetiredBytes)
-		if inst != nil {
+		defer s.Close()
+		if err := s.Install(); err != nil {
+			fail(err)
+		}
+		if _, err := s.LoadData(inst); err != nil {
+			fail(err)
+		}
+		run = s
+	} else {
+		d, err := ecfd.NewDetector(db, schema, spec.Constraints)
+		if err != nil {
+			fail(err)
+		}
+		if *walDir != "" {
+			// Each update batch becomes one WAL commit unit: a crash
+			// recovers to a batch boundary, never a half-applied update.
+			d.SetAtomicUpdates(true)
+		}
+		if *resume {
+			if err := d.Resume(); err != nil {
+				fail(err)
+			}
+			st := ecfd.StatsOf(dsn)
+			r := st.Recovery
+			fmt.Fprintf(os.Stderr,
+				"resume: wal gen %d (snapshot gen %d, units replayed %d, torn tail %v, fell back %v); epoch %d, %d live / %d retired epochs, %d retired bytes\n",
+				r.Gen, r.SnapshotGen, r.UnitsReplayed, r.TornTail, r.FellBack,
+				st.EpochSeq, st.LiveEpochs, st.RetiredEpochs, st.RetiredBytes)
+			if inst != nil {
+				if _, err := d.LoadData(inst); err != nil {
+					fail(err)
+				}
+			}
+		} else {
+			if err := d.Install(); err != nil {
+				fail(err)
+			}
 			if _, err := d.LoadData(inst); err != nil {
 				fail(err)
 			}
 		}
-	} else {
-		if err := d.Install(); err != nil {
-			fail(err)
-		}
-		if _, err := d.LoadData(inst); err != nil {
-			fail(err)
+		if *parallel != 0 {
+			run = parallelRunner{d, *parallel}
+		} else {
+			run = d
 		}
 	}
 
@@ -132,14 +161,14 @@ func main() {
 	if inst != nil {
 		nRows = inst.Len()
 	}
-	var st ecfd.BatchStats
 	mode := "batch"
-	if *parallel != 0 {
+	switch {
+	case *parallel != 0:
 		mode = "parallel batch"
-		st, err = d.ParallelDetect(*parallel)
-	} else {
-		st, err = d.BatchDetect()
+	case *shards > 0:
+		mode = fmt.Sprintf("sharded batch (%d shards)", *shards)
 	}
+	st, err := run.BatchDetect()
 	if err != nil {
 		fail(err)
 	}
@@ -156,7 +185,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		_, ist, err := d.InsertTuples(batch)
+		_, ist, err := run.InsertTuples(batch)
 		if err != nil {
 			fail(err)
 		}
@@ -171,7 +200,7 @@ func main() {
 			}
 			rids = append(rids, rid)
 		}
-		ist, err := d.DeleteTuples(rids)
+		ist, err := run.DeleteTuples(rids)
 		if err != nil {
 			fail(err)
 		}
@@ -179,7 +208,7 @@ func main() {
 	}
 
 	if *insertPath != "" || *deleteList != "" {
-		sv, mv, total, err := d.Counts()
+		sv, mv, total, err := run.Counts()
 		if err != nil {
 			fail(err)
 		}
@@ -189,7 +218,7 @@ func main() {
 	if *quiet {
 		return
 	}
-	vio, err := d.Violations()
+	vio, err := run.Violations()
 	if err != nil {
 		fail(err)
 	}
@@ -205,6 +234,27 @@ func main() {
 	if err := vio.WriteCSV(w); err != nil {
 		fail(err)
 	}
+}
+
+// runner is the detection/maintenance surface shared by *ecfd.Detector
+// and *ecfd.ShardedDetector.
+type runner interface {
+	BatchDetect() (ecfd.BatchStats, error)
+	InsertTuples(batch *ecfd.Relation) ([]int64, ecfd.IncStats, error)
+	DeleteTuples(rids []int64) (ecfd.IncStats, error)
+	Counts() (sv, mv, total int64, err error)
+	Violations() (*ecfd.Relation, error)
+}
+
+// parallelRunner routes BatchDetect through ParallelDetect with a
+// fixed worker count, leaving the rest of the surface untouched.
+type parallelRunner struct {
+	*ecfd.Detector
+	workers int
+}
+
+func (p parallelRunner) BatchDetect() (ecfd.BatchStats, error) {
+	return p.ParallelDetect(p.workers)
 }
 
 func readCSV(r io.Reader, schema *ecfd.Schema) (*ecfd.Relation, error) {

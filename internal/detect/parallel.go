@@ -1,7 +1,6 @@
 package detect
 
 import (
-	"context"
 	"database/sql"
 	"fmt"
 	"runtime"
@@ -9,6 +8,9 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"ecfd/internal/relation"
+	"ecfd/internal/sqldb"
 )
 
 // ParallelDetect computes the same violation flags as BatchDetect, but
@@ -31,6 +33,11 @@ import (
 // determinism test pins this). Flag writes happen in a short serial
 // phase at the end — reads scale, writes stay exclusive.
 //
+// Each concurrent read phase runs against one pinned MVCC snapshot:
+// with an engine bound (BindEngine) the phase takes a single epoch pin
+// and every worker queries it directly; without one, each task is a
+// single statement, which observes one snapshot by itself.
+//
 // workers <= 0 selects GOMAXPROCS.
 func (d *Detector) ParallelDetect(workers int) (BatchStats, error) {
 	start := time.Now()
@@ -47,38 +54,44 @@ func (d *Detector) ParallelDetect(workers int) (BatchStats, error) {
 		return fail(err)
 	}
 
-	lo, hi, n, err := d.ridBounds()
+	// One ordered pass over the RID index sizes the partitioning
+	// exactly: slices cut at real RIDs, so sparse RID spaces (heavily
+	// deleted relations) never yield empty slice tasks.
+	rids, err := d.RIDs()
 	if err != nil {
 		return fail(err)
 	}
-	if n == 0 {
+	if len(rids) == 0 {
 		return BatchStats{Elapsed: time.Since(start)}, nil
 	}
-	slices := ridSlices(lo, hi, n, workers)
+	slices := ridSlices(rids, workers)
 
 	// Phase 1 (concurrent reads): SV per RID slice, Qmv groups per CID
-	// range.
+	// range — all against one pinned snapshot.
 	ranges := cidRanges(len(d.sigma), workers)
 	svSets := make([][]int64, len(slices))
 	groupSets := make([][][]any, len(ranges))
+	rd := d.phaseReader()
 	var tasks []func() error
 	for si, sl := range slices {
 		si, sl := si, sl
 		tasks = append(tasks, func() error {
-			rids, err := d.queryRIDs(d.stmts.qsvRIDsSlice, sl[0], sl[1])
-			svSets[si] = rids
+			out, err := rd.queryRIDs(d.stmts.qsvRIDsSlice, sl[0], sl[1])
+			svSets[si] = out
 			return err
 		})
 	}
 	for ri, cr := range ranges {
 		ri, cr := ri, cr
 		tasks = append(tasks, func() error {
-			rows, err := d.queryGroups(cr[0], cr[1])
+			rows, err := rd.queryGroups(d.stmts.qmvGroupsCIDRng, cr[0], cr[1])
 			groupSets[ri] = rows
 			return err
 		})
 	}
-	if err := runTasks(workers, tasks); err != nil {
+	err = runTasks(workers, tasks)
+	rd.close()
+	if err != nil {
 		return fail(err)
 	}
 
@@ -90,19 +103,23 @@ func (d *Detector) ParallelDetect(workers int) (BatchStats, error) {
 		return fail(err)
 	}
 
-	// Phase 2 (concurrent reads): MV candidates per slice, then one
-	// serial flag write.
+	// Phase 2 (concurrent reads): MV candidates per slice against a
+	// fresh pin (it must see the Aux install above), then one serial
+	// flag write.
 	mvSets := make([][]int64, len(slices))
+	rd = d.phaseReader()
 	tasks = tasks[:0]
 	for si, sl := range slices {
 		si, sl := si, sl
 		tasks = append(tasks, func() error {
-			rids, err := d.queryRIDs(d.stmts.mvRIDsSlice, sl[0], sl[1])
-			mvSets[si] = rids
+			out, err := rd.queryRIDs(d.stmts.mvRIDsSlice, sl[0], sl[1])
+			mvSets[si] = out
 			return err
 		})
 	}
-	if err := runTasks(workers, tasks); err != nil {
+	err = runTasks(workers, tasks)
+	rd.close()
+	if err != nil {
 		return fail(err)
 	}
 	if err := d.setFlag(ColMV, mergeRIDs(mvSets)); err != nil {
@@ -158,65 +175,52 @@ func runTasks(workers int, tasks []func() error) error {
 	return firstErr
 }
 
-// minSliceRows keeps partitioning worthwhile: below this many rows per
-// prospective slice the whole relation goes to one task (each slice
-// task scans the full table and filters to its RID range, so
-// over-slicing small relations only multiplies scans).
-const minSliceRows = 1024
+// phaseReader is the read surface of one concurrent phase. With an
+// engine bound it pins one MVCC epoch at construction and every task
+// queries that snapshot through the engine's prepared-plan cache — the
+// per-task read-only-transaction pin (and its connection churn) that
+// BENCH_pr8 showed creeping to ~20% at 8 workers is gone. Without an
+// engine it falls back to plain handle queries: each task is a single
+// statement, which pins its own snapshot for exactly its duration.
+type phaseReader struct {
+	d    *Detector
+	snap *sqldb.Snap // non-nil iff an engine is bound
+}
 
-// ridSlices cuts [lo, hi] into up to `workers` contiguous inclusive
-// ranges covering every RID exactly once.
-func ridSlices(lo, hi, n int64, workers int) [][2]int64 {
-	slices := int64(workers)
-	if max := n / minSliceRows; slices > max {
-		slices = max
+func (d *Detector) phaseReader() *phaseReader {
+	r := &phaseReader{d: d}
+	if d.eng != nil {
+		r.snap = d.eng.PinSnapshot()
 	}
-	if slices <= 1 {
-		return [][2]int64{{lo, hi}}
+	return r
+}
+
+func (r *phaseReader) close() {
+	if r.snap != nil {
+		r.snap.Close()
+		r.snap = nil
 	}
-	span := hi - lo + 1
-	if slices > span {
-		slices = span
-	}
-	per := (span + slices - 1) / slices
-	var out [][2]int64
-	for a := lo; a <= hi; a += per {
-		b := a + per - 1
-		if b > hi {
-			b = hi
+}
+
+// queryRIDs runs a two-parameter RID-collecting query and returns the
+// ids.
+func (r *phaseReader) queryRIDs(q string, lo, hi int64) ([]int64, error) {
+	if r.snap != nil {
+		p, err := r.d.eng.Prepare(q)
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, [2]int64{a, b})
+		res, err := p.QueryAt(r.snap, relation.Int(lo), relation.Int(hi))
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int64, len(res.Rows))
+		for i, row := range res.Rows {
+			out[i] = row[0].I
+		}
+		return out, nil
 	}
-	return out
-}
-
-// ridBounds reports the data table's RID range and row count.
-func (d *Detector) ridBounds() (lo, hi, n int64, err error) {
-	q := fmt.Sprintf("SELECT MIN(%[1]s), MAX(%[1]s), COUNT(*) FROM %[2]s", ColRID, d.dataTable)
-	var loN, hiN sql.NullInt64
-	if err := d.db.QueryRow(q).Scan(&loN, &hiN, &n); err != nil {
-		return 0, 0, 0, err
-	}
-	return loN.Int64, hiN.Int64, n, nil
-}
-
-// readTx opens a read-only transaction: the engine pins one MVCC
-// epoch for it, so every query inside observes a single snapshot and
-// holds no lock. Each parallel task runs in its own readTx — the task
-// is internally consistent even if a writer commits mid-scan.
-func (d *Detector) readTx() (*sql.Tx, error) {
-	return d.db.BeginTx(context.Background(), &sql.TxOptions{ReadOnly: true})
-}
-
-// queryRIDs runs a two-parameter RID-slice query inside its own
-// read-only snapshot and collects the ids.
-func (d *Detector) queryRIDs(q string, lo, hi int64) ([]int64, error) {
-	tx, err := d.readTx()
-	if err != nil {
-		return nil, err
-	}
-	defer tx.Rollback()
-	rows, err := tx.Query(q, lo, hi)
+	rows, err := r.d.db.Query(q, lo, hi)
 	if err != nil {
 		return nil, err
 	}
@@ -230,6 +234,99 @@ func (d *Detector) queryRIDs(q string, lo, hi int64) ([]int64, error) {
 		out = append(out, rid)
 	}
 	return out, rows.Err()
+}
+
+// queryGroups computes the violating Qmv group keys of a CID range.
+// Each returned row is insert-ready: the CID followed by the blanked
+// pattern columns.
+func (r *phaseReader) queryGroups(q string, loCID, hiCID int64) ([][]any, error) {
+	width := 1 + len(r.d.schema.Attrs)
+	if r.snap != nil {
+		p, err := r.d.eng.Prepare(q)
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.QueryAt(r.snap, relation.Int(loCID), relation.Int(hiCID))
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]any, len(res.Rows))
+		for i, t := range res.Rows {
+			row := make([]any, width)
+			row[0] = t[0].I
+			for j := 1; j < width; j++ {
+				row[j] = t[j].S // pattern columns are always TEXT
+			}
+			out[i] = row
+		}
+		return out, nil
+	}
+	rows, err := r.d.db.Query(q, loCID, hiCID)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var cid int64
+	cells := make([]string, width-1)
+	ptrs := make([]any, width)
+	ptrs[0] = &cid
+	for i := range cells {
+		ptrs[i+1] = &cells[i]
+	}
+	var out [][]any
+	for rows.Next() {
+		if err := rows.Scan(ptrs...); err != nil {
+			return nil, err
+		}
+		row := make([]any, width)
+		row[0] = cid
+		for i, s := range cells {
+			row[i+1] = s
+		}
+		out = append(out, row)
+	}
+	return out, rows.Err()
+}
+
+// minSliceRows keeps partitioning worthwhile: below this many rows per
+// prospective slice the whole relation goes to one task (each slice
+// task scans the full table and filters to its RID range, so
+// over-slicing small relations only multiplies scans).
+const minSliceRows = 1024
+
+// ridSlices cuts the ordered RID list into up to `workers` contiguous
+// inclusive ranges. Slice bounds are actual RIDs cut at equal row
+// counts, so no slice is ever empty — a sparse RID space (after heavy
+// deletion) costs extra rows per slice, never extra tasks — and the
+// slice count is capped at the number of non-empty partitions.
+func ridSlices(rids []int64, workers int) [][2]int64 {
+	n := len(rids)
+	if n == 0 {
+		return nil
+	}
+	k := workers
+	if max := n / minSliceRows; k > max {
+		k = max
+	}
+	if k <= 1 {
+		return [][2]int64{{rids[0], rids[n-1]}}
+	}
+	out := make([][2]int64, 0, k)
+	for i := 0; i < k; i++ {
+		a, b := i*n/k, (i+1)*n/k // b > a because k <= n
+		out = append(out, [2]int64{rids[a], rids[b-1]})
+	}
+	return out
+}
+
+// ridBounds reports the data table's RID range and row count.
+func (d *Detector) ridBounds() (lo, hi, n int64, err error) {
+	q := fmt.Sprintf("SELECT MIN(%[1]s), MAX(%[1]s), COUNT(*) FROM %[2]s", ColRID, d.dataTable)
+	var loN, hiN sql.NullInt64
+	if err := d.db.QueryRow(q).Scan(&loN, &hiN, &n); err != nil {
+		return 0, 0, 0, err
+	}
+	return loN.Int64, hiN.Int64, n, nil
 }
 
 // cidRanges splits the CID space [1, n] into up to `workers`
@@ -252,43 +349,6 @@ func cidRanges(n, workers int) [][2]int64 {
 		out = append(out, [2]int64{int64(a), int64(b)})
 	}
 	return out
-}
-
-// queryGroups computes the violating Qmv group keys of a CID range
-// inside its own read-only snapshot. Each returned row is
-// insert-ready: the CID followed by the blanked pattern columns.
-func (d *Detector) queryGroups(loCID, hiCID int64) ([][]any, error) {
-	tx, err := d.readTx()
-	if err != nil {
-		return nil, err
-	}
-	defer tx.Rollback()
-	rows, err := tx.Query(d.stmts.qmvGroupsCIDRng, loCID, hiCID)
-	if err != nil {
-		return nil, err
-	}
-	defer rows.Close()
-	width := 1 + len(d.schema.Attrs)
-	var cid int64
-	cells := make([]string, width-1)
-	ptrs := make([]any, width)
-	ptrs[0] = &cid
-	for i := range cells {
-		ptrs[i+1] = &cells[i]
-	}
-	var out [][]any
-	for rows.Next() {
-		if err := rows.Scan(ptrs...); err != nil {
-			return nil, err
-		}
-		row := make([]any, width)
-		row[0] = cid
-		for i, s := range cells {
-			row[i+1] = s
-		}
-		out = append(out, row)
-	}
-	return out, rows.Err()
 }
 
 // insertAuxGroups installs the merged group keys into Aux. The sets

@@ -37,6 +37,7 @@ func newBenchDetector(t testing.TB, rows int, seed int64) (*Detector, func()) {
 		cleanup()
 		t.Fatal(err)
 	}
+	d.BindEngine(sqldriver.Engine(dsn))
 	return d, cleanup
 }
 
@@ -212,38 +213,89 @@ func TestParallelDetectEmpty(t *testing.T) {
 }
 
 // TestRIDSlices pins the partitioning arithmetic: full disjoint
-// coverage, no empty slices, and a single slice for small relations.
+// coverage of the actual RIDs, no empty slices even over sparse or
+// tiny RID spaces, a single slice for small relations, and balanced
+// row counts (±1) across slices.
 func TestRIDSlices(t *testing.T) {
+	dense := func(lo, hi int64) []int64 {
+		out := make([]int64, 0, hi-lo+1)
+		for r := lo; r <= hi; r++ {
+			out = append(out, r)
+		}
+		return out
+	}
+	sparse := func(n int64) []int64 { // every 1000th RID: a heavily deleted relation
+		out := make([]int64, 0, n)
+		for i := int64(0); i < n; i++ {
+			out = append(out, 1+i*1000)
+		}
+		return out
+	}
 	cases := []struct {
-		lo, hi, n int64
-		workers   int
+		name    string
+		rids    []int64
+		workers int
 	}{
-		{1, 100_000, 100_000, 8},
-		{1, 100_000, 100_000, 3},
-		{5, 5, 1, 8},
-		{1, 500, 500, 4},       // below minSliceRows: one slice
-		{1, 10_000, 10_000, 4}, // above: up to 4 slices
+		{"dense-8", dense(1, 100_000), 8},
+		{"dense-3", dense(1, 100_000), 3},
+		{"single", []int64{5}, 8},
+		{"small", dense(1, 500), 4},     // below minSliceRows: one slice
+		{"medium", dense(1, 10_000), 4}, // above: up to 4 slices
+		{"sparse", sparse(10_000), 8},   // sparse RID space: still 8 non-empty slices
+		{"empty", nil, 4},
 	}
 	for _, c := range cases {
-		slices := ridSlices(c.lo, c.hi, c.n, c.workers)
-		if len(slices) == 0 {
-			t.Fatalf("ridSlices(%v) returned no slices", c)
-		}
-		if c.n < minSliceRows*2 && len(slices) != 1 {
-			t.Errorf("ridSlices(%v): small relation split into %d slices", c, len(slices))
-		}
-		next := c.lo
-		for _, s := range slices {
-			if s[0] != next || s[1] < s[0] {
-				t.Fatalf("ridSlices(%v): bad slice %v (expected start %d)", c, s, next)
+		slices := ridSlices(c.rids, c.workers)
+		if len(c.rids) == 0 {
+			if slices != nil {
+				t.Errorf("%s: empty RID list produced slices %v", c.name, slices)
 			}
-			next = s[1] + 1
+			continue
 		}
-		if next != c.hi+1 {
-			t.Fatalf("ridSlices(%v): coverage ends at %d, want %d", c, next-1, c.hi)
+		if len(slices) == 0 {
+			t.Fatalf("%s: no slices", c.name)
 		}
 		if len(slices) > c.workers {
-			t.Errorf("ridSlices(%v): %d slices exceed %d workers", c, len(slices), c.workers)
+			t.Errorf("%s: %d slices exceed %d workers", c.name, len(slices), c.workers)
+		}
+		if len(c.rids) < minSliceRows*2 && len(slices) != 1 {
+			t.Errorf("%s: small relation split into %d slices", c.name, len(slices))
+		}
+		// Walk the RID list against the slices: every RID falls in
+		// exactly one slice, slices are adjacent and ascending, no slice
+		// is empty, and the per-slice row counts balance to within one
+		// n/k quantum.
+		idx, minRows, maxRows := 0, len(c.rids), 0
+		for si, s := range slices {
+			if s[1] < s[0] {
+				t.Fatalf("%s: inverted slice %v", c.name, s)
+			}
+			if si > 0 && s[0] <= slices[si-1][1] {
+				t.Fatalf("%s: slice %v overlaps predecessor %v", c.name, s, slices[si-1])
+			}
+			n := 0
+			for idx < len(c.rids) && c.rids[idx] <= s[1] {
+				if c.rids[idx] < s[0] {
+					t.Fatalf("%s: RID %d not covered by any slice", c.name, c.rids[idx])
+				}
+				idx++
+				n++
+			}
+			if n == 0 {
+				t.Fatalf("%s: empty slice %v", c.name, s)
+			}
+			if n < minRows {
+				minRows = n
+			}
+			if n > maxRows {
+				maxRows = n
+			}
+		}
+		if idx != len(c.rids) {
+			t.Fatalf("%s: %d RIDs uncovered after the last slice", c.name, len(c.rids)-idx)
+		}
+		if maxRows-minRows > 1 {
+			t.Errorf("%s: unbalanced slices (min %d rows, max %d)", c.name, minRows, maxRows)
 		}
 	}
 }

@@ -1,0 +1,402 @@
+package detect
+
+import (
+	"bytes"
+	"database/sql"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ecfd/internal/gen"
+	"ecfd/internal/sqldb"
+	"ecfd/internal/sqldriver"
+)
+
+// shardedViolationCSV renders a sharded detector's gathered violation
+// set for byte-level comparison against the serial legs.
+func shardedViolationCSV(t testing.TB, s *ShardedDetector) []byte {
+	t.Helper()
+	vio, err := s.Violations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := vio.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// newShardedBench builds a sharded detector over the generator workload
+// (the sharded sibling of newBenchDetector).
+func newShardedBench(t testing.TB, rows int, seed int64, opts ShardOptions) (*ShardedDetector, func()) {
+	t.Helper()
+	dsn := fmt.Sprintf("detect_shard_%d_%d_%d", rows, seed, dsnSeq.Add(1))
+	db, err := sql.Open(sqldriver.DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSharded(db, gen.Schema(), gen.Constraints(), opts)
+	if err != nil {
+		db.Close()
+		sqldriver.Unregister(dsn)
+		t.Fatal(err)
+	}
+	cleanup := func() {
+		s.Close()
+		db.Close()
+		sqldriver.Unregister(dsn)
+	}
+	if err := s.Install(); err != nil {
+		cleanup()
+		t.Fatal(err)
+	}
+	if _, err := s.LoadData(gen.Dataset(gen.Config{Rows: rows, Noise: 5, Seed: seed})); err != nil {
+		cleanup()
+		t.Fatal(err)
+	}
+	return s, cleanup
+}
+
+// TestShardKeyOrderPreserving pins the routing key's core property:
+// bytes.Compare on keys agrees with the numeric order of the RIDs, so
+// RID ranges are contiguous in key space and range queries can prune
+// by block.
+func TestShardKeyOrderPreserving(t *testing.T) {
+	rids := []int64{-1 << 62, -100_000, -257, -256, -255, -1, 0, 1, 255, 256, 257, 100_000, 1 << 62}
+	for i := 1; i < len(rids); i++ {
+		a, b := shardKey(rids[i-1]), shardKey(rids[i])
+		if bytes.Compare(a[:], b[:]) >= 0 {
+			t.Errorf("key(%d) >= key(%d): order not preserved", rids[i-1], rids[i])
+		}
+	}
+}
+
+// TestShardRouting is the routing property test: every RID routes to
+// exactly one shard (total, deterministic, in range) for every K, and
+// consecutive RIDs within one routing block agree.
+func TestShardRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, k := range []int{1, 2, 3, 4, 8} {
+		for trial := 0; trial < 2000; trial++ {
+			rid := rng.Int63() - rng.Int63() // covers negatives
+			s := shardOf(rid, k)
+			if s < 0 || s >= k {
+				t.Fatalf("shardOf(%d, %d) = %d out of range", rid, k, s)
+			}
+			if s2 := shardOf(rid, k); s2 != s {
+				t.Fatalf("shardOf(%d, %d) not deterministic: %d then %d", rid, k, s, s2)
+			}
+		}
+		// Same block → same shard; adjacent blocks → adjacent shards
+		// (round-robin interleaving).
+		base := int64(1 << 20)
+		if shardOf(base, k) != shardOf(base+(1<<shardRouteBits)-1-base%(1<<shardRouteBits), k) {
+			t.Errorf("k=%d: RIDs of one routing block split across shards", k)
+		}
+	}
+	// Block interleaving balances a monotone load: over any contiguous
+	// run of whole blocks, shard counts differ by at most one block.
+	const blocks = 37
+	counts := make(map[int]int)
+	for b := 0; b < blocks; b++ {
+		counts[shardOf(int64(b)<<shardRouteBits, 4)]++
+	}
+	lo, hi := blocks, 0
+	for s := 0; s < 4; s++ {
+		if counts[s] < lo {
+			lo = counts[s]
+		}
+		if counts[s] > hi {
+			hi = counts[s]
+		}
+	}
+	if hi-lo > 1 {
+		t.Errorf("monotone block load unbalanced across 4 shards: %v", counts)
+	}
+}
+
+// TestShardsForRIDRange checks the prune set against brute force: the
+// set contains exactly the owners of RIDs in the range (capped at K),
+// and a range inside one routing block prunes to a single shard.
+func TestShardsForRIDRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, k := range []int{1, 2, 4, 8} {
+		for trial := 0; trial < 200; trial++ {
+			lo := rng.Int63n(1<<20) - (1 << 19)
+			hi := lo + rng.Int63n(4<<shardRouteBits)
+			got := shardsForRIDRange(lo, hi, k)
+			want := make(map[int]bool)
+			for rid := lo; rid <= hi; rid++ {
+				want[shardOf(rid, k)] = true
+			}
+			gotSet := make(map[int]bool, len(got))
+			for _, s := range got {
+				if gotSet[s] {
+					t.Fatalf("k=%d [%d,%d]: duplicate shard %d in prune set", k, lo, hi, s)
+				}
+				gotSet[s] = true
+			}
+			for s := range want {
+				if !gotSet[s] {
+					t.Fatalf("k=%d [%d,%d]: owner shard %d missing from prune set %v", k, lo, hi, s, got)
+				}
+			}
+			for s := range gotSet {
+				if !want[s] {
+					t.Fatalf("k=%d [%d,%d]: prune set %v includes non-owner %d", k, lo, hi, got, s)
+				}
+			}
+		}
+		// Within one block: exactly one shard.
+		base := int64(7) << shardRouteBits
+		if got := shardsForRIDRange(base+1, base+10, k); len(got) != 1 {
+			t.Errorf("k=%d: intra-block range pruned to %v, want one shard", k, got)
+		}
+	}
+	if got := shardsForRIDRange(10, 5, 4); got != nil {
+		t.Errorf("inverted range produced prune set %v", got)
+	}
+}
+
+// TestShardReRouteStable checks that routing is stable under DML:
+// after ApplyUpdates, every surviving RID still lives on the shard the
+// key function names — no row ever migrates.
+func TestShardReRouteStable(t *testing.T) {
+	s, cleanup := newShardedBench(t, 1_500, 19, ShardOptions{Shards: 4, Workers: 4})
+	defer cleanup()
+	if _, err := s.BatchDetect(); err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		for i, sh := range s.shards {
+			rids, err := sh.d.RIDs()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rid := range rids {
+				if want := shardOf(rid, len(s.shards)); want != i {
+					t.Fatalf("%s: RID %d on shard %d, routed to %d", stage, rid, i, want)
+				}
+			}
+		}
+	}
+	check("after load")
+	rng := rand.New(rand.NewSource(20))
+	for step := 0; step < 3; step++ {
+		rids, err := s.RIDs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doomed []int64
+		for _, i := range rng.Perm(len(rids))[:40] {
+			doomed = append(doomed, rids[i])
+		}
+		batch := gen.Updates(gen.Config{Rows: 1_500, Noise: 5, Seed: 19}, 60, 5)
+		if _, _, err := s.ApplyUpdates(batch, doomed); err != nil {
+			t.Fatal(err)
+		}
+		check(fmt.Sprintf("after step %d", step))
+	}
+}
+
+// TestShardedViolationsInRange compares the pruned range read against
+// filtering the full gathered violation set.
+func TestShardedViolationsInRange(t *testing.T) {
+	s, cleanup := newShardedBench(t, 2_000, 27, ShardOptions{Shards: 4, Workers: 4})
+	defer cleanup()
+	if _, err := s.BatchDetect(); err != nil {
+		t.Fatal(err)
+	}
+	all, err := s.Violations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Rows) == 0 {
+		t.Fatal("no violations; test is vacuous")
+	}
+	for _, rg := range [][2]int64{{1, 100}, {500, 1500}, {1990, 2050}, {40, 40}, {3000, 4000}} {
+		got, err := s.ViolationsInRange(rg[0], rg[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []int
+		for i, row := range all.Rows {
+			if rid := row[0].I; rid >= rg[0] && rid <= rg[1] {
+				want = append(want, i)
+			}
+		}
+		if len(got.Rows) != len(want) {
+			t.Fatalf("range %v: %d rows, want %d", rg, len(got.Rows), len(want))
+		}
+		for j, i := range want {
+			if !all.Rows[i].Equal(got.Rows[j]) {
+				t.Fatalf("range %v: row %d mismatch", rg, j)
+			}
+		}
+	}
+}
+
+// TestShardedDetectEmpty covers the degenerate shapes: an empty
+// relation, and more shards than rows (some shards permanently empty).
+func TestShardedDetectEmpty(t *testing.T) {
+	dsn := fmt.Sprintf("detect_shard_empty_%d", dsnSeq.Add(1))
+	db, err := sql.Open(sqldriver.DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	defer sqldriver.Unregister(dsn)
+	s, err := NewSharded(db, gen.Schema(), gen.Constraints(), ShardOptions{Shards: 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Install(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.BatchDetect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 0 {
+		t.Fatalf("empty relation produced violations: %+v", st)
+	}
+	// A tiny load leaves most of the 8 shards empty (RIDs 1..3 share one
+	// routing block); detection must still work end to end.
+	if _, err := s.LoadData(gen.Dataset(gen.Config{Rows: 3, Noise: 5, Seed: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BatchDetect(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Violations(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedResume exercises the restart path: a sharded session over
+// a durable coordinator store crashes (process exit), reopens, Resumes
+// — shards rebuilt by re-scattering the recovered coordinator data —
+// and the next BatchDetect lands byte-identical to the pre-crash one.
+func TestShardedResume(t *testing.T) {
+	fs := sqldb.NewMemFS(71)
+	walOpts := sqldb.WALOptions{Dir: "/wal", FS: fs, Fsync: sqldb.FsyncAlways}
+	dsn := fmt.Sprintf("detect_shard_resume_%d", dsnSeq.Add(1))
+	eng, err := sqldb.Open(walOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqldriver.RegisterDB(dsn, eng)
+	db, err := sql.Open(sqldriver.DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := gen.Dataset(gen.Config{Rows: 800, Noise: 5, Seed: 31})
+	s, err := NewSharded(db, gen.Schema(), gen.Constraints(), ShardOptions{Shards: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Install(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadData(inst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BatchDetect(); err != nil {
+		t.Fatal(err)
+	}
+	before := shardedViolationCSV(t, s)
+	nextBefore := s.coord.nextRID
+	s.Close()
+	db.Close()
+
+	// "Restart": reopen the durable store, rebuild the sharded session,
+	// Resume instead of Install.
+	if eng, err = sqldb.Open(walOpts); err != nil {
+		t.Fatal(err)
+	}
+	sqldriver.RegisterDB(dsn, eng)
+	if db, err = sql.Open(sqldriver.DriverName, dsn); err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	defer sqldriver.Unregister(dsn)
+	s2, err := NewSharded(db, gen.Schema(), gen.Constraints(), ShardOptions{Shards: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if s2.coord.nextRID != nextBefore {
+		t.Fatalf("RID allocator resumed at %d, want %d", s2.coord.nextRID, nextBefore)
+	}
+	if _, err := s2.BatchDetect(); err != nil {
+		t.Fatal(err)
+	}
+	if after := shardedViolationCSV(t, s2); !bytes.Equal(before, after) {
+		t.Fatalf("violations differ across resume\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	// And the session keeps working: one more update round trip.
+	if _, _, err := s2.ApplyUpdates(gen.Updates(gen.Config{Rows: 800, Noise: 5, Seed: 31}, 50, 5), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedDetectStress drives sharded detection cycles while reader
+// goroutines gather Violations and Counts concurrently — the race
+// detector's view of the scatter pool, the per-shard engines, and the
+// gather merges all running at once.
+func TestShardedDetectStress(t *testing.T) {
+	s, cleanup := newShardedBench(t, 2_000, 57, ShardOptions{Shards: 4, Workers: 8})
+	defer cleanup()
+	if _, err := s.BatchDetect(); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.Violations(); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, _, err := s.Counts(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	rng := rand.New(rand.NewSource(58))
+	for step := 0; step < 5; step++ {
+		rids, err := s.RIDs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doomed []int64
+		for _, i := range rng.Perm(len(rids))[:50] {
+			doomed = append(doomed, rids[i])
+		}
+		batch := gen.Updates(gen.Config{Rows: 2_000, Noise: 5, Seed: 57}, 80, 5)
+		if _, _, err := s.ApplyUpdates(batch, doomed); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.BatchDetect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

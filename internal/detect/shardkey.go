@@ -1,0 +1,73 @@
+package detect
+
+import "encoding/binary"
+
+// RID → shard routing for the sharded detector (shard.go).
+//
+// A RID routes through its *order-preserving key*: the fdb-style tuple
+// encoding of the signed integer — offset binary (sign bit flipped) in
+// big-endian byte order — so that bytes.Compare on keys agrees exactly
+// with the numeric order of the RIDs. The shard is then a function of
+// the key's block prefix (all but the low shardRouteBits bits):
+// consecutive RIDs share a block, blocks interleave round-robin across
+// the K shards. Both properties matter:
+//
+//   - order preservation makes RID ranges contiguous in key space, so a
+//     range query prunes to the shards owning the blocks it intersects
+//     (shardsForRIDRange) — a range within one block touches one shard;
+//   - block interleaving spreads a monotone bulk load evenly: after any
+//     prefix of the RID sequence, shard row counts differ by at most
+//     one block.
+
+// shardRouteBits sizes the routing block at 2^shardRouteBits = 256
+// consecutive RIDs. Small enough that realistic loads balance to within
+// ~256 rows per shard; large enough that a short RID range (point
+// lookups, small slices) lands on one or two shards.
+const shardRouteBits = 8
+
+// shardKey renders a RID as its 8-byte order-preserving routing key.
+func shardKey(rid int64) [8]byte {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], uint64(rid)^(1<<63))
+	return k
+}
+
+// shardBlock is the routing block of a RID: the key's high 56 bits.
+// Derived from the key bytes, not the RID, so the key is the single
+// source of routing truth.
+func shardBlock(rid int64) uint64 {
+	k := shardKey(rid)
+	return binary.BigEndian.Uint64(k[:]) >> shardRouteBits
+}
+
+// shardOf maps a RID to its owning shard among k. Total and
+// deterministic: every RID routes to exactly one shard, forever.
+func shardOf(rid int64, k int) int {
+	return int(shardBlock(rid) % uint64(k))
+}
+
+// shardsForRIDRange lists the shards owning any RID in [lo, hi], in
+// block order — the prune set of a range query. A span of k or more
+// blocks covers every shard; shorter spans return only the owners of
+// the intersected blocks (a span inside one block returns one shard).
+func shardsForRIDRange(lo, hi int64, k int) []int {
+	if k <= 0 || hi < lo {
+		return nil
+	}
+	loB, hiB := shardBlock(lo), shardBlock(hi)
+	out := make([]int, 0, k)
+	seen := make([]bool, k)
+	for b := loB; ; b++ {
+		if s := int(b % uint64(k)); !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+			if len(out) == k {
+				break
+			}
+		}
+		if b == hiB {
+			break
+		}
+	}
+	return out
+}

@@ -776,9 +776,9 @@ type probeInst struct {
 	k *kprobe
 	// Index-probe state: the epoch's index structure and the row fence
 	// cutting shared buckets to this epoch's row count.
-	d     *indexData
-	fence int
-	set   map[string]bool
+	d       *indexData
+	fence   int
+	set     map[string]bool
 	vals    []relation.Value   // constant part values this entry
 	con     []bool             // part i is constant this entry
 	condT   []bool             // pkCase condition held this entry
