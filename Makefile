@@ -5,7 +5,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build test race vet faultmatrix mvccstress bench-short bench-json benchmeasure benchsmoke benchbaseline explain ci
+.PHONY: build test race vet faultmatrix mvccstress bench-short bench-json benchmeasure benchsmoke benchbaseline serversmoke explain ci
 
 build:
 	$(GO) build ./...
@@ -57,19 +57,26 @@ benchmeasure:
 	$(GO) test -run '^$$' -bench 'BenchmarkConcurrentDetect$$' -benchtime $(BENCH_TIME) . | tee -a bench_current.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkMixedRead$$' -benchtime $(BENCH_TIME) . | tee -a bench_current.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkShardedDetect10k$$' -benchtime $(BENCH_TIME) . | tee -a bench_current.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkServerCheck$$' -benchtime $(BENCH_TIME) . | tee -a bench_current.txt
 
 # Bench smoke: run every benchmark exactly once (no measurement) so
 # bench-only code paths cannot silently rot, then measure the tracked
 # acceptance benchmarks, record them to bench_current.json, and fail on
-# a >25% regression against the committed BENCH_pr9.json. CI runs this.
+# a >25% regression against the committed BENCH_pr10.json. CI runs this.
 benchsmoke: benchmeasure
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 	$(GO) run ./cmd/benchguard -write bench_current.json < bench_current.txt
-	$(GO) run ./cmd/benchguard -check BENCH_pr9.json < bench_current.txt
+	$(GO) run ./cmd/benchguard -check BENCH_pr10.json < bench_current.txt
 
 # Refresh the committed perf baseline after an intentional change.
 benchbaseline: benchmeasure
-	$(GO) run ./cmd/benchguard -write BENCH_pr9.json < bench_current.txt
+	$(GO) run ./cmd/benchguard -write BENCH_pr10.json < bench_current.txt
+
+# Server smoke: boot ecfdserver, drive a short closed-loop check load
+# at 8 clients against a 10k-row session, and fail unless it sustains
+# the ROADMAP's >=500 QPS floor. CI uploads the latency JSON.
+serversmoke: build
+	./scripts/serversmoke.sh
 
 # Query plans of the detector's fixed statement set.
 explain:

@@ -7,8 +7,12 @@ package ecfd
 // the engine design choices called out in DESIGN.md §5.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"testing"
 
@@ -16,6 +20,7 @@ import (
 	"ecfd/internal/detect"
 	"ecfd/internal/gen"
 	"ecfd/internal/relation"
+	"ecfd/internal/server"
 	"ecfd/internal/sqldb"
 )
 
@@ -369,6 +374,92 @@ func BenchmarkMaxSS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := MaxSS(schema, sigma, int64(i)); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerCheck measures the service's advisory hot path end to
+// end: one HTTP round trip carrying an 8-tuple check batch against a
+// 10k-row session — admission gate, JSON decode, the two fixed check
+// probes, JSON encode. The benchguard-tracked server unit.
+func BenchmarkServerCheck(b *testing.B) {
+	srv := server.New(server.Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post := func(path string, in, out any) {
+		b.Helper()
+		var body *bytes.Reader
+		if in != nil {
+			raw, err := json.Marshal(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			body = bytes.NewReader(raw)
+		} else {
+			body = bytes.NewReader(nil)
+		}
+		resp, err := http.Post(ts.URL+path, "application/json", body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			b.Fatalf("%s: HTTP %d", path, resp.StatusCode)
+		}
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	var sess server.SessionInfo
+	post("/v1/sessions", server.CreateSessionRequest{
+		Gen: &server.GenSpec{Rows: 10_000, Noise: 5, Seed: 1},
+	}, &sess)
+	post("/v1/sessions/"+sess.ID+"/detect", nil, nil)
+
+	batch := gen.Dataset(gen.Config{Rows: 8, Noise: 5, Seed: 99})
+	rows := make([][]any, batch.Len())
+	for i, t := range batch.Rows {
+		row := make([]any, len(t))
+		for j, v := range t {
+			switch v.K {
+			case relation.KindNull:
+				row[j] = nil
+			case relation.KindInt:
+				row[j] = v.I
+			case relation.KindBool:
+				row[j] = v.I != 0
+			case relation.KindFloat:
+				row[j] = v.F
+			default:
+				row[j] = v.S
+			}
+		}
+		rows[i] = row
+	}
+	body, err := json.Marshal(server.RowsPayload{Rows: rows})
+	if err != nil {
+		b.Fatal(err)
+	}
+	url := ts.URL + "/v1/sessions/" + sess.ID + "/check"
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out server.CheckResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(out.Results) != len(rows) {
+			b.Fatalf("HTTP %d, %d results", resp.StatusCode, len(out.Results))
 		}
 	}
 }

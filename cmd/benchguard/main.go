@@ -35,6 +35,7 @@ var tracked = []string{
 	"BenchmarkConcurrentDetect/workers=8",
 	"BenchmarkShardedDetect10k",
 	"BenchmarkMixedRead",
+	"BenchmarkServerCheck",
 }
 
 // Baseline is the committed JSON shape.

@@ -37,7 +37,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure id (5a 5b 5c 6a 6b 6c 7a 7b par shard wal mixed) or 'all'")
+	fig := flag.String("fig", "all", "figure id (5a 5b 5c 6a 6b 6c 7a 7b par shard wal mixed server) or 'all'")
 	scale := flag.Float64("scale", 0.1, "dataset scale relative to the paper (1.0 = |D| up to 100k)")
 	seed := flag.Int64("seed", 42, "generator seed")
 	parallel := flag.Int("parallel", 0, "batch-detection workers (0 = serial, -1 = GOMAXPROCS)")

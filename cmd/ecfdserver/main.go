@@ -1,0 +1,79 @@
+// Command ecfdserver runs eCFD violation detection as a long-running
+// HTTP/JSON service: register a schema and constraint set once per
+// session, then load data, detect, apply incremental updates, probe
+// candidate tuples and stream violations over the wire. See
+// internal/server for the protocol.
+//
+// Usage:
+//
+//	ecfdserver [-addr :8080] [-workers N] [-queue N] [-timeout 30s]
+//
+// The process exits cleanly on SIGINT/SIGTERM: the listener stops
+// accepting, in-flight requests drain (bounded), sessions close and
+// their engines release.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ecfd/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent data-path requests (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on the ?timeout= override")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: ecfdserver [-addr :8080] [-workers N] [-queue N] [-timeout 30s]")
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("ecfdserver listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			srv.Close()
+			log.Fatalf("serve: %v", err)
+		}
+	}
+	srv.Close()
+}

@@ -25,6 +25,10 @@
 //     backed by the in-memory engine (driver "ecfdmem") so everything
 //     runs self-contained; any other database/sql driver with the
 //     needed SQL subset works too.
+//   - Detection as a service: NewServer exposes sessions, detection,
+//     incremental updates, advisory checks and streamed violations
+//     over HTTP/JSON with admission control (cmd/ecfdserver is the
+//     standalone binary, cmd/ecfdloadgen the load driver).
 //
 // See the examples/ directory for runnable walkthroughs and DESIGN.md
 // for the paper-to-code map.
@@ -41,6 +45,7 @@ import (
 	"ecfd/internal/relation"
 	"ecfd/internal/repair"
 	"ecfd/internal/sat"
+	"ecfd/internal/server"
 	"ecfd/internal/sqldb"
 	"ecfd/internal/sqldriver"
 )
@@ -298,6 +303,38 @@ type EngineRecoveryStats = sqldb.RecoveryStats
 
 // StatsOf returns the named engine's current operational stats.
 func StatsOf(name string) EngineStats { return sqldriver.Engine(name).Stats() }
+
+// Server is the detection-as-a-service HTTP handler: sessions register
+// a schema and Σ once, then load data, detect, apply incremental
+// updates, probe candidate tuples (check) and stream violations over
+// JSON, all gated by a bounded worker pool with typed queue_full
+// rejection. It implements http.Handler; the caller owns the listener.
+// cmd/ecfdserver wraps it as a standalone binary and cmd/ecfdloadgen
+// drives it; see internal/server for the wire protocol.
+type Server = server.Server
+
+// ServerOptions configures NewServer (worker pool size, admission
+// queue depth, request deadlines, body cap); zero values select
+// sensible defaults.
+type ServerOptions = server.Options
+
+// NewServer builds a detection service handler. Close it to tear down
+// every session and release the engines.
+func NewServer(opts ServerOptions) *Server { return server.New(opts) }
+
+// ServerLoadOptions and ServerLoadResult configure and report a
+// closed-loop load run against a live detection service (RunServerLoad
+// is what cmd/ecfdloadgen and the "server" benchmark figure run).
+type (
+	ServerLoadOptions = server.LoadOptions
+	ServerLoadResult  = server.LoadResult
+)
+
+// RunServerLoad drives a closed-loop load against the server at
+// opts.BaseURL and reports QPS and latency percentiles.
+func RunServerLoad(opts ServerLoadOptions) (*ServerLoadResult, error) {
+	return server.RunLoad(opts)
+}
 
 // DiscoverOptions tunes constraint discovery; zero values select
 // sensible defaults.

@@ -111,6 +111,7 @@ var Runners = map[string]func(Options) (*Figure, error){
 	"6a": Fig6a, "6b": Fig6b, "6c": Fig6c,
 	"7a": Fig7a, "7b": Fig7b,
 	"par": FigPar, "shard": FigShard, "wal": FigWAL, "mixed": FigMixed,
+	"server": FigServer,
 }
 
 // FigureIDs lists the runnable figures in paper order.
@@ -137,6 +138,13 @@ var dsnSeq atomic.Int64
 // setup builds a detector over a fresh in-memory database loaded with
 // a generated dataset, and returns it with the assigned RIDs.
 func setup(sigma []*core.ECFD, cfg gen.Config) (*detect.Detector, []int64, func(), error) {
+	return setupWith(sigma, gen.Dataset(cfg))
+}
+
+// setupWith is setup over a pre-generated dataset — figures that build
+// several stores from the same data (FigPar, FigShard) generate once
+// and share, so the measured loop is detection, not the generator.
+func setupWith(sigma []*core.ECFD, data *relation.Relation) (*detect.Detector, []int64, func(), error) {
 	dsn := fmt.Sprintf("bench_%d", dsnSeq.Add(1))
 	db, err := sql.Open(sqldriver.DriverName, dsn)
 	if err != nil {
@@ -155,7 +163,7 @@ func setup(sigma []*core.ECFD, cfg gen.Config) (*detect.Detector, []int64, func(
 		cleanup()
 		return nil, nil, nil, err
 	}
-	rids, err := d.LoadData(gen.Dataset(cfg))
+	rids, err := d.LoadData(data)
 	if err != nil {
 		cleanup()
 		return nil, nil, nil, err
@@ -169,6 +177,11 @@ func setup(sigma []*core.ECFD, cfg gen.Config) (*detect.Detector, []int64, func(
 // setupSharded builds a sharded detector over a fresh coordinator
 // database with the generated dataset scattered across k shards.
 func setupSharded(sigma []*core.ECFD, cfg gen.Config, opts detect.ShardOptions) (*detect.ShardedDetector, func(), error) {
+	return setupShardedWith(sigma, gen.Dataset(cfg), opts)
+}
+
+// setupShardedWith is setupSharded over a pre-generated dataset.
+func setupShardedWith(sigma []*core.ECFD, data *relation.Relation, opts detect.ShardOptions) (*detect.ShardedDetector, func(), error) {
 	dsn := fmt.Sprintf("bench_shard_%d", dsnSeq.Add(1))
 	db, err := sql.Open(sqldriver.DriverName, dsn)
 	if err != nil {
@@ -189,7 +202,7 @@ func setupSharded(sigma []*core.ECFD, cfg gen.Config, opts detect.ShardOptions) 
 		cleanup()
 		return nil, nil, err
 	}
-	if _, err := s.LoadData(gen.Dataset(cfg)); err != nil {
+	if _, err := s.LoadData(data); err != nil {
 		cleanup()
 		return nil, nil, err
 	}
@@ -534,9 +547,9 @@ func FigPar(opt Options) (*Figure, error) {
 	f := &Figure{ID: "par", Title: "Parallel detection scaling (Fig. 5(a) workload)",
 		XLabel: "workers", YLabel: "seconds", Names: []string{"parallel", "batch", "speedup"}}
 	rows := opt.scale(100_000)
-	cfg := gen.Config{Rows: rows, Noise: 5, Seed: opt.Seed}
+	data := gen.Dataset(gen.Config{Rows: rows, Noise: 5, Seed: opt.Seed})
 
-	d, _, cleanup, err := setup(gen.Constraints(), cfg)
+	d, _, cleanup, err := setupWith(gen.Constraints(), data)
 	if err != nil {
 		return nil, err
 	}
@@ -548,7 +561,7 @@ func FigPar(opt Options) (*Figure, error) {
 
 	var oneWorker float64
 	for _, w := range []int{1, 2, 4, 8} {
-		d, _, cleanup, err := setup(gen.Constraints(), cfg)
+		d, _, cleanup, err := setupWith(gen.Constraints(), data)
 		if err != nil {
 			return nil, err
 		}
@@ -580,9 +593,12 @@ func FigShard(opt Options) (*Figure, error) {
 	f := &Figure{ID: "shard", Title: "Sharded detection scaling (Fig. 5(a) workload)",
 		XLabel: "shards", YLabel: "seconds", Names: []string{"sharded", "batch", "speedup"}}
 	rows := opt.scale(100_000)
-	cfg := gen.Config{Rows: rows, Noise: 5, Seed: opt.Seed}
+	// One dataset for the serial baseline and every K — regenerating per
+	// point both wasted the bulk of the figure's wall clock and let the
+	// generator drift into the measurement.
+	data := gen.Dataset(gen.Config{Rows: rows, Noise: 5, Seed: opt.Seed})
 
-	d, _, cleanup, err := setup(gen.Constraints(), cfg)
+	d, _, cleanup, err := setupWith(gen.Constraints(), data)
 	if err != nil {
 		return nil, err
 	}
@@ -594,7 +610,7 @@ func FigShard(opt Options) (*Figure, error) {
 	batchSecs := bst.Elapsed.Seconds()
 
 	for _, k := range []int{1, 2, 4, 8} {
-		s, cleanup, err := setupSharded(gen.Constraints(), cfg, detect.ShardOptions{Shards: k})
+		s, cleanup, err := setupShardedWith(gen.Constraints(), data, detect.ShardOptions{Shards: k})
 		if err != nil {
 			return nil, err
 		}

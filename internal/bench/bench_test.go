@@ -17,7 +17,7 @@ func TestRunUnknownFigure(t *testing.T) {
 
 func TestFigureIDs(t *testing.T) {
 	ids := FigureIDs()
-	want := []string{"5a", "5b", "5c", "6a", "6b", "6c", "7a", "7b", "mixed", "par", "shard", "wal"}
+	want := []string{"5a", "5b", "5c", "6a", "6b", "6c", "7a", "7b", "mixed", "par", "server", "shard", "wal"}
 	if strings.Join(ids, ",") != strings.Join(want, ",") {
 		t.Errorf("FigureIDs = %v", ids)
 	}

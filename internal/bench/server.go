@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"ecfd/internal/server"
+)
+
+// FigServer — detection-as-a-service throughput: an in-process
+// ecfdserver on a loopback listener, driven closed-loop by the load
+// generator at 8 clients on the scaled Fig. 5(a) dataset. One point per
+// request mode; qps plus the latency percentiles the ROADMAP tracks.
+// check is the advisory hot path (two fixed indexed probes per
+// request); violations streams the full violation set per request, so
+// its qps is bounded by result size, not admission.
+func FigServer(opt Options) (*Figure, error) {
+	f := &Figure{ID: "server", Title: "Detection service throughput (8 clients, loopback)",
+		XLabel: "mode", YLabel: "qps / ms",
+		Names: []string{"qps", "p50_ms", "p99_ms", "rejected", "errors"}}
+	rows := opt.scale(10_000)
+
+	srv := server.New(server.Options{})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	for _, mode := range []string{"check", "violations"} {
+		res, err := server.RunLoad(server.LoadOptions{
+			BaseURL:  base,
+			Clients:  8,
+			Duration: 3 * time.Second,
+			Mode:     mode,
+			Rows:     rows,
+			Noise:    5,
+			Seed:     opt.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", mode, err)
+		}
+		f.Points = append(f.Points, Point{X: mode, Series: map[string]float64{
+			"qps": res.QPS, "p50_ms": res.P50Ms, "p99_ms": res.P99Ms,
+			"rejected": float64(res.Rejected), "errors": float64(res.Errors)}})
+	}
+	return f, nil
+}

@@ -98,6 +98,10 @@ type statements struct {
 	qsvRIDsSlice    string
 	qmvGroupsCIDRng string
 	mvRIDsSlice     string
+	// advisory-check forms (Check): Qsv and the Aux probe over the
+	// staging table alone — read cost, no merge.
+	checkSVRIDs string
+	checkMVRIDs string
 	// sharded scatter-gather forms (ShardedDetector): the shards export
 	// DISTINCT macro rows and touched keys; the coordinator finishes the
 	// grouping in Go and broadcasts the results back.

@@ -57,6 +57,7 @@ func TestIncrementalStatementSetFixed(t *testing.T) {
 		{a.mvSetOld, b.mvSetOld}, {a.mvClear, b.mvClear},
 		{a.svOnIns, b.svOnIns}, {a.mergeIns, b.mergeIns},
 		{a.deleteRows, b.deleteRows},
+		{a.checkSVRIDs, b.checkSVRIDs}, {a.checkMVRIDs, b.checkMVRIDs},
 	}
 	for i, p := range pairs {
 		if p[0] != p[1] {

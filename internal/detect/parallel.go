@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ecfd/internal/relation"
@@ -134,8 +135,11 @@ func (d *Detector) ParallelDetect(workers int) (BatchStats, error) {
 }
 
 // runTasks drains tasks through a fixed pool of workers and returns
-// the first error (the remaining tasks still run to completion, so
-// result slots are never left half-written by a cancelled sibling).
+// the first error. A task that has started runs to completion — its
+// result slot is never left half-written — but once any task fails the
+// pool stops picking up queued work and the feeder stops queuing, so a
+// failed phase returns promptly instead of burning the remaining
+// slices on work whose results will be discarded.
 func runTasks(workers int, tasks []func() error) error {
 	if workers > len(tasks) {
 		workers = len(tasks)
@@ -152,22 +156,30 @@ func runTasks(workers int, tasks []func() error) error {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+	var failed atomic.Bool
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for t := range ch {
+				if failed.Load() {
+					continue // drain-and-skip after a failure
+				}
 				if err := t(); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
 					}
 					mu.Unlock()
+					failed.Store(true)
 				}
 			}
 		}()
 	}
 	for _, t := range tasks {
+		if failed.Load() {
+			break
+		}
 		ch <- t
 	}
 	close(ch)

@@ -31,6 +31,8 @@ func (d *Detector) generateSQL() {
 			d.dataTable, ColRID, ColRID, d.delTable),
 		qsvRIDsSlice:    d.genQsvRIDsSlice(),
 		qmvGroupsCIDRng: d.genQmvGroupsCIDRange(),
+		checkSVRIDs:     d.genCheckSVRIDs(),
+		checkMVRIDs:     d.genCheckMVRIDs(),
 		mvRIDsSlice:     d.genMVRIDsSlice(),
 		qmvMacroCIDRng:  d.macro(d.dataTable, "c.CID >= ? AND c.CID <= ?"),
 		qmvMacroKeys:    d.macro(d.dataTable, d.keysProbe()),
@@ -311,6 +313,33 @@ func (d *Detector) genMVUpdate() string {
 	cidGuard := fmt.Sprintf("EXISTS (SELECT 1 FROM %s g WHERE g.CID = c.CID)", d.auxTable)
 	return fmt.Sprintf("UPDATE %s t SET %s = 1 WHERE EXISTS (SELECT 1 FROM %s c WHERE %s AND %s)",
 		d.dataTable, ColMV, d.encTable, cidGuard, d.auxProbe(d.auxTable))
+}
+
+// --- advisory check (Check) ---
+//
+// The check statements run the two fixed detection queries over the
+// staging table alone, against the *current* flags and Aux — no merge,
+// no recompute, no writes outside the staging table. They back the
+// server's high-rate check endpoint: "would this tuple violate Σ?"
+// answered at read cost.
+
+// genCheckSVRIDs is Qsv over the staged batch: the staged tuples that
+// violate some pattern constraint all by themselves. Exact — SV is a
+// per-tuple property, so staging answers it as well as merging would.
+func (d *Detector) genCheckSVRIDs() string {
+	return fmt.Sprintf("SELECT DISTINCT t.%s FROM %s t, %s c\nWHERE %s\n  AND (%s)",
+		ColRID, d.insTable, d.encTable, d.lhsMatch(), d.rhsViolate())
+}
+
+// genCheckMVRIDs finds the staged tuples whose blanked projection
+// matches a currently-violating group (an Aux(D) member) — the same
+// probe the incremental step's mvSetNew runs after a merge, minus the
+// merge. A tuple that would *newly* tip a clean group into violation
+// is not reported; that transition needs the recompute in ApplyUpdates.
+func (d *Detector) genCheckMVRIDs() string {
+	cidGuard := fmt.Sprintf("EXISTS (SELECT 1 FROM %s g WHERE g.CID = c.CID)", d.auxTable)
+	return fmt.Sprintf("SELECT DISTINCT t.%s FROM %s t, %s c WHERE %s AND %s",
+		ColRID, d.insTable, d.encTable, cidGuard, d.auxProbe(d.auxTable))
 }
 
 // genKeys collects the group keys touched by an update batch: the

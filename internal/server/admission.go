@@ -1,0 +1,60 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// admission is the server's load gate: Workers slots bound how many
+// requests execute concurrently, QueueDepth bounds how many more may
+// wait for a slot. Beyond that the request is rejected immediately with
+// the typed queue_full error — the closed-loop alternative (unbounded
+// queuing) turns overload into unbounded latency, which no deadline can
+// fix after the fact.
+type admission struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	inflight atomic.Int64
+	maxQueue int64
+}
+
+func newAdmission(workers, queueDepth int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, workers),
+		maxQueue: int64(queueDepth),
+	}
+}
+
+// acquire takes an execution slot. The fast path takes a free slot
+// without touching the queue counter; otherwise the request queues —
+// bounded — and waits for a slot or its deadline, whichever first.
+func (a *admission) acquire(ctx context.Context) *APIError {
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return apiErrorf(CodeQueueFull,
+			"all %d workers busy and %d requests queued; retry later",
+			cap(a.slots), a.maxQueue)
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		if ctx.Err() == context.DeadlineExceeded {
+			return apiErrorf(CodeDeadline, "request deadline expired while queued")
+		}
+		return apiErrorf(CodeDeadline, "client went away while queued")
+	}
+}
+
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	<-a.slots
+}

@@ -1,0 +1,309 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"ecfd/internal/gen"
+)
+
+// LoadOptions configures a closed-loop load run against a live server.
+type LoadOptions struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the number of closed-loop workers (default 8).
+	Clients int
+	// Duration bounds the run (default 10s).
+	Duration time.Duration
+	// Mode selects the request each client loops on: "check" (default),
+	// "detect", "updates" or "violations".
+	Mode string
+	// Batch is the tuples per check/updates request (default 8).
+	Batch int
+	// Rows sizes the gen-backed dataset the run creates (default 10000).
+	Rows int
+	// Noise is the dataset corruption rate in percent (default 5).
+	Noise float64
+	// Seed fixes the dataset (default 1).
+	Seed int64
+	// Timeout is the per-request client timeout (default 30s).
+	Timeout time.Duration
+	// Keep leaves the session alive after the run (default: delete it).
+	Keep bool
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = 10 * time.Second
+	}
+	if o.Mode == "" {
+		o.Mode = "check"
+	}
+	if o.Batch <= 0 {
+		o.Batch = 8
+	}
+	if o.Rows <= 0 {
+		o.Rows = 10000
+	}
+	if o.Noise == 0 {
+		o.Noise = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	return o
+}
+
+// LoadResult is one load run's aggregate outcome. Latencies cover
+// successful requests only; Rejected counts typed queue_full answers
+// (the admission contract working, not a failure), Errors everything
+// else.
+type LoadResult struct {
+	Mode      string  `json:"mode"`
+	Clients   int     `json:"clients"`
+	Rows      int     `json:"rows"`
+	Batch     int     `json:"batch"`
+	Seconds   float64 `json:"seconds"`
+	Requests  int64   `json:"requests"`
+	Rejected  int64   `json:"rejected"`
+	Errors    int64   `json:"errors"`
+	QPS       float64 `json:"qps"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+	SessionID string  `json:"session_id,omitempty"`
+}
+
+// RunLoad drives a closed-loop load against the server at
+// opts.BaseURL: it creates a gen-backed session, runs one batch detect
+// to establish the flags and Aux, then lets Clients workers fire
+// back-to-back requests of the selected Mode until Duration elapses.
+// Request bodies are pre-marshaled and rotated, so the measured path is
+// the server, not the generator.
+func RunLoad(opts LoadOptions) (*LoadResult, error) {
+	opts = opts.withDefaults()
+	client := &http.Client{Timeout: opts.Timeout}
+
+	if err := waitHealthy(client, opts.BaseURL, 10*time.Second); err != nil {
+		return nil, err
+	}
+
+	// Session: the built-in generator workload, loaded server-side.
+	var sess SessionInfo
+	create := CreateSessionRequest{
+		Gen: &GenSpec{Rows: opts.Rows, Noise: opts.Noise, Seed: opts.Seed},
+	}
+	if err := call(client, "POST", opts.BaseURL+"/v1/sessions", create, &sess); err != nil {
+		return nil, fmt.Errorf("create session: %w", err)
+	}
+	base := fmt.Sprintf("%s/v1/sessions/%s", opts.BaseURL, sess.ID)
+	if !opts.Keep {
+		defer call(client, "DELETE", base, nil, nil)
+	}
+	var det DetectResponse
+	if err := call(client, "POST", base+"/detect", nil, &det); err != nil {
+		return nil, fmt.Errorf("initial detect: %w", err)
+	}
+
+	bodies := prepareBodies(opts)
+	var target string
+	switch opts.Mode {
+	case "check":
+		target = base + "/check"
+	case "updates":
+		target = base + "/updates"
+	case "detect":
+		target = base + "/detect"
+	case "violations":
+		target = base + "/violations"
+	default:
+		return nil, fmt.Errorf("unknown mode %q", opts.Mode)
+	}
+
+	type shard struct {
+		requests, rejected, errors int64
+		lat                        []time.Duration
+	}
+	shards := make([]shard, opts.Clients)
+	deadline := time.Now().Add(opts.Duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sh := &shards[c]
+			for i := c; time.Now().Before(deadline); i++ {
+				var req *http.Request
+				var err error
+				if opts.Mode == "violations" {
+					req, err = http.NewRequest("GET", target, nil)
+				} else if opts.Mode == "detect" {
+					req, err = http.NewRequest("POST", target, nil)
+				} else {
+					body := bodies[i%len(bodies)]
+					req, err = http.NewRequest("POST", target, bytes.NewReader(body))
+					req.Header.Set("Content-Type", "application/json")
+				}
+				if err != nil {
+					sh.errors++
+					continue
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					sh.errors++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					sh.requests++
+					sh.lat = append(sh.lat, time.Since(t0))
+				case resp.StatusCode == http.StatusTooManyRequests:
+					sh.rejected++
+				default:
+					sh.errors++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &LoadResult{
+		Mode: opts.Mode, Clients: opts.Clients, Rows: opts.Rows,
+		Batch: opts.Batch, Seconds: elapsed.Seconds(),
+	}
+	if opts.Keep {
+		res.SessionID = sess.ID
+	}
+	var all []time.Duration
+	for i := range shards {
+		res.Requests += shards[i].requests
+		res.Rejected += shards[i].rejected
+		res.Errors += shards[i].errors
+		all = append(all, shards[i].lat...)
+	}
+	res.QPS = float64(res.Requests) / elapsed.Seconds()
+	if len(all) > 0 {
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		pct := func(p float64) float64 {
+			i := int(p * float64(len(all)-1))
+			return float64(all[i]) / float64(time.Millisecond)
+		}
+		res.P50Ms, res.P95Ms, res.P99Ms = pct(0.50), pct(0.95), pct(0.99)
+		res.MaxMs = float64(all[len(all)-1]) / float64(time.Millisecond)
+	}
+	return res, nil
+}
+
+// prepareBodies pre-marshals a rotation of request bodies for the
+// tuple-carrying modes, drawn from the generator with a seed disjoint
+// from the dataset's so candidates are fresh rows, not replays.
+func prepareBodies(opts LoadOptions) [][]byte {
+	const rotation = 64
+	pool := gen.Dataset(gen.Config{
+		Rows:  rotation * opts.Batch,
+		Noise: opts.Noise,
+		Seed:  opts.Seed + 7919,
+	})
+	rows := make([][]any, pool.Len())
+	for i, t := range pool.Rows {
+		row := make([]any, len(t))
+		for j, v := range t {
+			row[j] = cellJSON(v)
+		}
+		rows[i] = row
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 104729))
+	bodies := make([][]byte, rotation)
+	for i := range bodies {
+		batch := rows[i*opts.Batch : (i+1)*opts.Batch]
+		var body []byte
+		if opts.Mode == "updates" {
+			// Insert-only updates keep the run self-contained; deletes
+			// would need RID bookkeeping across concurrent clients.
+			body, _ = json.Marshal(UpdatesRequest{Insert: batch})
+		} else {
+			body, _ = json.Marshal(RowsPayload{Rows: batch})
+		}
+		bodies[i] = body
+	}
+	rng.Shuffle(len(bodies), func(a, b int) { bodies[a], bodies[b] = bodies[b], bodies[a] })
+	return bodies
+}
+
+// waitHealthy polls /healthz until the server answers, bounding server
+// start-up races in scripts and CI.
+func waitHealthy(client *http.Client, baseURL string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		resp, err := client.Get(baseURL + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %s", baseURL, patience)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// call is the minimal JSON client the load generator needs.
+func call(client *http.Client, method, url string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var env errorEnvelope
+		if json.Unmarshal(raw, &env) == nil && env.Error != nil {
+			return env.Error
+		}
+		return fmt.Errorf("%s %s: HTTP %d: %s", method, url, resp.StatusCode, raw)
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}

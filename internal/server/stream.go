@@ -1,0 +1,163 @@
+package server
+
+import (
+	"context"
+	"database/sql"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ecfd/internal/relation"
+)
+
+// streamPage is the keyset page size: large enough to amortize the
+// per-page flush, small enough that a cancelled client stops the read
+// within one page.
+const streamPage = 2048
+
+// doViolations streams the violation set as one JSON document:
+//
+//	{"columns": ["RID", ..., "SV", "MV"], "rows": [[...], ...], "count": N}
+//
+// The whole stream runs inside a single read-only transaction, so it
+// observes one MVCC snapshot no matter how many updates land while the
+// client drains it. Pagination is keyset (RID > last ORDER BY RID), two
+// fixed statement shapes with a literal LIMIT so the plan cache serves
+// every page. The deferred Rollback releases the snapshot pin on every
+// exit path — normal completion, deadline, and client disconnect alike
+// (database/sql closes the driver conn when the context dies, and the
+// driver's conn.Close releases the pin).
+func (s *Server) doViolations(ctx context.Context, sess *session, w http.ResponseWriter, r *http.Request) *APIError {
+	lo, hi := int64(0), int64(0)
+	bounded := false
+	if q := r.URL.Query().Get("lo"); q != "" {
+		n, err := strconv.ParseInt(q, 10, 64)
+		if err != nil {
+			return apiErrorf(CodeBadRequest, "bad lo %q", q)
+		}
+		lo = n
+	}
+	if q := r.URL.Query().Get("hi"); q != "" {
+		n, err := strconv.ParseInt(q, 10, 64)
+		if err != nil {
+			return apiErrorf(CodeBadRequest, "bad hi %q", q)
+		}
+		hi, bounded = n, true
+	}
+
+	schema := sess.schema()
+	cols := make([]string, 0, len(schema.Attrs)+3)
+	kinds := make([]relation.Kind, 0, len(schema.Attrs)+3)
+	cols = append(cols, "RID")
+	kinds = append(kinds, relation.KindInt)
+	for _, a := range schema.Attrs {
+		cols = append(cols, a.Name)
+		kinds = append(kinds, a.Kind)
+	}
+	cols = append(cols, "SV", "MV")
+	kinds = append(kinds, relation.KindInt, relation.KindInt)
+
+	// Two fixed shapes: open range and bounded range. The LIMIT is a
+	// literal on purpose — parameterized LIMITs would defeat the plan
+	// cache's one-entry-per-shape design.
+	base := fmt.Sprintf("SELECT %s FROM %s WHERE (SV = 1 OR MV = 1) AND RID > ?",
+		strings.Join(cols, ", "), sess.det.DataTable())
+	tail := fmt.Sprintf(" ORDER BY RID LIMIT %d", streamPage)
+	openQ := base + tail
+	boundedQ := base + " AND RID <= ?" + tail
+
+	tx, err := sess.db.BeginTx(ctx, &sql.TxOptions{ReadOnly: true})
+	if err != nil {
+		return apiErrorf(CodeInternal, "begin snapshot: %v", err)
+	}
+	defer tx.Rollback()
+
+	w.Header().Set("Content-Type", "application/json")
+	flusher, _ := w.(http.Flusher)
+	emit := func(p string) bool {
+		_, werr := io.WriteString(w, p)
+		return werr == nil
+	}
+
+	header, _ := json.Marshal(cols)
+	if !emit(`{"columns":` + string(header) + `,"rows":[`) {
+		return nil
+	}
+
+	count, last, first := int64(0), lo, true
+	for {
+		if ctx.Err() != nil {
+			// Deadline or disconnect mid-stream: the body is already
+			// partially written, so just stop — the truncated JSON is
+			// the client's signal. Rollback releases the snapshot.
+			return nil
+		}
+		var rows *sql.Rows
+		if bounded {
+			rows, err = tx.QueryContext(ctx, boundedQ, last, hi)
+		} else {
+			rows, err = tx.QueryContext(ctx, openQ, last)
+		}
+		if err != nil {
+			return nil // stream already started; terminate silently
+		}
+		n := 0
+		for rows.Next() {
+			cells := make([]sql.NullString, len(cols))
+			ptrs := make([]any, len(cols))
+			for i := range ptrs {
+				ptrs[i] = &cells[i]
+			}
+			if err := rows.Scan(ptrs...); err != nil {
+				rows.Close()
+				return nil
+			}
+			out := make([]any, len(cols))
+			for i, c := range cells {
+				if !c.Valid {
+					out[i] = nil
+					continue
+				}
+				v, perr := relation.ParseLiteral(c.String, kinds[i])
+				if perr != nil {
+					rows.Close()
+					return nil
+				}
+				out[i] = cellJSON(v)
+				if i == 0 {
+					last = v.I
+				}
+			}
+			line, _ := json.Marshal(out)
+			sep := ","
+			if first {
+				sep, first = "", false
+			}
+			if !emit(sep + string(line)) {
+				rows.Close()
+				return nil
+			}
+			n++
+			count++
+		}
+		closeErr := rows.Close()
+		if rows.Err() != nil || closeErr != nil {
+			return nil
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if n < streamPage {
+			break
+		}
+	}
+
+	emit(fmt.Sprintf(`],"count":%d}`, count))
+	if flusher != nil {
+		flusher.Flush()
+	}
+	return nil
+}

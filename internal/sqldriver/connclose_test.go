@@ -1,0 +1,82 @@
+package sqldriver
+
+import (
+	"context"
+	"database/sql/driver"
+	"testing"
+
+	"ecfd/internal/relation"
+)
+
+// TestConnCloseReleasesSnapshot: database/sql closes a driver
+// connection directly — without finishing its transaction — when a
+// request context is cancelled mid-operation or the pool discards the
+// conn. A ReadOnly transaction's epoch pin must die with the
+// connection, or every such disconnect leaks a retired epoch forever.
+func TestConnCloseReleasesSnapshot(t *testing.T) {
+	const dsn = "driver_connclose_snap"
+	eng := Engine(dsn)
+	defer Unregister(dsn)
+	if _, err := eng.Exec("CREATE TABLE t (A INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := (&Driver{}).Open(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.(driver.ConnBeginTx).BeginTx(context.Background(), driver.TxOptions{ReadOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon the transaction: close the conn with the pin still held.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Supersede the pinned epoch; if the pin leaked, it now holds a
+	// retired epoch that can never be reclaimed.
+	if _, err := eng.Exec("INSERT INTO t VALUES (2)"); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.LiveEpochs != 1 || st.RetiredEpochs != 0 {
+		t.Fatalf("LiveEpochs = %d, RetiredEpochs = %d after conn close; the ReadOnly pin leaked",
+			st.LiveEpochs, st.RetiredEpochs)
+	}
+}
+
+// TestConnCloseRollsBackWriteTx: a writer transaction abandoned with
+// its connection must not leave the engine's write side locked.
+func TestConnCloseRollsBackWriteTx(t *testing.T) {
+	const dsn = "driver_connclose_tx"
+	eng := Engine(dsn)
+	defer Unregister(dsn)
+	if _, err := eng.Exec("CREATE TABLE t (A INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := (&Driver{}).Open(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A leaked write transaction would block (or corrupt) this write.
+	if _, err := eng.Exec("INSERT INTO t VALUES (?)", relation.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 1 {
+		t.Fatalf("row count = %d, want 1", res.Rows[0][0].I)
+	}
+}

@@ -194,7 +194,23 @@ func (c *conn) Prepare(query string) (driver.Stmt, error) {
 	return &prepared{conn: c, p: p}, nil
 }
 
-func (c *conn) Close() error { return nil }
+// Close releases whatever the connection still holds. database/sql
+// closes a driver connection directly — without first finishing its
+// transaction — when a context is cancelled mid-operation or the pool
+// discards the conn as broken; a ReadOnly transaction's epoch pin (or
+// a writer transaction's lock) must not outlive the connection, or a
+// disconnected client would strand an MVCC epoch forever.
+func (c *conn) Close() error {
+	if s := c.snap; s != nil {
+		c.snap = nil
+		s.Close()
+	}
+	if tx := c.tx; tx != nil {
+		c.tx = nil
+		tx.Rollback()
+	}
+	return nil
+}
 
 func (c *conn) Begin() (driver.Tx, error) {
 	tx, err := c.db.Begin()

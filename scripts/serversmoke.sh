@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Server smoke: boot ecfdserver on a private port, drive a short
+# closed-loop check load with ecfdloadgen, gate on the ROADMAP's
+# >=500 QPS floor, and leave server_load.json for the CI artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=${ADDR:-127.0.0.1:18321}
+DURATION=${DURATION:-8s}
+CLIENTS=${CLIENTS:-8}
+ROWS=${ROWS:-10000}
+MIN_QPS=${MIN_QPS:-500}
+
+go build -o /tmp/ecfdserver ./cmd/ecfdserver
+go build -o /tmp/ecfdloadgen ./cmd/ecfdloadgen
+
+/tmp/ecfdserver -addr "$ADDR" &
+SERVER_PID=$!
+trap 'kill $SERVER_PID 2>/dev/null || true' EXIT
+
+/tmp/ecfdloadgen -addr "http://$ADDR" -clients "$CLIENTS" -duration "$DURATION" \
+  -rows "$ROWS" -mode check -json server_load.json | tee server_load.txt
+
+QPS=$(sed -n 's/^qps=\([0-9.]*\) .*/\1/p' server_load.txt)
+if ! awk -v qps="$QPS" -v min="$MIN_QPS" 'BEGIN { exit !(qps >= min) }'; then
+  echo "serversmoke: FAIL — $QPS QPS below the $MIN_QPS floor" >&2
+  exit 1
+fi
+echo "serversmoke: OK — $QPS QPS (floor $MIN_QPS)"
